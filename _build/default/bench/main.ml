@@ -1,0 +1,173 @@
+(* The benchmark harness (deliverable (d)).
+
+   One section per table/figure-equivalent of the paper — E1 (Table 1)
+   through E10, see DESIGN.md §4 — plus Bechamel microbenchmarks of the
+   engine's per-step throughput for each algorithm family.
+
+   Usage:
+     dune exec bench/main.exe                 # full suite + microbenchmarks
+     dune exec bench/main.exe -- --quick      # smoke-test sizes
+     dune exec bench/main.exe -- e3 e7        # selected experiments
+     dune exec bench/main.exe -- micro        # microbenchmarks only
+     dune exec bench/main.exe -- --csv out.csv e1
+*)
+
+let microbench_tests () =
+  let open Bechamel in
+  let mk_engine_test ~name ~graph ~balancer_of ~init ~steps =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let balancer = balancer_of () in
+           ignore (Core.Engine.run ~graph ~balancer ~init ~steps ())))
+  in
+  let n = 1024 in
+  let d = 8 in
+  let g = Graphs.Gen.random_regular (Prng.Splitmix.create 1) ~n ~d in
+  let init = Core.Loads.point_mass ~n ~total:(16 * n) in
+  let steps = 8 in
+  [
+    mk_engine_test ~name:"rotor-router/1024n-8steps" ~graph:g
+      ~balancer_of:(fun () -> Core.Rotor_router.make g ~self_loops:d)
+      ~init ~steps;
+    mk_engine_test ~name:"rotor-router*/1024n-8steps" ~graph:g
+      ~balancer_of:(fun () -> Core.Rotor_router_star.make g)
+      ~init ~steps;
+    mk_engine_test ~name:"send-floor/1024n-8steps" ~graph:g
+      ~balancer_of:(fun () -> Core.Send_floor.make g ~self_loops:d)
+      ~init ~steps;
+    mk_engine_test ~name:"send-round/1024n-8steps" ~graph:g
+      ~balancer_of:(fun () -> Core.Send_round.make g ~self_loops:(2 * d))
+      ~init ~steps;
+    mk_engine_test ~name:"mimic/1024n-8steps" ~graph:g
+      ~balancer_of:(fun () -> Baselines.Mimic.make g ~self_loops:d ~init)
+      ~init ~steps;
+    mk_engine_test ~name:"random-extra/1024n-8steps" ~graph:g
+      ~balancer_of:(fun () ->
+        Baselines.Random_extra.make (Prng.Splitmix.create 2) g ~self_loops:d)
+      ~init ~steps;
+    Test.make ~name:"continuous/1024n-8steps"
+      (Staged.stage
+         (let finit = Array.map float_of_int init in
+          fun () ->
+            ignore
+              (Baselines.Continuous.run ~graph:g ~self_loops:d ~init:finit ~steps ())));
+    Test.make ~name:"spectral-gap/torus16x16"
+      (Staged.stage
+         (let gt = Graphs.Gen.torus [ 16; 16 ] in
+          fun () -> ignore (Graphs.Spectral.eigenvalue_gap gt ~self_loops:4)));
+    Test.make ~name:"dimexch-circuit/1024n-8steps"
+      (Staged.stage (fun () ->
+           ignore
+             (Baselines.Dimexch.run Baselines.Dimexch.Balancing_circuit g ~init ~steps)));
+    Test.make ~name:"irregular-rotor/wheel256-8steps"
+      (Staged.stage
+         (let wg = Irregular.Igraph.wheel 256 in
+          let cap = 2 * Irregular.Igraph.max_degree wg in
+          let winit = Array.make 256 16 in
+          fun () ->
+            let balancer = Irregular.Ibalancer.rotor_router wg ~capacity:cap in
+            ignore (Irregular.Iengine.run ~graph:wg ~balancer ~init:winit ~steps ())));
+    Test.make ~name:"weighted-rotor/256n-8steps"
+      (Staged.stage
+         (let wg = Graphs.Gen.torus [ 16; 16 ] in
+          let winit =
+            Hetero.Wtokens.uniform_random (Prng.Splitmix.create 7) ~n:256 ~tokens:2048
+              ~max_weight:4
+          in
+          fun () ->
+            ignore
+              (Hetero.Wtokens.run Hetero.Wtokens.Oblivious ~graph:wg ~self_loops:4
+                 ~init:winit ~steps)));
+    Test.make ~name:"rotor-walk-cover/torus16x16"
+      (Staged.stage
+         (let wg = Graphs.Gen.torus [ 16; 16 ] in
+          fun () ->
+            ignore (Rotorwalk.Walk.cover_time (Rotorwalk.Walk.create wg) ~start:0)));
+  ]
+
+let run_microbenchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  Printf.printf "\n=== Microbenchmarks: engine step throughput (Bechamel) ===\n";
+  Printf.printf "%-32s %14s %10s\n" "benchmark" "time/run" "r²";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time_ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+          in
+          let pretty =
+            if time_ns > 1e6 then Printf.sprintf "%.3f ms" (time_ns /. 1e6)
+            else if time_ns > 1e3 then Printf.sprintf "%.3f µs" (time_ns /. 1e3)
+            else Printf.sprintf "%.1f ns" time_ns
+          in
+          Printf.printf "%-32s %14s %10.4f\n" name pretty r2)
+        analyzed)
+    (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) (microbench_tests ()))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let csv_path =
+    let rec find = function
+      | "--csv" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let rec drop_csv = function
+    | "--csv" :: _ :: rest -> drop_csv rest
+    | x :: rest -> x :: drop_csv rest
+    | [] -> []
+  in
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) (drop_csv args)
+  in
+  let want_micro = selected = [] || List.mem "micro" selected in
+  let experiment_ids =
+    match List.filter (fun a -> String.lowercase_ascii a <> "micro") selected with
+    | [] -> List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all
+    | ids -> ids
+  in
+  let experiment_ids = if selected = [] || experiment_ids <> [] then experiment_ids else [] in
+  Printf.printf
+    "Load-balancing benchmark harness — reproduction of Berenbrink et al.,\n\
+     \"Improved Analysis of Deterministic Load-Balancing Schemes\" (PODC 2015).\n";
+  if quick then Printf.printf "(quick mode: reduced sizes)\n";
+  let csv_rows = ref [] in
+  List.iter
+    (fun id ->
+      match Harness.Suite.run_by_id ~quick id with
+      | Ok rows -> csv_rows := !csv_rows @ rows
+      | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2)
+    experiment_ids;
+  (match csv_path with
+  | Some path ->
+    Harness.Csv.write ~path
+      ~header:[ "experiment"; "c1"; "c2"; "c3"; "c4"; "c5"; "c6"; "c7"; "c8"; "c9" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             let pad = List.init (max 0 (10 - List.length r)) (fun _ -> "") in
+             let r = r @ pad in
+             List.filteri (fun i _ -> i < 10) r)
+           !csv_rows);
+    Printf.printf "\nCSV written to %s\n" path
+  | None -> ());
+  if want_micro then run_microbenchmarks ()

@@ -1,0 +1,235 @@
+(* lb_sim: run one load-balancing simulation from the command line.
+
+   Examples:
+     lb_sim --graph cycle:64 --algo rotor-router --init point:512
+     lb_sim --graph torus:16x16 --algo send-round --self-loops 12 \
+            --horizon continuous:2 --target 8 --audit
+     lb_sim --graph random:256,6,42 --algo mimic --steps 500 --series
+*)
+
+exception Spec_error of string
+
+let parse_graph s =
+  let fail () =
+    raise
+      (Spec_error
+         (Printf.sprintf
+            "bad graph spec %S (expected cycle:N, torus:AxB, hypercube:R, \
+             complete:N, clique:N,D or random:N,D,SEED)"
+            s))
+  in
+  let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
+  match String.split_on_char ':' s with
+  | [ "cycle"; n ] -> Harness.Experiment.Cycle (int_of n)
+  | [ "hypercube"; r ] -> Harness.Experiment.Hypercube (int_of r)
+  | [ "complete"; n ] -> Harness.Experiment.Complete (int_of n)
+  | [ "torus"; dims ] -> (
+    match String.split_on_char 'x' dims with
+    | [ a; b ] when a = b -> Harness.Experiment.Torus2d (int_of a)
+    | _ -> fail ())
+  | [ "clique"; args ] -> (
+    match String.split_on_char ',' args with
+    | [ n; d ] -> Harness.Experiment.Clique_circulant { n = int_of n; d = int_of d }
+    | _ -> fail ())
+  | [ "random"; args ] -> (
+    match String.split_on_char ',' args with
+    | [ n; d ] -> Harness.Experiment.Random_regular { n = int_of n; d = int_of d; seed = 1 }
+    | [ n; d; seed ] ->
+      Harness.Experiment.Random_regular { n = int_of n; d = int_of d; seed = int_of seed }
+    | _ -> fail ())
+  | _ -> fail ()
+
+let parse_init s =
+  let fail () =
+    raise
+      (Spec_error
+         (Printf.sprintf
+            "bad init spec %S (expected point:TOTAL, bimodal:HIGH,LOW or \
+             random:TOTAL[,SEED])"
+            s))
+  in
+  let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
+  match String.split_on_char ':' s with
+  | [ "point"; t ] -> Harness.Experiment.Point_mass (int_of t)
+  | [ "bimodal"; args ] -> (
+    match String.split_on_char ',' args with
+    | [ h; l ] -> Harness.Experiment.Bimodal { high = int_of h; low = int_of l }
+    | _ -> fail ())
+  | [ "random"; args ] -> (
+    match String.split_on_char ',' args with
+    | [ t ] -> Harness.Experiment.Uniform_random { total = int_of t; seed = 1 }
+    | [ t; seed ] ->
+      Harness.Experiment.Uniform_random { total = int_of t; seed = int_of seed }
+    | _ -> fail ())
+  | _ -> fail ()
+
+let parse_algo ~self_loops ~seed s =
+  let sl default = match self_loops with Some k -> k | None -> default in
+  match s with
+  | "rotor-router" -> Ok (fun d -> Harness.Experiment.Rotor_router { self_loops = sl d })
+  | "rotor-router-star" -> Ok (fun _ -> Harness.Experiment.Rotor_router_star)
+  | "send-floor" -> Ok (fun d -> Harness.Experiment.Send_floor { self_loops = sl d })
+  | "send-round" -> Ok (fun d -> Harness.Experiment.Send_round { self_loops = sl (2 * d) })
+  | "mimic" -> Ok (fun d -> Harness.Experiment.Mimic { self_loops = sl d })
+  | "random-extra" ->
+    Ok (fun d -> Harness.Experiment.Random_extra { self_loops = sl d; seed })
+  | "random-rounding" ->
+    Ok (fun d -> Harness.Experiment.Random_rounding { self_loops = sl d; seed })
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown algorithm %S (expected rotor-router, rotor-router-star, send-floor, \
+          send-round, mimic, random-extra or random-rounding)"
+         other)
+
+let parse_horizon steps horizon =
+  match (steps, horizon) with
+  | Some s, None -> Ok (Harness.Experiment.Fixed_steps s)
+  | None, None -> Ok (Harness.Experiment.Continuous_multiple 1.0)
+  | None, Some h -> (
+    match String.split_on_char ':' h with
+    | [ "mixing"; c ] -> (
+      match float_of_string_opt c with
+      | Some c -> Ok (Harness.Experiment.Mixing_multiple c)
+      | None -> Error "bad mixing multiple")
+    | [ "continuous"; c ] -> (
+      match float_of_string_opt c with
+      | Some c -> Ok (Harness.Experiment.Continuous_multiple c)
+      | None -> Error "bad continuous multiple")
+    | _ -> Error "bad horizon (expected mixing:C or continuous:C)")
+  | Some _, Some _ -> Error "--steps and --horizon are mutually exclusive"
+
+let run graph algo self_loops init steps horizon target audit series seed =
+  match
+    try Ok (parse_graph graph, parse_init init) with Spec_error m -> Error m
+  with
+  | Error msg ->
+    prerr_endline ("lb_sim: " ^ msg);
+    exit 2
+  | Ok (graph_spec, init_spec) ->
+  match parse_algo ~self_loops ~seed algo with
+  | Error msg ->
+    prerr_endline ("lb_sim: " ^ msg);
+    exit 2
+  | Ok algo_of_degree -> (
+    match parse_horizon steps horizon with
+    | Error msg ->
+      prerr_endline ("lb_sim: " ^ msg);
+      exit 2
+    | Ok horizon_spec ->
+      let g = Harness.Experiment.build_graph graph_spec in
+      let degree = Graphs.Graph.degree g in
+      let algo_spec = algo_of_degree degree in
+      let outcome =
+        Harness.Experiment.run ~audit ?target ~graph:graph_spec ~algo:algo_spec
+          ~init:init_spec ~horizon:horizon_spec ()
+      in
+      Printf.printf "graph:        %s (n=%d, d=%d)\n" outcome.Harness.Experiment.graph_label
+        outcome.Harness.Experiment.n outcome.Harness.Experiment.degree;
+      Printf.printf "algorithm:    %s (d°=%d, d⁺=%d)\n" outcome.Harness.Experiment.algo_label
+        outcome.Harness.Experiment.self_loops
+        (outcome.Harness.Experiment.degree + outcome.Harness.Experiment.self_loops);
+      Printf.printf "spectral gap: µ = %.6g\n" outcome.Harness.Experiment.gap;
+      Printf.printf "initial K:    %d\n" outcome.Harness.Experiment.initial_discrepancy;
+      Printf.printf "steps run:    %d (horizon %d)\n" outcome.Harness.Experiment.steps
+        outcome.Harness.Experiment.horizon;
+      Printf.printf "final disc:   %d\n" outcome.Harness.Experiment.final_discrepancy;
+      (match target with
+      | Some t ->
+        Printf.printf "time to ≤%d:  %s\n" t
+          (match outcome.Harness.Experiment.time_to_target with
+          | Some tt -> string_of_int tt
+          | None -> "not reached")
+      | None -> ());
+      if outcome.Harness.Experiment.min_load_seen < 0 then
+        Printf.printf "NEGATIVE LOAD observed (min %d)\n"
+          outcome.Harness.Experiment.min_load_seen;
+      (match outcome.Harness.Experiment.fairness with
+      | Some rep -> Format.printf "fairness audit:@\n%a@." Core.Fairness.pp_report rep
+      | None -> ());
+      if series then begin
+        (* Re-run with a fine-grained series for plotting. *)
+        let n = Graphs.Graph.n g in
+        let init_loads = Harness.Experiment.build_init init_spec ~n in
+        let balancer = Harness.Experiment.build_balancer algo_spec g ~init:init_loads in
+        let r =
+          Core.Engine.run
+            ~sample_every:(max 1 (outcome.Harness.Experiment.horizon / 50))
+            ~graph:g ~balancer ~init:init_loads
+            ~steps:outcome.Harness.Experiment.horizon ()
+        in
+        print_endline "step,discrepancy";
+        Array.iter (fun (t, d) -> Printf.printf "%d,%d\n" t d) r.Core.Engine.series
+      end)
+
+open Cmdliner
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "graph"; "g" ] ~docv:"SPEC"
+        ~doc:"Graph: cycle:N, torus:AxA, hypercube:R, complete:N, clique:N,D, random:N,D[,SEED].")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt string "rotor-router"
+    & info [ "algo"; "a" ] ~docv:"NAME"
+        ~doc:
+          "Algorithm: rotor-router, rotor-router-star, send-floor, send-round, mimic, \
+           random-extra, random-rounding.")
+
+let self_loops_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "self-loops" ] ~docv:"K"
+        ~doc:"Self-loops d° per node (default: algorithm-specific, usually d).")
+
+let init_arg =
+  Arg.(
+    value
+    & opt string "point:1024"
+    & info [ "init"; "i" ] ~docv:"SPEC"
+        ~doc:"Initial loads: point:TOTAL, bimodal:HIGH,LOW, random:TOTAL[,SEED].")
+
+let steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "steps"; "s" ] ~docv:"N" ~doc:"Run exactly N steps.")
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "horizon" ] ~docv:"SPEC"
+        ~doc:
+          "Horizon: mixing:C (C·ln(nK)/µ steps) or continuous:C (C× the continuous \
+           balancing time; default continuous:1).")
+
+let target_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "target" ] ~docv:"D" ~doc:"Also report the first step with discrepancy ≤ D.")
+
+let audit_arg =
+  Arg.(value & flag & info [ "audit" ] ~doc:"Run the Definition 2.1/3.1 fairness audit.")
+
+let series_arg =
+  Arg.(value & flag & info [ "series" ] ~doc:"Print a step,discrepancy CSV series.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Seed for randomized algorithms.")
+
+let cmd =
+  let doc = "simulate deterministic load-balancing schemes (Berenbrink et al., PODC 2015)" in
+  Cmd.v
+    (Cmd.info "lb_sim" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ graph_arg $ algo_arg $ self_loops_arg $ init_arg $ steps_arg
+      $ horizon_arg $ target_arg $ audit_arg $ series_arg $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/dynamic_arrivals.ml: Array Core Graphs Harness List Printf Prng

@@ -1,0 +1,1 @@
+examples/expander_showdown.ml: Array Baselines Core Graphs Harness List Option Printf Prng

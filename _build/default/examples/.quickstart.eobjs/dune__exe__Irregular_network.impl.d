@@ -1,0 +1,1 @@
+examples/irregular_network.ml: Array Harness Irregular List Printf Prng

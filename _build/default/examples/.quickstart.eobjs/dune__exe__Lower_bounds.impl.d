@@ -1,0 +1,1 @@
+examples/lower_bounds.ml: Array Baselines Core Graphs List Printf

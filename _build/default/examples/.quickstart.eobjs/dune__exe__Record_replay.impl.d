@@ -1,0 +1,1 @@
+examples/record_replay.ml: Array Baselines Core Filename Graphs Printf Prng Sys Trace Unix

@@ -1,0 +1,1 @@
+examples/torus_vs_cycle.ml: Array Core Graphs Harness List Option Printf

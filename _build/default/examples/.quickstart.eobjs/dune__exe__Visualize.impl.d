@@ -1,0 +1,1 @@
+examples/visualize.ml: Array Baselines Core Filename Graphs List Option Printf Prng Sys Viz

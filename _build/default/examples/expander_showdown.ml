@@ -1,0 +1,63 @@
+(* Expander showdown: every algorithm of Table 1 races on the same
+   random regular graph — the setting where the paper's improvement over
+   Rabani et al. [17] is starkest (O(√log n) vs Θ(log n)).
+
+     dune exec examples/expander_showdown.exe
+
+   The scenario is the paper's motivating one: a batch of jobs arrives
+   at one server of a cluster whose interconnect is an expander, and the
+   servers must spread them with no coordination beyond neighbor
+   token transfers. *)
+
+let () =
+  let n = 512 and d = 6 in
+  let graph = Graphs.Gen.random_regular (Prng.Splitmix.create 2024) ~n ~d in
+  let jobs = 16 * n in
+  let init = Core.Loads.point_mass ~n ~total:jobs in
+  let gap = Graphs.Spectral.eigenvalue_gap graph ~self_loops:d in
+  Printf.printf
+    "cluster: random %d-regular graph on %d servers (µ = %.4f)\n\
+     workload: %d jobs arriving at server 0\n\n"
+    d n gap jobs;
+
+  (* Horizon: the continuous process's own balancing time. *)
+  let finit = Array.map float_of_int init in
+  let t =
+    Option.get
+      (Graphs.Spectral.continuous_balancing_time graph ~self_loops:d ~init:finit ())
+  in
+  Printf.printf "continuous diffusion balances in T = %d steps; running every\n\
+                 discrete algorithm for the same T:\n\n" t;
+
+  let contenders =
+    [
+      ("rotor-router", Core.Rotor_router.make graph ~self_loops:d);
+      ("rotor-router*", Core.Rotor_router_star.make graph);
+      ("send-floor", Core.Send_floor.make graph ~self_loops:d);
+      ("send-round", Core.Send_round.make graph ~self_loops:d);
+      ("send-round 3d", Core.Send_round.make graph ~self_loops:(3 * d));
+      ("mimic [4]", Baselines.Mimic.make graph ~self_loops:d ~init);
+      ( "random-extra [5]",
+        Baselines.Random_extra.make (Prng.Splitmix.create 1) graph ~self_loops:d );
+      ( "random-rounding [18]",
+        Baselines.Random_rounding.make (Prng.Splitmix.create 2) graph ~self_loops:d );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, balancer) ->
+        let r = Core.Engine.run ~graph ~balancer ~init ~steps:t () in
+        let disc = Core.Loads.discrepancy r.Core.Engine.final_loads in
+        let neg = r.Core.Engine.min_load_seen < 0 in
+        [ name; string_of_int disc; (if neg then "yes" else "no") ])
+      contenders
+  in
+  Harness.Table.print
+    ~align:[ Harness.Table.Left; Harness.Table.Right; Harness.Table.Left ]
+    ~header:[ "algorithm"; "discrepancy after T"; "negative load?" ]
+    ~rows ();
+  Printf.printf
+    "\nFor reference, Theorem 2.3(i) bounds the deterministic cumulatively fair\n\
+     rows by d·√(log n/µ) ≈ %.0f, and the [17] class only by d·log n/µ ≈ %.0f.\n"
+    (float_of_int d *. sqrt (log (float_of_int n) /. gap))
+    (float_of_int d *. log (float_of_int n) /. gap)

@@ -1,0 +1,65 @@
+(* Irregular networks: the paper's §1.1 remark — "our results can be
+   extended to non-regular graphs" — exercised on three topologies a
+   regular model cannot express.
+
+     dune exec examples/irregular_network.exe
+
+   The equalized-capacity reduction gives every node D ports (originals
+   + enough self-loops to reach D); the walk matrix is then doubly
+   stochastic and the flat vector is again the fixed point, so the same
+   algorithms apply verbatim. *)
+
+let () =
+  let scenarios =
+    [
+      ("star(64): one coordinator, 63 workers", Irregular.Igraph.star 64);
+      ("wheel(64): hub + rim", Irregular.Igraph.wheel 64);
+      ( "barbell(8,8): two clusters, thin bridge",
+        Irregular.Igraph.barbell ~clique:8 ~path:8 );
+      ( "random irregular (n=64)",
+        Irregular.Igraph.random_connected (Prng.Splitmix.create 12) ~n:64 ~extra_edges:40
+      );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, g) ->
+        let n = Irregular.Igraph.n g in
+        let dmax = Irregular.Igraph.max_degree g in
+        let capacity = 2 * dmax in
+        let gap = Irregular.Ispectral.eigenvalue_gap g ~capacity in
+        let total = 64 * n in
+        let init = Array.make n 0 in
+        init.(0) <- total;
+        let steps =
+          Irregular.Ispectral.horizon ~gap ~n ~initial_discrepancy:total ~c:4.0
+        in
+        let balancer = Irregular.Ibalancer.rotor_router g ~capacity in
+        let r = Irregular.Iengine.run ~graph:g ~balancer ~init ~steps () in
+        let hi = Array.fold_left max min_int r.Irregular.Iengine.final_loads in
+        let lo = Array.fold_left min max_int r.Irregular.Iengine.final_loads in
+        [
+          label;
+          Printf.sprintf "%d..%d" (Irregular.Igraph.min_degree g) dmax;
+          string_of_int capacity;
+          Printf.sprintf "%.5f" gap;
+          string_of_int steps;
+          string_of_int (hi - lo);
+        ])
+      scenarios
+  in
+  print_endline
+    "rotor-router on irregular graphs (equalized capacity D = 2·max-degree),\n\
+     64 tokens/node average, all starting on node 0:\n";
+  Harness.Table.print
+    ~align:
+      [
+        Harness.Table.Left; Harness.Table.Right; Harness.Table.Right;
+        Harness.Table.Right; Harness.Table.Right; Harness.Table.Right;
+      ]
+    ~header:[ "topology"; "degrees"; "D"; "µ"; "T"; "discrepancy@T" ]
+    ~rows ();
+  print_newline ();
+  print_endline
+    "Skew costs time, not correctness: the star's µ is tiny because the hub's\n\
+     capacity dominates, yet the discrepancy still collapses to O(D)."

@@ -1,0 +1,36 @@
+(* Record & replay: capture a run as a portable trace file, audit it
+   offline, and re-execute it bit-for-bit.
+
+     dune exec examples/record_replay.exe [trace-file]
+
+   Useful for regression anchoring (check in a trace; CI replays it) and
+   for debugging randomized baselines (the trace freezes the coin
+   flips). *)
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else Filename.concat (Filename.get_temp_dir_name ()) "loadbal_demo.trace"
+  in
+  let g = Graphs.Gen.torus [ 8; 8 ] in
+  let n = Graphs.Graph.n g in
+  let init = Core.Loads.point_mass ~n ~total:(20 * n) in
+  (* A randomized baseline: exactly the kind of run a trace freezes. *)
+  let balancer = Baselines.Random_extra.make (Prng.Splitmix.create 2024) g ~self_loops:4 in
+
+  let trace, original = Trace.record ~graph:g ~balancer ~init ~steps:200 in
+  Trace.save ~path trace;
+  Printf.printf "recorded 200 steps of %s into %s (%d bytes)\n"
+    balancer.Core.Balancer.name path
+    (Unix.stat path).Unix.st_size;
+
+  let reloaded = Trace.load ~path in
+  (match Trace.verify reloaded with
+  | Ok () -> print_endline "offline verification: conservation + sends OK"
+  | Error msg -> Printf.printf "offline verification FAILED: %s\n" msg);
+
+  let replayed = Trace.replay reloaded in
+  Printf.printf "replayed final discrepancy: %d (original: %d) — identical loads: %b\n"
+    (Core.Loads.discrepancy replayed.Core.Engine.final_loads)
+    (Core.Loads.discrepancy original.Core.Engine.final_loads)
+    (replayed.Core.Engine.final_loads = original.Core.Engine.final_loads)

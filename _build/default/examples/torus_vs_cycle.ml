@@ -1,0 +1,67 @@
+(* Torus vs cycle: how topology (through the spectral gap µ) governs
+   both the balancing time and the residual discrepancy.
+
+     dune exec examples/torus_vs_cycle.exe
+
+   The scenario: the same 4096 tokens and the same SEND([x/d⁺]) firmware
+   deployed on three interconnects of 64 nodes each — a cycle (worst
+   expansion), a 2-D torus, and a hypercube (best expansion).  The paper
+   predicts discrepancy O(d·min{√(log n/µ), √n}) after T = O(log(Kn)/µ):
+   a cycle pays both a long T and a √n-type residue, while the hypercube
+   is fast and tight. *)
+
+let () =
+  let n = 64 in
+  let tokens = 4096 in
+  let topologies =
+    [
+      ("cycle(64)", Graphs.Gen.cycle 64);
+      ("torus(8x8)", Graphs.Gen.torus [ 8; 8 ]);
+      ("hypercube(6)", Graphs.Gen.hypercube 6);
+    ]
+  in
+  Printf.printf
+    "same workload (%d tokens on node 0 of %d nodes), same algorithm\n\
+     (SEND([x/d⁺]) with d° = d), three interconnects:\n\n"
+    tokens n;
+  let rows =
+    List.map
+      (fun (name, graph) ->
+        let d = Graphs.Graph.degree graph in
+        let init = Core.Loads.point_mass ~n ~total:tokens in
+        let gap = Graphs.Spectral.eigenvalue_gap graph ~self_loops:d in
+        let finit = Array.map float_of_int init in
+        let t =
+          Option.get
+            (Graphs.Spectral.continuous_balancing_time graph ~self_loops:d ~init:finit ())
+        in
+        let balancer = Core.Send_round.make graph ~self_loops:d in
+        let r = Core.Engine.run ~graph ~balancer ~init ~steps:t () in
+        let disc = Core.Loads.discrepancy r.Core.Engine.final_loads in
+        let bound =
+          float_of_int d
+          *. min (sqrt (log (float_of_int n) /. gap)) (sqrt (float_of_int n))
+        in
+        [
+          name;
+          string_of_int d;
+          Printf.sprintf "%.5f" gap;
+          string_of_int t;
+          string_of_int disc;
+          Printf.sprintf "%.1f" bound;
+        ])
+      topologies
+  in
+  Harness.Table.print
+    ~align:
+      [
+        Harness.Table.Left; Harness.Table.Right; Harness.Table.Right;
+        Harness.Table.Right; Harness.Table.Right; Harness.Table.Right;
+      ]
+    ~header:[ "topology"; "d"; "µ"; "T (steps)"; "discrepancy@T"; "Thm 2.3 bound" ]
+    ~rows ();
+  print_newline ();
+  print_endline
+    "The cycle needs three orders of magnitude more steps (µ = Θ(1/n²)) and\n\
+     still lands on the √n branch of the bound; the hypercube balances in a\n\
+     few dozen steps to within a handful of tokens."

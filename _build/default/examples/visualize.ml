@@ -1,0 +1,81 @@
+(* Visualize: render a balancing run as SVG plots.
+
+     dune exec examples/visualize.exe [output-dir]
+
+   Produces, in the output directory (default "plots"):
+     race.svg          discrepancy-vs-time curves for four algorithms
+     torus_before.svg  load heatmap at t = 0 (point mass)
+     torus_mid.svg     load heatmap at t = T/8
+     torus_after.svg   load heatmap at t = T
+     cycle_thm43.svg   the Theorem 4.3 frozen oscillation on an odd cycle *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "plots" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let side = 16 in
+  let g = Graphs.Gen.torus [ side; side ] in
+  let n = side * side in
+  let d = Graphs.Graph.degree g in
+  let init = Core.Loads.point_mass ~n ~total:(16 * n) in
+  let finit = Array.map float_of_int init in
+  let t =
+    Option.get (Graphs.Spectral.continuous_balancing_time g ~self_loops:d ~init:finit ())
+  in
+
+  (* Discrepancy race. *)
+  let contenders =
+    [
+      ("rotor-router", Core.Rotor_router.make g ~self_loops:d);
+      ("send-round", Core.Send_round.make g ~self_loops:d);
+      ("mimic [4]", Baselines.Mimic.make g ~self_loops:d ~init);
+      ( "random-extra [5]",
+        Baselines.Random_extra.make (Prng.Splitmix.create 3) g ~self_loops:d );
+    ]
+  in
+  let series =
+    List.map
+      (fun (_, balancer) ->
+        let r =
+          Core.Engine.run ~sample_every:(max 1 (t / 60)) ~graph:g ~balancer ~init
+            ~steps:t ()
+        in
+        r.Core.Engine.series)
+      contenders
+  in
+  Viz.Svg.write
+    ~path:(Filename.concat dir "race.svg")
+    (Viz.Plots.discrepancy_plot ~series ~labels:(List.map fst contenders)
+       ~title:(Printf.sprintf "16x16 torus, %d tokens on node 0, T = %d" (16 * n) t)
+       ~log_y:true ());
+
+  (* Heatmaps at three moments of the rotor-router run. *)
+  let snapshot steps =
+    let balancer = Core.Rotor_router.make g ~self_loops:d in
+    if steps = 0 then init
+    else
+      (Core.Engine.run ~graph:g ~balancer ~init ~steps ()).Core.Engine.final_loads
+  in
+  List.iter
+    (fun (name, steps) ->
+      Viz.Svg.write
+        ~path:(Filename.concat dir name)
+        (Viz.Plots.torus_heatmap ~side ~loads:(snapshot steps)
+           ~title:(Printf.sprintf "rotor-router, t = %d" steps)
+           ()))
+    [ ("torus_before.svg", 0); ("torus_mid.svg", t / 8); ("torus_after.svg", t) ];
+
+  (* The Theorem 4.3 oscillation on an odd cycle. *)
+  let n_cyc = 33 in
+  let balancer, cyc_init = Baselines.Odd_cycle_adversary.setup ~n:n_cyc ~base_flow:n_cyc in
+  let cg = Baselines.Odd_cycle_adversary.graph ~n:n_cyc in
+  let r = Core.Engine.run ~graph:cg ~balancer ~init:cyc_init ~steps:101 () in
+  Viz.Svg.write
+    ~path:(Filename.concat dir "cycle_thm43.svg")
+    (Viz.Plots.cycle_heatmap ~loads:r.Core.Engine.final_loads
+       ~title:
+         (Printf.sprintf "Thm 4.3: odd cycle n=%d after 101 steps (discrepancy %d, forever)"
+            n_cyc
+            (Core.Loads.discrepancy r.Core.Engine.final_loads))
+       ());
+
+  Printf.printf "wrote 5 SVG plots to %s/\n" dir

@@ -1,0 +1,1 @@
+lib/baselines/adversary_roundfair.ml: Array Core Graphs

@@ -1,0 +1,1 @@
+lib/baselines/adversary_roundfair.mli: Core Graphs

@@ -1,0 +1,1 @@
+lib/baselines/adversary_stateless.ml: Array Core Graphs Hashtbl List

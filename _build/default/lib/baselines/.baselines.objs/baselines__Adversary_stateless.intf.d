@@ -1,0 +1,1 @@
+lib/baselines/adversary_stateless.mli: Core Graphs

@@ -1,0 +1,1 @@
+lib/baselines/continuous.ml: Array Graphs List

@@ -1,0 +1,1 @@
+lib/baselines/continuous.mli: Graphs

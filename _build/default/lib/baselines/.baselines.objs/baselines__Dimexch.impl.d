@@ -1,0 +1,1 @@
+lib/baselines/dimexch.ml: Array Graphs List Prng

@@ -1,0 +1,1 @@
+lib/baselines/dimexch.mli: Graphs Prng

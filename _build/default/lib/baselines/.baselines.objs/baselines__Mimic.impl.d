@@ -1,0 +1,1 @@
+lib/baselines/mimic.ml: Array Continuous Core Float Graphs Printf

@@ -1,0 +1,1 @@
+lib/baselines/mimic.mli: Core Graphs

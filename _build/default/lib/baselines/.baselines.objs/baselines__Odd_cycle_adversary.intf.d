@@ -1,0 +1,1 @@
+lib/baselines/odd_cycle_adversary.mli: Core Graphs

@@ -1,0 +1,1 @@
+lib/baselines/quasirandom.ml: Array Core Graphs Printf

@@ -1,0 +1,1 @@
+lib/baselines/quasirandom.mli: Core Graphs

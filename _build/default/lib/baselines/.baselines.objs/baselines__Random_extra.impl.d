@@ -1,0 +1,1 @@
+lib/baselines/random_extra.ml: Array Core Graphs Printf Prng

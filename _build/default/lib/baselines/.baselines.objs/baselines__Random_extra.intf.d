@@ -1,0 +1,1 @@
+lib/baselines/random_extra.mli: Core Graphs Prng

@@ -1,0 +1,1 @@
+lib/baselines/random_rounding.ml: Array Core Graphs Printf Prng

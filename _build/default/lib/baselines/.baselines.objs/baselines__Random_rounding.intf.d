@@ -1,0 +1,1 @@
+lib/baselines/random_rounding.mli: Core Graphs Prng

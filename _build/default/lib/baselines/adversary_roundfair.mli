@@ -1,0 +1,18 @@
+(** The Theorem 4.1 lower-bound construction: a round-fair balancer
+    (in the sense of Rabani et al. [17]) that is {e not} cumulatively
+    fair and gets stuck at discrepancy Ω(d · diam(G)).
+
+    Pick a node u₀ and set b(v) = dist(v, u₀).  Every directed edge
+    (v₁, v₂) carries the constant flow min(b(v₁), b(v₂)) in every step,
+    and node v keeps b(v) tokens on its self-loop.  With the matching
+    initial loads x(v) = Σ_k min(b(v), b(nbr_k)) + b(v) the system is in
+    steady state: loads never change, flows per node differ by at most
+    one (round-fairness), yet the discrepancy stays ≈ (d+1)·diam(G). *)
+
+val make : ?root:int -> Graphs.Graph.t -> Core.Balancer.t * int array
+(** [make g] returns the steady-state balancer (with one self-loop, the
+    paper's "keep" slot) and its initial load vector.  [root] defaults
+    to node 0. *)
+
+val expected_discrepancy : ?root:int -> Graphs.Graph.t -> int
+(** The discrepancy of the steady state — (d+1)·ecc(root) exactly. *)

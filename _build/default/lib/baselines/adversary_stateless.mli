@@ -1,0 +1,46 @@
+(** The Theorem 4.2 lower-bound construction: for {e any} deterministic
+    stateless algorithm there is a d-regular graph (a circulant
+    containing the clique C = {0, .., ⌊d/2⌋ − 1}) and an initial
+    distribution (ℓ = |C| − 1 tokens on each clique node, 0 elsewhere)
+    on which the load vector never changes, so the discrepancy stays
+    ≥ c·d forever.
+
+    The concrete stateless algorithm instantiated here is "unit-send":
+    with load x, send one token along each of the first min(x, d) ports
+    and keep the rest.  The adversary's power is the choice of the
+    cyclic port labelling: each clique node's first ℓ ports are made to
+    point at the other clique members, so the ℓ tokens every clique node
+    scatters come right back — the proof's argument, executably. *)
+
+val graph : n:int -> d:int -> Graphs.Graph.t
+(** The clique-circulant of the theorem (re-export of
+    {!Graphs.Gen.clique_circulant}). *)
+
+val make : Graphs.Graph.t -> d:int -> Core.Balancer.t * int array
+(** [make g ~d] returns the adversarially-labelled unit-send balancer
+    and the frozen initial distribution.  [g] must be the graph built by
+    {!graph} with the same [d].
+    @raise Invalid_argument if the clique nodes are not mutually
+    adjacent in [g]. *)
+
+val clique_size : d:int -> int
+(** |C| = ⌊d/2⌋. *)
+
+val make_general :
+  Graphs.Graph.t -> d:int -> rule:(int -> int array) -> Core.Balancer.t * int array
+(** The theorem in full generality: [rule x] is {e any} stateless policy
+    — an array of length d+1 whose first d entries are the loads put on
+    the node's (cyclically ordered) original edges and whose last entry
+    is the load kept; it must conserve ([Σ = x]) and be non-negative.
+
+    Following the proof, the adversary relabels each clique node's
+    edges so that its j-th (cyclically ordered) edge value flows to
+    clique member i+j+1: every clique node then receives exactly the
+    multiset {p₁, …, p_ℓ} back, so loads never change — {e provided}
+    the rule puts all its positive edge values among the first
+    ℓ = |C|−1 entries when applied to load ℓ (the proof's
+    w.l.o.g. normalization; a rule with more than ℓ positive values on
+    load ℓ would be rejected at run time by the freeze tests, not here).
+
+    @raise Invalid_argument if the rule breaks conservation or
+    non-negativity on load ℓ. *)

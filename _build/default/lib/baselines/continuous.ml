@@ -1,0 +1,65 @@
+type result = {
+  steps_run : int;
+  final : float array;
+  series : (int * float) array;
+}
+
+let discrepancy x =
+  if Array.length x = 0 then invalid_arg "Continuous.discrepancy: empty";
+  let lo = ref x.(0) and hi = ref x.(0) in
+  Array.iter
+    (fun v ->
+      if v < !lo then lo := v;
+      if v > !hi then hi := v)
+    x;
+  !hi -. !lo
+
+let step_into g ~self_loops src dst =
+  let n = Graphs.Graph.n g in
+  let d = Graphs.Graph.degree g in
+  if Array.length src <> n || Array.length dst <> n then
+    invalid_arg "Continuous.step_into: dimension mismatch";
+  if self_loops < 0 then invalid_arg "Continuous.step_into: self_loops < 0";
+  let dp = float_of_int (d + self_loops) in
+  let keep = float_of_int self_loops /. dp in
+  let adj = Graphs.Graph.adjacency g in
+  for u = 0 to n - 1 do
+    dst.(u) <- keep *. src.(u)
+  done;
+  for u = 0 to n - 1 do
+    let share = src.(u) /. dp in
+    let base = u * d in
+    for k = 0 to d - 1 do
+      let v = adj.(base + k) in
+      dst.(v) <- dst.(v) +. share
+    done
+  done
+
+let run ?(sample_every = 1) ?stop_at_discrepancy ~graph ~self_loops ~init ~steps () =
+  if steps < 0 then invalid_arg "Continuous.run: negative steps";
+  if sample_every <= 0 then invalid_arg "Continuous.run: sample_every must be positive";
+  let cur = ref (Array.copy init) in
+  let next = ref (Array.make (Array.length init) 0.0) in
+  let series = ref [ (0, discrepancy !cur) ] in
+  let steps_done = ref 0 in
+  (try
+     for t = 1 to steps do
+       step_into graph ~self_loops !cur !next;
+       let tmp = !cur in
+       cur := !next;
+       next := tmp;
+       steps_done := t;
+       let disc = discrepancy !cur in
+       if t mod sample_every = 0 || t = steps then series := (t, disc) :: !series;
+       match stop_at_discrepancy with
+       | Some target when disc <= target ->
+         if t mod sample_every <> 0 && t <> steps then series := (t, disc) :: !series;
+         raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  {
+    steps_run = !steps_done;
+    final = !cur;
+    series = Array.of_list (List.rev !series);
+  }

@@ -1,0 +1,31 @@
+(** The continuous (divisible-load) diffusion process.
+
+    x_{t+1} = P x_t on the balancing graph G⁺ — the idealized process
+    every discrete scheme in the paper is compared against.  Converges
+    to the flat average for connected G with d° ≥ 1 (or any
+    non-bipartite G). *)
+
+type result = {
+  steps_run : int;
+  final : float array;
+  series : (int * float) array; (** (step, discrepancy) samples *)
+}
+
+val discrepancy : float array -> float
+
+val run :
+  ?sample_every:int ->
+  ?stop_at_discrepancy:float ->
+  graph:Graphs.Graph.t ->
+  self_loops:int ->
+  init:float array ->
+  steps:int ->
+  unit ->
+  result
+(** Iterate the diffusion for [steps] rounds (early exit at
+    [stop_at_discrepancy] if given — the step count it stops at is the
+    empirical balancing time T). *)
+
+val step_into : Graphs.Graph.t -> self_loops:int -> float array -> float array -> unit
+(** One diffusion step, [dst <- P src]; exposed for the mimic balancer
+    and for tests. *)

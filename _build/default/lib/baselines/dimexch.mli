@@ -1,0 +1,45 @@
+(** Dimension-exchange (matching-model) balancers — the related-work
+    contrast of §1.2: nodes balance with one neighbor per round, and
+    constant discrepancy is achievable (Friedrich & Sauerwald STOC 2009;
+    Sauerwald & Sun FOCS 2012), unlike the ≥ d barrier of the diffusive
+    model (Theorem 4.2).
+
+    Two matching generators:
+
+    - {e random matching}: each round, a maximal matching grown greedily
+      over a random edge order; the averaging excess token goes to a
+      random endpoint.
+    - {e balancing circuit}: a fixed proper edge colouring (greedy,
+      ≤ 2d − 1 colours) applied round-robin; the excess token goes
+      deterministically to the endpoint that was already larger (ties:
+      lower id). *)
+
+type mode =
+  | Random_matching of Prng.Splitmix.t
+  | Balancing_circuit
+  | Balancing_circuit_randomized of Prng.Splitmix.t
+      (** the [10] variant: the fixed circuit of matchings, but the
+          averaging excess token goes to a fair-coin endpoint — this is
+          what achieves O(1) discrepancy on constant-degree graphs
+          (Sauerwald & Sun FOCS 2012), where the deterministic
+          tie-breaking can stall at a fixed point above O(1). *)
+
+type result = {
+  steps_run : int;
+  final_loads : int array;
+  series : (int * int) array; (** (step, discrepancy) samples *)
+  reached_target : int option;
+}
+
+val edge_coloring : Graphs.Graph.t -> (int * int) array array
+(** Greedy proper edge colouring: an array of matchings (colour
+    classes), each an array of undirected edges.  Exposed for tests. *)
+
+val run :
+  ?sample_every:int ->
+  ?stop_at_discrepancy:int ->
+  mode ->
+  Graphs.Graph.t ->
+  init:int array ->
+  steps:int ->
+  result

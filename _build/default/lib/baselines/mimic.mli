@@ -1,0 +1,20 @@
+(** The continuous-flow–mimicking scheme of Akbari, Berenbrink &
+    Sauerwald, "A simple approach for adapting continuous load balancing
+    processes to discrete settings" (PODC 2012) — row "Computation based
+    on continuous diffusion" in Table 1.
+
+    The balancer simulates the continuous diffusion internally.  For
+    every directed original edge e it tracks the cumulative continuous
+    flow W_t(e) and keeps the cumulative discrete flow at
+    F_t(e) = \[W_t(e)\] (nearest integer), sending F_t(e) − F_{t−1}(e)
+    tokens in step t.  The paper proves discrepancy ≤ 2d after T — at
+    the cost of possible negative loads (NL ✗) and of needing the
+    continuous trajectory (NC ✗), exactly the trade-offs Table 1
+    records. *)
+
+val make : Graphs.Graph.t -> self_loops:int -> init:int array -> Core.Balancer.t
+(** [make g ~self_loops ~init] builds the balancer.  [init] must be the
+    same initial load vector the engine will be started with: the
+    internal continuous process starts from it.  The balancer is
+    single-use (it owns mutable cumulative state tied to step numbers
+    starting at 1). *)

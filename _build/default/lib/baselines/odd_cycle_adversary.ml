@@ -1,0 +1,44 @@
+let graph ~n =
+  if n < 3 || n mod 2 = 0 then
+    invalid_arg "Odd_cycle_adversary.graph: n must be odd and >= 3";
+  Graphs.Gen.cycle n
+
+let expected_amplitude ~n =
+  if n < 3 || n mod 2 = 0 then invalid_arg "Odd_cycle_adversary.expected_amplitude";
+  2 * (n - 1)
+
+let setup ~n ~base_flow =
+  let g = graph ~n in
+  let phi = (n - 1) / 2 in
+  if base_flow < phi then
+    invalid_arg "Odd_cycle_adversary.setup: base_flow must be >= phi to keep flows >= 0";
+  let b v = min v (n - v) in
+  (* Initial flow on the directed edge u -> w, per the proof of Thm 4.3
+     (antipodal edge carries exactly L; see the .mli note). *)
+  let flow0 u w =
+    let bu = b u and bw = b w in
+    if bu = phi && bw = phi then base_flow
+    else if bu mod 2 = 0 && bw mod 2 = 1 then base_flow + (phi - min bu bw)
+    else if bu mod 2 = 1 && bw mod 2 = 0 then base_flow - (phi - min bu bw)
+    else assert false (* adjacent b's on an odd cycle differ by 1 off the antipode *)
+  in
+  let init = Array.make n 0 in
+  let rotor = Array.make n 0 in
+  for u = 0 to n - 1 do
+    let f0 = flow0 u (Graphs.Graph.neighbor g u 0) in
+    let f1 = flow0 u (Graphs.Graph.neighbor g u 1) in
+    init.(u) <- f0 + f1;
+    if init.(u) mod 2 = 1 then begin
+      (* The rotor must point at the port that sends the larger flow. *)
+      assert (abs (f0 - f1) = 1);
+      rotor.(u) <- (if f0 > f1 then 0 else 1)
+    end
+    else begin
+      assert (f0 = f1);
+      rotor.(u) <- 0
+    end
+  done;
+  let balancer =
+    Core.Rotor_router.make g ~self_loops:0 ~init_rotor:(fun u -> rotor.(u))
+  in
+  (balancer, init)

@@ -1,0 +1,33 @@
+(** The Theorem 4.3 lower-bound construction: on a non-bipartite graph
+    with no self-loops (d⁺ = d), the ROTOR-ROUTER admits an initial load
+    and rotor configuration that oscillates with period 2 forever, with
+    discrepancy 2·d·φ(G) (where 2φ(G)+1 is the odd girth).
+
+    This module instantiates the construction on an odd cycle (the
+    theorem's extremal case, φ = (n−1)/2): node u₀ = 0 alternates
+    between loads (L+φ)·d and (L−φ)·d while the average is L·d, so the
+    discrepancy stays ≈ n·d/2 no matter how long the rotor-router runs.
+
+    Note on the construction: the flow prescription of the paper's proof
+    assigns every directed edge (v₁,v₂) the initial flow
+    L ± (φ − min(b(v₁), b(v₂))) by the parity of b(v₁), with the
+    antipodal edge — {e both} endpoints at distance φ — carrying exactly
+    L.  (The proof's text reads "b(v₁) ≥ φ or b(v₂) ≥ φ"; taking it
+    literally breaks the |f(v,v₁) − f(v,v₂)| ≤ 1 invariant the same
+    proof relies on, so we use the conjunction, under which the period-2
+    steady state verifies exactly — see the unit tests.) *)
+
+val setup : n:int -> base_flow:int -> Core.Balancer.t * int array
+(** [setup ~n ~base_flow] builds, for the odd cycle on [n] nodes
+    (n ≥ 3, odd), a standard rotor-router with d° = 0 whose initial
+    rotor positions realize the adversarial configuration, together with
+    the matching initial loads.  [base_flow] is the proof's constant L
+    and must be ≥ φ = (n−1)/2 to keep all flows non-negative. *)
+
+val graph : n:int -> Graphs.Graph.t
+(** The odd cycle (re-export of {!Graphs.Gen.cycle} with a parity
+    check). *)
+
+val expected_amplitude : n:int -> int
+(** 2·d·φ(G) = 2·(n−1) for the odd n-cycle: the discrepancy the frozen
+    oscillation exhibits. *)

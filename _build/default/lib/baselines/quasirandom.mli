@@ -1,0 +1,22 @@
+(** The quasirandom (bounded-error) diffusion of Friedrich, Gairing &
+    Sauerwald, "Quasirandom load balancing" (SODA 2010) — the
+    deterministic rounding scheme the paper's §1.2 discusses: on each
+    directed edge, the continuous share x_t(u)/d⁺ is rounded up or down
+    {e deterministically} so that the accumulated rounding error per
+    edge stays bounded by a constant.
+
+    Concretely, each directed original edge (u,k) carries an error
+    accumulator acc ∈ (−1, 1); the edge sends ⌊x/d⁺ + acc⌋ tokens and
+    the fractional residue rolls into acc.  The per-edge cumulative
+    deviation between tokens sent and the continuous shares of the
+    {e discrete} trajectory stays < 1 at all times ([9]'s bounded-error
+    property, constant 1).
+
+    As the paper notes, this scheme may overdraw a node (negative load,
+    the NL ✗ issue of [9]); the engine permits and records it. *)
+
+val make : Graphs.Graph.t -> self_loops:int -> Core.Balancer.t * (unit -> float)
+(** [make g ~self_loops] returns the balancer and an inspector yielding
+    the largest |accumulator| over all edges — the bounded-error
+    invariant says the inspector never returns ≥ 1.
+    Needs [self_loops ≥ 1] to hold the residue. *)

@@ -1,0 +1,10 @@
+(** Randomized distribution of extra tokens — Berenbrink, Cooper,
+    Friedetzky, Friedrich & Sauerwald, "Randomized diffusion for
+    indivisible loads" (SODA 2011); row 2 of Table 1.
+
+    A node with load x sends ⌊x/d⁺⌋ tokens over every port and throws
+    each of the remaining x mod d⁺ "extra" tokens onto an independently
+    and uniformly chosen port (original edges and self-loops alike).
+    Never produces negative load; not deterministic. *)
+
+val make : Prng.Splitmix.t -> Graphs.Graph.t -> self_loops:int -> Core.Balancer.t

@@ -1,0 +1,11 @@
+(** Randomized rounding of per-edge flows to the nearest integers —
+    Sauerwald & Sun (FOCS 2012); row 3 of Table 1.
+
+    Each original edge independently receives
+    ⌊x/d⁺⌋ + Bernoulli(frac(x/d⁺)) tokens; whatever remains of the load
+    (possibly negative) stays on the first self-loop.  This achieves
+    O(√(d log n)) discrepancy after O(T) on expanders but can produce
+    negative loads (NL ✗). *)
+
+val make : Prng.Splitmix.t -> Graphs.Graph.t -> self_loops:int -> Core.Balancer.t
+(** @raise Invalid_argument if [self_loops < 1]. *)

@@ -1,0 +1,1 @@
+lib/core/balancer.mli: Result

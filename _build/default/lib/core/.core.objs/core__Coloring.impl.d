@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Array Balancer Engine Graphs Loads Potential Tap

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Array Engine Graphs List Loads Prng

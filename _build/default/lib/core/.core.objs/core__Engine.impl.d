@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Balancer Fairness Graphs List Option Printf

@@ -1,0 +1,1 @@
+lib/core/engine_ref.ml: Array Balancer Graphs List Printf

@@ -1,0 +1,1 @@
+lib/core/engine_ref.mli: Balancer Graphs

@@ -1,0 +1,1 @@
+lib/core/loads.ml: Array Prng

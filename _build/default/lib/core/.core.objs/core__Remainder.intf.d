@@ -1,0 +1,1 @@
+lib/core/remainder.mli: Balancer

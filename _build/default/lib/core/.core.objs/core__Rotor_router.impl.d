@@ -1,0 +1,1 @@
+lib/core/rotor_router.ml: Array Balancer Graphs Printf

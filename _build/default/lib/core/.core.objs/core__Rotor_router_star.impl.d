@@ -1,0 +1,1 @@
+lib/core/rotor_router_star.ml: Array Balancer Graphs Rotor_router

@@ -1,0 +1,1 @@
+lib/core/rotor_router_star.mli: Balancer Graphs

@@ -1,0 +1,1 @@
+lib/core/send_floor.ml: Array Balancer Graphs Printf

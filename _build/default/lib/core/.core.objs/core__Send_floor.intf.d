@@ -1,0 +1,1 @@
+lib/core/send_floor.mli: Balancer Graphs

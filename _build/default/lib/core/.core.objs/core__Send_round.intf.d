@@ -1,0 +1,1 @@
+lib/core/send_round.mli: Balancer Graphs

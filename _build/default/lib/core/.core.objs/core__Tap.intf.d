@@ -1,0 +1,1 @@
+lib/core/tap.mli: Balancer

@@ -1,0 +1,46 @@
+type properties = {
+  deterministic : bool;
+  stateless : bool;
+  never_negative : bool;
+  no_communication : bool;
+}
+
+type t = {
+  name : string;
+  degree : int;
+  self_loops : int;
+  props : properties;
+  assign : step:int -> node:int -> load:int -> ports:int array -> unit;
+}
+
+let d_plus b = b.degree + b.self_loops
+
+let paper_deterministic =
+  { deterministic = true; stateless = false; never_negative = true; no_communication = true }
+
+let paper_stateless =
+  { deterministic = true; stateless = true; never_negative = true; no_communication = true }
+
+let validate_assignment b ~load ~ports =
+  let dp = d_plus b in
+  if Array.length ports <> dp then
+    Error (Printf.sprintf "%s: ports buffer has length %d, expected %d"
+             b.name (Array.length ports) dp)
+  else begin
+    let sum = ref 0 in
+    let bad_original = ref None in
+    for k = 0 to dp - 1 do
+      sum := !sum + ports.(k);
+      if k < b.degree && ports.(k) < 0 && !bad_original = None then
+        bad_original := Some k
+    done;
+    match !bad_original with
+    | Some k ->
+      Error (Printf.sprintf "%s: negative tokens (%d) on original port %d"
+               b.name ports.(k) k)
+    | None ->
+      if !sum <> load then
+        Error (Printf.sprintf "%s: conservation violated (assigned %d of load %d)"
+                 b.name !sum load)
+      else Ok ()
+  end

@@ -1,0 +1,49 @@
+(** The balancer interface: what a load-balancing algorithm is.
+
+    A balancer controls one d-regular graph node per call.  In step [t],
+    a node [u] holding [load] tokens must place every token on one of
+    its [d⁺ = d + self_loops] ports:
+
+    - ports [0 .. d-1] are [u]'s original edges, in the graph's port
+      order — tokens placed there move to the corresponding neighbor;
+    - ports [d .. d⁺-1] are [u]'s self-loops — tokens placed there stay.
+
+    The engine calls [assign] once per node per step; the balancer
+    writes token counts into the provided [ports] buffer (length d⁺).
+    Invariants enforced by the engine:
+
+    - conservation: the entries sum to [load];
+    - original entries (ports [0 .. d-1]) are non-negative.
+
+    Self-loop entries may be negative only for algorithms that, like the
+    continuous-mimicking scheme of Akbari et al. [4], deliberately incur
+    negative load (the NL=✗ rows of Table 1). *)
+
+type properties = {
+  deterministic : bool;  (** D column of Table 1 *)
+  stateless : bool;      (** SL column: assignment depends only on the current load *)
+  never_negative : bool; (** NL column: cannot produce negative loads *)
+  no_communication : bool; (** NC column: needs no info beyond its own load *)
+}
+
+type t = {
+  name : string;
+  degree : int;       (** d: original edges per node *)
+  self_loops : int;   (** d°: self-loops per node in G⁺ *)
+  props : properties;
+  assign : step:int -> node:int -> load:int -> ports:int array -> unit;
+}
+
+val d_plus : t -> int
+(** d⁺ = degree + self_loops. *)
+
+val paper_deterministic : properties
+(** D ✓, SL ✗, NL ✓, NC ✓ — rotor-router-style. *)
+
+val paper_stateless : properties
+(** D ✓, SL ✓, NL ✓, NC ✓ — SEND-style. *)
+
+val validate_assignment :
+  t -> load:int -> ports:int array -> (unit, string) Result.t
+(** The engine's invariant check, exposed for tests: conservation and
+    non-negative original ports. *)

@@ -1,0 +1,182 @@
+type report = {
+  c : int;
+  steps_checked : int;
+  rule1_ok : bool;
+  no_forced_downgrade : bool;
+  drop_dominated : bool;
+  phi_equals_red : bool;
+  total_recolored : int;
+}
+
+let check_gap ~graph ~balancer ~s ~c ~init ~steps =
+  let n = Graphs.Graph.n graph in
+  let d = Graphs.Graph.degree graph in
+  let dp = Balancer.d_plus balancer in
+  let threshold = c * dp in
+  let quota_cap = threshold + s in
+  let adj = Graphs.Graph.adjacency graph in
+  let black = Array.map (fun x -> min x quota_cap) init in
+  let black_in = Array.make n 0 in
+  let before = Array.make n 0 in
+  let rule1_ok = ref true in
+  let no_forced_downgrade = ref true in
+  let drop_dominated = ref true in
+  let phi_equals_red = ref true in
+  let total_recolored = ref 0 in
+  let steps_checked = ref 0 in
+  let on_assign ~step:_ ~node ~load ~ports =
+    before.(node) <- load;
+    let base = node * d in
+    let kept = ref 0 in
+    if load <= threshold then begin
+      (* All tokens black; every port (edge or self-loop) may carry at
+         most c of them — round-fairness makes ports ≤ ⌈x/d⁺⌉ ≤ c. *)
+      if black.(node) <> load then rule1_ok := false;
+      for k = 0 to dp - 1 do
+        if ports.(k) > c then rule1_ok := false;
+        let bsend = min ports.(k) c in
+        if k < d then begin
+          let v = adj.(base + k) in
+          black_in.(v) <- black_in.(v) + bsend
+        end
+        else kept := !kept + bsend
+      done
+    end
+    else begin
+      (* black = c·d⁺ + s′: exactly c per original edge, and c+1 on s′
+         self-loops that carry at least c+1 tokens (s-self-preference
+         guarantees they exist). *)
+      let s' = max (min (load - threshold) s) 0 in
+      if black.(node) <> threshold + s' then rule1_ok := false;
+      let promoted = ref 0 in
+      for k = 0 to dp - 1 do
+        if ports.(k) < c then rule1_ok := false;
+        let bsend =
+          if k >= d && !promoted < s' && ports.(k) >= c + 1 then begin
+            incr promoted;
+            c + 1
+          end
+          else c
+        in
+        if k < d then begin
+          let v = adj.(base + k) in
+          black_in.(v) <- black_in.(v) + min bsend ports.(k)
+        end
+        else kept := !kept + min bsend ports.(k)
+      done;
+      if !promoted < s' then rule1_ok := false
+    end;
+    black_in.(node) <- black_in.(node) + !kept
+  in
+  let hook _t loads =
+    incr steps_checked;
+    let quota_sum = ref 0 in
+    for u = 0 to n - 1 do
+      let quota = min loads.(u) quota_cap in
+      quota_sum := !quota_sum + quota;
+      if black_in.(u) > quota then no_forced_downgrade := false;
+      let recolored = quota - min black_in.(u) quota in
+      total_recolored := !total_recolored + recolored;
+      let claimed =
+        Potential.drop' ~d_plus:dp ~s ~c ~before:before.(u) ~after:loads.(u)
+      in
+      if recolored < claimed then drop_dominated := false;
+      black.(u) <- quota;
+      black_in.(u) <- 0
+    done;
+    (* φ′_t(c) = (c·d⁺ + s)·n − Σ black. *)
+    if Potential.phi' ~d_plus:dp ~s ~c loads <> (quota_cap * n) - !quota_sum then
+      phi_equals_red := false
+  in
+  let tapped = Tap.wrap balancer ~on_assign in
+  ignore (Engine.run ~hook ~graph ~balancer:tapped ~init ~steps ());
+  {
+    c;
+    steps_checked = !steps_checked;
+    rule1_ok = !rule1_ok;
+    no_forced_downgrade = !no_forced_downgrade;
+    drop_dominated = !drop_dominated;
+    phi_equals_red = !phi_equals_red;
+    total_recolored = !total_recolored;
+  }
+
+let check ~graph ~balancer ~s ~c ~init ~steps =
+  let n = Graphs.Graph.n graph in
+  let d = Graphs.Graph.degree graph in
+  let dp = Balancer.d_plus balancer in
+  let threshold = c * dp in
+  let m = Loads.total init in
+  let adj = Graphs.Graph.adjacency graph in
+  (* black.(u): black tokens held at the start of the step (the proof's
+     |L⁻(u)| = min(x, c·d⁺)); black_in accumulates arrivals. *)
+  let black = Array.map (fun x -> min x threshold) init in
+  let black_in = Array.make n 0 in
+  let before = Array.make n 0 in
+  let rule1_ok = ref true in
+  let no_forced_downgrade = ref true in
+  let drop_dominated = ref true in
+  let phi_equals_red = ref true in
+  let total_recolored = ref 0 in
+  let steps_checked = ref 0 in
+  let on_assign ~step:_ ~node ~load ~ports =
+    before.(node) <- load;
+    let all_black = load <= threshold in
+    (if all_black && black.(node) <> load then
+       (* Bookkeeping broken — treat as a rule violation rather than
+          silently diverging. *)
+       rule1_ok := false);
+    let base = node * d in
+    let kept = ref 0 in
+    for k = 0 to dp - 1 do
+      let bsend =
+        if all_black then begin
+          (* Every token is black; rule (1) demands ports ≤ c. *)
+          if ports.(k) > c then rule1_ok := false;
+          min ports.(k) c
+        end
+        else begin
+          (* Exactly c black per edge; feasible iff the port carries ≥ c
+             tokens — round-fairness guarantees it. *)
+          if ports.(k) < c then rule1_ok := false;
+          min ports.(k) c
+        end
+      in
+      if k < d then begin
+        let v = adj.(base + k) in
+        black_in.(v) <- black_in.(v) + bsend
+      end
+      else kept := !kept + bsend
+    done;
+    black_in.(node) <- black_in.(node) + !kept
+  in
+  let hook _t loads =
+    incr steps_checked;
+    let quota_sum = ref 0 in
+    for u = 0 to n - 1 do
+      let quota = min loads.(u) threshold in
+      quota_sum := !quota_sum + quota;
+      if black_in.(u) > quota then no_forced_downgrade := false;
+      let recolored = quota - min black_in.(u) quota in
+      total_recolored := !total_recolored + recolored;
+      let claimed =
+        Potential.drop ~d_plus:dp ~s ~c ~before:before.(u) ~after:loads.(u)
+      in
+      if recolored < claimed then drop_dominated := false;
+      black.(u) <- quota;
+      black_in.(u) <- 0
+    done;
+    (* φ_t(c) must equal the number of red tokens m − Σ black. *)
+    if Potential.phi ~d_plus:dp ~c loads <> m - !quota_sum then
+      phi_equals_red := false
+  in
+  let tapped = Tap.wrap balancer ~on_assign in
+  ignore (Engine.run ~hook ~graph ~balancer:tapped ~init ~steps ());
+  {
+    c;
+    steps_checked = !steps_checked;
+    rule1_ok = !rule1_ok;
+    no_forced_downgrade = !no_forced_downgrade;
+    drop_dominated = !drop_dominated;
+    phi_equals_red = !phi_equals_red;
+    total_recolored = !total_recolored;
+  }

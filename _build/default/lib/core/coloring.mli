@@ -1,0 +1,68 @@
+(** The token-coloring argument of Lemma 3.5, executable.
+
+    The proof of Lemma 3.5 colors the m tokens black and red: node u
+    holds exactly min(x_t(u), c·d⁺) black tokens, and the circulation
+    rules are
+
+    (1) no edge (or self-loop) ever carries more than c black tokens;
+    (2) at the start of each step, red tokens are recolored black so the
+        count returns to min(x_t(u), c·d⁺) — and {e only} red→black
+        recolorings are ever needed.
+
+    φ_t(c) is then the number of red tokens, so monotonicity and the
+    quantified drop ∆_t(c,u) follow from counting recolorings.
+
+    This module executes those rules alongside a live engine run of a
+    good s-balancer and checks each step of the argument numerically:
+
+    - feasibility of rule (1): when x_t(u) ≤ c·d⁺ every port carries at
+      most c tokens (this is where round-fairness enters);
+    - no black→red recoloring is ever forced (black arrivals never
+      exceed min(x_{t+1}, c·d⁺));
+    - the recoloring count at u dominates the lemma's ∆_t(c,u);
+    - φ_t(c) equals m − (total black), i.e. the number of red tokens.
+
+    A violation of any check falsifies the lemma on this run; the report
+    says which (they never fire for genuine good s-balancers). *)
+
+type report = {
+  c : int;
+  steps_checked : int;
+  rule1_ok : bool;
+      (** every port of every ≤-threshold node carried ≤ c tokens *)
+  no_forced_downgrade : bool;
+      (** black arrivals never exceeded the new black quota *)
+  drop_dominated : bool;
+      (** per-node recolorings ≥ Lemma 3.5's ∆_t(c,u) every step *)
+  phi_equals_red : bool;
+      (** φ_t(c) = #red tokens at every step *)
+  total_recolored : int; (** = φ_1(c) − φ_final(c) when all checks pass *)
+}
+
+val check :
+  graph:Graphs.Graph.t ->
+  balancer:Balancer.t ->
+  s:int ->
+  c:int ->
+  init:int array ->
+  steps:int ->
+  report
+(** Run [balancer] for [steps] rounds from [init] while executing the
+    coloring argument at threshold [c] with self-preference [s].  The
+    balancer must be fresh (not previously stepped). *)
+
+val check_gap :
+  graph:Graphs.Graph.t ->
+  balancer:Balancer.t ->
+  s:int ->
+  c:int ->
+  init:int array ->
+  steps:int ->
+  report
+(** The symmetric argument of Lemma 3.7: black quota min(x, c·d⁺ + s),
+    rule (1) caps black tokens at c per {e original} edge, and
+    s-self-preference lets up to s′ = min(x − c·d⁺, s) self-loops carry
+    c+1 black when the node is above the threshold.  φ′_t(c) is then
+    the number of missing-black slots, (c·d⁺+s)·n − Σ black; the report
+    fields have the same meaning with ∆′ in place of ∆ and
+    [total_recolored] = φ′ drop. *)

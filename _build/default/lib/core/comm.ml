@@ -1,0 +1,50 @@
+type report = {
+  steps : int;
+  total_tokens_moved : int;
+  max_step_tokens : int;
+  final_step_tokens : int;
+  max_edge_load : int;
+}
+
+let wrap (b : Balancer.t) =
+  let d = b.Balancer.degree in
+  let total = ref 0 in
+  let max_step = ref 0 in
+  let max_edge = ref 0 in
+  let current_step = ref 0 in
+  let step_tokens = ref 0 in
+  let last_complete = ref 0 in
+  let flush_step () =
+    if !step_tokens > !max_step then max_step := !step_tokens;
+    last_complete := !step_tokens;
+    step_tokens := 0
+  in
+  let on_assign ~step ~node:_ ~load:_ ~ports =
+    if step <> !current_step then begin
+      if !current_step > 0 then flush_step ();
+      current_step := step
+    end;
+    for k = 0 to d - 1 do
+      let v = max 0 ports.(k) in
+      total := !total + v;
+      step_tokens := !step_tokens + v;
+      if v > !max_edge then max_edge := v
+    done
+  in
+  let finish () =
+    if !current_step > 0 then flush_step ();
+    {
+      steps = !current_step;
+      total_tokens_moved = !total;
+      max_step_tokens = !max_step;
+      final_step_tokens = !last_complete;
+      max_edge_load = !max_edge;
+    }
+  in
+  (Tap.wrap b ~on_assign, finish)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>steps: %d@ tokens moved: %d@ busiest round: %d@ last round: %d@ \
+     max single-edge transfer: %d@]"
+    r.steps r.total_tokens_moved r.max_step_tokens r.final_step_tokens r.max_edge_load

@@ -1,0 +1,19 @@
+(** Communication accounting: how many tokens actually cross edges.
+
+    The paper's NC column is about {e control} information; this module
+    measures the {e data} traffic — tokens sent over original edges per
+    round — which is what a deployment pays for.  Self-loop tokens are
+    free (they stay put). *)
+
+type report = {
+  steps : int;
+  total_tokens_moved : int;   (** over original edges, summed over the run *)
+  max_step_tokens : int;      (** busiest round *)
+  final_step_tokens : int;    (** traffic in the last round — the idle cost *)
+  max_edge_load : int;        (** largest single-edge transfer in one round *)
+}
+
+val wrap : Balancer.t -> Balancer.t * (unit -> report)
+(** Observe a balancer's traffic; behaviour is unchanged. *)
+
+val pp_report : Format.formatter -> report -> unit

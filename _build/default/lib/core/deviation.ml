@@ -1,0 +1,50 @@
+type window_stat = {
+  window : int;
+  start_step : int;
+  max_deviation : float;
+}
+
+let measure ~graph ~balancer ~init ~burn_in ~windows () =
+  if burn_in < 0 then invalid_arg "Deviation.measure: negative burn-in";
+  List.iter (fun w -> if w < 1 then invalid_arg "Deviation.measure: window < 1") windows;
+  let n = Graphs.Graph.n graph in
+  let horizon = List.fold_left max 1 windows in
+  let steps = burn_in + horizon in
+  let xbar = Loads.average init in
+  (* Running prefix sums of the post-burn-in loads per node. *)
+  let sums = Array.make n 0 in
+  let snapshots =
+    (* For each requested window, capture the sums at offset = window. *)
+    Hashtbl.create (List.length windows)
+  in
+  let hook t loads =
+    if t > burn_in then begin
+      for u = 0 to n - 1 do
+        sums.(u) <- sums.(u) + loads.(u)
+      done;
+      let offset = t - burn_in in
+      if List.mem offset windows then Hashtbl.replace snapshots offset (Array.copy sums)
+    end
+  in
+  ignore (Engine.run ~hook ~graph ~balancer ~init ~steps ());
+  List.map
+    (fun w ->
+      let s =
+        match Hashtbl.find_opt snapshots w with
+        | Some s -> s
+        | None -> assert false
+      in
+      let dev = ref 0.0 in
+      Array.iter
+        (fun total ->
+          let avg = float_of_int total /. float_of_int w in
+          let d = abs_float (avg -. xbar) in
+          if d > !dev then dev := d)
+        s;
+      { window = w; start_step = burn_in; max_deviation = !dev })
+    windows
+
+let rhs_bound ~delta ~d_plus ~remainder ~current_sum ~window =
+  let a = float_of_int ((delta * d_plus) + (2 * remainder)) in
+  let b = float_of_int ((delta * d_plus) + remainder) *. (1.0 +. current_sum) in
+  0.25 +. a +. (b /. float_of_int window)

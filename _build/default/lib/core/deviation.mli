@@ -1,0 +1,36 @@
+(** The central computation of the Theorem 2.3 proof, executable:
+    equation (7) bounds the deviation between a node's {e time-averaged}
+    load over a window of length T̂ and the global average x̄:
+
+    ‖ (Σ_(t<τ≤t+T̂) x_τ) / T̂ − x̄ ‖∞
+      ≤ 1/4 + (δd⁺ + 2r) + ((δd⁺ + r) + Σ current terms) / T̂.
+
+    With T̂ = 1 this becomes the discrepancy bound of the theorem; with
+    larger T̂ it is the window-averaging device behind Lemma 3.4.  This
+    module measures the left side on live runs, for a ladder of window
+    lengths, so the inequality (and its qualitative consequence: longer
+    windows average out the rounding noise) can be verified
+    numerically. *)
+
+type window_stat = {
+  window : int;          (** T̂ *)
+  start_step : int;      (** t: the window covers (t, t + T̂] *)
+  max_deviation : float; (** ‖window-average − x̄‖∞ *)
+}
+
+val measure :
+  graph:Graphs.Graph.t ->
+  balancer:Balancer.t ->
+  init:int array ->
+  burn_in:int ->
+  windows:int list ->
+  unit ->
+  window_stat list
+(** Run for [burn_in + max windows] steps; for every requested window
+    length T̂, accumulate the post-burn-in loads over (burn_in,
+    burn_in + T̂] and report the worst per-node deviation of the window
+    average from x̄.  The balancer must be fresh. *)
+
+val rhs_bound : delta:int -> d_plus:int -> remainder:int -> current_sum:float -> window:int -> float
+(** The right side of equation (7) with explicit constants:
+    1/4 + (δ·d⁺ + 2r) + ((δ·d⁺ + r)·(1 + current_sum)) / T̂. *)

@@ -1,0 +1,108 @@
+type injection =
+  | Uniform_batch of { rng : Prng.Splitmix.t; per_round : int }
+  | Point_batch of { node : int; per_round : int }
+  | Max_loaded_batch of { per_round : int }
+
+type departure =
+  | No_departure
+  | Uniform_work of { rng : Prng.Splitmix.t; per_round : int }
+
+type result = {
+  rounds_run : int;
+  final_loads : int array;
+  series : (int * int) array;
+  steady_mean : float;
+  steady_p95 : float;
+  steady_max : int;
+  total_injected : int;
+  total_departed : int;
+}
+
+let argmax loads =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > loads.(!best) then best := i) loads;
+  !best
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let run ?(departure = No_departure) ~graph ~balancer ~injection ~init ~rounds () =
+  let n = Graphs.Graph.n graph in
+  if Array.length init <> n then invalid_arg "Dynamic.run: init length mismatch";
+  if rounds < 0 then invalid_arg "Dynamic.run: negative rounds";
+  (match injection with
+  | Point_batch { node; _ } when node < 0 || node >= n ->
+    invalid_arg "Dynamic.run: injection node out of range"
+  | Uniform_batch { per_round; _ } | Point_batch { per_round; _ }
+  | Max_loaded_batch { per_round } ->
+    if per_round < 0 then invalid_arg "Dynamic.run: negative batch");
+  let loads = ref (Array.copy init) in
+  let injected = ref 0 and departed = ref 0 in
+  let series = ref [] in
+  for round = 1 to rounds do
+    (* 1. arrivals *)
+    (match injection with
+    | Uniform_batch { rng; per_round } ->
+      for _ = 1 to per_round do
+        let u = Prng.Splitmix.int rng n in
+        !loads.(u) <- !loads.(u) + 1
+      done;
+      injected := !injected + per_round
+    | Point_batch { node; per_round } ->
+      !loads.(node) <- !loads.(node) + per_round;
+      injected := !injected + per_round
+    | Max_loaded_batch { per_round } ->
+      let u = argmax !loads in
+      !loads.(u) <- !loads.(u) + per_round;
+      injected := !injected + per_round);
+    (* 2. departures *)
+    (match departure with
+    | No_departure -> ()
+    | Uniform_work { rng; per_round } ->
+      for _ = 1 to per_round do
+        let u = Prng.Splitmix.int rng n in
+        if !loads.(u) > 0 then begin
+          !loads.(u) <- !loads.(u) - 1;
+          incr departed
+        end
+      done);
+    (* 3. one synchronous balancing step (balancer state persists). *)
+    let r = Engine.run ~graph ~balancer ~init:!loads ~steps:1 () in
+    loads := r.Engine.final_loads;
+    series := (round, Loads.discrepancy !loads) :: !series
+  done;
+  let series = Array.of_list (List.rev !series) in
+  let tail_start = Array.length series / 2 in
+  let tail =
+    Array.map
+      (fun (_, d) -> float_of_int d)
+      (Array.sub series tail_start (Array.length series - tail_start))
+  in
+  let steady_mean, steady_p95, steady_max =
+    if Array.length tail = 0 then (0.0, 0.0, 0)
+    else begin
+      let sorted = Array.copy tail in
+      Array.sort compare sorted;
+      ( Array.fold_left ( +. ) 0.0 tail /. float_of_int (Array.length tail),
+        percentile sorted 95.0,
+        int_of_float sorted.(Array.length sorted - 1) )
+    end
+  in
+  {
+    rounds_run = rounds;
+    final_loads = !loads;
+    series;
+    steady_mean;
+    steady_p95;
+    steady_max;
+    total_injected = !injected;
+    total_departed = !departed;
+  }

@@ -1,0 +1,45 @@
+(** Open-system balancing: tokens keep arriving (and optionally
+    departing) while the balancer runs — the regime production systems
+    actually face, one synchronous balancing step per round.
+
+    The paper's guarantees are for the closed system, but its algorithms
+    are local and restart-free, so they apply verbatim; this module
+    measures the steady-state discrepancy band they hold under load. *)
+
+type injection =
+  | Uniform_batch of { rng : Prng.Splitmix.t; per_round : int }
+      (** [per_round] tokens thrown at uniform random nodes each round *)
+  | Point_batch of { node : int; per_round : int }
+      (** adversarial: the whole batch lands on one node *)
+  | Max_loaded_batch of { per_round : int }
+      (** worst case: the batch lands on the currently fullest node *)
+
+type departure =
+  | No_departure
+  | Uniform_work of { rng : Prng.Splitmix.t; per_round : int }
+      (** each round, up to [per_round] tokens complete at uniform
+          random non-empty nodes *)
+
+type result = {
+  rounds_run : int;
+  final_loads : int array;
+  series : (int * int) array;     (** per-round discrepancy *)
+  steady_mean : float;            (** mean discrepancy over the second half *)
+  steady_p95 : float;
+  steady_max : int;
+  total_injected : int;
+  total_departed : int;
+}
+
+val run :
+  ?departure:departure ->
+  graph:Graphs.Graph.t ->
+  balancer:Balancer.t ->
+  injection:injection ->
+  init:int array ->
+  rounds:int ->
+  unit ->
+  result
+(** Each round: inject, (optionally) depart, then one balancing step.
+    The balancer's internal state (rotors, accumulators) persists across
+    rounds. *)

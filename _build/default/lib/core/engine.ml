@@ -1,0 +1,116 @@
+exception Invariant_violation of string
+
+type result = {
+  steps_run : int;
+  final_loads : int array;
+  series : (int * int) array;
+  min_load_seen : int;
+  reached_target : int option;
+  fairness : Fairness.report option;
+}
+
+let scan_discrepancy_and_min loads =
+  let lo = ref loads.(0) and hi = ref loads.(0) in
+  for i = 1 to Array.length loads - 1 do
+    let x = loads.(i) in
+    if x < !lo then lo := x;
+    if x > !hi then hi := x
+  done;
+  (!hi - !lo, !lo)
+
+let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy ~graph
+    ~balancer ~init ~steps () =
+  let n = Graphs.Graph.n graph in
+  let d = Graphs.Graph.degree graph in
+  if balancer.Balancer.degree <> d then
+    invalid_arg
+      (Printf.sprintf "Engine.run: balancer %s built for degree %d, graph has %d"
+         balancer.Balancer.name balancer.Balancer.degree d);
+  if Array.length init <> n then invalid_arg "Engine.run: init length mismatch";
+  if steps < 0 then invalid_arg "Engine.run: negative step count";
+  if sample_every <= 0 then invalid_arg "Engine.run: sample_every must be positive";
+  let dp = Balancer.d_plus balancer in
+  let tracker =
+    if audit then
+      Some (Fairness.create ~degree:d ~self_loops:balancer.Balancer.self_loops ~n)
+    else None
+  in
+  let adj = Graphs.Graph.adjacency graph in
+  let cur = ref (Array.copy init) in
+  let next = ref (Array.make n 0) in
+  let ports = Array.make dp 0 in
+  let series = ref [] in
+  let reached = ref None in
+  let d0, m0 = scan_discrepancy_and_min !cur in
+  let min_seen = ref m0 in
+  series := (0, d0) :: !series;
+  (match stop_at_discrepancy with
+   | Some target when d0 <= target -> reached := Some 0
+   | _ -> ());
+  let steps_done = ref 0 in
+  (try
+     for t = 1 to steps do
+       if !reached <> None && stop_at_discrepancy <> None then raise Exit;
+       let cur_a = !cur and next_a = !next in
+       Array.fill next_a 0 n 0;
+       for u = 0 to n - 1 do
+         let x = cur_a.(u) in
+         balancer.Balancer.assign ~step:t ~node:u ~load:x ~ports;
+         (* Inline validation: conservation and non-negative sends. *)
+         let sum = ref 0 in
+         for k = 0 to dp - 1 do
+           sum := !sum + ports.(k);
+           if k < d && ports.(k) < 0 then
+             raise
+               (Invariant_violation
+                  (Printf.sprintf
+                     "%s: node %d step %d sends %d (< 0) on original port %d"
+                     balancer.Balancer.name u t ports.(k) k))
+         done;
+         if !sum <> x then
+           raise
+             (Invariant_violation
+                (Printf.sprintf
+                   "%s: node %d step %d assigned %d tokens of load %d"
+                   balancer.Balancer.name u t !sum x));
+         (match tracker with
+          | Some tr -> Fairness.observe tr ~node:u ~load:x ~ports
+          | None -> ());
+         let base = u * d in
+         let kept = ref 0 in
+         for k = 0 to d - 1 do
+           let v = adj.(base + k) in
+           next_a.(v) <- next_a.(v) + ports.(k)
+         done;
+         for k = d to dp - 1 do
+           kept := !kept + ports.(k)
+         done;
+         next_a.(u) <- next_a.(u) + !kept
+       done;
+       let tmp = !cur in
+       cur := !next;
+       next := tmp;
+       steps_done := t;
+       let disc, mn = scan_discrepancy_and_min !cur in
+       if mn < !min_seen then min_seen := mn;
+       if t mod sample_every = 0 || t = steps then series := (t, disc) :: !series;
+       (match hook with Some f -> f t !cur | None -> ());
+       (match stop_at_discrepancy with
+        | Some target when disc <= target && !reached = None -> reached := Some t
+        | _ -> ())
+     done
+   with Exit -> ());
+  {
+    steps_run = !steps_done;
+    final_loads = !cur;
+    series = Array.of_list (List.rev !series);
+    min_load_seen = !min_seen;
+    reached_target = !reached;
+    fairness = Option.map Fairness.report tracker;
+  }
+
+let discrepancy_after ~graph ~balancer ~init ~steps =
+  let r = run ~graph ~balancer ~init ~steps () in
+  match r.series with
+  | [||] -> 0
+  | s -> snd s.(Array.length s - 1)

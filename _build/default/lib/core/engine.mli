@@ -1,0 +1,56 @@
+(** The synchronous balancing engine.
+
+    Executes the paper's model (§1.3): in every step, every node runs
+    its balancer's [assign] simultaneously on its current load; tokens
+    placed on original ports move to the neighbor, tokens placed on
+    self-loop ports stay.  Conservation and non-negative sends are
+    enforced on every assignment. *)
+
+exception Invariant_violation of string
+(** Raised when a balancer breaks conservation or sends a negative
+    token count on an original edge. *)
+
+type result = {
+  steps_run : int;
+  final_loads : int array;
+  series : (int * int) array;
+  (** (step, discrepancy) samples: step 0, every [sample_every]-th step,
+      and the final step. *)
+  min_load_seen : int;
+  (** Minimum entry of any load vector during the run — negative iff the
+      algorithm produced negative load (the NL column of Table 1). *)
+  reached_target : int option;
+  (** First step at which discrepancy ≤ [stop_at_discrepancy], if that
+      option was given and reached. *)
+  fairness : Fairness.report option; (** present iff [audit] was set *)
+}
+
+val run :
+  ?audit:bool ->
+  ?sample_every:int ->
+  ?hook:(int -> int array -> unit) ->
+  ?stop_at_discrepancy:int ->
+  graph:Graphs.Graph.t ->
+  balancer:Balancer.t ->
+  init:int array ->
+  steps:int ->
+  unit ->
+  result
+(** [run ~graph ~balancer ~init ~steps ()] executes [steps] synchronous
+    rounds from the initial load vector [init].
+
+    - [audit] (default false): track cumulative flows and class
+      membership via {!Fairness}; costs a second O(n·d⁺) pass per step.
+    - [sample_every] (default 1): discrepancy series granularity.
+    - [hook]: called as [hook t loads] after each step [t ≥ 1] with the
+      current load vector (not a copy — do not mutate).
+    - [stop_at_discrepancy]: stop early once the discrepancy is ≤ the
+      given value; [result.reached_target] records when.
+
+    @raise Invalid_argument if the balancer's degree does not match the
+    graph or [init] has the wrong length.
+    @raise Invariant_violation on a misbehaving balancer. *)
+
+val discrepancy_after :
+  graph:Graphs.Graph.t -> balancer:Balancer.t -> init:int array -> steps:int -> int
+(** Convenience: final discrepancy of an unaudited run. *)

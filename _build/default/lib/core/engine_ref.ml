@@ -1,0 +1,44 @@
+(* One token at a time, via lists of (destination, count) pairs built
+   per node and folded into an association list of deliveries.  No flat
+   arrays, no in-place accumulation: maximally different from Engine. *)
+
+let run ~graph ~balancer ~init ~steps =
+  let n = Graphs.Graph.n graph in
+  let d = Graphs.Graph.degree graph in
+  let dp = Balancer.d_plus balancer in
+  if Array.length init <> n then failwith "Engine_ref.run: init length mismatch";
+  let loads = ref (Array.to_list (Array.mapi (fun u x -> (u, x)) init)) in
+  let load_of u = List.assoc u !loads in
+  for t = 1 to steps do
+    let deliveries = ref [] in
+    let deliver dest count =
+      let cur = try List.assoc dest !deliveries with Not_found -> 0 in
+      deliveries := (dest, cur + count) :: List.remove_assoc dest !deliveries
+    in
+    List.iter
+      (fun (u, x) ->
+        let ports = Array.make dp 0 in
+        balancer.Balancer.assign ~step:t ~node:u ~load:x ~ports;
+        let assigned = Array.fold_left ( + ) 0 ports in
+        if assigned <> x then
+          failwith
+            (Printf.sprintf "Engine_ref: conservation broken at node %d step %d" u t);
+        Array.iteri
+          (fun k c ->
+            if k < d then begin
+              if c < 0 then
+                failwith
+                  (Printf.sprintf "Engine_ref: negative send at node %d step %d" u t);
+              (* token-by-token, pedantically *)
+              for _ = 1 to c do
+                deliver (Graphs.Graph.neighbor graph u k) 1
+              done
+            end
+            else deliver u c)
+          ports)
+      (List.sort compare !loads);
+    loads :=
+      List.init n (fun u ->
+          (u, try List.assoc u !deliveries with Not_found -> 0))
+  done;
+  Array.init n load_of

@@ -1,0 +1,16 @@
+(** A deliberately naive reference engine for differential testing.
+
+    Moves tokens one at a time through association lists — slow, obvious
+    and independent of {!Engine}'s optimized array code.  Any divergence
+    between the two on the same balancer assignments is a bug in one of
+    them; the test suite compares them on randomized configurations. *)
+
+val run :
+  graph:Graphs.Graph.t ->
+  balancer:Balancer.t ->
+  init:int array ->
+  steps:int ->
+  int array
+(** Final loads after [steps] synchronous rounds.  The balancer must be
+    fresh and is consumed (internal state advances).  Invariants are
+    checked with plain exceptions (Failure). *)

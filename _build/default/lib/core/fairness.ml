@@ -1,0 +1,113 @@
+type t = {
+  degree : int;
+  d_plus : int;
+  cumulative : int array; (* n * degree: per directed original edge *)
+  mutable observations : int;
+  mutable cumulative_delta : int;
+  mutable floor_share_ok : bool;
+  mutable round_fair : bool;
+  mutable ceil_cap_ok : bool;
+  mutable s_cap : int; (* max_int = unconstrained *)
+  cum_out : int array; (* per node: cumulative outgoing flow = Σ loads seen *)
+  mutable eq3_num : int; (* max |F(e)·d⁺ − F_out| over original edges *)
+}
+
+type report = {
+  observations : int;
+  cumulative_delta : int;
+  floor_share_ok : bool;
+  round_fair : bool;
+  ceil_cap_ok : bool;
+  self_pref_s : int option;
+  eq3_deviation : float;
+}
+
+let create ~degree ~self_loops ~n =
+  if degree <= 0 || self_loops < 0 || n <= 0 then invalid_arg "Fairness.create";
+  {
+    degree;
+    d_plus = degree + self_loops;
+    cumulative = Array.make (n * degree) 0;
+    observations = 0;
+    cumulative_delta = 0;
+    floor_share_ok = true;
+    round_fair = true;
+    ceil_cap_ok = true;
+    s_cap = max_int;
+    cum_out = Array.make n 0;
+    eq3_num = 0;
+  }
+
+(* Euclidean floor division: rounds toward negative infinity. *)
+let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y)
+
+let observe t ~node ~load ~ports =
+  if Array.length ports <> t.d_plus then invalid_arg "Fairness.observe: bad ports length";
+  t.observations <- t.observations + 1;
+  let q = fdiv load t.d_plus in
+  let e = load - (q * t.d_plus) in
+  (* e in [0, d_plus); ceil share is q+1 iff e > 0. *)
+  let ceil_share = if e > 0 then q + 1 else q in
+  let ceil_count_self = ref 0 in
+  for k = 0 to t.d_plus - 1 do
+    let v = ports.(k) in
+    if v < q then t.floor_share_ok <- false;
+    if v < q || v > ceil_share then t.round_fair <- false;
+    if v > ceil_share then t.ceil_cap_ok <- false;
+    if k >= t.degree && v >= q + 1 then incr ceil_count_self
+  done;
+  if e > 0 && !ceil_count_self < e then
+    t.s_cap <- min t.s_cap !ceil_count_self;
+  (* Cumulative flow spread over original edges, and the equation (3)
+     deviation |F(e) - F_out/d+| (scaled by d+ to stay integral).
+     F_out is the outflow of the Proposition A.2 reformulation A′ —
+     original sends plus d° virtual self-loop sends of ports.(0) — so
+     the remainder A′ holds back is excluded, exactly as in the proof. *)
+  let orig_sum = ref 0 in
+  for k = 0 to t.degree - 1 do
+    orig_sum := !orig_sum + ports.(k)
+  done;
+  t.cum_out.(node) <-
+    t.cum_out.(node) + !orig_sum + ((t.d_plus - t.degree) * ports.(0));
+  let f_out = t.cum_out.(node) in
+  let base = node * t.degree in
+  let lo = ref max_int and hi = ref min_int in
+  for k = 0 to t.degree - 1 do
+    let c = t.cumulative.(base + k) + ports.(k) in
+    t.cumulative.(base + k) <- c;
+    if c < !lo then lo := c;
+    if c > !hi then hi := c;
+    let dev = abs ((c * t.d_plus) - f_out) in
+    if dev > t.eq3_num then t.eq3_num <- dev
+  done;
+  if !hi - !lo > t.cumulative_delta then t.cumulative_delta <- !hi - !lo
+
+let node_spread t node =
+  let base = node * t.degree in
+  let lo = ref max_int and hi = ref min_int in
+  for k = 0 to t.degree - 1 do
+    let c = t.cumulative.(base + k) in
+    if c < !lo then lo := c;
+    if c > !hi then hi := c
+  done;
+  if t.degree = 0 then 0 else !hi - !lo
+
+let report t =
+  let s_cap = t.s_cap in
+  {
+    observations = t.observations;
+    cumulative_delta = t.cumulative_delta;
+    floor_share_ok = t.floor_share_ok;
+    round_fair = t.round_fair;
+    ceil_cap_ok = t.ceil_cap_ok;
+    self_pref_s = (if s_cap = max_int then None else Some s_cap);
+    eq3_deviation = float_of_int t.eq3_num /. float_of_int t.d_plus;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>observations: %d@ empirical δ: %d@ floor-share ok: %b@ round-fair: %b@ \
+     ceil-cap ok: %b@ empirical s: %s@ eq(3) deviation: %.2f@]"
+    r.observations r.cumulative_delta r.floor_share_ok r.round_fair r.ceil_cap_ok
+    (match r.self_pref_s with None -> "unconstrained" | Some s -> string_of_int s)
+    r.eq3_deviation

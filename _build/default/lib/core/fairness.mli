@@ -1,0 +1,46 @@
+(** Online auditors for the paper's algorithm-class definitions.
+
+    Feed every (node, load, port assignment) the engine executes into a
+    tracker; the final report states which class memberships the run
+    actually exhibited:
+
+    - Definition 2.1 (cumulative δ-fairness): the empirical δ — the
+      largest spread, over any node and any time prefix, of cumulative
+      flow across that node's original edges — and whether every port
+      always received at least ⌊x/d⁺⌋ tokens.
+    - Definition 3.1 (good s-balancer): round-fairness (every port gets
+      ⌊x/d⁺⌋ or ⌈x/d⁺⌉), the ceiling cap, and the empirical s of
+      s-self-preference.
+
+    All checks treat loads with Euclidean floor/ceil so that runs of
+    negative-load baselines still produce meaningful reports (they
+    simply fail the checks). *)
+
+type t
+
+type report = {
+  observations : int;       (** node-steps audited *)
+  cumulative_delta : int;   (** empirical δ of Definition 2.1 *)
+  floor_share_ok : bool;    (** Definition 2.1(i): every port ≥ ⌊x/d⁺⌋ *)
+  round_fair : bool;        (** every port ∈ {⌊x/d⁺⌋, ⌈x/d⁺⌉} *)
+  ceil_cap_ok : bool;       (** Definition 3.1(3): every port ≤ ⌈x/d⁺⌉ *)
+  self_pref_s : int option; (** empirical max s of Definition 3.1(2);
+                                [None] means unconstrained (any s ≤ d° works) *)
+  eq3_deviation : float;
+      (** the Theorem 2.3 proof's equation (3): the largest
+          |F_t(e) − F_out_t(u)/d⁺| over original edges — ≤ δ after the
+          Proposition A.2 transformation, and directly audited here *)
+}
+
+val create : degree:int -> self_loops:int -> n:int -> t
+
+val observe : t -> node:int -> load:int -> ports:int array -> unit
+(** Must be called exactly once per node per step, in any node order. *)
+
+val node_spread : t -> int -> int
+(** Current cumulative-flow spread over the original edges of one node
+    (exposed for tests). *)
+
+val report : t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,66 @@
+type sample = {
+  step : int;
+  discrepancy : int;
+  balancedness : float;
+  quadratic : float;
+  max_load : int;
+  min_load : int;
+}
+
+type t = { mutable acc : sample list }
+
+let quadratic_potential loads =
+  let avg = Loads.average loads in
+  Array.fold_left
+    (fun s x ->
+      let dx = float_of_int x -. avg in
+      s +. (dx *. dx))
+    0.0 loads
+
+let sample_of ~step loads =
+  {
+    step;
+    discrepancy = Loads.discrepancy loads;
+    balancedness = Loads.balancedness loads;
+    quadratic = quadratic_potential loads;
+    max_load = Loads.max_load loads;
+    min_load = Loads.min_load loads;
+  }
+
+let recorder ?(every = 1) () =
+  if every <= 0 then invalid_arg "Metrics.recorder: every must be positive";
+  let t = { acc = [] } in
+  let hook step loads =
+    if step mod every = 0 then t.acc <- sample_of ~step loads :: t.acc
+  in
+  (t, hook)
+
+let samples t = Array.of_list (List.rev t.acc)
+
+let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?width series =
+  let len = Array.length series in
+  if len = 0 then ""
+  else begin
+    let width = match width with Some w -> max 1 w | None -> min len 60 in
+    let lo = Array.fold_left min series.(0) series in
+    let hi = Array.fold_left max series.(0) series in
+    let span = if hi -. lo <= 0.0 then 1.0 else hi -. lo in
+    let buf = Buffer.create (width * 3) in
+    for i = 0 to width - 1 do
+      (* Nearest-sample resampling onto the requested width. *)
+      let idx =
+        if width = 1 then 0 else i * (len - 1) / (width - 1)
+      in
+      let v = (series.(idx) -. lo) /. span in
+      let level = min 7 (max 0 (int_of_float (v *. 7.999))) in
+      Buffer.add_string buf blocks.(level)
+    done;
+    Buffer.contents buf
+  end
+
+let discrepancy_sparkline ?width t =
+  sparkline ?width
+    (Array.map (fun s -> float_of_int s.discrepancy) (samples t))

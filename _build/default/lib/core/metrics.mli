@@ -1,0 +1,33 @@
+(** Time-series metrics beyond the engine's built-in discrepancy
+    series: balancedness, the quadratic potential Σ(x−x̄)² that
+    continuous-diffusion analyses contract, and load extrema — recorded
+    through an engine hook, rendered as tables or Unicode sparklines. *)
+
+type sample = {
+  step : int;
+  discrepancy : int;
+  balancedness : float; (** max − average *)
+  quadratic : float;    (** Σ_v (x_v − x̄)² *)
+  max_load : int;
+  min_load : int;
+}
+
+type t
+
+val recorder : ?every:int -> unit -> t * (int -> int array -> unit)
+(** [recorder ~every ()] returns a collector and an engine hook that
+    samples every [every]-th step (default 1).  Feed step 0 by calling
+    the hook manually with the initial loads if wanted. *)
+
+val samples : t -> sample array
+(** Samples in step order. *)
+
+val quadratic_potential : int array -> float
+
+val sparkline : ?width:int -> float array -> string
+(** Render a series as a Unicode sparkline (▁▂▃▄▅▆▇█), resampled to
+    [width] (default: series length, capped at 60).  Empty input gives
+    an empty string. *)
+
+val discrepancy_sparkline : ?width:int -> t -> string
+(** Sparkline of the recorded discrepancy series. *)

@@ -1,0 +1,49 @@
+let phi ~d_plus ~c loads =
+  let thresh = c * d_plus in
+  Array.fold_left (fun acc x -> acc + max (x - thresh) 0) 0 loads
+
+let phi' ~d_plus ~s ~c loads =
+  let thresh = (c * d_plus) + s in
+  Array.fold_left (fun acc x -> acc + max (thresh - x) 0) 0 loads
+
+(* Appendix B.2 closed form: max{min{x_{t-1}-cd+, s} - max{x_t-cd+, 0}, 0}. *)
+let drop ~d_plus ~s ~c ~before ~after =
+  let t = c * d_plus in
+  max (min (before - t) s - max (after - t) 0) 0
+
+(* Appendix B.3 closed form:
+   max{min{x_t - x_{t-1}, s, x_t - cd+, cd+ + s - x_{t-1}}, 0}. *)
+let drop' ~d_plus ~s ~c ~before ~after =
+  let t = c * d_plus in
+  max (min (min (after - before) s) (min (after - t) (t + s - before))) 0
+
+let c_ladder ~d_plus ~lo_load ~hi_load =
+  if d_plus <= 0 then invalid_arg "Potential.c_ladder";
+  let c_lo = int_of_float (ceil (float_of_int lo_load /. float_of_int d_plus)) in
+  let c_hi = hi_load / d_plus in
+  if c_hi < c_lo then []
+  else List.init (c_hi - c_lo + 1) (fun i -> c_lo + i)
+
+type trace = { c : int; values : (int * int) array }
+
+let tracker ~d_plus ~s ~cs () =
+  let cs = Array.of_list cs in
+  let acc = Array.map (fun _ -> ref []) cs in
+  let acc' = Array.map (fun _ -> ref []) cs in
+  let hook step loads =
+    Array.iteri
+      (fun i c ->
+        acc.(i) := (step, phi ~d_plus ~c loads) :: !(acc.(i));
+        acc'.(i) := (step, phi' ~d_plus ~s ~c loads) :: !(acc'.(i)))
+      cs
+  in
+  let finish () =
+    let mk source =
+      Array.to_list
+        (Array.mapi
+           (fun i c -> { c; values = Array.of_list (List.rev !(source.(i))) })
+           cs)
+    in
+    (mk acc, mk acc')
+  in
+  (hook, finish)

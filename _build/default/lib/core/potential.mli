@@ -1,0 +1,35 @@
+(** The potential functions of Section 3.
+
+    φ_t(c)  = Σ_v max{x_t(v) − c·d⁺, 0}       (tokens above height c·d⁺)
+    φ′_t(c) = Σ_v max{c·d⁺ + s − x_t(v), 0}   (gaps below height c·d⁺ + s)
+
+    Lemma 3.5 (resp. 3.7) proves φ (resp. φ′) non-increasing for good
+    s-balancers, with a quantified drop ∆_t(c,u) (resp. ∆′_t(c,u)) per
+    node.  These are exported so tests and the E8 experiment can verify
+    the lemmas on live runs. *)
+
+val phi : d_plus:int -> c:int -> int array -> int
+(** φ(c) of a load vector. *)
+
+val phi' : d_plus:int -> s:int -> c:int -> int array -> int
+(** φ′(c) of a load vector. *)
+
+val drop : d_plus:int -> s:int -> c:int -> before:int -> after:int -> int
+(** ∆_t(c, u) of Lemma 3.5 for one node whose load went from [before]
+    to [after] in one step. *)
+
+val drop' : d_plus:int -> s:int -> c:int -> before:int -> after:int -> int
+(** ∆′_t(c, u) of Lemma 3.7. *)
+
+val c_ladder : d_plus:int -> lo_load:int -> hi_load:int -> int list
+(** All thresholds c with c·d⁺ in [\[lo_load, hi_load\]] — the ladder the
+    proof of Theorem 3.3 walks down. *)
+
+type trace = { c : int; values : (int * int) array (** (step, φ) *) }
+
+val tracker :
+  d_plus:int -> s:int -> cs:int list -> unit ->
+  (int -> int array -> unit) * (unit -> trace list * trace list)
+(** [tracker ~d_plus ~s ~cs ()] returns an engine hook and a finalizer.
+    The hook records φ(c) and φ′(c) at every step for each [c] in [cs];
+    the finalizer returns the (φ traces, φ′ traces). *)

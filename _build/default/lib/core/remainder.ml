@@ -1,0 +1,37 @@
+type report = {
+  max_abs_remainder : int;
+  remainder_bound : int;
+  bound_ok : bool;
+  observations : int;
+}
+
+let wrap (a : Balancer.t) =
+  if a.Balancer.self_loops < 1 then
+    invalid_arg "Remainder.wrap: balancer has no self-loops";
+  let d = a.Balancer.degree in
+  let dp = Balancer.d_plus a in
+  let max_rem = ref 0 in
+  let observations = ref 0 in
+  let on_assign ~step:_ ~node:_ ~load:_ ~ports =
+    incr observations;
+    (* A′ gives every self-loop exactly what original port 0 sends, so
+       all d⁺ cumulative flows advance in lock-step with edge 0 and the
+       all-edge spread of A′ equals A's original-edge spread.  The
+       remainder is whatever A kept beyond those virtual self-loop
+       sends. *)
+    let self_total = ref 0 in
+    for k = d to dp - 1 do
+      self_total := !self_total + ports.(k)
+    done;
+    let r = !self_total - (a.Balancer.self_loops * ports.(0)) in
+    if abs r > !max_rem then max_rem := abs r
+  in
+  let finish () =
+    {
+      max_abs_remainder = !max_rem;
+      remainder_bound = dp;
+      bound_ok = !max_rem <= dp;
+      observations = !observations;
+    }
+  in
+  (Tap.wrap a ~on_assign, finish)

@@ -1,0 +1,28 @@
+(** The Proposition A.2 transformation, executable.
+
+    The proposition: every cumulatively δ-fair balancer A can be
+    reformulated as an algorithm A′ that (1) sends exactly the same load
+    over every original edge in every round, and (2) is cumulatively
+    δ-fair over {e all} edges including self-loops, at the cost of
+    holding a per-node remainder r_t(u) with |r_t(u)| ≤ d⁺.
+
+    The reformulation is pure bookkeeping — tokens "on a self-loop" and
+    tokens "in the remainder" both stay at the node, so A and A′ have
+    identical load dynamics.  This module materializes A′ alongside a
+    live run of A: every self-loop of A′ carries exactly what original
+    edge 0 carries (so the all-edge cumulative spread of A′ equals A's
+    original-edge spread ≤ δ), and whatever A kept beyond that is the
+    remainder.  The report verifies the proposition's |r| ≤ d⁺ bound. *)
+
+type report = {
+  max_abs_remainder : int; (** max over nodes and steps of |r_t(u)| *)
+  remainder_bound : int;   (** d⁺ — the proposition's bound *)
+  bound_ok : bool;         (** max_abs_remainder ≤ d⁺? *)
+  observations : int;
+}
+
+val wrap : Balancer.t -> Balancer.t * (unit -> report)
+(** [wrap a] returns a balancer with identical behaviour plus a
+    finalizer producing the A′ audit.
+    @raise Invalid_argument if [a] has no self-loops (then A′ = A and
+    there is nothing to transform). *)

@@ -1,0 +1,74 @@
+let default_order ~degree ~self_loops =
+  let dp = degree + self_loops in
+  (* Bresenham-style merge: spread the original ports as evenly as
+     possible among the self-loop ports around the cycle. *)
+  let out = Array.make dp 0 in
+  let next_orig = ref 0 and next_self = ref degree in
+  let err = ref (degree - self_loops) in
+  for i = 0 to dp - 1 do
+    if (!next_orig < degree && !err > 0) || !next_self >= dp then begin
+      out.(i) <- !next_orig;
+      incr next_orig;
+      err := !err - (2 * self_loops)
+    end
+    else begin
+      out.(i) <- !next_self;
+      incr next_self;
+      err := !err + (2 * degree)
+    end
+  done;
+  out
+
+let validate_order ~d_plus order =
+  if Array.length order <> d_plus then
+    invalid_arg "Rotor_router: order is not a permutation (wrong length)";
+  let seen = Array.make d_plus false in
+  Array.iter
+    (fun k ->
+      if k < 0 || k >= d_plus || seen.(k) then
+        invalid_arg "Rotor_router: order is not a permutation";
+      seen.(k) <- true)
+    order;
+  order
+
+let make ?order ?init_rotor g ~self_loops =
+  if self_loops < 0 then invalid_arg "Rotor_router.make: self_loops < 0";
+  let d = Graphs.Graph.degree g in
+  let dp = d + self_loops in
+  let n = Graphs.Graph.n g in
+  let shared_default = default_order ~degree:d ~self_loops in
+  let orders =
+    match order with
+    | None -> Array.make n shared_default
+    | Some f -> Array.init n (fun u -> validate_order ~d_plus:dp (Array.copy (f u)))
+  in
+  let rotor =
+    Array.init n (fun u ->
+        match init_rotor with
+        | None -> 0
+        | Some f ->
+          let r = f u in
+          if r < 0 || r >= dp then
+            invalid_arg "Rotor_router.make: initial rotor out of range";
+          r)
+  in
+  let assign ~step:_ ~node ~load ~ports =
+    if load < 0 then
+      invalid_arg "Rotor_router: negative load (rotor-router never produces one)";
+    let q = load / dp and e = load mod dp in
+    Array.fill ports 0 dp q;
+    let ord = orders.(node) in
+    let r = rotor.(node) in
+    for i = 0 to e - 1 do
+      let k = ord.((r + i) mod dp) in
+      ports.(k) <- ports.(k) + 1
+    done;
+    rotor.(node) <- (r + e) mod dp
+  in
+  {
+    Balancer.name = Printf.sprintf "rotor-router(d°=%d)" self_loops;
+    degree = d;
+    self_loops;
+    props = Balancer.paper_deterministic;
+    assign;
+  }

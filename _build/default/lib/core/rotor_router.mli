@@ -1,0 +1,37 @@
+(** The ROTOR-ROUTER (Propp machine) balancer.
+
+    Every node owns a rotor over a cyclic ordering of its d⁺ ports
+    (original edges and self-loops).  With load x, the node sends one
+    token along the port under the rotor, advances the rotor, and
+    repeats — so every port receives ⌊x/d⁺⌋ tokens and the x mod d⁺
+    ports starting at the rotor receive one extra; the rotor ends up
+    advanced by x mod d⁺ positions.
+
+    The paper shows (Observation 2.2) that this is cumulatively 1-fair
+    whenever the cyclic order visits the original edges "spread out";
+    with the default order — original edges and self-loops interleaved
+    as evenly as possible — the audited δ is 1 for d° ≥ d.  Theorem 4.3
+    uses the d° = 0 instance with an adversarial initial rotor
+    configuration, which {!make} supports via [init_rotor] and
+    [order]. *)
+
+val make :
+  ?order:(int -> int array) ->
+  ?init_rotor:(int -> int) ->
+  Graphs.Graph.t ->
+  self_loops:int ->
+  Balancer.t
+(** [make g ~self_loops] builds a rotor-router balancer for [g] with
+    [self_loops] self-loop ports per node.
+
+    - [order u] must be a permutation of [0 .. d⁺-1] giving node [u]'s
+      cyclic port order (default: original edges and self-loops
+      interleaved round-robin).
+    - [init_rotor u] is the starting rotor position of node [u] as an
+      index into that order (default 0).
+
+    @raise Invalid_argument if an order is not a permutation or an
+    initial rotor position is out of range. *)
+
+val default_order : degree:int -> self_loops:int -> int array
+(** The interleaved default order, exposed for tests. *)

@@ -1,0 +1,10 @@
+(** ROTOR-ROUTER*, the good 1-balancer variant (Observation 3.2).
+
+    Each node has d° = d self-loops, so d⁺ = 2d.  One special self-loop
+    always receives ⌈x/(2d)⌉ tokens; the remaining x − ⌈x/(2d)⌉ tokens
+    are distributed by an ordinary rotor-router over the other 2d − 1
+    ports (the d original edges and the d − 1 plain self-loops). *)
+
+val make : ?init_rotor:(int -> int) -> Graphs.Graph.t -> Balancer.t
+(** [make g] builds ROTOR-ROUTER* for [g].  [init_rotor u] (default 0)
+    is node [u]'s starting rotor position over its 2d − 1 rotor ports. *)

@@ -1,0 +1,11 @@
+(** SEND(⌊x/d⁺⌋): the stateless cumulatively 0-fair balancer
+    (Observation 2.2).
+
+    A node with load x sends exactly ⌊x/d⁺⌋ tokens over every original
+    edge; the remaining x − d·⌊x/d⁺⌋ tokens go to the self-loops, each
+    of which receives at least ⌊x/d⁺⌋ (the excess x mod d⁺ is placed on
+    the first self-loop). *)
+
+val make : Graphs.Graph.t -> self_loops:int -> Balancer.t
+(** @raise Invalid_argument if [self_loops < 1] — the excess needs a
+    self-loop to sit on. *)

@@ -1,0 +1,21 @@
+(** SEND([x/d⁺]): the stateless round-to-nearest balancer
+    (Observations 2.2 and 3.2).
+
+    A node with load x sends [x/d⁺] — x/d⁺ rounded to the nearest
+    integer, half up — over every original edge.  The remaining tokens
+    are spread over the self-loops one extra token per loop, so that
+    every port receives ⌊x/d⁺⌋ or ⌈x/d⁺⌉ (round-fairness).
+
+    Class membership (verified by the {!Fairness} auditor):
+    - cumulatively 0-fair for any d° ≥ d;
+    - a good s-balancer with s = ⌈(d⁺ − 2d) / 2⌉ for d⁺ > 2d.  (The
+      paper's Observation 3.2 states s = d⁺ − 2d; rounding half {e up}
+      makes the originals take ⌈⌉ whenever x mod d⁺ ≥ d⁺/2, which leaves
+      only x mod d⁺ − d ≥ (d⁺ − 2d)/2 ceil-tokens for the self-loops,
+      so the literal algorithm self-prefers at level (d⁺ − 2d)/2.  The
+      asymptotics of Theorem 3.3 are unchanged: d° ≥ 3d still gives
+      s = Ω(d).) *)
+
+val make : Graphs.Graph.t -> self_loops:int -> Balancer.t
+(** @raise Invalid_argument if [self_loops < degree] — rounding up needs
+    d° ≥ d so the self-loops can absorb the deficit. *)

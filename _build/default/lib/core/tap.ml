@@ -1,0 +1,8 @@
+let wrap (b : Balancer.t) ~on_assign =
+  {
+    b with
+    Balancer.assign =
+      (fun ~step ~node ~load ~ports ->
+        b.Balancer.assign ~step ~node ~load ~ports;
+        on_assign ~step ~node ~load ~ports);
+  }

@@ -1,0 +1,15 @@
+(** Observation taps: wrap a balancer so every port assignment is also
+    fed to an observer, without changing the dynamics.
+
+    Several analysis tools (the Proposition A.2 remainder transformation
+    in {!Remainder}, the Lemma 3.5 token-coloring checker in
+    {!Coloring}) need to see each node's per-step assignment; wrapping
+    keeps the engine oblivious. *)
+
+val wrap :
+  Balancer.t ->
+  on_assign:(step:int -> node:int -> load:int -> ports:int array -> unit) ->
+  Balancer.t
+(** [wrap b ~on_assign] behaves exactly like [b]; after each inner
+    [assign] the observer sees the same arguments and the filled [ports]
+    buffer.  The observer must not mutate [ports]. *)

@@ -1,0 +1,1 @@
+lib/graph/mixing.ml: Array Graph Linalg List Spectral

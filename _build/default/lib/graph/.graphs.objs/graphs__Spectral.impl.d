@@ -1,0 +1,1 @@
+lib/graph/spectral.ml: Array Graph Linalg List

@@ -1,0 +1,78 @@
+type t = {
+  n : int;
+  p : Linalg.Mat.t;
+  mutable powers : Linalg.Mat.t list; (* powers.(k) = P^k, P^0 = I, newest last *)
+  gap : float;
+}
+
+let create g ~self_loops =
+  let p_sparse = Spectral.transition_matrix g ~self_loops in
+  let p = Linalg.Csr.to_dense p_sparse in
+  let n = Graph.n g in
+  let eigs = Linalg.Jacobi.eigenvalues_of_transition p_sparse in
+  (* λ₁ = 1; the mixing rate is the largest remaining |λ|. *)
+  let lambda2 =
+    Array.fold_left
+      (fun acc l -> max acc (abs_float l))
+      0.0
+      (Array.sub eigs 1 (Array.length eigs - 1))
+  in
+  { n; p; powers = [ Linalg.Mat.identity n ]; gap = max 1e-15 (1.0 -. lambda2) }
+
+let power t k =
+  if k < 0 then invalid_arg "Mixing.power: negative exponent";
+  let rec extend () =
+    if List.length t.powers <= k then begin
+      let last = List.nth t.powers (List.length t.powers - 1) in
+      t.powers <- t.powers @ [ Linalg.Mat.mul last t.p ];
+      extend ()
+    end
+  in
+  extend ();
+  List.nth t.powers k
+
+let error_term t k =
+  let pk = power t k in
+  let inv_n = 1.0 /. float_of_int t.n in
+  Linalg.Mat.init t.n (fun i j -> Linalg.Mat.get pk i j -. inv_n)
+
+let error_operator_norm_inf t k =
+  let e = error_term t k in
+  let best = ref 0.0 in
+  for w = 0 to t.n - 1 do
+    let s = ref 0.0 in
+    for v = 0 to t.n - 1 do
+      s := !s +. abs_float (Linalg.Mat.get e w v)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let apply_error t k q =
+  if Array.length q <> t.n then invalid_arg "Mixing.apply_error: dimension mismatch";
+  Linalg.Mat.mul_vec (error_term t k) q
+
+let lemma_a1_i_bound t ~q k =
+  if Array.length q <> t.n then invalid_arg "Mixing.lemma_a1_i_bound";
+  let qbar = Linalg.Vec.mean q in
+  let dev = Array.fold_left (fun acc x -> max acc (abs_float (x -. qbar))) 0.0 q in
+  float_of_int (t.n * t.n) *. ((1.0 -. t.gap) ** float_of_int k) *. dev
+
+let current_sum t ~horizon =
+  if horizon < 0 then invalid_arg "Mixing.current_sum: negative horizon";
+  let total = ref 0.0 in
+  for a = 0 to horizon do
+    let pa = power t a and pa1 = power t (a + 1) in
+    let best = ref 0.0 in
+    for w = 0 to t.n - 1 do
+      let s = ref 0.0 in
+      for v = 0 to t.n - 1 do
+        s := !s +. abs_float (Linalg.Mat.get pa1 v w -. Linalg.Mat.get pa v w)
+      done;
+      if !s > !best then best := !s
+    done;
+    total := !total +. !best
+  done;
+  !total
+
+let spectral_gap t = t.gap

@@ -1,0 +1,38 @@
+(** Dense mixing analysis — the error-term machinery of the paper's
+    Lemma A.1, executable at small n.
+
+    P^t = P^∞ + Λ_t with P^∞ the all-1/n matrix; Lemma A.1 bounds
+    ‖Λ_t q‖∞ by n²(1−µ)^t‖q − q̄‖∞ and shows the geometric-sum tail
+    bound used throughout the Theorem 2.3 proof.  These functions
+    compute the exact quantities so the lemma can be verified
+    numerically. *)
+
+type t
+(** Precomputed dense powers machinery for one balancing graph. *)
+
+val create : Graph.t -> self_loops:int -> t
+(** Densifies P; intended for n up to a few hundred. *)
+
+val power : t -> int -> Linalg.Mat.t
+(** P^t (memoized incrementally). *)
+
+val error_term : t -> int -> Linalg.Mat.t
+(** Λ_t = P^t − P^∞. *)
+
+val error_operator_norm_inf : t -> int -> float
+(** max_w Σ_v |Λ_t(w, v)| — the ∞-operator norm used in (8). *)
+
+val apply_error : t -> int -> float array -> float array
+(** Λ_t q. *)
+
+val lemma_a1_i_bound : t -> q:float array -> int -> float
+(** The right side n²(1−µ)^t·‖q − q̄‖∞ of Lemma A.1's intermediate
+    inequality (µ taken from the dense spectrum, exact). *)
+
+val current_sum : t -> horizon:int -> float
+(** Σ_{a=0}^{horizon} max_w Σ_v |P^{a+1}(v,w) − P^a(v,w)| — the
+    probability-current sum bounded three ways in Appendix A.1 (claims
+    (i)–(iii) of Theorem 2.3). *)
+
+val spectral_gap : t -> float
+(** 1 − |λ₂| from the full dense spectrum. *)

@@ -1,0 +1,50 @@
+(** Spectral analysis of the balancing graph G⁺.
+
+    The paper analyses the random walk with transition matrix
+    P(u,v) = mult(u,v)/d⁺ for u ≠ v and P(u,u) = d°/d⁺, where
+    d⁺ = d + d° and d° is the number of self-loops per node.  Everything
+    the bounds need — the eigenvalue gap µ = 1 − λ₂ and the balancing
+    horizon T = O(log(Kn)/µ) — is computed here. *)
+
+val transition_matrix : Graph.t -> self_loops:int -> Linalg.Csr.t
+(** Transition matrix of G⁺ = G plus [self_loops] self-loops per node.
+    Doubly stochastic and symmetric for regular G.
+    @raise Invalid_argument if [self_loops < 0]. *)
+
+val eigenvalue_gap : ?max_iter:int -> ?tol:float -> Graph.t -> self_loops:int -> float
+(** µ = 1 − |λ₂| of the transition matrix, estimated numerically;
+    always in (0, 1]. *)
+
+val cycle_gap : n:int -> self_loops:int -> float
+(** Closed form for the cycle: 1 − (2 cos(2π/n) + d°) / (2 + d°).
+    Used to cross-check the numerical estimator and to price horizons
+    without running power iteration. *)
+
+val hypercube_gap : r:int -> self_loops:int -> float
+(** Closed form for the r-cube: 1 − (r − 2 + d°) / (r + d°). *)
+
+val complete_gap : n:int -> self_loops:int -> float
+(** Closed form for K_n: 1 − (d° − 1) / (n − 1 + d°). *)
+
+val torus2d_gap : side:int -> self_loops:int -> float
+(** Closed form for the side×side torus (degree 4). *)
+
+val circulant_gap : n:int -> offsets:int list -> self_loops:int -> float
+(** Closed form for circulant graphs: eigenvalues of the adjacency are
+    Σ_o (2 − [2o = n]) cos(2πko/n) over k; the gap follows from the
+    largest non-trivial one.  Generalizes {!cycle_gap}. *)
+
+val horizon : gap:float -> n:int -> initial_discrepancy:int -> c:float -> int
+(** [horizon ~gap ~n ~initial_discrepancy ~c] is
+    ⌈c · ln(n·(K+2)) / µ⌉ — the paper's T = O(log(Kn)/µ) with an
+    explicit constant [c].  Always at least 1. *)
+
+val continuous_balancing_time :
+  Graph.t -> self_loops:int -> init:float array -> ?tolerance:float ->
+  ?max_steps:int -> unit -> int option
+(** Empirical alternative to {!horizon}: iterate the continuous
+    diffusion x ← Px from [init] and return the first step at which the
+    continuous discrepancy drops below [tolerance] (default 1.0), or
+    [None] if [max_steps] (default 10_000_000) is hit first.  This is
+    exactly "the time in which a continuous algorithm balances the
+    system load" that the paper's T tracks. *)

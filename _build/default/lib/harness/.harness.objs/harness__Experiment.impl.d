@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Baselines Core Graphs Hashtbl Printf Prng

@@ -1,0 +1,1 @@
+lib/harness/series.ml: Array Format List Stats

@@ -1,0 +1,1 @@
+lib/harness/suite.ml: Array Baselines Core Experiment Graphs Hetero Irregular List Option Printf Prng Rotorwalk Series Stats String Table

@@ -1,0 +1,1 @@
+lib/harness/suite.mli: Result

@@ -1,0 +1,1 @@
+lib/harness/table.ml: Array Char List Printf String

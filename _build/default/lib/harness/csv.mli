@@ -1,0 +1,11 @@
+(** Minimal CSV writer (RFC-4180-style quoting) for experiment data. *)
+
+val escape_cell : string -> string
+(** Quote a cell iff it contains a comma, quote, or newline. *)
+
+val row_to_string : string list -> string
+
+val write : path:string -> header:string list -> rows:string list list -> unit
+(** Write a CSV file with a header row.  Overwrites. *)
+
+val to_string : header:string list -> rows:string list list -> string

@@ -1,0 +1,191 @@
+type graph_spec =
+  | Cycle of int
+  | Torus2d of int
+  | Hypercube of int
+  | Random_regular of { n : int; d : int; seed : int }
+  | Complete of int
+  | Clique_circulant of { n : int; d : int }
+
+let build_graph = function
+  | Cycle n -> Graphs.Gen.cycle n
+  | Torus2d side -> Graphs.Gen.torus [ side; side ]
+  | Hypercube r -> Graphs.Gen.hypercube r
+  | Random_regular { n; d; seed } ->
+    Graphs.Gen.random_regular (Prng.Splitmix.create seed) ~n ~d
+  | Complete n -> Graphs.Gen.complete n
+  | Clique_circulant { n; d } -> Graphs.Gen.clique_circulant ~n ~d
+
+let graph_name = function
+  | Cycle n -> Printf.sprintf "cycle(%d)" n
+  | Torus2d side -> Printf.sprintf "torus2d(%dx%d)" side side
+  | Hypercube r -> Printf.sprintf "hypercube(%d)" r
+  | Random_regular { n; d; seed } -> Printf.sprintf "random-%d-regular(%d,seed=%d)" d n seed
+  | Complete n -> Printf.sprintf "complete(%d)" n
+  | Clique_circulant { n; d } -> Printf.sprintf "clique-circulant(%d,d=%d)" n d
+
+type algo_spec =
+  | Rotor_router of { self_loops : int }
+  | Rotor_router_star
+  | Send_floor of { self_loops : int }
+  | Send_round of { self_loops : int }
+  | Mimic of { self_loops : int }
+  | Random_extra of { self_loops : int; seed : int }
+  | Random_rounding of { self_loops : int; seed : int }
+
+let algo_name = function
+  | Rotor_router { self_loops } -> Printf.sprintf "rotor-router(d°=%d)" self_loops
+  | Rotor_router_star -> "rotor-router*"
+  | Send_floor { self_loops } -> Printf.sprintf "send-floor(d°=%d)" self_loops
+  | Send_round { self_loops } -> Printf.sprintf "send-round(d°=%d)" self_loops
+  | Mimic { self_loops } -> Printf.sprintf "mimic(d°=%d)" self_loops
+  | Random_extra { self_loops; seed } ->
+    Printf.sprintf "random-extra(d°=%d,seed=%d)" self_loops seed
+  | Random_rounding { self_loops; seed } ->
+    Printf.sprintf "random-rounding(d°=%d,seed=%d)" self_loops seed
+
+let algo_self_loops spec ~graph_degree =
+  match spec with
+  | Rotor_router { self_loops }
+  | Send_floor { self_loops }
+  | Send_round { self_loops }
+  | Mimic { self_loops }
+  | Random_extra { self_loops; _ }
+  | Random_rounding { self_loops; _ } -> self_loops
+  | Rotor_router_star -> graph_degree
+
+let build_balancer spec g ~init =
+  match spec with
+  | Rotor_router { self_loops } -> Core.Rotor_router.make g ~self_loops
+  | Rotor_router_star -> Core.Rotor_router_star.make g
+  | Send_floor { self_loops } -> Core.Send_floor.make g ~self_loops
+  | Send_round { self_loops } -> Core.Send_round.make g ~self_loops
+  | Mimic { self_loops } -> Baselines.Mimic.make g ~self_loops ~init
+  | Random_extra { self_loops; seed } ->
+    Baselines.Random_extra.make (Prng.Splitmix.create seed) g ~self_loops
+  | Random_rounding { self_loops; seed } ->
+    Baselines.Random_rounding.make (Prng.Splitmix.create seed) g ~self_loops
+
+type init_spec =
+  | Point_mass of int
+  | Bimodal of { high : int; low : int }
+  | Uniform_random of { total : int; seed : int }
+
+let init_name = function
+  | Point_mass total -> Printf.sprintf "point-mass(%d)" total
+  | Bimodal { high; low } -> Printf.sprintf "bimodal(%d/%d)" high low
+  | Uniform_random { total; seed } -> Printf.sprintf "uniform-random(%d,seed=%d)" total seed
+
+let build_init spec ~n =
+  match spec with
+  | Point_mass total -> Core.Loads.point_mass ~n ~total
+  | Bimodal { high; low } -> Core.Loads.bimodal ~n ~high ~low
+  | Uniform_random { total; seed } ->
+    Core.Loads.uniform_random (Prng.Splitmix.create seed) ~n ~total
+
+type horizon =
+  | Fixed_steps of int
+  | Mixing_multiple of float
+  | Continuous_multiple of float
+
+(* Spectral gaps are expensive on large graphs; memoize per graph shape.
+   The key combines size, degree, d° and a structural hash of the
+   adjacency, which is collision-safe enough for a cache of a handful of
+   experiment graphs. *)
+let gap_cache : (int * int * int * int, float) Hashtbl.t = Hashtbl.create 16
+
+let spectral_gap ~graph ~self_loops =
+  let key =
+    ( Graphs.Graph.n graph,
+      Graphs.Graph.degree graph,
+      self_loops,
+      Hashtbl.hash_param 512 512 (Graphs.Graph.adjacency graph) )
+  in
+  match Hashtbl.find_opt gap_cache key with
+  | Some g -> g
+  | None ->
+    let g = Graphs.Spectral.eigenvalue_gap graph ~self_loops in
+    Hashtbl.add gap_cache key g;
+    g
+
+let horizon_steps ~graph ~self_loops ~init = function
+  | Fixed_steps s ->
+    if s < 1 then invalid_arg "Experiment.horizon_steps: need >= 1 step";
+    s
+  | Mixing_multiple c ->
+    let gap = spectral_gap ~graph ~self_loops in
+    Graphs.Spectral.horizon ~gap ~n:(Graphs.Graph.n graph)
+      ~initial_discrepancy:(Core.Loads.discrepancy init) ~c
+  | Continuous_multiple c ->
+    let finit = Array.map float_of_int init in
+    (match
+       Graphs.Spectral.continuous_balancing_time graph ~self_loops ~init:finit ()
+     with
+     | Some t -> max 1 (int_of_float (ceil (c *. float_of_int (max t 1))))
+     | None -> invalid_arg "Experiment.horizon_steps: continuous process did not converge")
+
+type outcome = {
+  graph_label : string;
+  algo_label : string;
+  n : int;
+  degree : int;
+  self_loops : int;
+  gap : float;
+  steps : int;
+  horizon : int;
+  initial_discrepancy : int;
+  final_discrepancy : int;
+  time_to_target : int option;
+  min_load_seen : int;
+  fairness : Core.Fairness.report option;
+}
+
+let run_prepared ?(audit = false) ?target ?(stop_early = false) ~graph ~graph_label
+    ~balancer ~init ~steps () =
+  let first_hit = ref None in
+  let hook =
+    match target with
+    | Some tgt when not stop_early ->
+      Some
+        (fun t loads ->
+          if !first_hit = None && Core.Loads.discrepancy loads <= tgt then
+            first_hit := Some t)
+    | _ -> None
+  in
+  let stop_at = if stop_early then target else None in
+  let result =
+    Core.Engine.run ~audit
+      ~sample_every:(max 1 (steps / 64))
+      ?hook ?stop_at_discrepancy:stop_at ~graph ~balancer ~init ~steps ()
+  in
+  let time_to_target =
+    match (target, stop_early) with
+    | None, _ -> None
+    | Some _, true -> result.Core.Engine.reached_target
+    | Some tgt, false ->
+      if Core.Loads.discrepancy init <= tgt then Some 0 else !first_hit
+  in
+  {
+    graph_label;
+    algo_label = balancer.Core.Balancer.name;
+    n = Graphs.Graph.n graph;
+    degree = Graphs.Graph.degree graph;
+    self_loops = balancer.Core.Balancer.self_loops;
+    gap = spectral_gap ~graph ~self_loops:balancer.Core.Balancer.self_loops;
+    steps = result.Core.Engine.steps_run;
+    horizon = steps;
+    initial_discrepancy = Core.Loads.discrepancy init;
+    final_discrepancy = Core.Loads.discrepancy result.Core.Engine.final_loads;
+    time_to_target;
+    min_load_seen = result.Core.Engine.min_load_seen;
+    fairness = result.Core.Engine.fairness;
+  }
+
+let run ?audit ?target ~graph ~algo ~init ~horizon () =
+  let g = build_graph graph in
+  let n = Graphs.Graph.n g in
+  let init_loads = build_init init ~n in
+  let balancer = build_balancer algo g ~init:init_loads in
+  let self_loops = balancer.Core.Balancer.self_loops in
+  let steps = horizon_steps ~graph:g ~self_loops ~init:init_loads horizon in
+  run_prepared ?audit ?target ~graph:g ~graph_label:(graph_name graph) ~balancer
+    ~init:init_loads ~steps ()

@@ -1,0 +1,104 @@
+(** Experiment registry: declarative specifications of graphs,
+    algorithms, initial distributions and horizons, with one-call
+    execution.  Both the CLI and the benchmark harness drive the system
+    through this module, so every reported number is reproducible from a
+    printable spec. *)
+
+type graph_spec =
+  | Cycle of int
+  | Torus2d of int (** side length; n = side² *)
+  | Hypercube of int (** dimension; n = 2^r *)
+  | Random_regular of { n : int; d : int; seed : int }
+  | Complete of int
+  | Clique_circulant of { n : int; d : int }
+
+val build_graph : graph_spec -> Graphs.Graph.t
+val graph_name : graph_spec -> string
+
+type algo_spec =
+  | Rotor_router of { self_loops : int }
+  | Rotor_router_star
+  | Send_floor of { self_loops : int }
+  | Send_round of { self_loops : int }
+  | Mimic of { self_loops : int }
+  | Random_extra of { self_loops : int; seed : int }
+  | Random_rounding of { self_loops : int; seed : int }
+
+val algo_name : algo_spec -> string
+
+val algo_self_loops : algo_spec -> graph_degree:int -> int
+(** The d° an algo spec will use on a graph of the given degree
+    (resolves Rotor_router_star's implicit d° = d). *)
+
+val build_balancer : algo_spec -> Graphs.Graph.t -> init:int array -> Core.Balancer.t
+(** [init] is required because the mimic scheme simulates the continuous
+    process from the same start. *)
+
+type init_spec =
+  | Point_mass of int (** total tokens, all on node 0 *)
+  | Bimodal of { high : int; low : int }
+  | Uniform_random of { total : int; seed : int }
+
+val init_name : init_spec -> string
+val build_init : init_spec -> n:int -> int array
+
+type horizon =
+  | Fixed_steps of int
+  | Mixing_multiple of float
+      (** c · ln(n·(K+2)) / µ, the paper's T with explicit constant c *)
+  | Continuous_multiple of float
+      (** c × the empirical step count at which continuous diffusion
+          reaches discrepancy < 1 from the same start *)
+
+val horizon_steps :
+  graph:Graphs.Graph.t -> self_loops:int -> init:int array -> horizon -> int
+(** Resolve a horizon to a concrete step count (≥ 1).  Spectral gaps are
+    memoized per (graph, d°) so sweeps don't re-run power iteration. *)
+
+val spectral_gap : graph:Graphs.Graph.t -> self_loops:int -> float
+(** Memoized µ of the balancing graph. *)
+
+type outcome = {
+  graph_label : string;
+  algo_label : string;
+  n : int;
+  degree : int;
+  self_loops : int;
+  gap : float;
+  steps : int;                 (** steps actually executed *)
+  horizon : int;               (** steps requested *)
+  initial_discrepancy : int;
+  final_discrepancy : int;
+  time_to_target : int option; (** if [target] was given *)
+  min_load_seen : int;
+  fairness : Core.Fairness.report option;
+}
+
+val run :
+  ?audit:bool ->
+  ?target:int ->
+  graph:graph_spec ->
+  algo:algo_spec ->
+  init:init_spec ->
+  horizon:horizon ->
+  unit ->
+  outcome
+(** Build everything from specs and execute one simulation.  [target]
+    both records the first hitting time of that discrepancy and, when
+    given, lets the run continue to the full horizon (no early stop) so
+    the final discrepancy is still meaningful. *)
+
+val run_prepared :
+  ?audit:bool ->
+  ?target:int ->
+  ?stop_early:bool ->
+  graph:Graphs.Graph.t ->
+  graph_label:string ->
+  balancer:Core.Balancer.t ->
+  init:int array ->
+  steps:int ->
+  unit ->
+  outcome
+(** Same outcome record for callers that built the pieces themselves
+    (sweeps that reuse one graph).  [stop_early] (default false) stops
+    as soon as [target] is reached. *)

@@ -1,0 +1,42 @@
+let num_domains () = max 1 (Domain.recommended_domain_count ())
+
+type 'b outcome = Value of 'b | Raised of exn
+
+let map ?domains f xs =
+  let domains = match domains with Some d -> max 1 d | None -> num_domains () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let workers = min domains n in
+    if workers = 1 then List.map f xs
+    else begin
+      let results = Array.make n None in
+      (* Static round-robin split: worker w takes indices w, w+k, ... —
+         no shared mutable state beyond the disjoint result slots. *)
+      let worker w () =
+        let out = ref [] in
+        let i = ref w in
+        while !i < n do
+          let r = try Value (f items.(!i)) with e -> Raised e in
+          out := (!i, r) :: !out;
+          i := !i + workers
+        done;
+        !out
+      in
+      let handles = List.init workers (fun w -> Domain.spawn (worker w)) in
+      List.iter
+        (fun h ->
+          List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join h))
+        handles;
+      Array.to_list results
+      |> List.map (function
+           | Some (Value v) -> v
+           | Some (Raised e) -> raise e
+           | None -> assert false)
+    end
+  end
+
+let replicate ?domains ~seeds f =
+  if seeds = [] then invalid_arg "Parallel.replicate: no seeds";
+  Series.summarize (Array.of_list (map ?domains f seeds))

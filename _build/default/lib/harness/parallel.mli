@@ -1,0 +1,19 @@
+(** Parallel map over OCaml 5 domains — used to spread independent
+    experiment replicas (different seeds, different n) across cores.
+
+    Tasks must be pure-ish and independent: they must not share mutable
+    state (each task should build its own graphs/balancers/RNGs, which
+    everything in this repository does given a seed). *)
+
+val num_domains : unit -> int
+(** Recommended domain count: [Domain.recommended_domain_count], at
+    least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] evaluates [f] on every element, distributing work over
+    up to [domains] (default {!num_domains}) additional domains in
+    round-robin chunks; order is preserved.  Exceptions raised by a
+    task are re-raised in the caller. *)
+
+val replicate : ?domains:int -> seeds:int list -> (int -> float) -> Series.summary
+(** Parallel version of {!Series.replicate}. *)

@@ -1,0 +1,29 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize samples =
+  if Array.length samples = 0 then invalid_arg "Series.summarize: empty sample";
+  {
+    n = Array.length samples;
+    mean = Stats.mean samples;
+    stddev = Stats.stddev samples;
+    min = Stats.minimum samples;
+    max = Stats.maximum samples;
+    median = Stats.median samples;
+  }
+
+let replicate ~seeds f =
+  if seeds = [] then invalid_arg "Series.replicate: no seeds";
+  summarize (Array.of_list (List.map f seeds))
+
+let sweep params f = List.map (fun p -> (p, f p)) params
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f ±%.3f (min %.3f, median %.3f, max %.3f)" s.n
+    s.mean s.stddev s.min s.median s.max

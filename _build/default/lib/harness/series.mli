@@ -1,0 +1,25 @@
+(** Multi-seed replication for randomized components: run a measurement
+    across seeds and summarize.  Deterministic algorithms don't need
+    this; the randomized baselines ([5], [18], random matchings) and
+    random-graph sweeps do. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on an empty sample. *)
+
+val replicate : seeds:int list -> (int -> float) -> summary
+(** [replicate ~seeds f] evaluates [f seed] for every seed and
+    summarizes.  @raise Invalid_argument on an empty seed list. *)
+
+val sweep : 'a list -> ('a -> 'b) -> ('a * 'b) list
+(** Evaluate a measurement over a parameter list, keeping the pairing. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,84 @@
+let require_nonempty name a =
+  if Array.length a = 0 then invalid_arg ("Stats." ^ name ^ ": empty sample")
+
+let mean a =
+  require_nonempty "mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    ss /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let percentile a p =
+  require_nonempty "percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median a = percentile a 50.0
+
+let minimum a =
+  require_nonempty "minimum" a;
+  Array.fold_left min a.(0) a
+
+let maximum a =
+  require_nonempty "maximum" a;
+  Array.fold_left max a.(0) a
+
+let linear_fit pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least 2 points";
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    pts;
+  let nf = float_of_int n in
+  let denom = (nf *. !sxx) -. (!sx *. !sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let a = ((nf *. !sxy) -. (!sx *. !sy)) /. denom in
+  let b = (!sy -. (a *. !sx)) /. nf in
+  (a, b)
+
+let power_law_fit pts =
+  Array.iter
+    (fun (x, y) ->
+      if x <= 0.0 || y <= 0.0 then
+        invalid_arg "Stats.power_law_fit: coordinates must be positive")
+    pts;
+  let logs = Array.map (fun (x, y) -> (log x, log y)) pts in
+  let a, b = linear_fit logs in
+  (a, exp b)
+
+let correlation pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Stats.correlation: need at least 2 points";
+  let xs = Array.map fst pts and ys = Array.map snd pts in
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sxy := !sxy +. ((x -. mx) *. (y -. my));
+      sxx := !sxx +. ((x -. mx) *. (x -. mx));
+      syy := !syy +. ((y -. my) *. (y -. my)))
+    pts;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)

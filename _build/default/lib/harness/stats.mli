@@ -1,0 +1,25 @@
+(** Descriptive statistics and shape-fitting for experiment outputs. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance (0 for fewer than 2 points). *)
+
+val stddev : float array -> float
+val median : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], linear interpolation. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val linear_fit : (float * float) array -> float * float
+(** Least-squares [y = a·x + b]; returns [(a, b)].
+    @raise Invalid_argument with fewer than 2 points or degenerate x. *)
+
+val power_law_fit : (float * float) array -> float * float
+(** Fit [y = c · x^a] by least squares in log–log space; returns
+    [(a, c)].  Points with non-positive coordinates are rejected.
+    Used to check growth shapes like "discrepancy ~ √n on the cycle". *)
+
+val correlation : (float * float) array -> float
+(** Pearson correlation coefficient. *)

@@ -1,0 +1,47 @@
+type align = Left | Right
+
+(* Display width = number of Unicode scalar values (all the symbols we
+   print — δ, µ, φ, ✓, ✗, ° — are single-column), so UTF-8 cells align. *)
+let display_width s =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
+let render ?(align = []) ~header ~rows () =
+  let cols = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> cols then
+        invalid_arg
+          (Printf.sprintf "Table.render: row %d has %d cells, header has %d" i
+             (List.length row) cols))
+    rows;
+  let all = header :: rows in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun c cell -> widths.(c) <- max widths.(c) (display_width cell)))
+    all;
+  let align_of c = match List.nth_opt align c with Some a -> a | None -> Left in
+  let pad c cell =
+    let w = widths.(c) in
+    let padding = String.make (w - display_width cell) ' ' in
+    match align_of c with Left -> cell ^ padding | Right -> padding ^ cell
+  in
+  let render_row row =
+    "| " ^ String.concat " | " (List.mapi pad row) ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|"
+        (List.init cols (fun c -> String.make (widths.(c) + 2) '-'))
+    ^ "|"
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let print ?align ~header ~rows () =
+  print_string (render ?align ~header ~rows ());
+  print_newline ()
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_opt_int = function None -> "-" | Some i -> string_of_int i

@@ -1,0 +1,26 @@
+(** Aligned plain-text tables for the experiment harness's
+    paper-shaped output. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** Render a table with a header row, a separator, and the data rows.
+    Columns are padded to the widest cell.  [align] (default: all Left)
+    gives per-column alignment; missing entries default to Left.
+    @raise Invalid_argument if a row's width differs from the
+    header's. *)
+
+val print :
+  ?align:align list -> header:string list -> rows:string list list -> unit -> unit
+(** [render] to stdout, followed by a newline. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Compact float cell (default 2 decimals). *)
+
+val fmt_opt_int : int option -> string
+(** ["-"] for [None]. *)

@@ -1,0 +1,1 @@
+lib/hetero/nonuniform.mli: Graphs

@@ -1,0 +1,1 @@
+lib/hetero/wtokens.ml: Array Core Graphs List Prng

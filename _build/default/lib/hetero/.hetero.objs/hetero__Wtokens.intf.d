@@ -1,0 +1,1 @@
+lib/hetero/wtokens.mli: Graphs Prng

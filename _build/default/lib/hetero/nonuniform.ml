@@ -1,0 +1,75 @@
+type result = {
+  steps_run : int;
+  final_loads : int array;
+  series : (int * float) array;
+  reached_target : int option;
+}
+
+let height_discrepancy ~loads ~speeds =
+  if Array.length loads = 0 || Array.length loads <> Array.length speeds then
+    invalid_arg "Nonuniform.height_discrepancy";
+  let h i = float_of_int loads.(i) /. float_of_int speeds.(i) in
+  let lo = ref (h 0) and hi = ref (h 0) in
+  for i = 1 to Array.length loads - 1 do
+    let x = h i in
+    if x < !lo then lo := x;
+    if x > !hi then hi := x
+  done;
+  !hi -. !lo
+
+let run ?(sample_every = 1) ?stop_at_height_discrepancy ~graph ~speeds ~init ~steps () =
+  let n = Graphs.Graph.n graph in
+  let d = Graphs.Graph.degree graph in
+  if Array.length speeds <> n || Array.length init <> n then
+    invalid_arg "Nonuniform.run: length mismatch";
+  Array.iter (fun s -> if s < 1 then invalid_arg "Nonuniform.run: speeds must be >= 1") speeds;
+  if steps < 0 then invalid_arg "Nonuniform.run: negative steps";
+  if sample_every <= 0 then invalid_arg "Nonuniform.run: sample_every must be positive";
+  let loads = Array.copy init in
+  let delta = Array.make n 0 in
+  let denom = float_of_int (d + 1) in
+  let series = ref [ (0, height_discrepancy ~loads ~speeds) ] in
+  let reached = ref None in
+  (match stop_at_height_discrepancy with
+   | Some target when height_discrepancy ~loads ~speeds <= target -> reached := Some 0
+   | _ -> ());
+  let steps_done = ref 0 in
+  (try
+     for t = 1 to steps do
+       if !reached <> None && stop_at_height_discrepancy <> None then raise Exit;
+       Array.fill delta 0 n 0;
+       for u = 0 to n - 1 do
+         let hu = float_of_int loads.(u) /. float_of_int speeds.(u) in
+         let sent = ref 0 in
+         Graphs.Graph.iter_ports graph u (fun _ v ->
+             let hv = float_of_int loads.(v) /. float_of_int speeds.(v) in
+             if hu > hv then begin
+               let w = float_of_int (min speeds.(u) speeds.(v)) in
+               let f = int_of_float ((hu -. hv) *. w /. denom) in
+               if f > 0 then begin
+                 delta.(v) <- delta.(v) + f;
+                 sent := !sent + f
+               end
+             end);
+         delta.(u) <- delta.(u) - !sent;
+         (* Sends are bounded: Σ_v (hu - hv)·min(s)/(d+1) ≤ d·hu·s(u)/(d+1)
+            < x(u), so the load never goes negative; assert it anyway. *)
+         assert (!sent <= loads.(u))
+       done;
+       for u = 0 to n - 1 do
+         loads.(u) <- loads.(u) + delta.(u)
+       done;
+       steps_done := t;
+       let disc = height_discrepancy ~loads ~speeds in
+       if t mod sample_every = 0 || t = steps then series := (t, disc) :: !series;
+       match stop_at_height_discrepancy with
+       | Some target when disc <= target && !reached = None -> reached := Some t
+       | _ -> ()
+     done
+   with Exit -> ());
+  {
+    steps_run = !steps_done;
+    final_loads = loads;
+    series = Array.of_list (List.rev !series);
+    reached_target = !reached;
+  }

@@ -1,0 +1,33 @@
+(** Non-uniform machines — the Adolphs & Berenbrink [2] extension
+    direction cited in the paper's introduction: processor u has an
+    integer speed s(u) ≥ 1 and the fair allocation gives it load
+    proportional to s(u).  Balance is measured on heights
+    h(u) = x(u)/s(u).
+
+    The balancer is the always-round-down height diffusion of [2]: in
+    every round, node u sends ⌊(h(u) − h(v)) · min(s(u), s(v)) / (d+1)⌋
+    tokens to each lower neighbor v.  Sends are non-negative by
+    construction and never exceed the available load, so no negative
+    loads arise (the NL ✓ regime); the price is that it needs neighbor
+    loads (NC ✗), like every first-order-difference scheme. *)
+
+type result = {
+  steps_run : int;
+  final_loads : int array;
+  series : (int * float) array; (** (step, height discrepancy) *)
+  reached_target : int option;
+}
+
+val height_discrepancy : loads:int array -> speeds:int array -> float
+(** max x/s − min x/s. *)
+
+val run :
+  ?sample_every:int ->
+  ?stop_at_height_discrepancy:float ->
+  graph:Graphs.Graph.t ->
+  speeds:int array ->
+  init:int array ->
+  steps:int ->
+  unit ->
+  result
+(** @raise Invalid_argument on a speed < 1 or length mismatches. *)

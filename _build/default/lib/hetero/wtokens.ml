@@ -1,0 +1,93 @@
+type bag = int array
+type state = bag array
+
+type policy = Oblivious | Largest_first
+
+type result = {
+  steps_run : int;
+  final : state;
+  weight_series : (int * int) array;
+}
+
+let node_weight bag = Array.fold_left ( + ) 0 bag
+let total_weight state = Array.fold_left (fun acc b -> acc + node_weight b) 0 state
+let token_count state = Array.fold_left (fun acc b -> acc + Array.length b) 0 state
+
+let weighted_discrepancy state =
+  if Array.length state = 0 then invalid_arg "Wtokens.weighted_discrepancy: empty";
+  let ws = Array.map node_weight state in
+  Array.fold_left max ws.(0) ws - Array.fold_left min ws.(0) ws
+
+let count_discrepancy state =
+  if Array.length state = 0 then invalid_arg "Wtokens.count_discrepancy: empty";
+  let cs = Array.map Array.length state in
+  Array.fold_left max cs.(0) cs - Array.fold_left min cs.(0) cs
+
+let max_token_weight state =
+  Array.fold_left
+    (fun acc bag -> Array.fold_left max acc bag)
+    0 state
+
+let check_weights bag =
+  Array.iter (fun w -> if w < 1 then invalid_arg "Wtokens: token weights must be >= 1") bag
+
+let point_mass ~n ~weights =
+  if n <= 0 then invalid_arg "Wtokens.point_mass: n <= 0";
+  check_weights weights;
+  Array.init n (fun i -> if i = 0 then Array.copy weights else [||])
+
+let uniform_random rng ~n ~tokens ~max_weight =
+  if n <= 0 || tokens < 0 || max_weight < 1 then invalid_arg "Wtokens.uniform_random";
+  let bags = Array.make n [] in
+  for _ = 1 to tokens do
+    let u = Prng.Splitmix.int rng n in
+    let w = 1 + Prng.Splitmix.int rng max_weight in
+    bags.(u) <- w :: bags.(u)
+  done;
+  Array.map Array.of_list bags
+
+let run ?(sample_every = 1) policy ~graph ~self_loops ~init ~steps =
+  if self_loops < 0 then invalid_arg "Wtokens.run: self_loops < 0";
+  if steps < 0 then invalid_arg "Wtokens.run: negative steps";
+  if sample_every <= 0 then invalid_arg "Wtokens.run: sample_every must be positive";
+  let n = Graphs.Graph.n graph in
+  if Array.length init <> n then invalid_arg "Wtokens.run: init length mismatch";
+  Array.iter check_weights init;
+  let d = Graphs.Graph.degree graph in
+  let dp = d + self_loops in
+  let order = Core.Rotor_router.default_order ~degree:d ~self_loops in
+  let rotor = Array.make n 0 in
+  let cur = ref (Array.map Array.copy init) in
+  let series = ref [ (0, weighted_discrepancy !cur) ] in
+  let steps_done = ref 0 in
+  for t = 1 to steps do
+    let next : int list array = Array.make n [] in
+    for u = 0 to n - 1 do
+      let bag = !cur.(u) in
+      let tokens =
+        match policy with
+        | Oblivious -> bag
+        | Largest_first ->
+          let s = Array.copy bag in
+          Array.sort (fun a b -> compare b a) s;
+          s
+      in
+      let r = rotor.(u) in
+      Array.iteri
+        (fun i w ->
+          let port = order.((r + i) mod dp) in
+          let dest = if port < d then Graphs.Graph.neighbor graph u port else u in
+          next.(dest) <- w :: next.(dest))
+        tokens;
+      rotor.(u) <- (r + Array.length tokens) mod dp
+    done;
+    cur := Array.map Array.of_list next;
+    steps_done := t;
+    if t mod sample_every = 0 || t = steps then
+      series := (t, weighted_discrepancy !cur) :: !series
+  done;
+  {
+    steps_run = !steps_done;
+    final = !cur;
+    weight_series = Array.of_list (List.rev !series);
+  }

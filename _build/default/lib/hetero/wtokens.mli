@@ -1,0 +1,60 @@
+(** Non-uniform (weighted) tokens — the extension direction of
+    Adolphs & Berenbrink [1] / Akbari et al. [4] that the paper's
+    introduction cites: tokens are still indivisible, but each carries a
+    positive integer weight, and discrepancy is measured in total weight
+    per node.
+
+    The natural weighted ROTOR-ROUTER sends tokens one at a time in
+    round-robin port order, either in arrival order ({!Oblivious}) or
+    heaviest-first ({!Largest_first}); the classic transfer result is
+    that unit-token discrepancy bounds carry over multiplied by the
+    maximum token weight w_max — which the tests check empirically. *)
+
+type bag = int array
+(** The token weights held at one node (each ≥ 1). *)
+
+type state = bag array
+(** One bag per node. *)
+
+type policy =
+  | Oblivious      (** distribute tokens in stored order *)
+  | Largest_first  (** heaviest tokens first — a classic LPT-style heuristic *)
+
+type result = {
+  steps_run : int;
+  final : state;
+  weight_series : (int * int) array; (** (step, weighted discrepancy) *)
+}
+
+val node_weight : bag -> int
+val total_weight : state -> int
+val token_count : state -> int
+
+val weighted_discrepancy : state -> int
+(** max node weight − min node weight. *)
+
+val count_discrepancy : state -> int
+(** discrepancy in token counts (the unit-token quantity). *)
+
+val max_token_weight : state -> int
+(** 0 for an empty system. *)
+
+val point_mass : n:int -> weights:int array -> state
+(** All tokens on node 0. *)
+
+val uniform_random :
+  Prng.Splitmix.t -> n:int -> tokens:int -> max_weight:int -> state
+(** [tokens] tokens with weights uniform in [1..max_weight], each thrown
+    at a uniform node. *)
+
+val run :
+  ?sample_every:int ->
+  policy ->
+  graph:Graphs.Graph.t ->
+  self_loops:int ->
+  init:state ->
+  steps:int ->
+  result
+(** Weighted rotor-router for [steps] synchronous rounds.  Token
+    multisets are conserved exactly (same weights, possibly different
+    homes). *)

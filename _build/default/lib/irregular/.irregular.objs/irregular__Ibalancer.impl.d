@@ -1,0 +1,1 @@
+lib/irregular/ibalancer.ml: Array Igraph Printf

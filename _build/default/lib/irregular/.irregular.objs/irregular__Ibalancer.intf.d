@@ -1,0 +1,1 @@
+lib/irregular/ibalancer.mli: Igraph

@@ -1,0 +1,1 @@
+lib/irregular/iengine.ml: Array Ibalancer Igraph List Printf

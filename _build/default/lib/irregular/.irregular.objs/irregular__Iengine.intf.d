@@ -1,0 +1,1 @@
+lib/irregular/iengine.mli: Ibalancer Igraph

@@ -1,0 +1,1 @@
+lib/irregular/igraph.ml: Array Hashtbl List Prng Queue

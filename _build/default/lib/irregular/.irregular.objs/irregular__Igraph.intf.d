@@ -1,0 +1,1 @@
+lib/irregular/igraph.mli: Prng

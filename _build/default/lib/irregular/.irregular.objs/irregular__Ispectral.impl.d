@@ -1,0 +1,1 @@
+lib/irregular/ispectral.ml: Graphs Igraph Linalg

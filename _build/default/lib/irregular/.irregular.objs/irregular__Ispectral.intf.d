@@ -1,0 +1,1 @@
+lib/irregular/ispectral.mli: Igraph Linalg

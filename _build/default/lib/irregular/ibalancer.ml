@@ -1,0 +1,59 @@
+type t = {
+  name : string;
+  capacity : int;
+  assign : step:int -> node:int -> load:int -> ports:int array -> unit;
+}
+
+let check_capacity fn g ~capacity ~least =
+  let need = least (Igraph.max_degree g) in
+  if capacity < need then
+    invalid_arg
+      (Printf.sprintf "Ibalancer.%s: capacity %d too small (need >= %d)" fn capacity
+         need)
+
+let rotor_router g ~capacity =
+  check_capacity "rotor_router" g ~capacity ~least:(fun dmax -> dmax + 1);
+  let n = Igraph.n g in
+  let rotor = Array.make n 0 in
+  let assign ~step:_ ~node ~load ~ports =
+    if load < 0 then invalid_arg "Ibalancer.rotor_router: negative load";
+    let q = load / capacity and e = load mod capacity in
+    Array.fill ports 0 capacity q;
+    let r = rotor.(node) in
+    for i = 0 to e - 1 do
+      let k = (r + i) mod capacity in
+      ports.(k) <- ports.(k) + 1
+    done;
+    rotor.(node) <- (r + e) mod capacity
+  in
+  { name = Printf.sprintf "i-rotor-router(D=%d)" capacity; capacity; assign }
+
+let send_floor g ~capacity =
+  check_capacity "send_floor" g ~capacity ~least:(fun dmax -> dmax + 1);
+  let assign ~step:_ ~node ~load ~ports =
+    if load < 0 then invalid_arg "Ibalancer.send_floor: negative load";
+    let q = load / capacity and e = load mod capacity in
+    Array.fill ports 0 capacity q;
+    let first_self = Igraph.degree g node in
+    ports.(first_self) <- ports.(first_self) + e
+  in
+  { name = Printf.sprintf "i-send-floor(D=%d)" capacity; capacity; assign }
+
+let send_round g ~capacity =
+  check_capacity "send_round" g ~capacity ~least:(fun dmax -> 2 * dmax);
+  let assign ~step:_ ~node ~load ~ports =
+    if load < 0 then invalid_arg "Ibalancer.send_round: negative load";
+    let deg = Igraph.degree g node in
+    let q = load / capacity and e = load mod capacity in
+    let round_up = 2 * e >= capacity in
+    let share = if round_up then q + 1 else q in
+    for k = 0 to deg - 1 do
+      ports.(k) <- share
+    done;
+    let extra = if round_up then e - deg else e in
+    (* capacity ≥ 2·max_degree keeps extra within [0, capacity - deg]. *)
+    for k = deg to capacity - 1 do
+      ports.(k) <- q + (if k - deg < extra then 1 else 0)
+    done
+  in
+  { name = Printf.sprintf "i-send-round(D=%d)" capacity; capacity; assign }

@@ -1,0 +1,27 @@
+(** Balancers for irregular graphs.
+
+    Every node has the same number of ports, [capacity] = D: the first
+    [deg u] are its original edges, the remaining D − deg(u) are
+    self-loops.  This equalized-capacity model is the non-regular
+    reduction sketched by [17] (and by the paper's footnote 1): the walk
+    matrix is doubly stochastic, so the flat vector is the fixed point
+    and the paper's class definitions transfer port-wise. *)
+
+type t = {
+  name : string;
+  capacity : int; (** D: ports per node (must exceed the max degree) *)
+  assign : step:int -> node:int -> load:int -> ports:int array -> unit;
+}
+
+val rotor_router : Igraph.t -> capacity:int -> t
+(** Round-robin over all D ports, per-node rotor.
+    @raise Invalid_argument if [capacity <= max_degree] (every node
+    needs at least one self-loop for the lazy walk). *)
+
+val send_floor : Igraph.t -> capacity:int -> t
+(** ⌊x/D⌋ on every port, excess on the node's first self-loop. *)
+
+val send_round : Igraph.t -> capacity:int -> t
+(** [x/D] (nearest, half up) on the original edges, remainder spread
+    one-per-self-loop.  @raise Invalid_argument if [capacity < 2 ×
+    max_degree] (self-loops must absorb the round-up deficit). *)

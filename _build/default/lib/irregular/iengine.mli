@@ -1,0 +1,24 @@
+(** Synchronous engine for irregular graphs (equalized-capacity model):
+    same semantics as {!Core.Engine} — conservation enforced, tokens on
+    ports [0..deg(u)-1] travel, the rest stay. *)
+
+exception Invariant_violation of string
+
+type result = {
+  steps_run : int;
+  final_loads : int array;
+  series : (int * int) array; (** (step, discrepancy) *)
+}
+
+val run :
+  ?sample_every:int ->
+  ?hook:(int -> int array -> unit) ->
+  graph:Igraph.t ->
+  balancer:Ibalancer.t ->
+  init:int array ->
+  steps:int ->
+  unit ->
+  result
+
+val discrepancy_after :
+  graph:Igraph.t -> balancer:Ibalancer.t -> init:int array -> steps:int -> int

@@ -1,0 +1,152 @@
+type t = {
+  n : int;
+  offsets : int array; (* length n+1; ports of u live at offsets.(u) .. offsets.(u+1)-1 *)
+  adj : int array;
+  edge_list : (int * int) array;
+}
+
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Igraph.of_edges: n must be positive";
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Igraph.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Igraph.of_edges: self-edges are not allowed")
+    edges;
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + deg.(u)
+  done;
+  let adj = Array.make offsets.(n) (-1) in
+  let next = Array.copy offsets in
+  List.iter
+    (fun (u, v) ->
+      adj.(next.(u)) <- v;
+      next.(u) <- next.(u) + 1;
+      adj.(next.(v)) <- u;
+      next.(v) <- next.(v) + 1)
+    edges;
+  { n; offsets; adj; edge_list = Array.of_list edges }
+
+let n g = g.n
+let degree g u =
+  if u < 0 || u >= g.n then invalid_arg "Igraph.degree";
+  g.offsets.(u + 1) - g.offsets.(u)
+
+let max_degree g =
+  let m = ref 0 in
+  for u = 0 to g.n - 1 do
+    m := max !m (degree g u)
+  done;
+  !m
+
+let min_degree g =
+  let m = ref max_int in
+  for u = 0 to g.n - 1 do
+    m := min !m (degree g u)
+  done;
+  if g.n = 0 then 0 else !m
+
+let edge_count g = Array.length g.edge_list
+
+let neighbor g u k =
+  if u < 0 || u >= g.n || k < 0 || k >= degree g u then invalid_arg "Igraph.neighbor";
+  g.adj.(g.offsets.(u) + k)
+
+let iter_ports g u f =
+  if u < 0 || u >= g.n then invalid_arg "Igraph.iter_ports";
+  for k = 0 to degree g u - 1 do
+    f k g.adj.(g.offsets.(u) + k)
+  done
+
+let is_connected g =
+  if g.n = 0 then true
+  else begin
+    let seen = Array.make g.n false in
+    let q = Queue.create () in
+    seen.(0) <- true;
+    Queue.add 0 q;
+    let count = ref 1 in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      iter_ports g u (fun _ v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            incr count;
+            Queue.add v q
+          end)
+    done;
+    !count = g.n
+  end
+
+let edges g = Array.copy g.edge_list
+
+let wheel n =
+  if n < 4 then invalid_arg "Igraph.wheel: n must be >= 4";
+  let rim = n - 1 in
+  let spokes = List.init rim (fun i -> (0, i + 1)) in
+  let ring = List.init rim (fun i -> (1 + i, 1 + ((i + 1) mod rim))) in
+  of_edges ~n (spokes @ ring)
+
+let barbell ~clique ~path =
+  if clique < 2 then invalid_arg "Igraph.barbell: clique must be >= 2";
+  if path < 1 then invalid_arg "Igraph.barbell: path must be >= 1";
+  let n = (2 * clique) + (path - 1) in
+  let edges = ref [] in
+  (* Left clique on 0..clique-1; right clique on n-clique..n-1; a path
+     of [path] edges joins node clique-1 to node n-clique. *)
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  let right = n - clique in
+  for u = right to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  let hops = List.init path (fun i -> i) in
+  List.iter
+    (fun i ->
+      let a = if i = 0 then clique - 1 else clique - 1 + i in
+      let b = if i = path - 1 then right else clique + i in
+      edges := (a, b) :: !edges)
+    hops;
+  of_edges ~n !edges
+
+let random_connected rng ~n ~extra_edges =
+  if n < 2 then invalid_arg "Igraph.random_connected: n must be >= 2";
+  let seen = Hashtbl.create (n + extra_edges) in
+  let edges = ref [] in
+  let add u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v) :: !edges;
+      true
+    end
+    else false
+  in
+  (* Random attachment tree: connected by construction. *)
+  for v = 1 to n - 1 do
+    ignore (add v (Prng.Splitmix.int rng v))
+  done;
+  let budget = ref (20 * (extra_edges + 1)) in
+  let added = ref 0 in
+  while !added < extra_edges && !budget > 0 do
+    decr budget;
+    let u = Prng.Splitmix.int rng n and v = Prng.Splitmix.int rng n in
+    if add u v then incr added
+  done;
+  of_edges ~n !edges
+
+let star n =
+  if n < 2 then invalid_arg "Igraph.star: n must be >= 2";
+  of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))

@@ -1,0 +1,49 @@
+(** Non-regular undirected graphs — the substrate for the paper's
+    remark (§1.1) that the results extend beyond regular graphs.
+
+    The standard reduction (cf. Rabani et al. [17]) equalizes the
+    balancing degree instead of the graph: pick a common capacity
+    D ≥ max degree + 1 and give node u exactly D − deg(u) self-loops, so
+    every node has D ports and the random-walk matrix
+    P(u,v) = 1/D (edges), P(u,u) = (D − deg u)/D is symmetric and doubly
+    stochastic — the uniform load vector is again the fixed point, and
+    the engine/algorithm machinery carries over with per-node port
+    counts. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** Like {!Graphs.Graph.of_edges} but without the regularity check.
+    Isolated vertices are allowed (degree 0); self-edges are not.
+    @raise Invalid_argument on out-of-range endpoints or [u = v]. *)
+
+val n : t -> int
+val degree : t -> int -> int
+val max_degree : t -> int
+val min_degree : t -> int
+val edge_count : t -> int
+
+val neighbor : t -> int -> int -> int
+(** [neighbor g u k] for [k < degree g u]. *)
+
+val iter_ports : t -> int -> (int -> int -> unit) -> unit
+val is_connected : t -> bool
+
+val edges : t -> (int * int) array
+
+(** {1 Generators} *)
+
+val wheel : int -> t
+(** [wheel n] ([n ≥ 4]): a hub (node 0) joined to every node of an
+    (n−1)-cycle.  Hub degree n−1, rim degree 3 — maximally skewed. *)
+
+val barbell : clique:int -> path:int -> t
+(** Two [clique]-cliques joined by a [path]-edge path — the classic
+    bad-conductance graph. *)
+
+val random_connected : Prng.Splitmix.t -> n:int -> extra_edges:int -> t
+(** A uniform random spanning tree skeleton (random attachment) plus
+    [extra_edges] random non-duplicate edges: connected, irregular. *)
+
+val star : int -> t
+(** [star n]: node 0 joined to nodes 1..n−1. *)

@@ -1,0 +1,17 @@
+let transition_matrix g ~capacity =
+  let n = Igraph.n g in
+  if capacity <= Igraph.max_degree g then
+    invalid_arg "Ispectral.transition_matrix: capacity must exceed max degree";
+  let p = 1.0 /. float_of_int capacity in
+  let triplets = ref [] in
+  for u = 0 to n - 1 do
+    let deg = Igraph.degree g u in
+    triplets := (u, u, float_of_int (capacity - deg) *. p) :: !triplets;
+    Igraph.iter_ports g u (fun _ v -> triplets := (u, v, p) :: !triplets)
+  done;
+  Linalg.Csr.of_triplets ~n !triplets
+
+let eigenvalue_gap ?max_iter ?tol g ~capacity =
+  Linalg.Eigen.spectral_gap ?max_iter ?tol (transition_matrix g ~capacity)
+
+let horizon = Graphs.Spectral.horizon

@@ -1,0 +1,11 @@
+(** Spectral analysis of the equalized-capacity walk on irregular
+    graphs: P(u,v) = 1/D on edges, P(u,u) = (D − deg u)/D — symmetric,
+    doubly stochastic, so the paper's µ and T carry over verbatim. *)
+
+val transition_matrix : Igraph.t -> capacity:int -> Linalg.Csr.t
+(** @raise Invalid_argument if [capacity <= max_degree]. *)
+
+val eigenvalue_gap : ?max_iter:int -> ?tol:float -> Igraph.t -> capacity:int -> float
+
+val horizon : gap:float -> n:int -> initial_discrepancy:int -> c:float -> int
+(** Same formula as {!Graphs.Spectral.horizon}. *)

@@ -1,0 +1,1 @@
+lib/linalg/jacobi.ml: Array Csr Mat

@@ -1,0 +1,1 @@
+lib/linalg/jacobi.mli: Csr Mat

@@ -1,0 +1,90 @@
+type t = {
+  n : int;
+  row_ptr : int array; (* length n+1 *)
+  col : int array;
+  value : float array;
+}
+
+let of_triplets ~n entries =
+  if n < 0 then invalid_arg "Csr.of_triplets: negative dimension";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Csr.of_triplets: index out of range")
+    entries;
+  (* Sort by (row, col) and merge duplicates. *)
+  let arr = Array.of_list entries in
+  Array.sort
+    (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+    arr;
+  let merged = ref [] in
+  Array.iter
+    (fun (i, j, v) ->
+      match !merged with
+      | (i', j', v') :: rest when i' = i && j' = j -> merged := (i, j, v +. v') :: rest
+      | _ -> merged := (i, j, v) :: !merged)
+    arr;
+  let cells = Array.of_list (List.rev !merged) in
+  let nnz = Array.length cells in
+  let row_ptr = Array.make (n + 1) 0 in
+  Array.iter (fun (i, _, _) -> row_ptr.(i + 1) <- row_ptr.(i + 1) + 1) cells;
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  let col = Array.make nnz 0 and value = Array.make nnz 0.0 in
+  Array.iteri
+    (fun k (_, j, v) ->
+      col.(k) <- j;
+      value.(k) <- v)
+    cells;
+  { n; row_ptr; col; value }
+
+let dim m = m.n
+let nnz m = Array.length m.col
+
+let get m i j =
+  if i < 0 || i >= m.n || j < 0 || j >= m.n then invalid_arg "Csr.get";
+  let res = ref 0.0 in
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    if m.col.(k) = j then res := m.value.(k)
+  done;
+  !res
+
+let mul_vec_into m x out =
+  if Array.length x <> m.n || Array.length out <> m.n then
+    invalid_arg "Csr.mul_vec_into: dimension mismatch";
+  for i = 0 to m.n - 1 do
+    let s = ref 0.0 in
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      s := !s +. (m.value.(k) *. x.(m.col.(k)))
+    done;
+    out.(i) <- !s
+  done
+
+let mul_vec m x =
+  let out = Array.make m.n 0.0 in
+  mul_vec_into m x out;
+  out
+
+let row_sums m =
+  Array.init m.n (fun i ->
+      let s = ref 0.0 in
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        s := !s +. m.value.(k)
+      done;
+      !s)
+
+let to_dense m =
+  let d = Mat.make m.n 0.0 in
+  for i = 0 to m.n - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      Mat.set d i m.col.(k) (Mat.get d i m.col.(k) +. m.value.(k))
+    done
+  done;
+  d
+
+let iter_row m i f =
+  if i < 0 || i >= m.n then invalid_arg "Csr.iter_row";
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    f m.col.(k) m.value.(k)
+  done

@@ -1,0 +1,33 @@
+(** Compressed sparse row (CSR) matrices.
+
+    The transition matrix P of the balancing graph G⁺ is stored in this
+    form; all spectral estimation runs through {!mul_vec}. *)
+
+type t
+
+val of_triplets : n:int -> (int * int * float) list -> t
+(** [of_triplets ~n entries] builds an [n × n] matrix from
+    [(row, col, value)] triplets.  Duplicate [(row, col)] entries are
+    summed (this is how parallel edges and self-loop multiplicities
+    accumulate).  @raise Invalid_argument on out-of-range indices. *)
+
+val dim : t -> int
+
+val nnz : t -> int
+(** Number of stored entries. *)
+
+val get : t -> int -> int -> float
+(** [get m i j] is the entry, 0. if absent.  O(row degree). *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Sparse matrix–vector product. *)
+
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_into m x out] writes [m x] into [out] without allocating. *)
+
+val row_sums : t -> Vec.t
+
+val to_dense : t -> Mat.t
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row m i f] calls [f j v] for every stored entry in row [i]. *)

@@ -1,0 +1,59 @@
+type result = { value : float; iterations : int; residual : float }
+
+let random_unit_vec seed n =
+  let g = Prng.Splitmix.create seed in
+  let v = Array.init n (fun _ -> Prng.Splitmix.float g 2.0 -. 1.0) in
+  if Vec.norm2 v = 0.0 then v.(0) <- 1.0;
+  Vec.normalize2 v;
+  v
+
+let power_iteration ?(max_iter = 50_000) ?(tol = 1e-12) ?(seed = 1) apply n =
+  if n <= 0 then invalid_arg "Eigen.power_iteration: dimension must be positive";
+  let v = ref (random_unit_vec seed n) in
+  let lambda = ref 0.0 in
+  let residual = ref infinity in
+  let iters = ref 0 in
+  (try
+     for i = 1 to max_iter do
+       iters := i;
+       let w = apply !v in
+       (* Rayleigh quotient with the unit vector !v. *)
+       let l = Vec.dot !v w in
+       let r = Vec.copy w in
+       Vec.axpy ~alpha:(-.l) ~x:!v ~y:r;
+       residual := Vec.norm2 r;
+       lambda := l;
+       let nw = Vec.norm2 w in
+       if nw = 0.0 then begin
+         (* v is in the kernel: dominant eigenvalue along this orbit is 0. *)
+         lambda := 0.0;
+         residual := 0.0;
+         raise Exit
+       end;
+       Vec.normalize2 w;
+       v := w;
+       if !residual < tol then raise Exit
+     done
+   with Exit -> ());
+  { value = !lambda; iterations = !iters; residual = !residual }
+
+let second_eigenvalue ?max_iter ?tol ?seed p =
+  let n = Csr.dim p in
+  let uniform = Vec.make n (1.0 /. sqrt (float_of_int n)) in
+  let scratch = Vec.make n 0.0 in
+  let apply v =
+    (* Deflate the uniform direction before and after applying P so that
+       round-off never reintroduces the top eigenvector. *)
+    let v' = Vec.copy v in
+    Vec.project_out ~unit_dir:uniform v';
+    Csr.mul_vec_into p v' scratch;
+    let out = Vec.copy scratch in
+    Vec.project_out ~unit_dir:uniform out;
+    out
+  in
+  power_iteration ?max_iter ?tol ?seed apply n
+
+let spectral_gap ?max_iter ?tol ?seed p =
+  let { value = lambda2; _ } = second_eigenvalue ?max_iter ?tol ?seed p in
+  let gap = 1.0 -. abs_float lambda2 in
+  if gap <= 0.0 then 1e-12 else if gap > 1.0 then 1.0 else gap

@@ -1,0 +1,32 @@
+(** Eigenvalue estimation for the (symmetric, doubly stochastic)
+    transition matrices arising from regular balancing graphs.
+
+    The matrices we feed in are reversible random-walk matrices of
+    regular graphs: real spectrum in [-1, 1], top eigenvalue 1 with the
+    (normalized) all-ones eigenvector.  The second eigenvalue is found by
+    power iteration after deflating the uniform direction. *)
+
+type result = {
+  value : float;      (** converged eigenvalue estimate *)
+  iterations : int;   (** iterations actually used *)
+  residual : float;   (** ‖A v − λ v‖₂ at exit *)
+}
+
+val power_iteration :
+  ?max_iter:int -> ?tol:float -> ?seed:int ->
+  (Vec.t -> Vec.t) -> int -> result
+(** [power_iteration apply n] estimates the dominant eigenvalue (in
+    absolute value) of the linear operator [apply] on dimension [n].
+    Defaults: [max_iter = 50_000], [tol = 1e-12], [seed = 1]. *)
+
+val second_eigenvalue :
+  ?max_iter:int -> ?tol:float -> ?seed:int -> Csr.t -> result
+(** [second_eigenvalue p] estimates λ₂, the largest-magnitude eigenvalue
+    of the doubly stochastic matrix [p] orthogonal to the all-ones
+    vector.  For lazy walks (≥ d self-loops per node) the spectrum is
+    non-negative, so this is exactly the paper's λ₂. *)
+
+val spectral_gap : ?max_iter:int -> ?tol:float -> ?seed:int -> Csr.t -> float
+(** [spectral_gap p] is µ = 1 − λ₂, clamped to [(0, 1\]] — a λ₂ estimate
+    marginally above 1 due to round-off is treated as the smallest
+    positive gap the solver can resolve. *)

@@ -1,0 +1,79 @@
+type decomposition = {
+  eigenvalues : float array;
+  eigenvectors : Mat.t;
+}
+
+let off_diagonal_norm a n =
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let v = Mat.get a i j in
+        s := !s +. (v *. v)
+      end
+    done
+  done;
+  sqrt !s
+
+let decompose ?(max_sweeps = 100) ?(tol = 1e-12) m =
+  if not (Mat.is_symmetric ~eps:1e-9 m) then
+    invalid_arg "Jacobi.decompose: matrix is not symmetric";
+  let n = Mat.dim m in
+  let a = Mat.init n (fun i j -> Mat.get m i j) in
+  let v = Mat.identity n in
+  let rotate p q =
+    let apq = Mat.get a p q in
+    if abs_float apq > 1e-300 then begin
+      let app = Mat.get a p p and aqq = Mat.get a q q in
+      let theta = (aqq -. app) /. (2.0 *. apq) in
+      (* Stable tangent choice: smaller root. *)
+      let t =
+        let sign = if theta >= 0.0 then 1.0 else -1.0 in
+        sign /. (abs_float theta +. sqrt ((theta *. theta) +. 1.0))
+      in
+      let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+      let s = t *. c in
+      let tau = s /. (1.0 +. c) in
+      Mat.set a p p (app -. (t *. apq));
+      Mat.set a q q (aqq +. (t *. apq));
+      Mat.set a p q 0.0;
+      Mat.set a q p 0.0;
+      for i = 0 to n - 1 do
+        if i <> p && i <> q then begin
+          let aip = Mat.get a i p and aiq = Mat.get a i q in
+          let aip' = aip -. (s *. (aiq +. (tau *. aip))) in
+          let aiq' = aiq +. (s *. (aip -. (tau *. aiq))) in
+          Mat.set a i p aip';
+          Mat.set a p i aip';
+          Mat.set a i q aiq';
+          Mat.set a q i aiq'
+        end;
+        let vip = Mat.get v i p and viq = Mat.get v i q in
+        Mat.set v i p (vip -. (s *. (viq +. (tau *. vip))));
+        Mat.set v i q (viq +. (s *. (vip -. (tau *. viq))))
+      done
+    end
+  in
+  let sweeps = ref 0 in
+  while off_diagonal_norm a n > tol && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate p q
+      done
+    done
+  done;
+  (* Sort eigenpairs in descending eigenvalue order. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare (Mat.get a j j) (Mat.get a i i)) order;
+  {
+    eigenvalues = Array.map (fun i -> Mat.get a i i) order;
+    eigenvectors = Mat.init n (fun i j -> Mat.get v i order.(j));
+  }
+
+let reconstruct { eigenvalues; eigenvectors = x } =
+  let n = Array.length eigenvalues in
+  let xl = Mat.init n (fun i j -> Mat.get x i j *. eigenvalues.(j)) in
+  Mat.mul xl (Mat.transpose x)
+
+let eigenvalues_of_transition p = (decompose (Csr.to_dense p)).eigenvalues

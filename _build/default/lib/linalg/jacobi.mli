@@ -1,0 +1,24 @@
+(** Full eigendecomposition of symmetric matrices by the classical
+    Jacobi rotation method.
+
+    Intended for the dense, small-n analyses (the error-term matrices
+    Λ_t = P^t − P^∞ of the paper's Lemma A.1); the simulators never need
+    it.  Cost is O(n³) per sweep with very reliable convergence for the
+    symmetric stochastic matrices we feed in. *)
+
+type decomposition = {
+  eigenvalues : float array;  (** descending order *)
+  eigenvectors : Mat.t;       (** column j is the eigenvector of λ_j *)
+}
+
+val decompose : ?max_sweeps:int -> ?tol:float -> Mat.t -> decomposition
+(** [decompose m] for a symmetric [m].  Defaults: [max_sweeps = 100],
+    [tol = 1e-12] (off-diagonal Frobenius norm threshold).
+    @raise Invalid_argument if [m] is not symmetric (1e-9 tolerance). *)
+
+val reconstruct : decomposition -> Mat.t
+(** X·diag(λ)·Xᵀ — for testing. *)
+
+val eigenvalues_of_transition : Csr.t -> float array
+(** Convenience: densify a (symmetric) transition matrix and return all
+    its eigenvalues, descending. *)

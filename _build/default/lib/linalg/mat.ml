@@ -1,0 +1,88 @@
+type t = { n : int; a : float array }
+
+let make n v =
+  if n < 0 then invalid_arg "Mat.make";
+  { n; a = Array.make (n * n) v }
+
+let init n f =
+  if n < 0 then invalid_arg "Mat.init";
+  { n; a = Array.init (n * n) (fun k -> f (k / n) (k mod n)) }
+
+let dim m = m.n
+
+let get m i j =
+  if i < 0 || i >= m.n || j < 0 || j >= m.n then invalid_arg "Mat.get";
+  m.a.((i * m.n) + j)
+
+let set m i j v =
+  if i < 0 || i >= m.n || j < 0 || j >= m.n then invalid_arg "Mat.set";
+  m.a.((i * m.n) + j) <- v
+
+let identity n = init n (fun i j -> if i = j then 1.0 else 0.0)
+
+let mul_vec m v =
+  if Array.length v <> m.n then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.n (fun i ->
+      let s = ref 0.0 in
+      let base = i * m.n in
+      for j = 0 to m.n - 1 do
+        s := !s +. (m.a.(base + j) *. v.(j))
+      done;
+      !s)
+
+let mul x y =
+  if x.n <> y.n then invalid_arg "Mat.mul: dimension mismatch";
+  let n = x.n in
+  let z = make n 0.0 in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let xik = x.a.((i * n) + k) in
+      if xik <> 0.0 then
+        for j = 0 to n - 1 do
+          z.a.((i * n) + j) <- z.a.((i * n) + j) +. (xik *. y.a.((k * n) + j))
+        done
+    done
+  done;
+  z
+
+let transpose m = init m.n (fun i j -> get m j i)
+
+let row_sums m =
+  Array.init m.n (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to m.n - 1 do
+        s := !s +. m.a.((i * m.n) + j)
+      done;
+      !s)
+
+let is_stochastic ?(eps = 1e-9) m =
+  let ok = ref true in
+  for i = 0 to m.n - 1 do
+    let s = ref 0.0 in
+    for j = 0 to m.n - 1 do
+      let v = m.a.((i * m.n) + j) in
+      if v < -.eps then ok := false;
+      s := !s +. v
+    done;
+    if abs_float (!s -. 1.0) > eps then ok := false
+  done;
+  !ok
+
+let is_symmetric ?(eps = 1e-9) m =
+  let ok = ref true in
+  for i = 0 to m.n - 1 do
+    for j = i + 1 to m.n - 1 do
+      if abs_float (get m i j -. get m j i) > eps then ok := false
+    done
+  done;
+  !ok
+
+let pp ppf m =
+  for i = 0 to m.n - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.n - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%8.4f" (get m i j)
+    done;
+    Format.fprintf ppf "]@."
+  done

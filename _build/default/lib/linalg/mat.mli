@@ -1,0 +1,33 @@
+(** Dense square float matrices (row-major).
+
+    Used only at test scale (small n) for cross-checking the sparse
+    spectral code; the simulators themselves never materialize dense
+    matrices. *)
+
+type t
+
+val make : int -> float -> t
+val init : int -> (int -> int -> float) -> t
+val dim : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val identity : int -> t
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Matrix–vector product. *)
+
+val mul : t -> t -> t
+(** Matrix–matrix product. *)
+
+val transpose : t -> t
+
+val row_sums : t -> Vec.t
+
+val is_stochastic : ?eps:float -> t -> bool
+(** Rows are non-negative and sum to 1 within [eps] (default 1e-9). *)
+
+val is_symmetric : ?eps:float -> t -> bool
+
+val pp : Format.formatter -> t -> unit

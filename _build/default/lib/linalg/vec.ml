@@ -1,0 +1,78 @@
+type t = float array
+
+let make n v = Array.make n v
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length a) (Array.length b))
+
+let add a b =
+  check_dims "add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims "sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale alpha a = Array.map (fun x -> alpha *. x) a
+
+let axpy ~alpha ~x ~y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_dims "dot" a b;
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let norm1 a = Array.fold_left (fun s x -> s +. abs_float x) 0.0 a
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun s x -> max s (abs_float x)) 0.0 a
+
+let normalize2 a =
+  let n = norm2 a in
+  if n > 0.0 then
+    for i = 0 to Array.length a - 1 do
+      a.(i) <- a.(i) /. n
+    done
+
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Vec.mean: empty vector";
+  sum a /. float_of_int (Array.length a)
+
+let max_elt a =
+  if Array.length a = 0 then invalid_arg "Vec.max_elt: empty vector";
+  Array.fold_left max a.(0) a
+
+let min_elt a =
+  if Array.length a = 0 then invalid_arg "Vec.min_elt: empty vector";
+  Array.fold_left min a.(0) a
+
+let project_out ~unit_dir v =
+  let c = dot unit_dir v in
+  axpy ~alpha:(-.c) ~x:unit_dir ~y:v
+
+let of_int_array a = Array.map float_of_int a
+
+let pp ppf v =
+  Format.fprintf ppf "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%g" x)
+    v;
+  Format.fprintf ppf "|]"

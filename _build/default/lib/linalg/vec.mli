@@ -1,0 +1,47 @@
+(** Dense float vectors.
+
+    Thin, allocation-conscious helpers over [float array]; the spectral
+    code in [graph.Spectral] runs power iterations over these. *)
+
+type t = float array
+
+val make : int -> float -> t
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+
+val fill : t -> float -> unit
+
+val add : t -> t -> t
+(** Element-wise sum; dimensions must agree. *)
+
+val sub : t -> t -> t
+(** Element-wise difference; dimensions must agree. *)
+
+val scale : float -> t -> t
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** [axpy ~alpha ~x ~y] sets [y <- alpha * x + y] in place. *)
+
+val dot : t -> t -> float
+
+val norm1 : t -> float
+val norm2 : t -> float
+val norm_inf : t -> float
+
+val normalize2 : t -> unit
+(** Scale in place to unit Euclidean norm (no-op on the zero vector). *)
+
+val sum : t -> float
+val mean : t -> float
+
+val max_elt : t -> float
+val min_elt : t -> float
+
+val project_out : unit_dir:t -> t -> unit
+(** [project_out ~unit_dir v] removes from [v], in place, its component
+    along [unit_dir] (which must have unit 2-norm). *)
+
+val of_int_array : int array -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rotorwalk/walk.ml: Array Graphs Prng

@@ -1,0 +1,1 @@
+lib/rotorwalk/walk.mli: Graphs Prng

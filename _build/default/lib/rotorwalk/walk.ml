@@ -1,0 +1,86 @@
+type t = { graph : Graphs.Graph.t; rotor : int array }
+
+let create ?init_rotor g =
+  let d = Graphs.Graph.degree g in
+  let rotor =
+    Array.init (Graphs.Graph.n g) (fun u ->
+        match init_rotor with
+        | None -> 0
+        | Some f ->
+          let r = f u in
+          if r < 0 || r >= d then invalid_arg "Walk.create: rotor out of range";
+          r)
+  in
+  { graph = g; rotor }
+
+let step w u =
+  let d = Graphs.Graph.degree w.graph in
+  let r = w.rotor.(u) in
+  let v = Graphs.Graph.neighbor w.graph u r in
+  w.rotor.(u) <- (r + 1) mod d;
+  v
+
+let walk w ~start ~steps =
+  let pos = ref start in
+  for _ = 1 to steps do
+    pos := step w !pos
+  done;
+  !pos
+
+let cover_time ?(cap = 10_000_000) w ~start =
+  let n = Graphs.Graph.n w.graph in
+  let seen = Array.make n false in
+  seen.(start) <- true;
+  let remaining = ref (n - 1) in
+  let pos = ref start in
+  let t = ref 0 in
+  while !remaining > 0 && !t < cap do
+    incr t;
+    pos := step w !pos;
+    if not seen.(!pos) then begin
+      seen.(!pos) <- true;
+      decr remaining
+    end
+  done;
+  if !remaining = 0 then Some !t else None
+
+let visits w ~start ~steps =
+  let counts = Array.make (Graphs.Graph.n w.graph) 0 in
+  counts.(start) <- 1;
+  let pos = ref start in
+  for _ = 1 to steps do
+    pos := step w !pos;
+    counts.(!pos) <- counts.(!pos) + 1
+  done;
+  counts
+
+let random_step rng g u =
+  Graphs.Graph.neighbor g u (Prng.Splitmix.int rng (Graphs.Graph.degree g))
+
+let random_cover_time ?(cap = 10_000_000) rng g ~start =
+  let n = Graphs.Graph.n g in
+  let seen = Array.make n false in
+  seen.(start) <- true;
+  let remaining = ref (n - 1) in
+  let pos = ref start in
+  let t = ref 0 in
+  while !remaining > 0 && !t < cap do
+    incr t;
+    pos := random_step rng g !pos;
+    if not seen.(!pos) then begin
+      seen.(!pos) <- true;
+      decr remaining
+    end
+  done;
+  if !remaining = 0 then Some !t else None
+
+let random_hitting_time ?(cap = 10_000_000) rng g ~src ~dst =
+  let pos = ref src in
+  let t = ref 0 in
+  while !pos <> dst && !t < cap do
+    incr t;
+    pos := random_step rng g !pos
+  done;
+  if !pos = dst then Some !t else None
+
+let yanovski_bound g = 2 * Graphs.Graph.edge_count g * Graphs.Props.diameter g

@@ -1,0 +1,43 @@
+(** Single-agent rotor-router walks ("deterministic random walks",
+    Propp machines) and plain random walks — the model the paper's
+    related work (§1.2, refs [6,8,11,12,13]) builds on, and the origin
+    of the ROTOR-ROUTER balancer: the balancing process is exactly
+    x_t(u) parallel rotor walkers per node.
+
+    The classic structural results are checkable with this module:
+    Yanovski, Wagner & Bruckstein (Algorithmica 2003) prove a single
+    rotor walk covers any graph within 2·m·diam(G) steps regardless of
+    the initial rotor configuration, whereas the random-walk cover time
+    is Θ(m·n) in the worst case. *)
+
+type t
+
+val create : ?init_rotor:(int -> int) -> Graphs.Graph.t -> t
+(** A rotor walk on [g]; node [u]'s rotor starts at port
+    [init_rotor u] (default 0). *)
+
+val step : t -> int -> int
+(** [step w u] fires node [u]'s rotor: returns the neighbor under the
+    rotor and advances the rotor by one port. *)
+
+val walk : t -> start:int -> steps:int -> int
+(** Final node after [steps] firings from [start]. *)
+
+val cover_time : ?cap:int -> t -> start:int -> int option
+(** Steps until every node has been visited, or [None] if [cap]
+    (default 10_000_000) is exceeded. *)
+
+val visits : t -> start:int -> steps:int -> int array
+(** Visit counts per node over a [steps]-step walk (the start node's
+    initial occupancy counts as one visit). *)
+
+(** {1 Random-walk comparison} *)
+
+val random_cover_time :
+  ?cap:int -> Prng.Splitmix.t -> Graphs.Graph.t -> start:int -> int option
+
+val random_hitting_time :
+  ?cap:int -> Prng.Splitmix.t -> Graphs.Graph.t -> src:int -> dst:int -> int option
+
+val yanovski_bound : Graphs.Graph.t -> int
+(** 2·m·diam(G) — the universal rotor-walk cover bound. *)

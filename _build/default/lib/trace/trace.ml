@@ -1,0 +1,170 @@
+type t = {
+  n : int;
+  degree : int;
+  self_loops : int;
+  steps : int;
+  edges : (int * int) array;
+  init : int array;
+  assignments : int array array array;
+}
+
+let record ~graph ~balancer ~init ~steps =
+  let n = Graphs.Graph.n graph in
+  let dp = Core.Balancer.d_plus balancer in
+  let assignments =
+    Array.init steps (fun _ -> Array.init n (fun _ -> Array.make dp 0))
+  in
+  let on_assign ~step ~node ~load:_ ~ports =
+    Array.blit ports 0 assignments.(step - 1).(node) 0 dp
+  in
+  let tapped = Core.Tap.wrap balancer ~on_assign in
+  let result = Core.Engine.run ~graph ~balancer:tapped ~init ~steps () in
+  let trace =
+    {
+      n;
+      degree = balancer.Core.Balancer.degree;
+      self_loops = balancer.Core.Balancer.self_loops;
+      steps;
+      edges = Graphs.Graph.edges graph;
+      init = Array.copy init;
+      assignments;
+    }
+  in
+  (trace, result)
+
+let graph_of t = Graphs.Graph.of_edges ~n:t.n (Array.to_list t.edges)
+
+let playback_balancer t =
+  let dp = t.degree + t.self_loops in
+  {
+    Core.Balancer.name = "trace-playback";
+    degree = t.degree;
+    self_loops = t.self_loops;
+    props = Core.Balancer.paper_deterministic;
+    assign =
+      (fun ~step ~node ~load:_ ~ports ->
+        if step < 1 || step > t.steps then
+          invalid_arg "Trace.replay: step outside recorded range";
+        Array.blit t.assignments.(step - 1).(node) 0 ports 0 dp);
+  }
+
+let replay t =
+  let graph = graph_of t in
+  Core.Engine.run ~graph ~balancer:(playback_balancer t) ~init:t.init ~steps:t.steps ()
+
+let final_loads t =
+  let r = replay t in
+  r.Core.Engine.final_loads
+
+let verify t =
+  match replay t with
+  | (_ : Core.Engine.result) -> Ok ()
+  | exception Core.Engine.Invariant_violation msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+(* --- serialization --- *)
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "loadbal-trace 1\n";
+      Printf.fprintf oc "graph %d %d %d %d\n" t.n t.degree t.self_loops t.steps;
+      output_string oc "edges";
+      Array.iter (fun (u, v) -> Printf.fprintf oc " %d %d" u v) t.edges;
+      output_char oc '\n';
+      output_string oc "init";
+      Array.iter (fun x -> Printf.fprintf oc " %d" x) t.init;
+      output_char oc '\n';
+      for step = 1 to t.steps do
+        for u = 0 to t.n - 1 do
+          Printf.fprintf oc "a %d %d" step u;
+          Array.iter (fun p -> Printf.fprintf oc " %d" p) t.assignments.(step - 1).(u);
+          output_char oc '\n'
+        done
+      done)
+
+let tokens_of_line line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let int_of_token line tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Trace.load: bad integer %S in line %S" tok line)
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line () =
+        match In_channel.input_line ic with
+        | Some l -> l
+        | None -> failwith "Trace.load: unexpected end of file"
+      in
+      (match tokens_of_line (line ()) with
+      | [ "loadbal-trace"; "1" ] -> ()
+      | _ -> failwith "Trace.load: bad magic (expected 'loadbal-trace 1')");
+      let n, degree, self_loops, steps =
+        let l = line () in
+        match tokens_of_line l with
+        | [ "graph"; a; b; c; d ] ->
+          (int_of_token l a, int_of_token l b, int_of_token l c, int_of_token l d)
+        | _ -> failwith "Trace.load: bad graph line"
+      in
+      let edges =
+        let l = line () in
+        match tokens_of_line l with
+        | "edges" :: rest ->
+          let vals = List.map (int_of_token l) rest in
+          let rec pair = function
+            | [] -> []
+            | u :: v :: rest -> (u, v) :: pair rest
+            | [ _ ] -> failwith "Trace.load: odd edge endpoint count"
+          in
+          Array.of_list (pair vals)
+        | _ -> failwith "Trace.load: bad edges line"
+      in
+      let init =
+        let l = line () in
+        match tokens_of_line l with
+        | "init" :: rest ->
+          let a = Array.of_list (List.map (int_of_token l) rest) in
+          if Array.length a <> n then failwith "Trace.load: init length mismatch";
+          a
+        | _ -> failwith "Trace.load: bad init line"
+      in
+      let dp = degree + self_loops in
+      let assignments =
+        Array.init steps (fun _ -> Array.init n (fun _ -> Array.make dp 0))
+      in
+      let seen = Array.make_matrix steps n false in
+      (try
+         while true do
+           let l = line () in
+           match tokens_of_line l with
+           | "a" :: s :: u :: ports ->
+             let step = int_of_token l s and node = int_of_token l u in
+             if step < 1 || step > steps || node < 0 || node >= n then
+               failwith "Trace.load: assignment record out of range";
+             let ports = List.map (int_of_token l) ports in
+             if List.length ports <> dp then
+               failwith "Trace.load: wrong port count in assignment";
+             List.iteri (fun k p -> assignments.(step - 1).(node).(k) <- p) ports;
+             seen.(step - 1).(node) <- true
+           | [] -> ()
+           | _ -> failwith (Printf.sprintf "Trace.load: bad line %S" l)
+         done
+       with Failure msg when msg = "Trace.load: unexpected end of file" -> ());
+      Array.iteri
+        (fun s row ->
+          Array.iteri
+            (fun u present ->
+              if not present then
+                failwith
+                  (Printf.sprintf "Trace.load: missing assignment for step %d node %d"
+                     (s + 1) u))
+            row)
+        seen;
+      { n; degree; self_loops; steps; edges; init; assignments })

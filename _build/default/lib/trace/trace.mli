@@ -1,0 +1,57 @@
+(** Record / replay of balancing runs.
+
+    A trace captures the graph, the initial loads and every port
+    assignment of a run in a line-oriented text format, so that a
+    simulation can be (a) re-executed bit-for-bit later — determinism
+    check, regression anchoring — and (b) audited offline
+    (conservation, fairness) without re-running the algorithm.
+
+    Format (whitespace-separated, one record per line):
+    {v
+    loadbal-trace 1          # magic + version
+    graph <n> <degree> <self_loops> <steps>
+    edges <u_1> <v_1> <u_2> <v_2> ...
+    init <x_1> ... <x_n>
+    a <step> <node> <p_0> ... <p_(d⁺-1)>   # one per node per step
+    v} *)
+
+type t = {
+  n : int;
+  degree : int;
+  self_loops : int;
+  steps : int;
+  edges : (int * int) array;
+  init : int array;
+  assignments : int array array array;
+      (** [assignments.(t).(u)] = ports of node [u] at step [t+1];
+          length d⁺ each *)
+}
+
+val record :
+  graph:Graphs.Graph.t ->
+  balancer:Core.Balancer.t ->
+  init:int array ->
+  steps:int ->
+  t * Core.Engine.result
+(** Run the balancer under a recording tap. *)
+
+val graph_of : t -> Graphs.Graph.t
+(** Rebuild the graph the trace was recorded on (ports in the recorded
+    order). *)
+
+val save : path:string -> t -> unit
+
+val load : path:string -> t
+(** @raise Failure on a malformed file. *)
+
+val replay : t -> Core.Engine.result
+(** Re-execute the recorded assignments through the engine (via a
+    playback balancer); all engine invariants are re-checked. *)
+
+val verify : t -> (unit, string) Result.t
+(** Offline structural check: every record conserves its node's implied
+    load and no original port is negative. *)
+
+val final_loads : t -> int array
+(** The load vector after the recorded steps, computed from the trace
+    alone. *)

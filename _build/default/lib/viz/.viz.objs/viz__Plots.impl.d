@@ -1,0 +1,1 @@
+lib/viz/plots.ml: Array List Printf Svg

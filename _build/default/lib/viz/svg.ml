@@ -1,0 +1,102 @@
+type shape = string
+
+let f2s v =
+  (* Compact float formatting: drop the trailing dot OCaml prints. *)
+  let s = Printf.sprintf "%.2f" v in
+  s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rect ~x ~y ~w ~h ?stroke ~fill () =
+  let stroke_attr =
+    match stroke with
+    | None -> ""
+    | Some s -> Printf.sprintf " stroke=\"%s\"" (escape_text s)
+  in
+  Printf.sprintf "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"%s\"%s/>"
+    (f2s x) (f2s y) (f2s w) (f2s h) (escape_text fill) stroke_attr
+
+let circle ~cx ~cy ~r ~fill =
+  Printf.sprintf "<circle cx=\"%s\" cy=\"%s\" r=\"%s\" fill=\"%s\"/>" (f2s cx) (f2s cy)
+    (f2s r) (escape_text fill)
+
+let line ~x1 ~y1 ~x2 ~y2 ?(width = 1.0) ~stroke () =
+  Printf.sprintf
+    "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" stroke-width=\"%s\"/>"
+    (f2s x1) (f2s y1) (f2s x2) (f2s y2) (escape_text stroke) (f2s width)
+
+let polyline ~points ?(width = 1.0) ~stroke () =
+  let pts =
+    String.concat " " (List.map (fun (x, y) -> Printf.sprintf "%s,%s" (f2s x) (f2s y)) points)
+  in
+  Printf.sprintf
+    "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"%s\"/>" pts
+    (escape_text stroke) (f2s width)
+
+let text ~x ~y ?(size = 12.0) ?(anchor = "start") content =
+  Printf.sprintf
+    "<text x=\"%s\" y=\"%s\" font-size=\"%s\" text-anchor=\"%s\" \
+     font-family=\"sans-serif\">%s</text>"
+    (f2s x) (f2s y) (f2s size) (escape_text anchor) (escape_text content)
+
+type t = { width : float; height : float; shapes : shape list }
+
+let document ~width ~height shapes = { width; height; shapes }
+
+let to_string doc =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%s\" height=\"%s\" \
+        viewBox=\"0 0 %s %s\">\n"
+       (f2s doc.width) (f2s doc.height) (f2s doc.width) (f2s doc.height));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    doc.shapes;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write ~path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string doc))
+
+let clamp01 v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v
+
+let gray v =
+  let v = clamp01 v in
+  let level = int_of_float ((1.0 -. v) *. 255.0) in
+  Printf.sprintf "#%02x%02x%02x" level level level
+
+let heat v =
+  let v = clamp01 v in
+  (* white (1,1,1) -> orange (1, .55, 0) -> red (.8, 0, 0) *)
+  let lerp a b t = a +. ((b -. a) *. t) in
+  let r, g, b =
+    if v < 0.5 then
+      let t = v *. 2.0 in
+      (1.0, lerp 1.0 0.55 t, lerp 1.0 0.0 t)
+    else
+      let t = (v -. 0.5) *. 2.0 in
+      (lerp 1.0 0.8 t, lerp 0.55 0.0 t, 0.0)
+  in
+  Printf.sprintf "#%02x%02x%02x"
+    (int_of_float (r *. 255.0))
+    (int_of_float (g *. 255.0))
+    (int_of_float (b *. 255.0))

@@ -1,0 +1,42 @@
+(** Minimal dependency-free SVG generation — enough for the plots this
+    repository produces (load heatmaps, discrepancy curves).  Documents
+    are built from shapes and serialized with {!to_string}/{!write}. *)
+
+type shape
+
+val rect :
+  x:float -> y:float -> w:float -> h:float -> ?stroke:string -> fill:string ->
+  unit -> shape
+
+val circle : cx:float -> cy:float -> r:float -> fill:string -> shape
+
+val line :
+  x1:float -> y1:float -> x2:float -> y2:float -> ?width:float -> stroke:string ->
+  unit -> shape
+
+val polyline : points:(float * float) list -> ?width:float -> stroke:string -> unit -> shape
+(** Unfilled path through the points. *)
+
+val text :
+  x:float -> y:float -> ?size:float -> ?anchor:string -> string -> shape
+(** [anchor] is the SVG [text-anchor] (default ["start"]). *)
+
+type t
+
+val document : width:float -> height:float -> shape list -> t
+
+val to_string : t -> string
+(** A standalone [<svg>] element with [viewBox] and XML header. *)
+
+val write : path:string -> t -> unit
+
+val escape_text : string -> string
+(** XML-escape ampersand, angle brackets and both quote characters
+    (exposed for tests). *)
+
+val gray : float -> string
+(** [gray v] maps v ∈ [0,1] to a #rrggbb gray (0 = white, 1 = black),
+    clamping out-of-range values. *)
+
+val heat : float -> string
+(** [heat v] maps v ∈ [0,1] to a white→orange→red ramp, clamped. *)

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Core Graphs List Printf QCheck QCheck_alcotest

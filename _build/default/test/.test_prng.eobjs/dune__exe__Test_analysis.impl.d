@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Baselines Core Graphs List Printf Prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Core Graphs Linalg List Option Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_deviation.ml: Alcotest Core Graphs List Printf Prng QCheck QCheck_alcotest

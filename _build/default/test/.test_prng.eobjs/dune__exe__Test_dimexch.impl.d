@@ -1,0 +1,1 @@
+test/test_dimexch.ml: Alcotest Array Baselines Core Graphs Hashtbl List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Core Graphs Printf Prng QCheck QCheck_alcotest

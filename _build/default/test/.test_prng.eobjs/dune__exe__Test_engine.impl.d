@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Core Graphs List QCheck QCheck_alcotest

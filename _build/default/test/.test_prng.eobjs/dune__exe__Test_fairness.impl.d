@@ -1,0 +1,1 @@
+test/test_fairness.ml: Alcotest Array Baselines Core Graphs List Option Printf Prng QCheck QCheck_alcotest

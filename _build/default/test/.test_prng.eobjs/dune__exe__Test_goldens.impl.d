@@ -1,0 +1,1 @@
+test/test_goldens.ml: Alcotest Baselines Core Graphs List Prng

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Graphs List Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Core Filename Graphs Harness In_channel List String Sys

@@ -1,0 +1,1 @@
+test/test_hetero.ml: Alcotest Array Core Graphs Hetero List Printf Prng QCheck QCheck_alcotest

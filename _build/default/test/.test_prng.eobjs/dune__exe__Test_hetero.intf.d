@@ -1,0 +1,1 @@
+test/test_hetero.mli:

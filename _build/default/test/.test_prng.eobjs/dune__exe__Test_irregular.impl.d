@@ -1,0 +1,1 @@
+test/test_irregular.ml: Alcotest Array Irregular Linalg List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Graphs Linalg List Printf Prng QCheck QCheck_alcotest

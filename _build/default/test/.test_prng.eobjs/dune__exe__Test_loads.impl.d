@@ -1,0 +1,1 @@
+test/test_loads.ml: Alcotest Array Core Gen Prng QCheck QCheck_alcotest

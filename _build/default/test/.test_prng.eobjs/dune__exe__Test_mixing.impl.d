@@ -1,0 +1,1 @@
+test/test_mixing.ml: Alcotest Array Float Graphs Linalg List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_potential.ml: Alcotest Array Core Gen Graphs List QCheck QCheck_alcotest

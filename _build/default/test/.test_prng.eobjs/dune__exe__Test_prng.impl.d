@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Hashtbl Printf Prng QCheck QCheck_alcotest

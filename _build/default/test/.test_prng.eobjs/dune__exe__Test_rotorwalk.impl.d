@@ -1,0 +1,1 @@
+test/test_rotorwalk.ml: Alcotest Array Graphs List Printf Prng QCheck QCheck_alcotest Rotorwalk

@@ -1,0 +1,1 @@
+test/test_spectral.ml: Alcotest Array Graphs Linalg List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Baselines Core Fun Graphs Harness List Printf Prng String Unix

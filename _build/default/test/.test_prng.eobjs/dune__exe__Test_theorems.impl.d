@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Array Baselines Core Graphs List Printf Prng

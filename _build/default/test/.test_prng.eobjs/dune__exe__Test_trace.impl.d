@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Baselines Core Filename Graphs Prng QCheck QCheck_alcotest Sys Trace

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array Core Filename Graphs In_channel QCheck QCheck_alcotest String Sys Viz

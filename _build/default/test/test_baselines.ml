@@ -1,0 +1,240 @@
+(* Tests for the Table 1 comparators: continuous diffusion, the mimic
+   scheme of [4], and the randomized baselines of [5] and [18]. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- continuous diffusion --- *)
+
+let test_continuous_conserves_mass () =
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let init = Array.make 16 0.0 in
+  init.(3) <- 160.0;
+  let r = Baselines.Continuous.run ~graph:g ~self_loops:4 ~init ~steps:50 () in
+  Alcotest.(check (float 1e-6)) "mass" 160.0 (Array.fold_left ( +. ) 0.0 r.Baselines.Continuous.final)
+
+let test_continuous_discrepancy_decreases () =
+  let g = Graphs.Gen.cycle 8 in
+  let init = Array.make 8 0.0 in
+  init.(0) <- 80.0;
+  let r = Baselines.Continuous.run ~graph:g ~self_loops:2 ~init ~steps:200 () in
+  let series = r.Baselines.Continuous.series in
+  let first = snd series.(0) and last = snd series.(Array.length series - 1) in
+  check_bool "decreased" true (last < first /. 10.0);
+  (* Discrepancy of the continuous process is non-increasing. *)
+  let prev = ref infinity in
+  Array.iter
+    (fun (_, d) ->
+      check_bool "monotone" true (d <= !prev +. 1e-9);
+      prev := d)
+    series
+
+let test_continuous_converges_to_average () =
+  let g = Graphs.Gen.complete 5 in
+  let init = [| 10.0; 0.0; 0.0; 0.0; 0.0 |] in
+  let r = Baselines.Continuous.run ~graph:g ~self_loops:4 ~init ~steps:300 () in
+  Array.iter
+    (fun x -> check_bool "near average" true (abs_float (x -. 2.0) < 1e-6))
+    r.Baselines.Continuous.final
+
+let test_continuous_early_stop () =
+  let g = Graphs.Gen.complete 8 in
+  let init = Array.make 8 0.0 in
+  init.(0) <- 800.0;
+  let r =
+    Baselines.Continuous.run ~stop_at_discrepancy:1.0 ~graph:g ~self_loops:7 ~init
+      ~steps:100_000 ()
+  in
+  check_bool "stopped early" true (r.Baselines.Continuous.steps_run < 1000);
+  check_bool "reached target" true
+    (Baselines.Continuous.discrepancy r.Baselines.Continuous.final <= 1.0)
+
+let test_step_into_matches_csr () =
+  let g = Graphs.Gen.torus [ 3; 3 ] in
+  let p = Graphs.Spectral.transition_matrix g ~self_loops:4 in
+  let x = Array.init 9 (fun i -> float_of_int ((i * 7) mod 5)) in
+  let via_engine = Array.make 9 0.0 in
+  Baselines.Continuous.step_into g ~self_loops:4 x via_engine;
+  let via_csr = Linalg.Csr.mul_vec p x in
+  Array.iteri
+    (fun i v -> check_bool "matches csr" true (abs_float (v -. via_csr.(i)) < 1e-9))
+    via_engine
+
+(* --- mimic ([4]) --- *)
+
+let test_mimic_reaches_2d () =
+  (* The defining guarantee: discrepancy ≤ 2d once the continuous
+     process has balanced. *)
+  List.iter
+    (fun (g, d0) ->
+      let n = Graphs.Graph.n g in
+      let d = Graphs.Graph.degree g in
+      let init = Core.Loads.point_mass ~n ~total:(50 * n) in
+      let bal = Baselines.Mimic.make g ~self_loops:d0 ~init in
+      let finit = Array.map float_of_int init in
+      let t =
+        Option.get
+          (Graphs.Spectral.continuous_balancing_time g ~self_loops:d0 ~init:finit ())
+      in
+      let r = Core.Engine.run ~graph:g ~balancer:bal ~init ~steps:(2 * t) () in
+      let disc = Core.Loads.discrepancy r.Core.Engine.final_loads in
+      check_bool
+        (Printf.sprintf "%s: discrepancy %d ≤ 2d = %d" bal.Core.Balancer.name disc (2 * d))
+        true
+        (disc <= 2 * d))
+    [
+      (Graphs.Gen.cycle 16, 2);
+      (Graphs.Gen.torus [ 4; 4 ], 4);
+      (Graphs.Gen.hypercube 4, 4);
+    ]
+
+let test_mimic_conserves_mass () =
+  let g = Graphs.Gen.cycle 10 in
+  let init = Core.Loads.point_mass ~n:10 ~total:500 in
+  let bal = Baselines.Mimic.make g ~self_loops:2 ~init in
+  let r = Core.Engine.run ~graph:g ~balancer:bal ~init ~steps:100 () in
+  check_int "mass" 500 (Core.Loads.total r.Core.Engine.final_loads)
+
+let test_mimic_props_match_table1 () =
+  let g = Graphs.Gen.cycle 6 in
+  let init = Core.Loads.flat ~n:6 ~value:1 in
+  let bal = Baselines.Mimic.make g ~self_loops:2 ~init in
+  let p = bal.Core.Balancer.props in
+  check_bool "deterministic" true p.deterministic;
+  check_bool "may go negative" false p.never_negative;
+  check_bool "needs extra info" false p.no_communication
+
+let test_mimic_can_go_negative () =
+  (* With a tiny load and a large promised continuous flow, some node
+     must overdraw: min_load_seen < 0 on a point mass of 1 token per
+     node average but skewed start. *)
+  let g = Graphs.Gen.cycle 12 in
+  let init = Core.Loads.point_mass ~n:12 ~total:12 in
+  let bal = Baselines.Mimic.make g ~self_loops:2 ~init in
+  let r = Core.Engine.run ~graph:g ~balancer:bal ~init ~steps:50 () in
+  (* Not asserting it MUST go negative (depends on rounding), just that
+     the engine tolerates this balancer and conserves mass. *)
+  check_int "mass" 12 (Core.Loads.total r.Core.Engine.final_loads);
+  check_bool "min load recorded" true (r.Core.Engine.min_load_seen <= 1)
+
+(* --- randomized baselines --- *)
+
+let test_random_extra_conserves_and_nonneg () =
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let rng = Prng.Splitmix.create 42 in
+  let bal = Baselines.Random_extra.make rng g ~self_loops:4 in
+  let init = Core.Loads.point_mass ~n:16 ~total:777 in
+  let r = Core.Engine.run ~graph:g ~balancer:bal ~init ~steps:200 () in
+  check_int "mass" 777 (Core.Loads.total r.Core.Engine.final_loads);
+  check_bool "never negative" true (r.Core.Engine.min_load_seen >= 0)
+
+let test_random_extra_balances () =
+  let n = 16 in
+  let g = Graphs.Gen.complete n in
+  let rng = Prng.Splitmix.create 7 in
+  let bal = Baselines.Random_extra.make rng g ~self_loops:(n - 1) in
+  let init = Core.Loads.point_mass ~n ~total:(n * 100) in
+  let r = Core.Engine.run ~graph:g ~balancer:bal ~init ~steps:300 () in
+  check_bool
+    (Printf.sprintf "balanced (got %d)" (Core.Loads.discrepancy r.Core.Engine.final_loads))
+    true
+    (Core.Loads.discrepancy r.Core.Engine.final_loads <= 4 * n)
+
+let test_random_rounding_conserves () =
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let rng = Prng.Splitmix.create 43 in
+  let bal = Baselines.Random_rounding.make rng g ~self_loops:4 in
+  let init = Core.Loads.point_mass ~n:16 ~total:1600 in
+  let r = Core.Engine.run ~graph:g ~balancer:bal ~init ~steps:200 () in
+  check_int "mass" 1600 (Core.Loads.total r.Core.Engine.final_loads)
+
+let test_random_rounding_balances_expander () =
+  let rng_g = Prng.Splitmix.create 3 in
+  let g = Graphs.Gen.random_regular rng_g ~n:32 ~d:6 in
+  let rng = Prng.Splitmix.create 44 in
+  let bal = Baselines.Random_rounding.make rng g ~self_loops:6 in
+  let init = Core.Loads.point_mass ~n:32 ~total:3200 in
+  let r = Core.Engine.run ~graph:g ~balancer:bal ~init ~steps:400 () in
+  check_bool
+    (Printf.sprintf "balanced (got %d)" (Core.Loads.discrepancy r.Core.Engine.final_loads))
+    true
+    (Core.Loads.discrepancy r.Core.Engine.final_loads <= 40)
+
+let test_randomized_props () =
+  let g = Graphs.Gen.cycle 4 in
+  let rng = Prng.Splitmix.create 1 in
+  let extra = Baselines.Random_extra.make rng g ~self_loops:2 in
+  let rounding = Baselines.Random_rounding.make rng g ~self_loops:2 in
+  check_bool "extra not deterministic" false extra.Core.Balancer.props.deterministic;
+  check_bool "extra never negative" true extra.Core.Balancer.props.never_negative;
+  check_bool "rounding may go negative" false
+    rounding.Core.Balancer.props.never_negative
+
+let prop_random_extra_valid_assignment =
+  QCheck.Test.make ~name:"random-extra assignments valid and ≥ floor" ~count:300
+    QCheck.(pair small_int (int_range 0 5000))
+    (fun (seed, load) ->
+      let g = Graphs.Gen.torus [ 3; 3 ] in
+      let rng = Prng.Splitmix.create seed in
+      let bal = Baselines.Random_extra.make rng g ~self_loops:4 in
+      let dp = Core.Balancer.d_plus bal in
+      let ports = Array.make dp 0 in
+      bal.Core.Balancer.assign ~step:1 ~node:0 ~load ~ports;
+      Array.fold_left ( + ) 0 ports = load
+      && Array.for_all (fun v -> v >= load / dp) ports)
+
+let prop_random_rounding_round_fair_sends =
+  QCheck.Test.make ~name:"random-rounding sends floor or ceil per edge" ~count:300
+    QCheck.(pair small_int (int_range 0 5000))
+    (fun (seed, load) ->
+      let g = Graphs.Gen.torus [ 3; 3 ] in
+      let d = 4 in
+      let rng = Prng.Splitmix.create seed in
+      let bal = Baselines.Random_rounding.make rng g ~self_loops:4 in
+      let dp = Core.Balancer.d_plus bal in
+      let ports = Array.make dp 0 in
+      bal.Core.Balancer.assign ~step:1 ~node:0 ~load ~ports;
+      let q = load / dp in
+      let ok = ref (Array.fold_left ( + ) 0 ports = load) in
+      for k = 0 to d - 1 do
+        if not (ports.(k) = q || ports.(k) = q + 1) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "continuous",
+        [
+          Alcotest.test_case "conserves mass" `Quick test_continuous_conserves_mass;
+          Alcotest.test_case "discrepancy decreases" `Quick
+            test_continuous_discrepancy_decreases;
+          Alcotest.test_case "converges to average" `Quick
+            test_continuous_converges_to_average;
+          Alcotest.test_case "early stop" `Quick test_continuous_early_stop;
+          Alcotest.test_case "step matches csr" `Quick test_step_into_matches_csr;
+        ] );
+      ( "mimic [4]",
+        [
+          Alcotest.test_case "reaches 2d" `Quick test_mimic_reaches_2d;
+          Alcotest.test_case "conserves mass" `Quick test_mimic_conserves_mass;
+          Alcotest.test_case "Table 1 properties" `Quick test_mimic_props_match_table1;
+          Alcotest.test_case "tolerates overdraw" `Quick test_mimic_can_go_negative;
+        ] );
+      ( "randomized [5]/[18]",
+        [
+          Alcotest.test_case "random-extra conserves" `Quick
+            test_random_extra_conserves_and_nonneg;
+          Alcotest.test_case "random-extra balances" `Quick test_random_extra_balances;
+          Alcotest.test_case "random-rounding conserves" `Quick
+            test_random_rounding_conserves;
+          Alcotest.test_case "random-rounding balances" `Quick
+            test_random_rounding_balances_expander;
+          Alcotest.test_case "Table 1 properties" `Quick test_randomized_props;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_extra_valid_assignment;
+          QCheck_alcotest.to_alcotest prop_random_rounding_round_fair_sends;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Tests for the open-system (dynamic arrivals/departures) runner. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let torus () = Graphs.Gen.torus [ 6; 6 ]
+
+let test_mass_accounting_uniform () =
+  let g = torus () in
+  let n = 36 in
+  let balancer = Core.Send_round.make g ~self_loops:4 in
+  let init = Core.Loads.flat ~n ~value:2 in
+  let r =
+    Core.Dynamic.run ~graph:g ~balancer
+      ~injection:(Core.Dynamic.Uniform_batch { rng = Prng.Splitmix.create 1; per_round = 9 })
+      ~init ~rounds:50 ()
+  in
+  check_int "injected" (50 * 9) r.Core.Dynamic.total_injected;
+  check_int "mass = init + injected" ((36 * 2) + (50 * 9))
+    (Core.Loads.total r.Core.Dynamic.final_loads)
+
+let test_mass_accounting_with_departures () =
+  let g = torus () in
+  let n = 36 in
+  let balancer = Core.Rotor_router.make g ~self_loops:4 in
+  let init = Core.Loads.flat ~n ~value:10 in
+  let r =
+    Core.Dynamic.run
+      ~departure:(Core.Dynamic.Uniform_work { rng = Prng.Splitmix.create 2; per_round = 5 })
+      ~graph:g ~balancer
+      ~injection:(Core.Dynamic.Uniform_batch { rng = Prng.Splitmix.create 3; per_round = 5 })
+      ~init ~rounds:100 ()
+  in
+  check_int "mass = init + injected − departed"
+    ((36 * 10) + r.Core.Dynamic.total_injected - r.Core.Dynamic.total_departed)
+    (Core.Loads.total r.Core.Dynamic.final_loads);
+  check_bool "departures happened" true (r.Core.Dynamic.total_departed > 0)
+
+let test_steady_state_band_uniform () =
+  (* With uniform arrivals, the steady discrepancy stays near the static
+     O(d√(log n/µ)) band rather than growing with injected volume. *)
+  let g = torus () in
+  let n = 36 in
+  let balancer = Core.Send_round.make g ~self_loops:4 in
+  let init = Core.Loads.flat ~n ~value:0 in
+  let r =
+    Core.Dynamic.run ~graph:g ~balancer
+      ~injection:(Core.Dynamic.Uniform_batch { rng = Prng.Splitmix.create 4; per_round = 18 })
+      ~init ~rounds:600 ()
+  in
+  check_bool
+    (Printf.sprintf "steady mean %.1f small" r.Core.Dynamic.steady_mean)
+    true
+    (r.Core.Dynamic.steady_mean < 20.0);
+  check_bool "volume grew much larger than the band" true
+    (r.Core.Dynamic.total_injected > 50 * r.Core.Dynamic.steady_max)
+
+let test_point_injection_worse_than_uniform () =
+  let g = torus () in
+  let n = 36 in
+  let run injection =
+    let balancer = Core.Rotor_router.make g ~self_loops:4 in
+    (Core.Dynamic.run ~graph:g ~balancer ~injection
+       ~init:(Core.Loads.flat ~n ~value:0) ~rounds:400 ())
+      .Core.Dynamic.steady_mean
+  in
+  let uniform =
+    run (Core.Dynamic.Uniform_batch { rng = Prng.Splitmix.create 5; per_round = 12 })
+  in
+  let point = run (Core.Dynamic.Point_batch { node = 0; per_round = 12 }) in
+  check_bool
+    (Printf.sprintf "point (%.1f) ≥ uniform (%.1f)" point uniform)
+    true (point >= uniform -. 1.0)
+
+let test_max_loaded_is_bounded_anyway () =
+  (* Even the adversarial max-loaded injection reaches a steady band:
+     the balancer drains B per round as long as B stays below the
+     node's d⁺-port throughput times the mixing headroom. *)
+  let g = torus () in
+  let n = 36 in
+  let balancer = Core.Send_round.make g ~self_loops:4 in
+  let r =
+    Core.Dynamic.run ~graph:g ~balancer
+      ~injection:(Core.Dynamic.Max_loaded_batch { per_round = 4 })
+      ~init:(Core.Loads.flat ~n ~value:0) ~rounds:600 ()
+  in
+  check_bool
+    (Printf.sprintf "steady p95 %.1f bounded" r.Core.Dynamic.steady_p95)
+    true
+    (r.Core.Dynamic.steady_p95 < 60.0);
+  (* And it does not trend upward: last-quarter mean ≈ steady mean. *)
+  let len = Array.length r.Core.Dynamic.series in
+  let last_quarter =
+    Array.map (fun (_, d) -> float_of_int d)
+      (Array.sub r.Core.Dynamic.series (3 * len / 4) (len - (3 * len / 4)))
+  in
+  let lq_mean =
+    Array.fold_left ( +. ) 0.0 last_quarter /. float_of_int (Array.length last_quarter)
+  in
+  check_bool "no upward trend" true (lq_mean < 2.0 *. r.Core.Dynamic.steady_mean +. 10.0)
+
+let test_rejects_bad_inputs () =
+  let g = torus () in
+  let balancer = Core.Rotor_router.make g ~self_loops:4 in
+  check_bool "bad node" true
+    (try
+       ignore
+         (Core.Dynamic.run ~graph:g ~balancer
+            ~injection:(Core.Dynamic.Point_batch { node = 99; per_round = 1 })
+            ~init:(Core.Loads.flat ~n:36 ~value:0) ~rounds:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let prop_dynamic_conserves_accounting =
+  QCheck.Test.make ~name:"open-system accounting always balances" ~count:20
+    QCheck.(triple (int_range 3 10) (int_range 0 20) (int_range 1 50))
+    (fun (n, batch, rounds) ->
+      let g = Graphs.Gen.cycle n in
+      let balancer = Core.Send_floor.make g ~self_loops:2 in
+      let r =
+        Core.Dynamic.run ~graph:g ~balancer
+          ~injection:
+            (Core.Dynamic.Uniform_batch
+               { rng = Prng.Splitmix.create (n + batch); per_round = batch })
+          ~init:(Core.Loads.flat ~n ~value:1) ~rounds ()
+      in
+      Core.Loads.total r.Core.Dynamic.final_loads = n + r.Core.Dynamic.total_injected)
+
+let () =
+  Alcotest.run "dynamic"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "uniform injection" `Quick test_mass_accounting_uniform;
+          Alcotest.test_case "with departures" `Quick test_mass_accounting_with_departures;
+          Alcotest.test_case "rejects bad inputs" `Quick test_rejects_bad_inputs;
+        ] );
+      ( "steady state",
+        [
+          Alcotest.test_case "uniform band" `Quick test_steady_state_band_uniform;
+          Alcotest.test_case "point ≥ uniform" `Quick test_point_injection_worse_than_uniform;
+          Alcotest.test_case "max-loaded bounded" `Quick test_max_loaded_is_bounded_anyway;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_dynamic_conserves_accounting ]);
+    ]

@@ -1,0 +1,236 @@
+(* Tests for the synchronous balancing engine: conservation, token
+   movement semantics, series sampling, early stop, hooks, and invariant
+   enforcement. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A trivial balancer that keeps everything on its first self-loop. *)
+let keep_all g ~self_loops =
+  let d = Graphs.Graph.degree g in
+  {
+    Core.Balancer.name = "keep-all";
+    degree = d;
+    self_loops;
+    props = Core.Balancer.paper_stateless;
+    assign =
+      (fun ~step:_ ~node:_ ~load ~ports ->
+        Array.fill ports 0 (d + self_loops) 0;
+        ports.(d) <- load);
+  }
+
+(* Sends its whole load along original port 0. *)
+let push_port0 g ~self_loops =
+  let d = Graphs.Graph.degree g in
+  {
+    Core.Balancer.name = "push-port0";
+    degree = d;
+    self_loops;
+    props = Core.Balancer.paper_stateless;
+    assign =
+      (fun ~step:_ ~node:_ ~load ~ports ->
+        Array.fill ports 0 (d + self_loops) 0;
+        ports.(0) <- load);
+  }
+
+(* A deliberately broken balancer: loses one token when it has any. *)
+let leaky g ~self_loops =
+  let d = Graphs.Graph.degree g in
+  {
+    Core.Balancer.name = "leaky";
+    degree = d;
+    self_loops;
+    props = Core.Balancer.paper_stateless;
+    assign =
+      (fun ~step:_ ~node:_ ~load ~ports ->
+        Array.fill ports 0 (d + self_loops) 0;
+        ports.(d) <- (if load > 0 then load - 1 else 0));
+  }
+
+(* Sends -1 on an original edge. *)
+let negative_sender g ~self_loops =
+  let d = Graphs.Graph.degree g in
+  {
+    Core.Balancer.name = "negative-sender";
+    degree = d;
+    self_loops;
+    props = Core.Balancer.paper_stateless;
+    assign =
+      (fun ~step:_ ~node:_ ~load ~ports ->
+        Array.fill ports 0 (d + self_loops) 0;
+        ports.(0) <- -1;
+        ports.(d) <- load + 1);
+  }
+
+let test_keep_all_is_identity () =
+  let g = Graphs.Gen.cycle 5 in
+  let init = [| 5; 0; 3; 1; 0 |] in
+  let r =
+    Core.Engine.run ~graph:g ~balancer:(keep_all g ~self_loops:2) ~init ~steps:7 ()
+  in
+  Alcotest.(check (array int)) "loads unchanged" init r.Core.Engine.final_loads;
+  check_int "steps" 7 r.Core.Engine.steps_run
+
+let test_push_port0_moves_tokens () =
+  (* On the cycle built by Gen.cycle, port 0 of node 0 points at node 1;
+     verify tokens actually travel along edges. *)
+  let g = Graphs.Gen.cycle 4 in
+  let init = [| 8; 0; 0; 0 |] in
+  let r =
+    Core.Engine.run ~graph:g ~balancer:(push_port0 g ~self_loops:1) ~init ~steps:1 ()
+  in
+  let target = Graphs.Graph.neighbor g 0 0 in
+  check_int "tokens arrived" 8 r.Core.Engine.final_loads.(target);
+  check_int "total conserved" 8 (Core.Loads.total r.Core.Engine.final_loads)
+
+let test_total_conserved_many_steps () =
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let init = Core.Loads.point_mass ~n:16 ~total:4321 in
+  let bal = Core.Rotor_router.make g ~self_loops:4 in
+  let r = Core.Engine.run ~graph:g ~balancer:bal ~init ~steps:100 () in
+  check_int "mass conserved" 4321 (Core.Loads.total r.Core.Engine.final_loads)
+
+let test_conservation_enforced () =
+  let g = Graphs.Gen.cycle 4 in
+  let init = [| 4; 4; 4; 4 |] in
+  check_bool "leak detected" true
+    (try
+       ignore
+         (Core.Engine.run ~graph:g ~balancer:(leaky g ~self_loops:1) ~init ~steps:1 ());
+       false
+     with Core.Engine.Invariant_violation _ -> true)
+
+let test_negative_send_enforced () =
+  let g = Graphs.Gen.cycle 4 in
+  let init = [| 1; 1; 1; 1 |] in
+  check_bool "negative send detected" true
+    (try
+       ignore
+         (Core.Engine.run ~graph:g ~balancer:(negative_sender g ~self_loops:1) ~init
+            ~steps:1 ());
+       false
+     with Core.Engine.Invariant_violation _ -> true)
+
+let test_series_sampling () =
+  let g = Graphs.Gen.cycle 4 in
+  let init = [| 12; 0; 0; 0 |] in
+  let r =
+    Core.Engine.run ~sample_every:3 ~graph:g
+      ~balancer:(keep_all g ~self_loops:1)
+      ~init ~steps:9 ()
+  in
+  let steps = Array.map fst r.Core.Engine.series in
+  Alcotest.(check (array int)) "sampled steps" [| 0; 3; 6; 9 |] steps;
+  Array.iter (fun (_, d) -> check_int "static discrepancy" 12 d) r.Core.Engine.series
+
+let test_zero_steps () =
+  let g = Graphs.Gen.cycle 3 in
+  let init = [| 1; 2; 3 |] in
+  let r =
+    Core.Engine.run ~graph:g ~balancer:(keep_all g ~self_loops:1) ~init ~steps:0 ()
+  in
+  check_int "no steps" 0 r.Core.Engine.steps_run;
+  Alcotest.(check (array int)) "untouched" init r.Core.Engine.final_loads
+
+let test_stop_at_discrepancy () =
+  let g = Graphs.Gen.complete 8 in
+  let init = Core.Loads.point_mass ~n:8 ~total:800 in
+  let bal = Core.Rotor_router.make g ~self_loops:7 in
+  let r =
+    Core.Engine.run ~stop_at_discrepancy:20 ~graph:g ~balancer:bal ~init ~steps:10_000 ()
+  in
+  (match r.Core.Engine.reached_target with
+  | None -> Alcotest.fail "target never reached on K8"
+  | Some t -> check_bool "stopped early" true (t < 10_000 && r.Core.Engine.steps_run <= t + 1));
+  check_bool "final below target" true
+    (Core.Loads.discrepancy r.Core.Engine.final_loads <= 20)
+
+let test_hook_called_every_step () =
+  let g = Graphs.Gen.cycle 4 in
+  let init = [| 4; 0; 0; 0 |] in
+  let calls = ref [] in
+  let hook t loads = calls := (t, Core.Loads.total loads) :: !calls in
+  ignore
+    (Core.Engine.run ~hook ~graph:g ~balancer:(keep_all g ~self_loops:1) ~init ~steps:5 ());
+  Alcotest.(check (list (pair int int)))
+    "hook trace"
+    [ (1, 4); (2, 4); (3, 4); (4, 4); (5, 4) ]
+    (List.rev !calls)
+
+let test_min_load_seen () =
+  let g = Graphs.Gen.cycle 4 in
+  let init = [| 4; 0; 0; 0 |] in
+  let r =
+    Core.Engine.run ~graph:g ~balancer:(keep_all g ~self_loops:1) ~init ~steps:2 ()
+  in
+  check_int "min load" 0 r.Core.Engine.min_load_seen
+
+let test_degree_mismatch_rejected () =
+  let g4 = Graphs.Gen.cycle 4 in
+  let g_k5 = Graphs.Gen.complete 5 in
+  let bal = Core.Rotor_router.make g_k5 ~self_loops:4 in
+  check_bool "degree mismatch" true
+    (try
+       ignore (Core.Engine.run ~graph:g4 ~balancer:bal ~init:[| 0; 0; 0; 0 |] ~steps:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_audit_attached () =
+  let g = Graphs.Gen.cycle 4 in
+  let init = [| 9; 1; 3; 3 |] in
+  let bal = Core.Send_floor.make g ~self_loops:2 in
+  let r = Core.Engine.run ~audit:true ~graph:g ~balancer:bal ~init ~steps:10 () in
+  match r.Core.Engine.fairness with
+  | None -> Alcotest.fail "audit requested but no report"
+  | Some rep -> check_int "observations" (4 * 10) rep.Core.Fairness.observations
+
+let prop_conservation_under_rotor_router =
+  QCheck.Test.make ~name:"engine conserves mass under rotor-router" ~count:50
+    QCheck.(triple (int_range 3 20) (int_range 0 4) (int_range 0 500))
+    (fun (n, self_loops, total) ->
+      let g = Graphs.Gen.cycle n in
+      let init = Core.Loads.point_mass ~n ~total in
+      let bal = Core.Rotor_router.make g ~self_loops in
+      let r = Core.Engine.run ~graph:g ~balancer:bal ~init ~steps:20 () in
+      Core.Loads.total r.Core.Engine.final_loads = total)
+
+let prop_discrepancy_series_starts_at_initial =
+  QCheck.Test.make ~name:"series starts with initial discrepancy" ~count:50
+    QCheck.(pair (int_range 3 15) (int_range 0 200))
+    (fun (n, total) ->
+      let g = Graphs.Gen.cycle n in
+      let init = Core.Loads.point_mass ~n ~total in
+      let bal = Core.Send_floor.make g ~self_loops:2 in
+      let r = Core.Engine.run ~graph:g ~balancer:bal ~init ~steps:5 () in
+      Array.length r.Core.Engine.series > 0 && r.Core.Engine.series.(0) = (0, total))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "keep-all identity" `Quick test_keep_all_is_identity;
+          Alcotest.test_case "tokens move along edges" `Quick test_push_port0_moves_tokens;
+          Alcotest.test_case "mass conserved" `Quick test_total_conserved_many_steps;
+          Alcotest.test_case "zero steps" `Quick test_zero_steps;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "conservation enforced" `Quick test_conservation_enforced;
+          Alcotest.test_case "negative send enforced" `Quick test_negative_send_enforced;
+          Alcotest.test_case "degree mismatch" `Quick test_degree_mismatch_rejected;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "series sampling" `Quick test_series_sampling;
+          Alcotest.test_case "stop at discrepancy" `Quick test_stop_at_discrepancy;
+          Alcotest.test_case "hook" `Quick test_hook_called_every_step;
+          Alcotest.test_case "min load seen" `Quick test_min_load_seen;
+          Alcotest.test_case "audit attached" `Quick test_audit_attached;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_conservation_under_rotor_router;
+          QCheck_alcotest.to_alcotest prop_discrepancy_series_starts_at_initial;
+        ] );
+    ]

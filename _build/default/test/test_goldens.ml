@@ -1,0 +1,83 @@
+(* Golden regression tests: exact final load vectors for deterministic
+   configurations (and seed-pinned randomized ones), captured from a
+   verified build.  Any change to these values means the dynamics of an
+   algorithm, the engine, the port numbering of a generator, or the PRNG
+   stream has changed — which must be a deliberate, documented decision,
+   never an accident of refactoring. *)
+
+let check_loads name expected actual = Alcotest.(check (array int)) name expected actual
+
+let run g balancer ~total ~steps =
+  let n = Graphs.Graph.n g in
+  let init = Core.Loads.point_mass ~n ~total in
+  (Core.Engine.run ~graph:g ~balancer ~init ~steps ()).Core.Engine.final_loads
+
+let test_rotor_router_cycle8 () =
+  let g = Graphs.Gen.cycle 8 in
+  check_loads "rotor-router cycle(8), 64 tokens, 10 steps"
+    [| 11; 11; 8; 6; 5; 6; 7; 10 |]
+    (run g (Core.Rotor_router.make g ~self_loops:2) ~total:64 ~steps:10)
+
+let test_send_round_torus33 () =
+  let g = Graphs.Gen.torus [ 3; 3 ] in
+  check_loads "send-round torus(3x3), 100 tokens, 12 steps"
+    [| 16; 15; 15; 15; 6; 6; 15; 6; 6 |]
+    (run g (Core.Send_round.make g ~self_loops:8) ~total:100 ~steps:12)
+
+let test_rotor_router_star_torus33 () =
+  let g = Graphs.Gen.torus [ 3; 3 ] in
+  check_loads "rotor-router* torus(3x3), 100 tokens, 12 steps"
+    [| 11; 12; 12; 11; 11; 11; 10; 11; 11 |]
+    (run g (Core.Rotor_router_star.make g) ~total:100 ~steps:12)
+
+let test_send_floor_hypercube3 () =
+  let g = Graphs.Gen.hypercube 3 in
+  check_loads "send-floor Q3, 50 tokens, 15 steps"
+    [| 8; 6; 6; 6; 6; 6; 6; 6 |]
+    (run g (Core.Send_floor.make g ~self_loops:3) ~total:50 ~steps:15)
+
+let test_random_extra_seeded () =
+  (* Pins both the algorithm and the SplitMix64 stream. *)
+  let g = Graphs.Gen.hypercube 3 in
+  check_loads "random-extra Q3 seed 7, 50 tokens, 15 steps"
+    [| 6; 6; 6; 7; 7; 6; 6; 6 |]
+    (run g
+       (Baselines.Random_extra.make (Prng.Splitmix.create 7) g ~self_loops:3)
+       ~total:50 ~steps:15)
+
+let test_mimic_torus33 () =
+  let g = Graphs.Gen.torus [ 3; 3 ] in
+  let init = Core.Loads.point_mass ~n:9 ~total:100 in
+  let balancer = Baselines.Mimic.make g ~self_loops:4 ~init in
+  check_loads "mimic torus(3x3), 100 tokens, 12 steps"
+    [| 12; 10; 10; 10; 12; 12; 10; 12; 12 |]
+    (Core.Engine.run ~graph:g ~balancer ~init ~steps:12 ()).Core.Engine.final_loads
+
+let test_splitmix_stream_golden () =
+  (* The raw PRNG stream itself: five pinned draws. *)
+  let g = Prng.Splitmix.create 42 in
+  Alcotest.(check (list int))
+    "splitmix(42) int-100 stream"
+    [ 70; 97; 85; 91; 89 ]
+    (List.init 5 (fun _ -> Prng.Splitmix.int g 100))
+
+let () =
+  (* Guard: if the pinned PRNG stream ever changes, regenerate ALL seeded
+     goldens, not just the failing one. *)
+  Alcotest.run "goldens"
+    [
+      ( "deterministic dynamics",
+        [
+          Alcotest.test_case "rotor-router cycle8" `Quick test_rotor_router_cycle8;
+          Alcotest.test_case "send-round torus33" `Quick test_send_round_torus33;
+          Alcotest.test_case "rotor-router* torus33" `Quick
+            test_rotor_router_star_torus33;
+          Alcotest.test_case "send-floor Q3" `Quick test_send_floor_hypercube3;
+          Alcotest.test_case "mimic torus33" `Quick test_mimic_torus33;
+        ] );
+      ( "seeded randomness",
+        [
+          Alcotest.test_case "random-extra seed 7" `Quick test_random_extra_seeded;
+          Alcotest.test_case "splitmix stream" `Quick test_splitmix_stream_golden;
+        ] );
+    ]

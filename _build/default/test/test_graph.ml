@@ -1,0 +1,294 @@
+(* Tests for the graph representation, generators and structural
+   properties. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sorted_neighbors g u =
+  let a = Graphs.Graph.neighbors g u in
+  Array.sort compare a;
+  a
+
+(* --- Graph representation --- *)
+
+let test_of_edges_triangle () =
+  let g = Graphs.Graph.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  check_int "n" 3 (Graphs.Graph.n g);
+  check_int "degree" 2 (Graphs.Graph.degree g);
+  check_int "edges" 3 (Graphs.Graph.edge_count g);
+  Alcotest.(check (array int)) "nbrs of 0" [| 1; 2 |] (sorted_neighbors g 0)
+
+let test_of_edges_rejects_self_edge () =
+  Alcotest.check_raises "self edge"
+    (Invalid_argument "Graph.of_edges: self-edges are not allowed") (fun () ->
+      ignore (Graphs.Graph.of_edges ~n:2 [ (0, 0); (0, 1) ]))
+
+let test_of_edges_rejects_irregular () =
+  check_bool "irregular rejected" true
+    (try
+       ignore (Graphs.Graph.of_edges ~n:3 [ (0, 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_of_edges_rejects_out_of_range () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.of_edges: endpoint out of range") (fun () ->
+      ignore (Graphs.Graph.of_edges ~n:2 [ (0, 5) ]))
+
+let test_reverse_port_involution () =
+  let g = Graphs.Gen.torus [ 3; 3 ] in
+  for u = 0 to Graphs.Graph.n g - 1 do
+    for k = 0 to Graphs.Graph.degree g - 1 do
+      let v = Graphs.Graph.neighbor g u k in
+      let k' = Graphs.Graph.reverse_port g u k in
+      check_int "reverse endpoint" u (Graphs.Graph.neighbor g v k');
+      check_int "involution" k (Graphs.Graph.reverse_port g v k')
+    done
+  done
+
+let test_parallel_edges_supported () =
+  let g = Graphs.Graph.of_edges ~n:2 [ (0, 1); (0, 1) ] in
+  check_int "degree" 2 (Graphs.Graph.degree g);
+  check_int "multiplicity" 2 (Graphs.Graph.multiplicity g 0 1);
+  check_bool "has parallel" true (Graphs.Graph.has_parallel_edges g)
+
+let test_no_parallel_on_cycle () =
+  check_bool "simple" false (Graphs.Graph.has_parallel_edges (Graphs.Gen.cycle 5))
+
+let test_adjacency_flat () =
+  let g = Graphs.Gen.cycle 4 in
+  let adj = Graphs.Graph.adjacency g in
+  check_int "length" (4 * 2) (Array.length adj);
+  Graphs.Graph.iter_ports g 2 (fun k v ->
+      check_int "flat matches" v adj.((2 * 2) + k))
+
+(* --- Generators --- *)
+
+let test_cycle_structure () =
+  let g = Graphs.Gen.cycle 6 in
+  check_int "n" 6 (Graphs.Graph.n g);
+  check_int "d" 2 (Graphs.Graph.degree g);
+  for u = 0 to 5 do
+    let nbrs = sorted_neighbors g u in
+    let expect = [| (u + 5) mod 6; (u + 1) mod 6 |] in
+    Array.sort compare expect;
+    Alcotest.(check (array int)) "cycle neighbors" expect nbrs
+  done
+
+let test_complete_structure () =
+  let g = Graphs.Gen.complete 5 in
+  check_int "d" 4 (Graphs.Graph.degree g);
+  check_int "m" 10 (Graphs.Graph.edge_count g);
+  check_bool "connected" true (Graphs.Props.is_connected g)
+
+let test_complete_bipartite () =
+  let g = Graphs.Gen.complete_bipartite 3 in
+  check_int "n" 6 (Graphs.Graph.n g);
+  check_int "d" 3 (Graphs.Graph.degree g);
+  check_bool "bipartite" true (Graphs.Props.is_bipartite g)
+
+let test_hypercube_structure () =
+  let g = Graphs.Gen.hypercube 4 in
+  check_int "n" 16 (Graphs.Graph.n g);
+  check_int "d" 4 (Graphs.Graph.degree g);
+  check_bool "connected" true (Graphs.Props.is_connected g);
+  check_bool "bipartite" true (Graphs.Props.is_bipartite g);
+  check_int "diameter" 4 (Graphs.Props.diameter g)
+
+let test_torus_2d () =
+  let g = Graphs.Gen.torus [ 4; 5 ] in
+  check_int "n" 20 (Graphs.Graph.n g);
+  check_int "d" 4 (Graphs.Graph.degree g);
+  check_bool "connected" true (Graphs.Props.is_connected g);
+  check_bool "no parallel" false (Graphs.Graph.has_parallel_edges g)
+
+let test_torus_3d () =
+  let g = Graphs.Gen.torus [ 3; 3; 3 ] in
+  check_int "n" 27 (Graphs.Graph.n g);
+  check_int "d" 6 (Graphs.Graph.degree g);
+  check_bool "connected" true (Graphs.Props.is_connected g)
+
+let test_torus_1d_is_cycle () =
+  let g = Graphs.Gen.torus [ 7 ] in
+  check_int "d" 2 (Graphs.Graph.degree g);
+  check_int "diameter" 3 (Graphs.Props.diameter g)
+
+let test_circulant () =
+  let g = Graphs.Gen.circulant 8 [ 1; 2 ] in
+  check_int "d" 4 (Graphs.Graph.degree g);
+  let nbrs = sorted_neighbors g 0 in
+  Alcotest.(check (array int)) "circulant neighbors" [| 1; 2; 6; 7 |] nbrs
+
+let test_circulant_antipodal () =
+  let g = Graphs.Gen.circulant 6 [ 1; 3 ] in
+  check_int "d with antipodal offset" 3 (Graphs.Graph.degree g)
+
+let test_clique_circulant_has_clique () =
+  let d = 7 in
+  let g = Graphs.Gen.clique_circulant ~n:20 ~d in
+  check_int "d" d (Graphs.Graph.degree g);
+  let h = d / 2 in
+  (* C = {0..h-1} must be a clique. *)
+  for i = 0 to h - 1 do
+    for j = 0 to h - 1 do
+      if i <> j then check_int "clique edge" 1 (Graphs.Graph.multiplicity g i j)
+    done
+  done
+
+let test_petersen () =
+  let g = Graphs.Gen.petersen () in
+  check_int "n" 10 (Graphs.Graph.n g);
+  check_int "d" 3 (Graphs.Graph.degree g);
+  check_int "diameter" 2 (Graphs.Props.diameter g);
+  Alcotest.(check (option int)) "girth" (Some 5) (Graphs.Props.girth g);
+  Alcotest.(check (option int)) "odd girth" (Some 5) (Graphs.Props.odd_girth g);
+  check_bool "connected" true (Graphs.Props.is_connected g)
+
+let test_random_regular_valid () =
+  let rng = Prng.Splitmix.create 123 in
+  List.iter
+    (fun (n, d) ->
+      let g = Graphs.Gen.random_regular rng ~n ~d in
+      check_int "n" n (Graphs.Graph.n g);
+      check_int "d" d (Graphs.Graph.degree g);
+      check_bool "connected" true (Graphs.Props.is_connected g);
+      check_bool "simple" false (Graphs.Graph.has_parallel_edges g))
+    [ (16, 3); (32, 4); (64, 6); (20, 8) ]
+
+let test_random_regular_rejects_odd () =
+  let rng = Prng.Splitmix.create 1 in
+  check_bool "odd nd rejected" true
+    (try
+       ignore (Graphs.Gen.random_regular rng ~n:5 ~d:3);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Props --- *)
+
+let test_bfs_distances_cycle () =
+  let g = Graphs.Gen.cycle 7 in
+  let d = Graphs.Props.bfs_distances g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 3; 2; 1 |] d
+
+let test_diameter_known () =
+  check_int "cycle 8" 4 (Graphs.Props.diameter (Graphs.Gen.cycle 8));
+  check_int "cycle 9" 4 (Graphs.Props.diameter (Graphs.Gen.cycle 9));
+  check_int "K5" 1 (Graphs.Props.diameter (Graphs.Gen.complete 5));
+  check_int "Q3" 3 (Graphs.Props.diameter (Graphs.Gen.hypercube 3))
+
+let test_bipartite_known () =
+  check_bool "even cycle" true (Graphs.Props.is_bipartite (Graphs.Gen.cycle 6));
+  check_bool "odd cycle" false (Graphs.Props.is_bipartite (Graphs.Gen.cycle 7));
+  check_bool "hypercube" true (Graphs.Props.is_bipartite (Graphs.Gen.hypercube 5));
+  check_bool "K4" false (Graphs.Props.is_bipartite (Graphs.Gen.complete 4))
+
+let test_girth_known () =
+  Alcotest.(check (option int)) "cycle 9" (Some 9) (Graphs.Props.girth (Graphs.Gen.cycle 9));
+  Alcotest.(check (option int)) "K4" (Some 3) (Graphs.Props.girth (Graphs.Gen.complete 4));
+  Alcotest.(check (option int)) "Q3" (Some 4) (Graphs.Props.girth (Graphs.Gen.hypercube 3));
+  Alcotest.(check (option int)) "parallel edge pair" (Some 2)
+    (Graphs.Props.girth (Graphs.Graph.of_edges ~n:2 [ (0, 1); (0, 1) ]))
+
+let test_odd_girth_known () =
+  Alcotest.(check (option int)) "odd cycle 9" (Some 9)
+    (Graphs.Props.odd_girth (Graphs.Gen.cycle 9));
+  Alcotest.(check (option int)) "even cycle bipartite" None
+    (Graphs.Props.odd_girth (Graphs.Gen.cycle 8));
+  Alcotest.(check (option int)) "K4 triangle" (Some 3)
+    (Graphs.Props.odd_girth (Graphs.Gen.complete 4));
+  Alcotest.(check (option int)) "phi of 9-cycle" (Some 4)
+    (Graphs.Props.phi (Graphs.Gen.cycle 9))
+
+let test_eccentricity_disconnected () =
+  let g = Graphs.Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  check_bool "disconnected" false (Graphs.Props.is_connected g);
+  check_bool "eccentricity raises" true
+    (try
+       ignore (Graphs.Props.eccentricity g 0);
+       false
+     with Failure _ -> true)
+
+(* --- Property tests --- *)
+
+let prop_generators_regular_connected =
+  QCheck.Test.make ~name:"generators produce connected regular graphs" ~count:30
+    QCheck.(int_range 3 20)
+    (fun n ->
+      let checks g = Graphs.Props.is_connected g && Graphs.Graph.degree g > 0 in
+      checks (Graphs.Gen.cycle n)
+      && checks (Graphs.Gen.complete (max 2 n))
+      && checks (Graphs.Gen.torus [ n; 3 ]))
+
+let prop_bfs_triangle_inequality =
+  QCheck.Test.make ~name:"BFS distances satisfy edge Lipschitz" ~count:30
+    QCheck.(int_range 4 30)
+    (fun n ->
+      let g = Graphs.Gen.cycle n in
+      let dist = Graphs.Props.bfs_distances g 0 in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        Graphs.Graph.iter_ports g u (fun _ v ->
+            if abs (dist.(u) - dist.(v)) > 1 then ok := false)
+      done;
+      !ok)
+
+let prop_random_regular_simple =
+  QCheck.Test.make ~name:"random regular graphs are simple and regular" ~count:15
+    QCheck.(pair (int_range 10 40) (int_range 3 5))
+    (fun (n, d) ->
+      let n = if n * d mod 2 = 1 then n + 1 else n in
+      let rng = Prng.Splitmix.create ((n * 1000) + d) in
+      let g = Graphs.Gen.random_regular rng ~n ~d in
+      Graphs.Graph.degree g = d
+      && (not (Graphs.Graph.has_parallel_edges g))
+      && Graphs.Props.is_connected g)
+
+let () =
+  Alcotest.run "graphs"
+    [
+      ( "representation",
+        [
+          Alcotest.test_case "triangle" `Quick test_of_edges_triangle;
+          Alcotest.test_case "rejects self edge" `Quick test_of_edges_rejects_self_edge;
+          Alcotest.test_case "rejects irregular" `Quick test_of_edges_rejects_irregular;
+          Alcotest.test_case "rejects out of range" `Quick
+            test_of_edges_rejects_out_of_range;
+          Alcotest.test_case "reverse port involution" `Quick
+            test_reverse_port_involution;
+          Alcotest.test_case "parallel edges" `Quick test_parallel_edges_supported;
+          Alcotest.test_case "cycle simple" `Quick test_no_parallel_on_cycle;
+          Alcotest.test_case "flat adjacency" `Quick test_adjacency_flat;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "cycle" `Quick test_cycle_structure;
+          Alcotest.test_case "complete" `Quick test_complete_structure;
+          Alcotest.test_case "complete bipartite" `Quick test_complete_bipartite;
+          Alcotest.test_case "hypercube" `Quick test_hypercube_structure;
+          Alcotest.test_case "torus 2d" `Quick test_torus_2d;
+          Alcotest.test_case "torus 3d" `Quick test_torus_3d;
+          Alcotest.test_case "torus 1d" `Quick test_torus_1d_is_cycle;
+          Alcotest.test_case "circulant" `Quick test_circulant;
+          Alcotest.test_case "circulant antipodal" `Quick test_circulant_antipodal;
+          Alcotest.test_case "clique circulant" `Quick test_clique_circulant_has_clique;
+          Alcotest.test_case "petersen" `Quick test_petersen;
+          Alcotest.test_case "random regular" `Quick test_random_regular_valid;
+          Alcotest.test_case "random regular odd nd" `Quick
+            test_random_regular_rejects_odd;
+        ] );
+      ( "props",
+        [
+          Alcotest.test_case "bfs distances" `Quick test_bfs_distances_cycle;
+          Alcotest.test_case "diameter" `Quick test_diameter_known;
+          Alcotest.test_case "bipartite" `Quick test_bipartite_known;
+          Alcotest.test_case "girth" `Quick test_girth_known;
+          Alcotest.test_case "odd girth" `Quick test_odd_girth_known;
+          Alcotest.test_case "disconnected" `Quick test_eccentricity_disconnected;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_generators_regular_connected;
+          QCheck_alcotest.to_alcotest prop_bfs_triangle_inequality;
+          QCheck_alcotest.to_alcotest prop_random_regular_simple;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the heterogeneous extensions: weighted tokens ([1]/[4]
+   direction) and non-uniform machine speeds ([2] direction). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- weighted tokens --- *)
+
+let sorted_multiset state =
+  let all = Array.to_list state |> List.concat_map Array.to_list in
+  List.sort compare all
+
+let test_weight_metrics () =
+  let state = [| [| 3; 1 |]; [| 5 |]; [||] |] in
+  check_int "node weight" 4 (Hetero.Wtokens.node_weight state.(0));
+  check_int "total" 9 (Hetero.Wtokens.total_weight state);
+  check_int "count" 3 (Hetero.Wtokens.token_count state);
+  check_int "weighted disc" 5 (Hetero.Wtokens.weighted_discrepancy state);
+  check_int "count disc" 2 (Hetero.Wtokens.count_discrepancy state);
+  check_int "max weight" 5 (Hetero.Wtokens.max_token_weight state)
+
+let test_point_mass_weighted () =
+  let s = Hetero.Wtokens.point_mass ~n:4 ~weights:[| 2; 2; 7 |] in
+  check_int "all on node 0" 11 (Hetero.Wtokens.node_weight s.(0));
+  check_int "others empty" 0 (Hetero.Wtokens.node_weight s.(2))
+
+let test_uniform_random_weighted () =
+  let rng = Prng.Splitmix.create 3 in
+  let s = Hetero.Wtokens.uniform_random rng ~n:10 ~tokens:200 ~max_weight:5 in
+  check_int "token count" 200 (Hetero.Wtokens.token_count s);
+  check_bool "weights in range" true
+    (List.for_all (fun w -> w >= 1 && w <= 5) (sorted_multiset s))
+
+let test_run_conserves_multiset () =
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let rng = Prng.Splitmix.create 4 in
+  let init = Hetero.Wtokens.uniform_random rng ~n:16 ~tokens:300 ~max_weight:4 in
+  let before = sorted_multiset init in
+  List.iter
+    (fun policy ->
+      let r = Hetero.Wtokens.run policy ~graph:g ~self_loops:4 ~init ~steps:60 in
+      Alcotest.(check (list int))
+        "same multiset of weights" before
+        (sorted_multiset r.Hetero.Wtokens.final))
+    [ Hetero.Wtokens.Oblivious; Hetero.Wtokens.Largest_first ]
+
+let test_weighted_balances_within_wmax_factor () =
+  (* The transfer principle: weighted discrepancy after T is at most
+     w_max × (a unit-token O(d√·) bound); generous constant 6. *)
+  let g = Graphs.Gen.torus [ 6; 6 ] in
+  let n = 36 and d = 4 in
+  let rng = Prng.Splitmix.create 5 in
+  let wmax = 4 in
+  let init = Hetero.Wtokens.uniform_random rng ~n ~tokens:(40 * n) ~max_weight:wmax in
+  (* Concentrate: move everything onto node 0 for a worst-ish start. *)
+  let all = Array.of_list (sorted_multiset init) in
+  let init = Hetero.Wtokens.point_mass ~n ~weights:all in
+  let gap = Graphs.Spectral.eigenvalue_gap g ~self_loops:d in
+  let steps =
+    Graphs.Spectral.horizon ~gap ~n
+      ~initial_discrepancy:(Hetero.Wtokens.total_weight init) ~c:4.0
+  in
+  List.iter
+    (fun (label, policy) ->
+      let r = Hetero.Wtokens.run policy ~graph:g ~self_loops:d ~init ~steps in
+      let disc = Hetero.Wtokens.weighted_discrepancy r.Hetero.Wtokens.final in
+      let bound =
+        wmax * int_of_float (6.0 *. float_of_int d *. sqrt (log (float_of_int n) /. gap))
+      in
+      check_bool (Printf.sprintf "%s: %d ≤ %d" label disc bound) true (disc <= bound))
+    [ ("oblivious", Hetero.Wtokens.Oblivious); ("largest-first", Hetero.Wtokens.Largest_first) ]
+
+let test_unit_weights_match_rotor_router_counts () =
+  (* With all weights 1, the weighted walker IS the rotor-router: count
+     discrepancy should behave identically (same default order, same
+     rotor rule). *)
+  let g = Graphs.Gen.cycle 8 in
+  let unit_weights = Array.make 96 1 in
+  let init_w = Hetero.Wtokens.point_mass ~n:8 ~weights:unit_weights in
+  let rw =
+    Hetero.Wtokens.run Hetero.Wtokens.Oblivious ~graph:g ~self_loops:2 ~init:init_w
+      ~steps:50
+  in
+  let init_u = Core.Loads.point_mass ~n:8 ~total:96 in
+  let ru =
+    Core.Engine.run ~graph:g
+      ~balancer:(Core.Rotor_router.make g ~self_loops:2)
+      ~init:init_u ~steps:50 ()
+  in
+  let counts = Array.map Array.length rw.Hetero.Wtokens.final in
+  Alcotest.(check (array int)) "identical dynamics" ru.Core.Engine.final_loads counts
+
+let test_weight_series_monotone_start () =
+  let g = Graphs.Gen.complete 6 in
+  let init = Hetero.Wtokens.point_mass ~n:6 ~weights:(Array.make 60 2) in
+  let r =
+    Hetero.Wtokens.run Hetero.Wtokens.Oblivious ~graph:g ~self_loops:5 ~init ~steps:30
+  in
+  let first = snd r.Hetero.Wtokens.weight_series.(0) in
+  let last =
+    snd r.Hetero.Wtokens.weight_series.(Array.length r.Hetero.Wtokens.weight_series - 1)
+  in
+  check_bool "improved" true (last < first / 4)
+
+let test_rejects_bad_weights () =
+  check_bool "zero weight rejected" true
+    (try
+       ignore (Hetero.Wtokens.point_mass ~n:2 ~weights:[| 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- non-uniform machines --- *)
+
+let test_height_discrepancy () =
+  Alcotest.(check (float 1e-9)) "heights" 1.5
+    (Hetero.Nonuniform.height_discrepancy ~loads:[| 6; 3 |] ~speeds:[| 4; 1 |])
+
+let test_nonuniform_conserves () =
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let speeds = Array.init 16 (fun i -> 1 + (i mod 4)) in
+  let init = Core.Loads.point_mass ~n:16 ~total:2000 in
+  let r = Hetero.Nonuniform.run ~graph:g ~speeds ~init ~steps:300 () in
+  check_int "mass" 2000 (Core.Loads.total r.Hetero.Nonuniform.final_loads);
+  Array.iter
+    (fun x -> check_bool "never negative" true (x >= 0))
+    r.Hetero.Nonuniform.final_loads
+
+let test_nonuniform_balances_heights () =
+  let g = Graphs.Gen.complete 8 in
+  let speeds = [| 8; 1; 1; 1; 1; 1; 1; 2 |] in
+  let init = Core.Loads.point_mass ~n:8 ~total:3200 in
+  let r = Hetero.Nonuniform.run ~graph:g ~speeds ~init ~steps:500 () in
+  let disc =
+    Hetero.Nonuniform.height_discrepancy ~loads:r.Hetero.Nonuniform.final_loads ~speeds
+  in
+  (* The fast machine ends with proportionally more load. *)
+  check_bool
+    (Printf.sprintf "height discrepancy %.2f small" disc)
+    true (disc <= float_of_int (Graphs.Graph.degree g + 1));
+  check_bool "fast node has more" true
+    (r.Hetero.Nonuniform.final_loads.(0) > 2 * r.Hetero.Nonuniform.final_loads.(1))
+
+let test_nonuniform_uniform_speeds_degenerates () =
+  (* With all speeds 1 this is plain first-order diffusion with floor
+     rounding; per-edge flow stalls once differences drop below d+1, so
+     the reachable band is d·diam (the Theorem 4.1 phenomenon — this
+     scheme is round-fair but NOT cumulatively fair). *)
+  let g = Graphs.Gen.cycle 12 in
+  let d = 2 in
+  let diam = 6 in
+  let speeds = Array.make 12 1 in
+  let init = Core.Loads.point_mass ~n:12 ~total:1200 in
+  let r =
+    Hetero.Nonuniform.run
+      ~stop_at_height_discrepancy:(float_of_int (d * diam))
+      ~graph:g ~speeds ~init ~steps:100_000 ()
+  in
+  check_bool "reached the d·diam band" true (r.Hetero.Nonuniform.reached_target <> None)
+
+let test_nonuniform_rejects_bad_speed () =
+  let g = Graphs.Gen.cycle 4 in
+  check_bool "zero speed rejected" true
+    (try
+       ignore
+         (Hetero.Nonuniform.run ~graph:g ~speeds:[| 1; 0; 1; 1 |]
+            ~init:[| 4; 0; 0; 0 |] ~steps:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let prop_weighted_conservation =
+  QCheck.Test.make ~name:"weighted run conserves the weight multiset" ~count:25
+    QCheck.(triple (int_range 3 12) (int_range 0 100) (int_range 1 6))
+    (fun (n, tokens, wmax) ->
+      let g = Graphs.Gen.cycle n in
+      let rng = Prng.Splitmix.create (n + tokens + wmax) in
+      let init = Hetero.Wtokens.uniform_random rng ~n ~tokens ~max_weight:wmax in
+      let before = sorted_multiset init in
+      let r =
+        Hetero.Wtokens.run Hetero.Wtokens.Oblivious ~graph:g ~self_loops:2 ~init
+          ~steps:25
+      in
+      sorted_multiset r.Hetero.Wtokens.final = before)
+
+let prop_nonuniform_never_negative =
+  QCheck.Test.make ~name:"speed diffusion never overdraws" ~count:25
+    QCheck.(pair (int_range 4 16) (int_range 0 2000))
+    (fun (n, total) ->
+      let g = Graphs.Gen.cycle n in
+      let rng = Prng.Splitmix.create (n * 7) in
+      let speeds = Array.init n (fun _ -> 1 + Prng.Splitmix.int rng 5) in
+      let init = Core.Loads.point_mass ~n ~total in
+      let r = Hetero.Nonuniform.run ~graph:g ~speeds ~init ~steps:50 () in
+      Array.for_all (fun x -> x >= 0) r.Hetero.Nonuniform.final_loads
+      && Core.Loads.total r.Hetero.Nonuniform.final_loads = total)
+
+let () =
+  Alcotest.run "hetero"
+    [
+      ( "weighted tokens",
+        [
+          Alcotest.test_case "metrics" `Quick test_weight_metrics;
+          Alcotest.test_case "point mass" `Quick test_point_mass_weighted;
+          Alcotest.test_case "uniform random" `Quick test_uniform_random_weighted;
+          Alcotest.test_case "conserves multiset" `Quick test_run_conserves_multiset;
+          Alcotest.test_case "balances within w_max factor" `Quick
+            test_weighted_balances_within_wmax_factor;
+          Alcotest.test_case "unit weights = rotor-router" `Quick
+            test_unit_weights_match_rotor_router_counts;
+          Alcotest.test_case "series improves" `Quick test_weight_series_monotone_start;
+          Alcotest.test_case "rejects bad weights" `Quick test_rejects_bad_weights;
+        ] );
+      ( "non-uniform machines",
+        [
+          Alcotest.test_case "height metric" `Quick test_height_discrepancy;
+          Alcotest.test_case "conserves" `Quick test_nonuniform_conserves;
+          Alcotest.test_case "balances heights" `Quick test_nonuniform_balances_heights;
+          Alcotest.test_case "uniform speeds" `Quick
+            test_nonuniform_uniform_speeds_degenerates;
+          Alcotest.test_case "rejects bad speed" `Quick test_nonuniform_rejects_bad_speed;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_weighted_conservation;
+          QCheck_alcotest.to_alcotest prop_nonuniform_never_negative;
+        ] );
+    ]

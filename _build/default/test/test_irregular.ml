@@ -1,0 +1,233 @@
+(* Tests for the irregular-graph extension (the paper's §1.1 remark). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Igraph --- *)
+
+let test_igraph_basic () =
+  let g = Irregular.Igraph.of_edges ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  check_int "n" 4 (Irregular.Igraph.n g);
+  check_int "hub degree" 3 (Irregular.Igraph.degree g 0);
+  check_int "leaf degree" 1 (Irregular.Igraph.degree g 1);
+  check_int "max degree" 3 (Irregular.Igraph.max_degree g);
+  check_int "min degree" 1 (Irregular.Igraph.min_degree g);
+  check_int "edges" 3 (Irregular.Igraph.edge_count g);
+  check_bool "connected" true (Irregular.Igraph.is_connected g)
+
+let test_igraph_isolated_vertex () =
+  let g = Irregular.Igraph.of_edges ~n:3 [ (0, 1) ] in
+  check_int "isolated degree" 0 (Irregular.Igraph.degree g 2);
+  check_bool "disconnected" false (Irregular.Igraph.is_connected g)
+
+let test_igraph_rejects_self_edge () =
+  check_bool "self edge rejected" true
+    (try
+       ignore (Irregular.Igraph.of_edges ~n:2 [ (1, 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_wheel () =
+  let g = Irregular.Igraph.wheel 9 in
+  check_int "n" 9 (Irregular.Igraph.n g);
+  check_int "hub" 8 (Irregular.Igraph.degree g 0);
+  for u = 1 to 8 do
+    check_int "rim degree" 3 (Irregular.Igraph.degree g u)
+  done;
+  check_bool "connected" true (Irregular.Igraph.is_connected g)
+
+let test_star () =
+  let g = Irregular.Igraph.star 6 in
+  check_int "hub" 5 (Irregular.Igraph.degree g 0);
+  check_int "leaf" 1 (Irregular.Igraph.degree g 3)
+
+let test_barbell () =
+  let g = Irregular.Igraph.barbell ~clique:4 ~path:3 in
+  check_int "n" 10 (Irregular.Igraph.n g);
+  check_bool "connected" true (Irregular.Igraph.is_connected g);
+  (* Clique interior nodes have degree 3; the two bridge endpoints 4. *)
+  check_int "clique corner" 4 (Irregular.Igraph.degree g 3);
+  check_int "clique interior" 3 (Irregular.Igraph.degree g 0);
+  check_int "path middle" 2 (Irregular.Igraph.degree g 4)
+
+let test_random_connected () =
+  let rng = Prng.Splitmix.create 7 in
+  let g = Irregular.Igraph.random_connected rng ~n:40 ~extra_edges:20 in
+  check_int "n" 40 (Irregular.Igraph.n g);
+  check_bool "connected" true (Irregular.Igraph.is_connected g);
+  check_bool "has extra edges" true (Irregular.Igraph.edge_count g > 39)
+
+(* --- Ispectral --- *)
+
+let test_transition_doubly_stochastic () =
+  let g = Irregular.Igraph.wheel 8 in
+  let cap = Irregular.Igraph.max_degree g + 1 in
+  let p = Irregular.Ispectral.transition_matrix g ~capacity:cap in
+  let sums = Linalg.Csr.row_sums p in
+  Array.iter
+    (fun s -> check_bool "row sum 1" true (abs_float (s -. 1.0) < 1e-12))
+    sums;
+  check_bool "symmetric" true (Linalg.Mat.is_symmetric (Linalg.Csr.to_dense p))
+
+let test_gap_positive () =
+  let g = Irregular.Igraph.barbell ~clique:4 ~path:2 in
+  let cap = 2 * Irregular.Igraph.max_degree g in
+  let gap = Irregular.Ispectral.eigenvalue_gap g ~capacity:cap in
+  check_bool "gap in (0,1]" true (gap > 0.0 && gap <= 1.0);
+  (* Barbells mix worse than wheels of similar size. *)
+  let w = Irregular.Igraph.wheel 10 in
+  let wgap = Irregular.Ispectral.eigenvalue_gap w ~capacity:(2 * 9) in
+  check_bool "wheel mixes faster" true (wgap > gap)
+
+(* --- Iengine + Ibalancer --- *)
+
+let run_balancer mk g ~total ~steps =
+  let n = Irregular.Igraph.n g in
+  let init = Array.make n 0 in
+  init.(n / 2) <- total;
+  let balancer = mk g in
+  Irregular.Iengine.run ~graph:g ~balancer ~init ~steps ()
+
+let test_conservation_irregular () =
+  let g = Irregular.Igraph.wheel 12 in
+  let cap = 2 * Irregular.Igraph.max_degree g in
+  List.iter
+    (fun mk ->
+      let r = run_balancer (fun g -> mk g) g ~total:1234 ~steps:100 in
+      check_int "mass conserved" 1234
+        (Array.fold_left ( + ) 0 r.Irregular.Iengine.final_loads))
+    [
+      Irregular.Ibalancer.rotor_router ~capacity:cap;
+      Irregular.Ibalancer.send_floor ~capacity:cap;
+      Irregular.Ibalancer.send_round ~capacity:cap;
+    ]
+
+let test_balances_wheel () =
+  let g = Irregular.Igraph.wheel 16 in
+  let cap = 2 * Irregular.Igraph.max_degree g in
+  let r =
+    run_balancer (Irregular.Ibalancer.rotor_router ~capacity:cap) g ~total:(16 * 50)
+      ~steps:500
+  in
+  let disc =
+    Array.fold_left max min_int r.Irregular.Iengine.final_loads
+    - Array.fold_left min max_int r.Irregular.Iengine.final_loads
+  in
+  check_bool (Printf.sprintf "wheel balanced (got %d)" disc) true (disc <= cap)
+
+let test_balances_barbell () =
+  let g = Irregular.Igraph.barbell ~clique:5 ~path:4 in
+  let cap = 2 * Irregular.Igraph.max_degree g in
+  let gap = Irregular.Ispectral.eigenvalue_gap g ~capacity:cap in
+  let n = Irregular.Igraph.n g in
+  let steps =
+    Irregular.Ispectral.horizon ~gap ~n ~initial_discrepancy:(n * 40) ~c:6.0
+  in
+  let r =
+    run_balancer (Irregular.Ibalancer.send_round ~capacity:cap) g ~total:(n * 40) ~steps
+  in
+  let disc =
+    Array.fold_left max min_int r.Irregular.Iengine.final_loads
+    - Array.fold_left min max_int r.Irregular.Iengine.final_loads
+  in
+  check_bool (Printf.sprintf "barbell balanced (got %d)" disc) true (disc <= cap)
+
+let test_capacity_validated () =
+  let g = Irregular.Igraph.wheel 8 in
+  check_bool "too-small capacity rejected" true
+    (try
+       ignore (Irregular.Ibalancer.rotor_router g ~capacity:(Irregular.Igraph.max_degree g));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "send_round needs 2*max" true
+    (try
+       ignore
+         (Irregular.Ibalancer.send_round g
+            ~capacity:(Irregular.Igraph.max_degree g + 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_invariant_enforced () =
+  let g = Irregular.Igraph.star 5 in
+  let cap = 6 in
+  let leaky =
+    {
+      Irregular.Ibalancer.name = "leaky";
+      capacity = cap;
+      assign =
+        (fun ~step:_ ~node:_ ~load ~ports ->
+          Array.fill ports 0 cap 0;
+          ports.(cap - 1) <- max 0 (load - 1));
+    }
+  in
+  let init = Array.make 5 3 in
+  check_bool "leak detected" true
+    (try
+       ignore (Irregular.Iengine.run ~graph:g ~balancer:leaky ~init ~steps:1 ());
+       false
+     with Irregular.Iengine.Invariant_violation _ -> true)
+
+let prop_irregular_conservation =
+  QCheck.Test.make ~name:"irregular engine conserves mass on random graphs" ~count:25
+    QCheck.(triple (int_range 5 30) (int_range 0 15) (int_range 0 1000))
+    (fun (n, extra, total) ->
+      let rng = Prng.Splitmix.create (n + extra + total) in
+      let g = Irregular.Igraph.random_connected rng ~n ~extra_edges:extra in
+      let cap = Irregular.Igraph.max_degree g + 1 in
+      let balancer = Irregular.Ibalancer.rotor_router g ~capacity:cap in
+      let init = Array.make n 0 in
+      init.(0) <- total;
+      let r = Irregular.Iengine.run ~graph:g ~balancer ~init ~steps:30 () in
+      Array.fold_left ( + ) 0 r.Irregular.Iengine.final_loads = total)
+
+let prop_irregular_rotor_balances =
+  QCheck.Test.make ~name:"rotor-router balances random irregular graphs" ~count:10
+    QCheck.(int_range 8 24)
+    (fun n ->
+      let rng = Prng.Splitmix.create (n * 31) in
+      let g = Irregular.Igraph.random_connected rng ~n ~extra_edges:n in
+      let cap = 2 * Irregular.Igraph.max_degree g in
+      let balancer = Irregular.Ibalancer.rotor_router g ~capacity:cap in
+      let init = Array.make n 0 in
+      init.(0) <- 64 * n;
+      let gap = Irregular.Ispectral.eigenvalue_gap g ~capacity:cap in
+      let steps =
+        Irregular.Ispectral.horizon ~gap ~n ~initial_discrepancy:(64 * n) ~c:6.0
+      in
+      let r = Irregular.Iengine.run ~graph:g ~balancer ~init ~steps () in
+      let hi = Array.fold_left max min_int r.Irregular.Iengine.final_loads in
+      let lo = Array.fold_left min max_int r.Irregular.Iengine.final_loads in
+      hi - lo <= 2 * cap)
+
+let () =
+  Alcotest.run "irregular"
+    [
+      ( "igraph",
+        [
+          Alcotest.test_case "basic" `Quick test_igraph_basic;
+          Alcotest.test_case "isolated vertex" `Quick test_igraph_isolated_vertex;
+          Alcotest.test_case "rejects self edge" `Quick test_igraph_rejects_self_edge;
+          Alcotest.test_case "wheel" `Quick test_wheel;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "barbell" `Quick test_barbell;
+          Alcotest.test_case "random connected" `Quick test_random_connected;
+        ] );
+      ( "spectral",
+        [
+          Alcotest.test_case "doubly stochastic" `Quick test_transition_doubly_stochastic;
+          Alcotest.test_case "gap positive" `Quick test_gap_positive;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "conservation" `Quick test_conservation_irregular;
+          Alcotest.test_case "balances wheel" `Quick test_balances_wheel;
+          Alcotest.test_case "balances barbell" `Quick test_balances_barbell;
+          Alcotest.test_case "capacity validated" `Quick test_capacity_validated;
+          Alcotest.test_case "invariant enforced" `Quick test_engine_invariant_enforced;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_irregular_conservation;
+          QCheck_alcotest.to_alcotest prop_irregular_rotor_balances;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+(* Tests for dense vectors/matrices, CSR sparse matrices and the
+   eigen-solvers. *)
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let check_float msg a b =
+  Alcotest.(check (float 1e-9)) msg a b
+
+let check_bool = Alcotest.(check bool)
+
+(* --- Vec --- *)
+
+let test_vec_basic_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  Alcotest.(check (array (float 1e-12))) "add" [| 5.0; 7.0; 9.0 |] (Linalg.Vec.add a b);
+  Alcotest.(check (array (float 1e-12))) "sub" [| -3.0; -3.0; -3.0 |] (Linalg.Vec.sub a b);
+  Alcotest.(check (array (float 1e-12))) "scale" [| 2.0; 4.0; 6.0 |] (Linalg.Vec.scale 2.0 a);
+  check_float "dot" 32.0 (Linalg.Vec.dot a b)
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "dot mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Linalg.Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_vec_norms () =
+  let v = [| 3.0; -4.0 |] in
+  check_float "norm1" 7.0 (Linalg.Vec.norm1 v);
+  check_float "norm2" 5.0 (Linalg.Vec.norm2 v);
+  check_float "norm_inf" 4.0 (Linalg.Vec.norm_inf v)
+
+let test_vec_normalize () =
+  let v = [| 3.0; 4.0 |] in
+  Linalg.Vec.normalize2 v;
+  check_float "unit norm" 1.0 (Linalg.Vec.norm2 v);
+  let z = [| 0.0; 0.0 |] in
+  Linalg.Vec.normalize2 z;
+  check_float "zero vector unchanged" 0.0 (Linalg.Vec.norm2 z)
+
+let test_vec_axpy () =
+  let x = [| 1.0; 2.0 |] and y = [| 10.0; 20.0 |] in
+  Linalg.Vec.axpy ~alpha:3.0 ~x ~y;
+  Alcotest.(check (array (float 1e-12))) "axpy" [| 13.0; 26.0 |] y
+
+let test_vec_stats () =
+  let v = [| 1.0; 5.0; 3.0 |] in
+  check_float "sum" 9.0 (Linalg.Vec.sum v);
+  check_float "mean" 3.0 (Linalg.Vec.mean v);
+  check_float "max" 5.0 (Linalg.Vec.max_elt v);
+  check_float "min" 1.0 (Linalg.Vec.min_elt v)
+
+let test_vec_project_out () =
+  let u = [| 1.0; 0.0 |] in
+  let v = [| 3.0; 4.0 |] in
+  Linalg.Vec.project_out ~unit_dir:u v;
+  Alcotest.(check (array (float 1e-12))) "projected" [| 0.0; 4.0 |] v
+
+(* --- Mat --- *)
+
+let test_mat_identity_mul () =
+  let i3 = Linalg.Mat.identity 3 in
+  let v = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-12))) "I v = v" v (Linalg.Mat.mul_vec i3 v)
+
+let test_mat_mul () =
+  let a = Linalg.Mat.init 2 (fun i j -> float_of_int ((i * 2) + j + 1)) in
+  (* [[1 2];[3 4]] *)
+  let b = Linalg.Mat.mul a a in
+  check_float "b00" 7.0 (Linalg.Mat.get b 0 0);
+  check_float "b01" 10.0 (Linalg.Mat.get b 0 1);
+  check_float "b10" 15.0 (Linalg.Mat.get b 1 0);
+  check_float "b11" 22.0 (Linalg.Mat.get b 1 1)
+
+let test_mat_transpose () =
+  let a = Linalg.Mat.init 2 (fun i j -> float_of_int ((i * 2) + j)) in
+  let t = Linalg.Mat.transpose a in
+  check_float "t01" 2.0 (Linalg.Mat.get t 0 1);
+  check_float "t10" 1.0 (Linalg.Mat.get t 1 0)
+
+let test_mat_stochastic () =
+  let p = Linalg.Mat.init 2 (fun _ _ -> 0.5) in
+  check_bool "stochastic" true (Linalg.Mat.is_stochastic p);
+  check_bool "symmetric" true (Linalg.Mat.is_symmetric p);
+  let q = Linalg.Mat.init 2 (fun i j -> if i = j then 0.9 else 0.2) in
+  check_bool "not stochastic" false (Linalg.Mat.is_stochastic q)
+
+(* --- Csr --- *)
+
+let test_csr_roundtrip () =
+  let m = Linalg.Csr.of_triplets ~n:3 [ (0, 1, 2.0); (1, 2, 3.0); (2, 0, 4.0) ] in
+  check_float "get 0 1" 2.0 (Linalg.Csr.get m 0 1);
+  check_float "get 1 2" 3.0 (Linalg.Csr.get m 1 2);
+  check_float "get absent" 0.0 (Linalg.Csr.get m 0 2);
+  Alcotest.(check int) "nnz" 3 (Linalg.Csr.nnz m)
+
+let test_csr_duplicates_sum () =
+  let m = Linalg.Csr.of_triplets ~n:2 [ (0, 1, 1.0); (0, 1, 2.5) ] in
+  check_float "summed" 3.5 (Linalg.Csr.get m 0 1);
+  Alcotest.(check int) "merged" 1 (Linalg.Csr.nnz m)
+
+let test_csr_mul_vec () =
+  let m = Linalg.Csr.of_triplets ~n:3 [ (0, 0, 1.0); (0, 2, 2.0); (2, 1, 3.0) ] in
+  let v = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-12))) "product" [| 7.0; 0.0; 6.0 |]
+    (Linalg.Csr.mul_vec m v)
+
+let test_csr_matches_dense () =
+  let g = Prng.Splitmix.create 77 in
+  let n = 12 in
+  let triplets = ref [] in
+  for _ = 1 to 40 do
+    triplets :=
+      (Prng.Splitmix.int g n, Prng.Splitmix.int g n, Prng.Splitmix.float g 1.0)
+      :: !triplets
+  done;
+  let sparse = Linalg.Csr.of_triplets ~n !triplets in
+  let dense = Linalg.Csr.to_dense sparse in
+  let v = Array.init n (fun i -> float_of_int i) in
+  let a = Linalg.Csr.mul_vec sparse v in
+  let b = Linalg.Mat.mul_vec dense v in
+  Array.iteri (fun i x -> check_bool "agree" true (feq x b.(i))) a
+
+let test_csr_row_sums () =
+  let m = Linalg.Csr.of_triplets ~n:2 [ (0, 0, 1.0); (0, 1, 2.0); (1, 1, 5.0) ] in
+  Alcotest.(check (array (float 1e-12))) "row sums" [| 3.0; 5.0 |] (Linalg.Csr.row_sums m)
+
+let test_csr_out_of_range () =
+  Alcotest.check_raises "bad triplet"
+    (Invalid_argument "Csr.of_triplets: index out of range") (fun () ->
+      ignore (Linalg.Csr.of_triplets ~n:2 [ (0, 2, 1.0) ]))
+
+(* --- Eigen --- *)
+
+let test_power_iteration_diagonal () =
+  (* Operator diag(0.9, 0.5, 0.1): dominant eigenvalue 0.9. *)
+  let apply v = [| 0.9 *. v.(0); 0.5 *. v.(1); 0.1 *. v.(2) |] in
+  let r = Linalg.Eigen.power_iteration apply 3 in
+  check_bool
+    (Printf.sprintf "dominant %.6f" r.Linalg.Eigen.value)
+    true
+    (feq ~eps:1e-6 r.Linalg.Eigen.value 0.9)
+
+let test_second_eigenvalue_complete_graph () =
+  (* K_4 with d° = 3 self-loops: P = (A + 3I)/6; eigenvalues 1 and
+     (3-1)/6 = 1/3. *)
+  let g = Graphs.Gen.complete 4 in
+  let p = Graphs.Spectral.transition_matrix g ~self_loops:3 in
+  let r = Linalg.Eigen.second_eigenvalue p in
+  check_bool
+    (Printf.sprintf "lambda2 %.6f" r.Linalg.Eigen.value)
+    true
+    (feq ~eps:1e-6 (abs_float r.Linalg.Eigen.value) (1.0 /. 3.0))
+
+let test_spectral_gap_in_range () =
+  let g = Graphs.Gen.cycle 8 in
+  let p = Graphs.Spectral.transition_matrix g ~self_loops:2 in
+  let gap = Linalg.Eigen.spectral_gap p in
+  check_bool "gap in (0,1]" true (gap > 0.0 && gap <= 1.0)
+
+let prop_csr_mul_linear =
+  QCheck.Test.make ~name:"Csr.mul_vec is linear" ~count:100
+    QCheck.(int_range 1 20)
+    (fun n ->
+      let g = Prng.Splitmix.create n in
+      let triplets =
+        List.init (2 * n) (fun _ ->
+            (Prng.Splitmix.int g n, Prng.Splitmix.int g n, Prng.Splitmix.float g 2.0))
+      in
+      let m = Linalg.Csr.of_triplets ~n triplets in
+      let v = Array.init n (fun _ -> Prng.Splitmix.float g 1.0) in
+      let w = Array.init n (fun _ -> Prng.Splitmix.float g 1.0) in
+      let lhs = Linalg.Csr.mul_vec m (Linalg.Vec.add v w) in
+      let rhs = Linalg.Vec.add (Linalg.Csr.mul_vec m v) (Linalg.Csr.mul_vec m w) in
+      Array.for_all2 (fun a b -> feq ~eps:1e-9 a b) lhs rhs)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic ops" `Quick test_vec_basic_ops;
+          Alcotest.test_case "dim mismatch" `Quick test_vec_dim_mismatch;
+          Alcotest.test_case "norms" `Quick test_vec_norms;
+          Alcotest.test_case "normalize" `Quick test_vec_normalize;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "stats" `Quick test_vec_stats;
+          Alcotest.test_case "project out" `Quick test_vec_project_out;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "identity mul" `Quick test_mat_identity_mul;
+          Alcotest.test_case "mat mul" `Quick test_mat_mul;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose;
+          Alcotest.test_case "stochastic checks" `Quick test_mat_stochastic;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csr_roundtrip;
+          Alcotest.test_case "duplicates sum" `Quick test_csr_duplicates_sum;
+          Alcotest.test_case "mul vec" `Quick test_csr_mul_vec;
+          Alcotest.test_case "matches dense" `Quick test_csr_matches_dense;
+          Alcotest.test_case "row sums" `Quick test_csr_row_sums;
+          Alcotest.test_case "out of range" `Quick test_csr_out_of_range;
+        ] );
+      ( "eigen",
+        [
+          Alcotest.test_case "power iteration diagonal" `Quick
+            test_power_iteration_diagonal;
+          Alcotest.test_case "second eigenvalue K4" `Quick
+            test_second_eigenvalue_complete_graph;
+          Alcotest.test_case "gap in range" `Quick test_spectral_gap_in_range;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_csr_mul_linear ]);
+    ]

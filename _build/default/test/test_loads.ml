@@ -1,0 +1,92 @@
+(* Tests for load vectors and initial distributions. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_totals () =
+  check_int "total" 10 (Core.Loads.total [| 1; 2; 3; 4 |]);
+  check_int "total empty-ish" 0 (Core.Loads.total [| 0; 0 |]);
+  check_int "max" 4 (Core.Loads.max_load [| 1; 4; 2 |]);
+  check_int "min" 1 (Core.Loads.min_load [| 1; 4; 2 |])
+
+let test_discrepancy () =
+  check_int "spread" 3 (Core.Loads.discrepancy [| 1; 4; 2 |]);
+  check_int "flat" 0 (Core.Loads.discrepancy [| 5; 5; 5 |]);
+  check_int "negative loads" 7 (Core.Loads.discrepancy [| -3; 4 |])
+
+let test_average_balancedness () =
+  Alcotest.(check (float 1e-9)) "average" 2.5 (Core.Loads.average [| 1; 4 |]);
+  Alcotest.(check (float 1e-9)) "balancedness" 1.5 (Core.Loads.balancedness [| 1; 4 |])
+
+let test_point_mass () =
+  let x = Core.Loads.point_mass ~n:5 ~total:42 in
+  check_int "node 0" 42 x.(0);
+  check_int "total" 42 (Core.Loads.total x);
+  check_int "discrepancy" 42 (Core.Loads.discrepancy x)
+
+let test_bimodal () =
+  let x = Core.Loads.bimodal ~n:6 ~high:10 ~low:2 in
+  Alcotest.(check (array int)) "halves" [| 10; 10; 10; 2; 2; 2 |] x;
+  let y = Core.Loads.bimodal ~n:5 ~high:10 ~low:2 in
+  check_int "odd middle is low" 2 y.(2)
+
+let test_uniform_random_conserves () =
+  let g = Prng.Splitmix.create 1 in
+  let x = Core.Loads.uniform_random g ~n:16 ~total:1000 in
+  check_int "total" 1000 (Core.Loads.total x);
+  Array.iter (fun v -> check_bool "non-negative" true (v >= 0)) x
+
+let test_random_composition_conserves () =
+  let g = Prng.Splitmix.create 2 in
+  let x = Core.Loads.random_composition g ~n:9 ~total:77 in
+  check_int "total" 77 (Core.Loads.total x)
+
+let test_flat () =
+  Alcotest.(check (array int)) "flat" [| 3; 3; 3 |] (Core.Loads.flat ~n:3 ~value:3)
+
+let test_rejects_empty () =
+  check_bool "empty max rejected" true
+    (try
+       ignore (Core.Loads.max_load [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_distributions_conserve =
+  QCheck.Test.make ~name:"all initial distributions conserve mass" ~count:200
+    QCheck.(pair (int_range 1 100) (int_range 0 10_000))
+    (fun (n, total) ->
+      let g = Prng.Splitmix.create (n + total) in
+      Core.Loads.total (Core.Loads.point_mass ~n ~total) = total
+      && Core.Loads.total (Core.Loads.uniform_random g ~n ~total) = total
+      && Core.Loads.total (Core.Loads.random_composition g ~n ~total) = total)
+
+let prop_discrepancy_bounds_balancedness =
+  QCheck.Test.make ~name:"balancedness ≤ discrepancy" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 50) (int_range 0 1000))
+    (fun x ->
+      Core.Loads.balancedness x <= float_of_int (Core.Loads.discrepancy x) +. 1e-9)
+
+let () =
+  Alcotest.run "loads"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "totals" `Quick test_totals;
+          Alcotest.test_case "discrepancy" `Quick test_discrepancy;
+          Alcotest.test_case "average/balancedness" `Quick test_average_balancedness;
+          Alcotest.test_case "rejects empty" `Quick test_rejects_empty;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "point mass" `Quick test_point_mass;
+          Alcotest.test_case "bimodal" `Quick test_bimodal;
+          Alcotest.test_case "uniform random" `Quick test_uniform_random_conserves;
+          Alcotest.test_case "random composition" `Quick test_random_composition_conserves;
+          Alcotest.test_case "flat" `Quick test_flat;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_distributions_conserve;
+          QCheck_alcotest.to_alcotest prop_discrepancy_bounds_balancedness;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the Jacobi eigensolver and the Lemma A.1 mixing analysis. *)
+
+let check_bool = Alcotest.(check bool)
+let feq ?(eps = 1e-8) a b = abs_float (a -. b) < eps
+
+(* --- Jacobi --- *)
+
+let test_jacobi_diagonal () =
+  let m = Linalg.Mat.init 3 (fun i j -> if i = j then float_of_int (3 - i) else 0.0) in
+  let d = Linalg.Jacobi.decompose m in
+  Alcotest.(check (array (float 1e-10))) "eigenvalues" [| 3.0; 2.0; 1.0 |]
+    d.Linalg.Jacobi.eigenvalues
+
+let test_jacobi_2x2 () =
+  (* [[2 1];[1 2]]: eigenvalues 3 and 1. *)
+  let m = Linalg.Mat.init 2 (fun i j -> if i = j then 2.0 else 1.0) in
+  let d = Linalg.Jacobi.decompose m in
+  check_bool "λ1" true (feq d.Linalg.Jacobi.eigenvalues.(0) 3.0);
+  check_bool "λ2" true (feq d.Linalg.Jacobi.eigenvalues.(1) 1.0)
+
+let test_jacobi_reconstruct () =
+  let g = Prng.Splitmix.create 5 in
+  let n = 8 in
+  let half = Linalg.Mat.init n (fun _ _ -> Prng.Splitmix.float g 1.0) in
+  let m = Linalg.Mat.init n (fun i j -> (Linalg.Mat.get half i j +. Linalg.Mat.get half j i) /. 2.0) in
+  let d = Linalg.Jacobi.decompose m in
+  let r = Linalg.Jacobi.reconstruct d in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      check_bool "reconstructs" true (feq ~eps:1e-7 (Linalg.Mat.get m i j) (Linalg.Mat.get r i j))
+    done
+  done
+
+let test_jacobi_rejects_asymmetric () =
+  let m = Linalg.Mat.init 2 (fun i j -> float_of_int (i - j)) in
+  check_bool "rejected" true
+    (try
+       ignore (Linalg.Jacobi.decompose m);
+       false
+     with Invalid_argument _ -> true)
+
+let test_jacobi_matches_closed_form_cycle () =
+  (* All eigenvalues of the lazy cycle walk are (2cos(2πk/n)+d°)/d⁺. *)
+  let n = 8 in
+  let g = Graphs.Gen.cycle n in
+  let p = Graphs.Spectral.transition_matrix g ~self_loops:2 in
+  let eigs = Linalg.Jacobi.eigenvalues_of_transition p in
+  let expected =
+    Array.init n (fun k ->
+        ((2.0 *. cos (2.0 *. Float.pi *. float_of_int k /. float_of_int n)) +. 2.0) /. 4.0)
+  in
+  Array.sort (fun a b -> compare b a) expected;
+  Array.iteri
+    (fun i l -> check_bool (Printf.sprintf "eig %d" i) true (feq ~eps:1e-8 l expected.(i)))
+    eigs
+
+let test_jacobi_agrees_with_power_iteration () =
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let p = Graphs.Spectral.transition_matrix g ~self_loops:4 in
+  let eigs = Linalg.Jacobi.eigenvalues_of_transition p in
+  let lambda2_dense = abs_float eigs.(1) in
+  let gap_power = Graphs.Spectral.eigenvalue_gap g ~self_loops:4 in
+  check_bool "agree" true (feq ~eps:1e-5 (1.0 -. lambda2_dense) gap_power)
+
+(* --- Mixing / Lemma A.1 --- *)
+
+let test_power_zero_is_identity () =
+  let g = Graphs.Gen.cycle 6 in
+  let m = Graphs.Mixing.create g ~self_loops:2 in
+  let p0 = Graphs.Mixing.power m 0 in
+  check_bool "identity" true (feq (Linalg.Mat.get p0 0 0) 1.0);
+  check_bool "off diag" true (feq (Linalg.Mat.get p0 0 1) 0.0)
+
+let test_error_term_vanishes () =
+  (* Λ_t → 0 as t grows: operator norm decreasing towards 0. *)
+  let g = Graphs.Gen.complete 6 in
+  let m = Graphs.Mixing.create g ~self_loops:5 in
+  let e5 = Graphs.Mixing.error_operator_norm_inf m 5 in
+  let e20 = Graphs.Mixing.error_operator_norm_inf m 20 in
+  let e60 = Graphs.Mixing.error_operator_norm_inf m 60 in
+  check_bool "decays" true (e20 < e5 && e60 < e20);
+  check_bool "nearly gone" true (e60 < 1e-6)
+
+let test_lemma_a1_i () =
+  (* ‖Λ_t q‖∞ ≤ n²(1−µ)^t ‖q − q̄‖∞ for several t and q. *)
+  let g = Graphs.Gen.torus [ 3; 3 ] in
+  let m = Graphs.Mixing.create g ~self_loops:4 in
+  let rng = Prng.Splitmix.create 3 in
+  for _ = 1 to 5 do
+    let q = Array.init 9 (fun _ -> Prng.Splitmix.float rng 10.0) in
+    List.iter
+      (fun t ->
+        let lhs = Linalg.Vec.norm_inf (Graphs.Mixing.apply_error m t q) in
+        let rhs = Graphs.Mixing.lemma_a1_i_bound m ~q t in
+        check_bool (Printf.sprintf "t=%d: %.2e ≤ %.2e" t lhs rhs) true (lhs <= rhs +. 1e-12))
+      [ 0; 1; 3; 10; 30 ]
+  done
+
+let test_error_orthogonal_to_uniform () =
+  (* Λ_t annihilates the uniform vector: Λ_t 1 = 0 (doubly stochastic). *)
+  let g = Graphs.Gen.cycle 7 in
+  let m = Graphs.Mixing.create g ~self_loops:2 in
+  let one = Array.make 7 1.0 in
+  List.iter
+    (fun t ->
+      check_bool "kills uniform" true
+        (Linalg.Vec.norm_inf (Graphs.Mixing.apply_error m t one) < 1e-10))
+    [ 1; 4; 9 ]
+
+let test_current_sum_bounds () =
+  (* Appendix A.1: the current sum over a ≤ H is bounded by
+     (i) 2 + 48√H for lazy walks, and (ii) √n (the telescoping
+     eigenvalue bound).  Check both on a lazy cycle. *)
+  let n = 12 in
+  let g = Graphs.Gen.cycle n in
+  let m = Graphs.Mixing.create g ~self_loops:2 in
+  let h = 30 in
+  let sum = Graphs.Mixing.current_sum m ~horizon:h in
+  let bound_i = 2.0 +. (48.0 *. sqrt (float_of_int h)) in
+  let bound_ii = 2.0 +. sqrt (float_of_int n) in
+  check_bool (Printf.sprintf "(i): %.3f ≤ %.1f" sum bound_i) true (sum <= bound_i);
+  check_bool (Printf.sprintf "(ii): %.3f ≤ %.3f" sum bound_ii) true (sum <= bound_ii)
+
+let test_spectral_gap_consistent () =
+  let g = Graphs.Gen.hypercube 3 in
+  let m = Graphs.Mixing.create g ~self_loops:3 in
+  let exact = Graphs.Spectral.hypercube_gap ~r:3 ~self_loops:3 in
+  check_bool "gap matches closed form" true
+    (feq ~eps:1e-8 (Graphs.Mixing.spectral_gap m) exact)
+
+let prop_error_norm_decreasing =
+  QCheck.Test.make ~name:"‖Λ_t‖∞ is non-increasing in t for lazy walks" ~count:10
+    QCheck.(int_range 3 10)
+    (fun n ->
+      let g = Graphs.Gen.cycle n in
+      let m = Graphs.Mixing.create g ~self_loops:2 in
+      let prev = ref infinity in
+      let ok = ref true in
+      for t = 0 to 12 do
+        let e = Graphs.Mixing.error_operator_norm_inf m t in
+        if e > !prev +. 1e-9 then ok := false;
+        prev := e
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "mixing"
+    [
+      ( "jacobi",
+        [
+          Alcotest.test_case "diagonal" `Quick test_jacobi_diagonal;
+          Alcotest.test_case "2x2" `Quick test_jacobi_2x2;
+          Alcotest.test_case "reconstruct" `Quick test_jacobi_reconstruct;
+          Alcotest.test_case "rejects asymmetric" `Quick test_jacobi_rejects_asymmetric;
+          Alcotest.test_case "cycle closed form" `Quick test_jacobi_matches_closed_form_cycle;
+          Alcotest.test_case "agrees with power iteration" `Quick
+            test_jacobi_agrees_with_power_iteration;
+        ] );
+      ( "lemma A.1",
+        [
+          Alcotest.test_case "P^0 = I" `Quick test_power_zero_is_identity;
+          Alcotest.test_case "error vanishes" `Quick test_error_term_vanishes;
+          Alcotest.test_case "claim (i)" `Quick test_lemma_a1_i;
+          Alcotest.test_case "kills uniform" `Quick test_error_orthogonal_to_uniform;
+          Alcotest.test_case "current sum bounds" `Quick test_current_sum_bounds;
+          Alcotest.test_case "gap consistent" `Quick test_spectral_gap_consistent;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_error_norm_decreasing ]);
+    ]

@@ -1,0 +1,132 @@
+(* Tests for the Section 3 potential functions and the monotonicity of
+   Lemmas 3.5 / 3.7 on live good-s-balancer runs. *)
+
+let check_int = Alcotest.(check int)
+
+let test_phi_values () =
+  let loads = [| 10; 3; 0; 25 |] in
+  (* d+ = 4, c = 2: threshold 8: max(10-8,0)+0+0+max(25-8,0) = 2+17 *)
+  check_int "phi" 19 (Core.Potential.phi ~d_plus:4 ~c:2 loads);
+  check_int "phi at high c" 0 (Core.Potential.phi ~d_plus:4 ~c:10 loads);
+  (* phi' with s=1, c=2: threshold 9: (0)+(6)+(9)+(0) = 15 *)
+  check_int "phi'" 15 (Core.Potential.phi' ~d_plus:4 ~s:1 ~c:2 loads)
+
+let test_phi_zero_threshold () =
+  let loads = [| 1; 2; 3 |] in
+  check_int "phi(0) counts all tokens" 6 (Core.Potential.phi ~d_plus:4 ~c:0 loads)
+
+let test_drop_formula () =
+  (* d+ = 4, s = 2, c = 1 (threshold 4).  before = 9, after = 5:
+     min(9-4, 2) - max(5-4, 0) = 2 - 1 = 1. *)
+  check_int "drop" 1 (Core.Potential.drop ~d_plus:4 ~s:2 ~c:1 ~before:9 ~after:5);
+  (* no drop when load stays above threshold band *)
+  check_int "no drop (stays high)" 0
+    (Core.Potential.drop ~d_plus:4 ~s:2 ~c:1 ~before:9 ~after:8);
+  check_int "full s drop" 2 (Core.Potential.drop ~d_plus:4 ~s:2 ~c:1 ~before:9 ~after:4);
+  check_int "no drop below" 0 (Core.Potential.drop ~d_plus:4 ~s:2 ~c:1 ~before:3 ~after:2)
+
+let test_drop'_formula () =
+  (* d+ = 4, s = 2, c = 1: band [4, 6].  before = 3, after = 6:
+     min(3, 2, 2, 3) = 2. *)
+  check_int "drop'" 2 (Core.Potential.drop' ~d_plus:4 ~s:2 ~c:1 ~before:3 ~after:6);
+  check_int "no drop' when decreasing" 0
+    (Core.Potential.drop' ~d_plus:4 ~s:2 ~c:1 ~before:6 ~after:3);
+  check_int "no drop' when staying low" 0
+    (Core.Potential.drop' ~d_plus:4 ~s:2 ~c:1 ~before:2 ~after:3)
+
+let test_c_ladder () =
+  Alcotest.(check (list int)) "ladder" [ 2; 3; 4 ]
+    (Core.Potential.c_ladder ~d_plus:4 ~lo_load:8 ~hi_load:17);
+  Alcotest.(check (list int)) "empty ladder" []
+    (Core.Potential.c_ladder ~d_plus:4 ~lo_load:18 ~hi_load:17)
+
+(* Lemma 3.5 / 3.7 monotonicity: run good s-balancers and check that
+   both potentials never increase, for a ladder of thresholds. *)
+let check_monotone_potentials ~graph ~balancer ~init ~steps ~s =
+  let dp = Core.Balancer.d_plus balancer in
+  let hi = Core.Loads.max_load init in
+  let cs = Core.Potential.c_ladder ~d_plus:dp ~lo_load:(hi / 3) ~hi_load:hi in
+  let cs = if cs = [] then [ 1 ] else cs in
+  let hook, finish = Core.Potential.tracker ~d_plus:dp ~s ~cs () in
+  (* Include step 0 by hand. *)
+  hook 0 init;
+  ignore (Core.Engine.run ~hook ~graph ~balancer ~init ~steps ());
+  let phis, phis' = finish () in
+  let assert_monotone name traces =
+    List.iter
+      (fun { Core.Potential.c; values } ->
+        let prev = ref max_int in
+        Array.iter
+          (fun (t, v) ->
+            if v > !prev then
+              Alcotest.failf "%s(c=%d) increased at step %d: %d -> %d" name c t !prev v;
+            prev := v)
+          values)
+      traces
+  in
+  assert_monotone "phi" phis;
+  assert_monotone "phi'" phis'
+
+let test_lemma_3_5_rotor_router_star () =
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let init = Core.Loads.point_mass ~n:16 ~total:800 in
+  check_monotone_potentials ~graph:g ~balancer:(Core.Rotor_router_star.make g) ~init
+    ~steps:400 ~s:1
+
+let test_lemma_3_5_send_round () =
+  let g = Graphs.Gen.hypercube 4 in
+  let d = 4 in
+  let init = Core.Loads.point_mass ~n:16 ~total:1111 in
+  check_monotone_potentials ~graph:g
+    ~balancer:(Core.Send_round.make g ~self_loops:(3 * d))
+    ~init ~steps:400 ~s:d
+
+let test_lemma_3_5_send_round_on_cycle () =
+  let g = Graphs.Gen.cycle 15 in
+  let init = Core.Loads.bimodal ~n:15 ~high:60 ~low:0 in
+  check_monotone_potentials ~graph:g ~balancer:(Core.Send_round.make g ~self_loops:6)
+    ~init ~steps:600 ~s:1
+
+let prop_phi_nonnegative_antitone_in_c =
+  QCheck.Test.make ~name:"phi is non-negative and antitone in c" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 30) (int_range 0 100))
+    (fun loads ->
+      let p c = Core.Potential.phi ~d_plus:4 ~c loads in
+      p 0 >= p 1 && p 1 >= p 2 && p 5 >= p 10 && p 10 >= 0)
+
+let prop_phi_drop_consistent =
+  QCheck.Test.make ~name:"drop ≤ phi difference bound for single node" ~count:500
+    QCheck.(quad (int_range 0 40) (int_range 0 40) (int_range 1 5) (int_range 1 4))
+    (fun (before, after, s, c) ->
+      let d_plus = 6 in
+      let d = Core.Potential.drop ~d_plus ~s ~c ~before ~after in
+      (* The drop claimed by the lemma can never exceed the actual
+         single-node potential decrease when the load decreases. *)
+      let p x = max (x - (c * d_plus)) 0 in
+      d <= max (p before - p after + s) s && d >= 0)
+
+let () =
+  Alcotest.run "potential"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "phi values" `Quick test_phi_values;
+          Alcotest.test_case "phi zero threshold" `Quick test_phi_zero_threshold;
+          Alcotest.test_case "drop" `Quick test_drop_formula;
+          Alcotest.test_case "drop'" `Quick test_drop'_formula;
+          Alcotest.test_case "c ladder" `Quick test_c_ladder;
+        ] );
+      ( "lemma 3.5/3.7 on live runs",
+        [
+          Alcotest.test_case "rotor-router* monotone" `Quick
+            test_lemma_3_5_rotor_router_star;
+          Alcotest.test_case "send-round monotone" `Quick test_lemma_3_5_send_round;
+          Alcotest.test_case "send-round on cycle monotone" `Quick
+            test_lemma_3_5_send_round_on_cycle;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_phi_nonnegative_antitone_in_c;
+          QCheck_alcotest.to_alcotest prop_phi_drop_consistent;
+        ] );
+    ]

@@ -1,0 +1,223 @@
+(* Tests for the SplitMix64 generator and sampling utilities. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Prng.Splitmix.create 42 and b = Prng.Splitmix.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.Splitmix.next64 a) (Prng.Splitmix.next64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.Splitmix.create 1 and b = Prng.Splitmix.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Splitmix.next64 a = Prng.Splitmix.next64 b then incr same
+  done;
+  check_bool "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Prng.Splitmix.create 7 in
+  ignore (Prng.Splitmix.next64 a);
+  let b = Prng.Splitmix.copy a in
+  let xa = Prng.Splitmix.next64 a in
+  let xb = Prng.Splitmix.next64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  ignore (Prng.Splitmix.next64 a);
+  (* advancing a further must not affect b *)
+  let b2 = Prng.Splitmix.copy b in
+  Alcotest.(check int64) "b unaffected" (Prng.Splitmix.next64 b) (Prng.Splitmix.next64 b2)
+
+let test_split_diverges () =
+  let a = Prng.Splitmix.create 9 in
+  let b = Prng.Splitmix.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Splitmix.next64 a = Prng.Splitmix.next64 b then incr same
+  done;
+  check_bool "split stream differs" true (!same < 4)
+
+let test_int_bounds () =
+  let g = Prng.Splitmix.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.Splitmix.int g 7 in
+    check_bool "in range" true (v >= 0 && v < 7)
+  done
+
+let test_int_rejects_bad_bound () =
+  let g = Prng.Splitmix.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (Prng.Splitmix.int g 0))
+
+let test_int_in_range () =
+  let g = Prng.Splitmix.create 4 in
+  for _ = 1 to 1000 do
+    let v = Prng.Splitmix.int_in g (-5) 5 in
+    check_bool "in inclusive range" true (v >= -5 && v <= 5)
+  done;
+  check_int "singleton range" 3 (Prng.Splitmix.int_in g 3 3)
+
+let test_int_uniformity () =
+  let g = Prng.Splitmix.create 5 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.Splitmix.int g 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_bool
+        (Printf.sprintf "bucket %d near uniform (%d)" i c)
+        true
+        (abs (c - (n / 10)) < n / 50))
+    counts
+
+let test_float_range () =
+  let g = Prng.Splitmix.create 6 in
+  for _ = 1 to 10_000 do
+    let v = Prng.Splitmix.float g 2.5 in
+    check_bool "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bernoulli_extremes () =
+  let g = Prng.Splitmix.create 8 in
+  for _ = 1 to 100 do
+    check_bool "p=0 is false" false (Prng.Splitmix.bernoulli g 0.0);
+    check_bool "p=1 is true" true (Prng.Splitmix.bernoulli g 1.0)
+  done
+
+let test_bernoulli_rate () =
+  let g = Prng.Splitmix.create 11 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Prng.Splitmix.bernoulli g 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check_bool (Printf.sprintf "rate %.3f near 0.3" rate) true (abs_float (rate -. 0.3) < 0.01)
+
+let test_bool_rate () =
+  let g = Prng.Splitmix.create 12 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Prng.Splitmix.bool g then incr hits
+  done;
+  check_bool "fair coin" true (abs (!hits - (n / 2)) < n / 50)
+
+(* --- Sample --- *)
+
+let test_shuffle_is_permutation () =
+  let g = Prng.Splitmix.create 13 in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.Sample.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_permutation_valid () =
+  let g = Prng.Splitmix.create 14 in
+  let p = Prng.Sample.permutation g 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "valid permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_choice_singleton () =
+  let g = Prng.Splitmix.create 15 in
+  check_int "only element" 7 (Prng.Sample.choice g [| 7 |])
+
+let test_choice_empty () =
+  let g = Prng.Splitmix.create 15 in
+  Alcotest.check_raises "empty" (Invalid_argument "Sample.choice: empty array") (fun () ->
+      ignore (Prng.Sample.choice g [||]))
+
+let test_sample_without_replacement () =
+  let g = Prng.Splitmix.create 16 in
+  let s = Prng.Sample.sample_without_replacement g 10 100 in
+  check_int "size" 10 (Array.length s);
+  let seen = Hashtbl.create 10 in
+  Array.iter
+    (fun v ->
+      check_bool "in range" true (v >= 0 && v < 100);
+      check_bool "distinct" false (Hashtbl.mem seen v);
+      Hashtbl.add seen v ())
+    s
+
+let test_sample_full () =
+  let g = Prng.Splitmix.create 17 in
+  let s = Prng.Sample.sample_without_replacement g 20 20 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "all elements" (Array.init 20 (fun i -> i)) sorted
+
+let test_multinomial_conserves () =
+  let g = Prng.Splitmix.create 18 in
+  let occ = Prng.Sample.multinomial_tokens g ~tokens:1234 ~bins:17 in
+  check_int "bins" 17 (Array.length occ);
+  check_int "total conserved" 1234 (Array.fold_left ( + ) 0 occ)
+
+let test_geometric_split_conserves () =
+  let g = Prng.Splitmix.create 19 in
+  for total = 0 to 50 do
+    let parts = 1 + (total mod 7) in
+    let s = Prng.Sample.geometric_split g ~total ~parts in
+    check_int "parts" parts (Array.length s);
+    check_int "total conserved" total (Array.fold_left ( + ) 0 s);
+    Array.iter (fun x -> check_bool "non-negative" true (x >= 0)) s
+  done
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Splitmix.int always in range" ~count:1000
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.Splitmix.create seed in
+      let v = Prng.Splitmix.int g bound in
+      v >= 0 && v < bound)
+
+let prop_split_conserves =
+  QCheck.Test.make ~name:"geometric_split conserves mass" ~count:500
+    QCheck.(pair (int_range 0 500) (int_range 1 50))
+    (fun (total, parts) ->
+      let g = Prng.Splitmix.create (total + (parts * 1000)) in
+      let s = Prng.Sample.geometric_split g ~total ~parts in
+      Array.fold_left ( + ) 0 s = total && Array.for_all (fun x -> x >= 0) s)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_split_diverges;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+          Alcotest.test_case "int_in range" `Quick test_int_in_range;
+          Alcotest.test_case "int uniformity" `Slow test_int_uniformity;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Slow test_bernoulli_rate;
+          Alcotest.test_case "bool rate" `Slow test_bool_rate;
+        ] );
+      ( "sample",
+        [
+          Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "permutation valid" `Quick test_permutation_valid;
+          Alcotest.test_case "choice singleton" `Quick test_choice_singleton;
+          Alcotest.test_case "choice empty" `Quick test_choice_empty;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "sample full range" `Quick test_sample_full;
+          Alcotest.test_case "multinomial conserves" `Quick test_multinomial_conserves;
+          Alcotest.test_case "geometric split conserves" `Quick
+            test_geometric_split_conserves;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_int_in_range;
+          QCheck_alcotest.to_alcotest prop_split_conserves;
+        ] );
+    ]

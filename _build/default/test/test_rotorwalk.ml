@@ -1,0 +1,129 @@
+(* Tests for single-agent rotor walks vs random walks (§1.2 related
+   work: deterministic random walks / Propp machines). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_step_cycles_ports () =
+  let g = Graphs.Gen.complete 4 in
+  let w = Rotorwalk.Walk.create g in
+  (* Node 0 fired 3 times visits each of its 3 neighbors once. *)
+  let targets = List.init 3 (fun _ -> Rotorwalk.Walk.step w 0) in
+  let sorted = List.sort_uniq compare targets in
+  check_int "three distinct neighbors" 3 (List.length sorted)
+
+let test_rotor_state_advances () =
+  let g = Graphs.Gen.cycle 5 in
+  let w = Rotorwalk.Walk.create g in
+  let a = Rotorwalk.Walk.step w 0 in
+  let b = Rotorwalk.Walk.step w 0 in
+  check_bool "alternates neighbors" true (a <> b);
+  let c = Rotorwalk.Walk.step w 0 in
+  check_int "period 2 on degree-2 node" a c
+
+let test_init_rotor_respected () =
+  let g = Graphs.Gen.cycle 5 in
+  let w0 = Rotorwalk.Walk.create g in
+  let w1 = Rotorwalk.Walk.create g ~init_rotor:(fun _ -> 1) in
+  check_bool "different first hop" true (Rotorwalk.Walk.step w0 0 <> Rotorwalk.Walk.step w1 0)
+
+let test_walk_stays_on_graph () =
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let w = Rotorwalk.Walk.create g in
+  let final = Rotorwalk.Walk.walk w ~start:5 ~steps:1000 in
+  check_bool "valid node" true (final >= 0 && final < 16)
+
+let test_cover_time_within_yanovski_bound () =
+  List.iter
+    (fun g ->
+      let w = Rotorwalk.Walk.create g in
+      match Rotorwalk.Walk.cover_time w ~start:0 with
+      | None -> Alcotest.fail "rotor walk did not cover"
+      | Some t ->
+        let bound = Rotorwalk.Walk.yanovski_bound g in
+        check_bool (Printf.sprintf "cover %d ≤ 2mD = %d" t bound) true (t <= bound))
+    [
+      Graphs.Gen.cycle 17;
+      Graphs.Gen.torus [ 5; 5 ];
+      Graphs.Gen.hypercube 5;
+      Graphs.Gen.complete 9;
+      Graphs.Gen.random_regular (Prng.Splitmix.create 3) ~n:50 ~d:4;
+    ]
+
+let test_cover_time_cap () =
+  let g = Graphs.Gen.cycle 100 in
+  let w = Rotorwalk.Walk.create g in
+  match Rotorwalk.Walk.cover_time ~cap:10 w ~start:0 with
+  | None -> ()
+  | Some t -> Alcotest.failf "cannot cover 100-cycle in 10 steps (claimed %d)" t
+
+let test_visits_count_total () =
+  let g = Graphs.Gen.cycle 6 in
+  let w = Rotorwalk.Walk.create g in
+  let v = Rotorwalk.Walk.visits w ~start:0 ~steps:120 in
+  check_int "total visits" 121 (Array.fold_left ( + ) 0 v);
+  (* Rotor walks equidistribute visits on vertex-transitive graphs:
+     after many steps, per-node visit counts are within a small band. *)
+  let hi = Array.fold_left max 0 v and lo = Array.fold_left min max_int v in
+  check_bool (Printf.sprintf "visit spread %d-%d" lo hi) true (hi - lo <= 4)
+
+let test_random_walk_covers () =
+  let g = Graphs.Gen.complete 8 in
+  let rng = Prng.Splitmix.create 5 in
+  match Rotorwalk.Walk.random_cover_time rng g ~start:0 with
+  | None -> Alcotest.fail "random walk did not cover K8"
+  | Some t -> check_bool "positive" true (t >= 7)
+
+let test_random_hitting_time () =
+  let g = Graphs.Gen.cycle 8 in
+  let rng = Prng.Splitmix.create 6 in
+  (match Rotorwalk.Walk.random_hitting_time rng g ~src:0 ~dst:0 with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "hitting self is 0");
+  match Rotorwalk.Walk.random_hitting_time rng g ~src:0 ~dst:4 with
+  | None -> Alcotest.fail "never hit antipode"
+  | Some t -> check_bool "at least distance" true (t >= 4)
+
+let prop_rotor_walk_deterministic =
+  QCheck.Test.make ~name:"rotor walks are reproducible" ~count:50
+    QCheck.(pair (int_range 3 20) (int_range 1 500))
+    (fun (n, steps) ->
+      let g = Graphs.Gen.cycle n in
+      let a = Rotorwalk.Walk.walk (Rotorwalk.Walk.create g) ~start:0 ~steps in
+      let b = Rotorwalk.Walk.walk (Rotorwalk.Walk.create g) ~start:0 ~steps in
+      a = b)
+
+let prop_cover_bound_random_regular =
+  QCheck.Test.make ~name:"rotor cover within 2mD on random regular graphs" ~count:10
+    QCheck.(int_range 10 40)
+    (fun n ->
+      let n = if n mod 2 = 1 then n + 1 else n in
+      let g = Graphs.Gen.random_regular (Prng.Splitmix.create n) ~n ~d:3 in
+      match Rotorwalk.Walk.cover_time (Rotorwalk.Walk.create g) ~start:0 with
+      | None -> false
+      | Some t -> t <= Rotorwalk.Walk.yanovski_bound g)
+
+let () =
+  Alcotest.run "rotorwalk"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "cycles ports" `Quick test_step_cycles_ports;
+          Alcotest.test_case "rotor advances" `Quick test_rotor_state_advances;
+          Alcotest.test_case "init rotor" `Quick test_init_rotor_respected;
+          Alcotest.test_case "stays on graph" `Quick test_walk_stays_on_graph;
+        ] );
+      ( "cover times",
+        [
+          Alcotest.test_case "within 2mD" `Quick test_cover_time_within_yanovski_bound;
+          Alcotest.test_case "cap respected" `Quick test_cover_time_cap;
+          Alcotest.test_case "visit counts" `Quick test_visits_count_total;
+          Alcotest.test_case "random walk covers" `Quick test_random_walk_covers;
+          Alcotest.test_case "hitting time" `Quick test_random_hitting_time;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_rotor_walk_deterministic;
+          QCheck_alcotest.to_alcotest prop_cover_bound_random_regular;
+        ] );
+    ]

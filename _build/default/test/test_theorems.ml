@@ -1,0 +1,416 @@
+(* Integration tests: each of the paper's theorems, exercised end-to-end
+   at small scale.
+
+   Upper bounds are checked with explicit constants that are generous
+   but far below what a failing algorithm would produce; lower-bound
+   constructions are checked exactly (they are steady states / exact
+   period-2 oscillations). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mixing_horizon g ~self_loops ~init ~c =
+  let gap = Graphs.Spectral.eigenvalue_gap g ~self_loops in
+  Graphs.Spectral.horizon ~gap ~n:(Graphs.Graph.n g)
+    ~initial_discrepancy:(Core.Loads.discrepancy init) ~c
+
+(* --- Theorem 2.3: cumulatively fair balancers after O(T) --- *)
+
+let run_after_t g ~balancer ~init ~c =
+  let steps = mixing_horizon g ~self_loops:balancer.Core.Balancer.self_loops ~init ~c in
+  let r = Core.Engine.run ~graph:g ~balancer ~init ~steps () in
+  Core.Loads.discrepancy r.Core.Engine.final_loads
+
+let test_thm23_expander () =
+  (* Claim (i): O(d √(log n / µ)) on a good expander — in absolute terms
+     a small constant times d for these sizes. *)
+  let rng = Prng.Splitmix.create 2 in
+  let n = 128 and d = 6 in
+  let g = Graphs.Gen.random_regular rng ~n ~d in
+  let init = Core.Loads.point_mass ~n ~total:(64 * n) in
+  let gap = Graphs.Spectral.eigenvalue_gap g ~self_loops:d in
+  let bound =
+    int_of_float
+      (4.0 *. float_of_int d *. sqrt (log (float_of_int n) /. gap))
+  in
+  List.iter
+    (fun balancer ->
+      let disc = run_after_t g ~balancer ~init ~c:4.0 in
+      check_bool
+        (Printf.sprintf "%s on expander: %d ≤ %d" balancer.Core.Balancer.name disc bound)
+        true (disc <= bound))
+    [
+      Core.Rotor_router.make g ~self_loops:d;
+      Core.Send_floor.make g ~self_loops:d;
+      Core.Send_round.make g ~self_loops:d;
+    ]
+
+let test_thm23_cycle_sqrt_n () =
+  (* Claim (ii): O(d √n) on the cycle. *)
+  let n = 64 and d = 2 in
+  let g = Graphs.Gen.cycle n in
+  let init = Core.Loads.point_mass ~n ~total:(16 * n) in
+  let bound = int_of_float (4.0 *. float_of_int d *. sqrt (float_of_int n)) in
+  List.iter
+    (fun balancer ->
+      let disc = run_after_t g ~balancer ~init ~c:4.0 in
+      check_bool
+        (Printf.sprintf "%s on cycle: %d ≤ %d" balancer.Core.Balancer.name disc bound)
+        true (disc <= bound))
+    [
+      Core.Rotor_router.make g ~self_loops:d;
+      Core.Send_floor.make g ~self_loops:d;
+      Core.Send_round.make g ~self_loops:d;
+    ]
+
+let test_thm23_much_better_than_initial () =
+  (* Sanity on the statement's premise: after T the discrepancy is a
+     tiny fraction of K. *)
+  let g = Graphs.Gen.torus [ 8; 8 ] in
+  let n = 64 in
+  let init = Core.Loads.point_mass ~n ~total:(1000 * n) in
+  let balancer = Core.Rotor_router.make g ~self_loops:4 in
+  let disc = run_after_t g ~balancer ~init ~c:4.0 in
+  check_bool (Printf.sprintf "K=64000 collapsed to %d" disc) true (disc < 100)
+
+let test_thm23_claim_iii_minimal_laziness () =
+  (* Claim (iii): for ANY d⁺ ≥ d+1 — even a single self-loop — the
+     discrepancy after T is O((δ+1)·d·log n/µ). *)
+  let g = Graphs.Gen.torus [ 8; 8 ] in
+  let n = 64 and d = 4 in
+  let init = Core.Loads.point_mass ~n ~total:(64 * n) in
+  let gap = Graphs.Spectral.eigenvalue_gap g ~self_loops:1 in
+  let bound = int_of_float (2.0 *. float_of_int d *. log (float_of_int n) /. gap) in
+  List.iter
+    (fun balancer ->
+      let disc = run_after_t g ~balancer ~init ~c:4.0 in
+      check_bool
+        (Printf.sprintf "%s with d°=1: %d ≤ %d" balancer.Core.Balancer.name disc bound)
+        true (disc <= bound))
+    [ Core.Rotor_router.make g ~self_loops:1; Core.Send_floor.make g ~self_loops:1 ]
+
+(* --- Lemma 3.4: every node dips near the average in every window --- *)
+
+let test_lemma34_window_dip () =
+  (* After the burn-in t ≥ 16·log(nK)/µ, every node's load must dip to
+     x̄ + δd⁺ + 2r + 1/2 + λ within every window of length
+     T̂ = O(d·log n/(µ(λ+1))).  Check with λ = 0 and the loose r ≤ d⁺
+     of Proposition A.2, over four consecutive windows. *)
+  let g = Graphs.Gen.torus [ 8; 8 ] in
+  let n = 64 and d = 4 in
+  let dp = 2 * d in
+  let init = Core.Loads.point_mass ~n ~total:(100 * n) in
+  let gap = Graphs.Spectral.eigenvalue_gap g ~self_loops:d in
+  let burn_in = mixing_horizon g ~self_loops:d ~init ~c:16.0 in
+  let window =
+    max 1 (int_of_float (8.0 *. float_of_int d *. log (float_of_int n) /. gap))
+  in
+  let threshold =
+    Core.Loads.average init +. float_of_int dp +. (2.0 *. float_of_int dp) +. 0.5
+  in
+  let windows = 4 in
+  let steps = burn_in + (windows * window) in
+  (* min load per node within each window *)
+  let window_min = Array.make_matrix windows n max_int in
+  let hook t loads =
+    if t > burn_in then begin
+      let w = (t - burn_in - 1) / window in
+      if w < windows then
+        for u = 0 to n - 1 do
+          if loads.(u) < window_min.(w).(u) then window_min.(w).(u) <- loads.(u)
+        done
+    end
+  in
+  let balancer = Core.Rotor_router.make g ~self_loops:d in
+  ignore (Core.Engine.run ~hook ~graph:g ~balancer ~init ~steps ());
+  for w = 0 to windows - 1 do
+    for u = 0 to n - 1 do
+      check_bool
+        (Printf.sprintf "window %d node %d dips (min %d ≤ %.1f)" w u
+           window_min.(w).(u) threshold)
+        true
+        (float_of_int window_min.(w).(u) <= threshold)
+    done
+  done
+
+(* --- Theorem 3.3: good s-balancers reach O(d) --- *)
+
+let test_thm33_send_round_reaches_od () =
+  (* SEND([x/d+]) with d+ = 4d: a good s-balancer with s = Ω(d); must
+     reach (2δ+1)d+ + 4d° = d+ + 4d° discrepancy (δ = 0). *)
+  List.iter
+    (fun (g, label) ->
+      let n = Graphs.Graph.n g in
+      let d = Graphs.Graph.degree g in
+      let d0 = 3 * d in
+      let dp = d + d0 in
+      let init = Core.Loads.point_mass ~n ~total:(100 * n) in
+      let balancer = Core.Send_round.make g ~self_loops:d0 in
+      let target = dp + (4 * d0) in
+      let gap = Graphs.Spectral.eigenvalue_gap g ~self_loops:d0 in
+      let logn = log (float_of_int n) in
+      let steps =
+        mixing_horizon g ~self_loops:d0 ~init ~c:4.0
+        + int_of_float (8.0 *. logn *. logn /. gap)
+      in
+      let r =
+        Core.Engine.run ~stop_at_discrepancy:target ~graph:g ~balancer ~init ~steps ()
+      in
+      match r.Core.Engine.reached_target with
+      | Some _ -> ()
+      | None ->
+        Alcotest.failf "%s: never reached O(d) discrepancy %d (final %d)" label target
+          (Core.Loads.discrepancy r.Core.Engine.final_loads))
+    [
+      (Graphs.Gen.torus [ 6; 6 ], "torus 6x6");
+      (Graphs.Gen.hypercube 5, "hypercube 5");
+      (Graphs.Gen.cycle 32, "cycle 32");
+    ]
+
+let test_thm33_rotor_router_star_reaches_od () =
+  let g = Graphs.Gen.torus [ 6; 6 ] in
+  let n = 36 and d = 4 in
+  let init = Core.Loads.point_mass ~n ~total:(100 * n) in
+  let balancer = Core.Rotor_router_star.make g in
+  (* δ = 1, d+ = 2d, d° = d: target (2·1+1)·2d + 4d = 10d. *)
+  let target = 10 * d in
+  let gap = Graphs.Spectral.eigenvalue_gap g ~self_loops:d in
+  let logn = log (float_of_int n) in
+  let steps =
+    mixing_horizon g ~self_loops:d ~init ~c:4.0
+    + int_of_float (8.0 *. float_of_int d *. logn *. logn /. gap)
+  in
+  let r =
+    Core.Engine.run ~stop_at_discrepancy:target ~graph:g ~balancer ~init ~steps ()
+  in
+  check_bool "reached O(d)" true (r.Core.Engine.reached_target <> None)
+
+let test_thm33_faster_with_larger_s () =
+  (* Larger s (more self-loops) must not be slower to reach the O(d)
+     band — compare time-to-target for d° = d+1 vs d° = 3d. *)
+  let g = Graphs.Gen.torus [ 6; 6 ] in
+  let n = 36 and d = 4 in
+  let init = Core.Loads.point_mass ~n ~total:(200 * n) in
+  let time_for d0 =
+    let balancer = Core.Send_round.make g ~self_loops:d0 in
+    let target = (d + d0) + (4 * d0) in
+    let r =
+      Core.Engine.run ~stop_at_discrepancy:target ~graph:g ~balancer ~init
+        ~steps:200_000 ()
+    in
+    (r.Core.Engine.reached_target, target)
+  in
+  match (time_for (d + 1), time_for (3 * d)) with
+  | (Some _, _), (Some _, _) -> ()
+  | (None, t1), _ -> Alcotest.failf "small s never reached %d" t1
+  | _, (None, t2) -> Alcotest.failf "large s never reached %d" t2
+
+(* --- Theorem 4.1: round-fair but not cumulatively fair is stuck --- *)
+
+let test_thm41_steady_state () =
+  List.iter
+    (fun (g, label) ->
+      let balancer, init = Baselines.Adversary_roundfair.make g in
+      let r = Core.Engine.run ~graph:g ~balancer ~init ~steps:50 () in
+      Alcotest.(check (array int)) (label ^ ": loads frozen") init r.Core.Engine.final_loads)
+    [ (Graphs.Gen.cycle 16, "cycle"); (Graphs.Gen.torus [ 4; 4 ], "torus") ]
+
+let test_thm41_discrepancy_omega_d_diam () =
+  let g = Graphs.Gen.cycle 20 in
+  let d = 2 in
+  let diam = Graphs.Props.diameter g in
+  let expected = Baselines.Adversary_roundfair.expected_discrepancy g in
+  check_bool
+    (Printf.sprintf "expected %d ≥ c·d·diam = %d" expected (d * diam / 2))
+    true
+    (expected >= d * diam / 2);
+  let balancer, init = Baselines.Adversary_roundfair.make g in
+  let r = Core.Engine.run ~graph:g ~balancer ~init ~steps:200 () in
+  check_int "discrepancy never improves" expected
+    (Core.Loads.discrepancy r.Core.Engine.final_loads)
+
+let test_thm41_flows_are_round_fair_like () =
+  (* The construction's per-node flow spread is ≤ 1 (the proof's
+     |f(e1) - f(e2)| ≤ 1 observation) — audit a few nodes directly. *)
+  let g = Graphs.Gen.torus [ 5; 5 ] in
+  let balancer, init = Baselines.Adversary_roundfair.make g in
+  let dp = Core.Balancer.d_plus balancer in
+  let d = Graphs.Graph.degree g in
+  let ports = Array.make dp 0 in
+  for u = 0 to Graphs.Graph.n g - 1 do
+    balancer.Core.Balancer.assign ~step:1 ~node:u ~load:init.(u) ~ports;
+    let lo = ref max_int and hi = ref min_int in
+    for k = 0 to d - 1 do
+      lo := min !lo ports.(k);
+      hi := max !hi ports.(k)
+    done;
+    check_bool "spread ≤ 1" true (!hi - !lo <= 1)
+  done
+
+(* --- Theorem 4.2: stateless algorithms are stuck at Ω(d) --- *)
+
+let test_thm42_frozen_forever () =
+  List.iter
+    (fun d ->
+      let n = 4 * d in
+      let g = Baselines.Adversary_stateless.graph ~n ~d in
+      let balancer, init = Baselines.Adversary_stateless.make g ~d in
+      let r = Core.Engine.run ~graph:g ~balancer ~init ~steps:100 () in
+      Alcotest.(check (array int))
+        (Printf.sprintf "d=%d: loads frozen" d)
+        init r.Core.Engine.final_loads;
+      let disc = Core.Loads.discrepancy r.Core.Engine.final_loads in
+      check_bool
+        (Printf.sprintf "d=%d: discrepancy %d ≥ d/2 - 1 = %d" d disc ((d / 2) - 1))
+        true
+        (disc >= (d / 2) - 1))
+    [ 6; 8; 10; 13 ]
+
+let test_thm42_general_rules_frozen () =
+  (* The theorem quantifies over ALL stateless rules; exercise three
+     qualitatively different ones and observe the same freeze. *)
+  let d = 10 in
+  let ell = (d / 2) - 1 in
+  let g = Baselines.Adversary_stateless.graph ~n:40 ~d in
+  let rules =
+    [
+      ( "unit-send",
+        fun x ->
+          let v = Array.make (d + 1) 0 in
+          let s = min x d in
+          for j = 0 to s - 1 do
+            v.(j) <- 1
+          done;
+          v.(d) <- x - s;
+          v );
+      ( "front-loaded",
+        (* All load on the first slot when small, else keep. *)
+        fun x ->
+          let v = Array.make (d + 1) 0 in
+          if x <= ell then v.(0) <- x else v.(d) <- x;
+          v );
+      ( "pairs",
+        (* Two tokens per slot. *)
+        fun x ->
+          let v = Array.make (d + 1) 0 in
+          let rec fill j rem =
+            if rem > 0 && j < d then begin
+              let t = min 2 rem in
+              v.(j) <- t;
+              fill (j + 1) (rem - t)
+            end
+            else v.(d) <- rem
+          in
+          fill 0 x;
+          v );
+    ]
+  in
+  List.iter
+    (fun (label, rule) ->
+      let balancer, init = Baselines.Adversary_stateless.make_general g ~d ~rule in
+      let r = Core.Engine.run ~graph:g ~balancer ~init ~steps:200 () in
+      Alcotest.(check (array int)) (label ^ ": frozen") init r.Core.Engine.final_loads)
+    rules
+
+let test_thm42_unit_send_is_stateless () =
+  let d = 8 in
+  let g = Baselines.Adversary_stateless.graph ~n:32 ~d in
+  let balancer, _ = Baselines.Adversary_stateless.make g ~d in
+  check_bool "stateless" true balancer.Core.Balancer.props.stateless
+
+(* --- Theorem 4.3: rotor-router without self-loops on odd cycles --- *)
+
+let test_thm43_period_two () =
+  let n = 9 in
+  let balancer, init = Baselines.Odd_cycle_adversary.setup ~n ~base_flow:(n - 1) in
+  let g = Baselines.Odd_cycle_adversary.graph ~n in
+  let r2 = Core.Engine.run ~graph:g ~balancer ~init ~steps:2 () in
+  Alcotest.(check (array int)) "period 2" init r2.Core.Engine.final_loads
+
+let test_thm43_discrepancy_never_improves () =
+  List.iter
+    (fun n ->
+      let phi = (n - 1) / 2 in
+      let balancer, init = Baselines.Odd_cycle_adversary.setup ~n ~base_flow:n in
+      let g = Baselines.Odd_cycle_adversary.graph ~n in
+      let init_disc = Core.Loads.discrepancy init in
+      (* Run an odd number of steps then one more: both phases at full
+         discrepancy. *)
+      let r = Core.Engine.run ~graph:g ~balancer ~init ~steps:101 () in
+      let disc = Core.Loads.discrepancy r.Core.Engine.final_loads in
+      check_bool
+        (Printf.sprintf "n=%d: discrepancy %d stays ≥ 2dφ - 1 = %d" n disc
+           ((4 * phi) - 1))
+        true
+        (disc >= (4 * phi) - 1);
+      check_int (Printf.sprintf "n=%d: same in both phases" n) init_disc disc;
+      (* Node 0 oscillates between (L+φ)·d and (L-φ)·d. *)
+      let r1 = Core.Engine.run ~graph:g ~balancer:(fst (Baselines.Odd_cycle_adversary.setup ~n ~base_flow:n)) ~init ~steps:1 () in
+      check_int
+        (Printf.sprintf "n=%d: node 0 trough" n)
+        (2 * (n - phi))
+        r1.Core.Engine.final_loads.(0))
+    [ 5; 9; 15; 33 ]
+
+let test_thm43_amplitude_formula () =
+  let n = 21 in
+  let balancer, init = Baselines.Odd_cycle_adversary.setup ~n ~base_flow:n in
+  let g = Baselines.Odd_cycle_adversary.graph ~n in
+  let r1 = Core.Engine.run ~graph:g ~balancer ~init ~steps:1 () in
+  let peak = init.(0) and trough = r1.Core.Engine.final_loads.(0) in
+  check_int "peak-to-peak = 2dφ" (Baselines.Odd_cycle_adversary.expected_amplitude ~n)
+    (peak - trough)
+
+(* --- The contrast rows of Table 1 (dimension exchange beats Ω(d)) --- *)
+
+let test_diffusive_vs_dimexch_contrast () =
+  (* On the hypercube the balancing circuit reaches ≤ 3 while the Thm
+     4.2 bound says no stateless diffusive algorithm can be forced
+     below c·d in general. *)
+  let g = Graphs.Gen.hypercube 5 in
+  let init = Core.Loads.point_mass ~n:32 ~total:3200 in
+  let r = Baselines.Dimexch.run Baselines.Dimexch.Balancing_circuit g ~init ~steps:400 in
+  check_bool "dimension exchange constant" true
+    (Core.Loads.discrepancy r.Baselines.Dimexch.final_loads <= 3)
+
+let () =
+  Alcotest.run "theorems"
+    [
+      ( "theorem 2.3",
+        [
+          Alcotest.test_case "expander sqrt(log n / mu)" `Slow test_thm23_expander;
+          Alcotest.test_case "cycle sqrt(n)" `Slow test_thm23_cycle_sqrt_n;
+          Alcotest.test_case "collapses K" `Slow test_thm23_much_better_than_initial;
+          Alcotest.test_case "lemma 3.4 window dip" `Slow test_lemma34_window_dip;
+          Alcotest.test_case "claim (iii) minimal laziness" `Slow
+            test_thm23_claim_iii_minimal_laziness;
+        ] );
+      ( "theorem 3.3",
+        [
+          Alcotest.test_case "send-round reaches O(d)" `Slow
+            test_thm33_send_round_reaches_od;
+          Alcotest.test_case "rotor-router* reaches O(d)" `Slow
+            test_thm33_rotor_router_star_reaches_od;
+          Alcotest.test_case "s speeds up" `Slow test_thm33_faster_with_larger_s;
+        ] );
+      ( "theorem 4.1",
+        [
+          Alcotest.test_case "steady state" `Quick test_thm41_steady_state;
+          Alcotest.test_case "omega(d diam)" `Quick test_thm41_discrepancy_omega_d_diam;
+          Alcotest.test_case "flows round-fair" `Quick test_thm41_flows_are_round_fair_like;
+        ] );
+      ( "theorem 4.2",
+        [
+          Alcotest.test_case "frozen forever" `Quick test_thm42_frozen_forever;
+          Alcotest.test_case "general rules frozen" `Quick test_thm42_general_rules_frozen;
+          Alcotest.test_case "stateless" `Quick test_thm42_unit_send_is_stateless;
+        ] );
+      ( "theorem 4.3",
+        [
+          Alcotest.test_case "period two" `Quick test_thm43_period_two;
+          Alcotest.test_case "never improves" `Quick test_thm43_discrepancy_never_improves;
+          Alcotest.test_case "amplitude formula" `Quick test_thm43_amplitude_formula;
+        ] );
+      ( "contrast",
+        [ Alcotest.test_case "dimexch beats Ω(d)" `Quick test_diffusive_vs_dimexch_contrast ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for trace record / save / load / replay / verify. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let make_run () =
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let init = Core.Loads.point_mass ~n:16 ~total:777 in
+  let balancer = Core.Rotor_router.make g ~self_loops:4 in
+  (g, init, balancer)
+
+let test_record_shape () =
+  let g, init, balancer = make_run () in
+  let t, result = Trace.record ~graph:g ~balancer ~init ~steps:25 in
+  check_int "steps" 25 t.Trace.steps;
+  check_int "n" 16 t.Trace.n;
+  check_int "records" 25 (Array.length t.Trace.assignments);
+  check_int "per step" 16 (Array.length t.Trace.assignments.(0));
+  check_int "ports" 8 (Array.length t.Trace.assignments.(0).(0));
+  check_int "engine steps" 25 result.Core.Engine.steps_run
+
+let test_replay_matches_original () =
+  let g, init, balancer = make_run () in
+  let t, original = Trace.record ~graph:g ~balancer ~init ~steps:40 in
+  let replayed = Trace.replay t in
+  Alcotest.(check (array int))
+    "identical final loads" original.Core.Engine.final_loads
+    replayed.Core.Engine.final_loads
+
+let test_graph_roundtrip () =
+  let g, init, balancer = make_run () in
+  let t, _ = Trace.record ~graph:g ~balancer ~init ~steps:3 in
+  let g' = Trace.graph_of t in
+  check_int "same n" (Graphs.Graph.n g) (Graphs.Graph.n g');
+  check_int "same degree" (Graphs.Graph.degree g) (Graphs.Graph.degree g');
+  (* Port order must be preserved exactly for replay to be faithful. *)
+  for u = 0 to 15 do
+    for k = 0 to 3 do
+      check_int "same port wiring" (Graphs.Graph.neighbor g u k)
+        (Graphs.Graph.neighbor g' u k)
+    done
+  done
+
+let test_save_load_roundtrip () =
+  let g, init, balancer = make_run () in
+  let t, _ = Trace.record ~graph:g ~balancer ~init ~steps:10 in
+  let path = Filename.temp_file "loadbal" ".trace" in
+  Trace.save ~path t;
+  let t' = Trace.load ~path in
+  Sys.remove path;
+  check_int "n" t.Trace.n t'.Trace.n;
+  check_int "steps" t.Trace.steps t'.Trace.steps;
+  Alcotest.(check (array int)) "init" t.Trace.init t'.Trace.init;
+  Alcotest.(check (array int))
+    "final loads agree" (Trace.final_loads t) (Trace.final_loads t');
+  (* Deep equality of one sampled assignment. *)
+  Alcotest.(check (array int)) "assignment" t.Trace.assignments.(4).(7)
+    t'.Trace.assignments.(4).(7)
+
+let test_verify_ok () =
+  let g, init, balancer = make_run () in
+  let t, _ = Trace.record ~graph:g ~balancer ~init ~steps:15 in
+  match Trace.verify t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_verify_detects_tampering () =
+  let g, init, balancer = make_run () in
+  let t, _ = Trace.record ~graph:g ~balancer ~init ~steps:15 in
+  (* Steal a token at step 5, node 3. *)
+  t.Trace.assignments.(4).(3).(0) <- t.Trace.assignments.(4).(3).(0) + 1;
+  (match Trace.verify t with
+  | Ok () -> Alcotest.fail "tampering not detected"
+  | Error _ -> ());
+  (* Restore, then make a send negative. *)
+  t.Trace.assignments.(4).(3).(0) <- t.Trace.assignments.(4).(3).(0) - 1;
+  let old = t.Trace.assignments.(9).(0).(1) in
+  t.Trace.assignments.(9).(0).(1) <- -1;
+  t.Trace.assignments.(9).(0).(4) <- t.Trace.assignments.(9).(0).(4) + old + 1;
+  match Trace.verify t with
+  | Ok () -> Alcotest.fail "negative send not detected"
+  | Error _ -> ()
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "loadbal" ".trace" in
+  let oc = open_out path in
+  output_string oc "not a trace\n";
+  close_out oc;
+  let rejected = try ignore (Trace.load ~path); false with Failure _ -> true in
+  Sys.remove path;
+  check_bool "garbage rejected" true rejected
+
+let test_trace_of_randomized_run_is_deterministic_replay () =
+  (* The point of tracing: a randomized run, once recorded, replays
+     deterministically. *)
+  let g = Graphs.Gen.torus [ 4; 4 ] in
+  let init = Core.Loads.point_mass ~n:16 ~total:500 in
+  let balancer = Baselines.Random_extra.make (Prng.Splitmix.create 9) g ~self_loops:4 in
+  let t, original = Trace.record ~graph:g ~balancer ~init ~steps:30 in
+  let r1 = Trace.replay t in
+  let r2 = Trace.replay t in
+  Alcotest.(check (array int)) "replay = original" original.Core.Engine.final_loads
+    r1.Core.Engine.final_loads;
+  Alcotest.(check (array int)) "replay idempotent" r1.Core.Engine.final_loads
+    r2.Core.Engine.final_loads
+
+let prop_trace_roundtrip_preserves_finals =
+  QCheck.Test.make ~name:"save/load preserves replayed final loads" ~count:20
+    QCheck.(pair (int_range 3 10) (int_range 0 300))
+    (fun (n, total) ->
+      let g = Graphs.Gen.cycle n in
+      let init = Core.Loads.point_mass ~n ~total in
+      let balancer = Core.Send_floor.make g ~self_loops:2 in
+      let t, _ = Trace.record ~graph:g ~balancer ~init ~steps:10 in
+      let path = Filename.temp_file "loadbal" ".trace" in
+      Trace.save ~path t;
+      let t' = Trace.load ~path in
+      Sys.remove path;
+      Trace.final_loads t = Trace.final_loads t')
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "record/replay",
+        [
+          Alcotest.test_case "record shape" `Quick test_record_shape;
+          Alcotest.test_case "replay matches" `Quick test_replay_matches_original;
+          Alcotest.test_case "graph roundtrip" `Quick test_graph_roundtrip;
+          Alcotest.test_case "randomized replay" `Quick
+            test_trace_of_randomized_run_is_deterministic_replay;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage;
+        ] );
+      ( "verification",
+        [
+          Alcotest.test_case "verify ok" `Quick test_verify_ok;
+          Alcotest.test_case "detects tampering" `Quick test_verify_detects_tampering;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_trace_roundtrip_preserves_finals ]);
+    ]
