@@ -1,0 +1,20 @@
+.PHONY: all build test check bench-shard clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# CI entry point: tier-1 tests plus the sharded-engine smoke (see bin/ci.sh).
+check:
+	sh bin/ci.sh
+
+# Refresh the strong-scaling baseline (writes BENCH_shard.json).
+bench-shard:
+	dune exec bench/main.exe -- shard
+
+clean:
+	dune clean

@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --quick      # smoke-test sizes
      dune exec bench/main.exe -- e3 e7        # selected experiments
      dune exec bench/main.exe -- micro        # microbenchmarks only
+     dune exec bench/main.exe -- shard        # sharded-engine strong scaling
      dune exec bench/main.exe -- --csv out.csv e1
 *)
 
@@ -85,6 +86,67 @@ let microbench_tests () =
             ignore (Rotorwalk.Walk.cover_time (Rotorwalk.Walk.create wg) ~start:0)));
   ]
 
+(* Strong-scaling section: the sharded engine at 1/2/4/8 domains on
+   random 8-regular graphs of n ∈ {2¹⁴, 2¹⁷, 2²⁰}, reported as
+   steps/sec and written to BENCH_shard.json.  The step budget per cell
+   is inversely proportional to n so every cell does comparable work. *)
+let run_shard_scaling ?(json_path = "BENCH_shard.json") ~quick () =
+  let sizes = if quick then [ 1 lsl 10; 1 lsl 12 ] else [ 1 lsl 14; 1 lsl 17; 1 lsl 20 ] in
+  let domain_counts = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let d = 8 in
+  Printf.printf
+    "\n=== Strong scaling: sharded engine (rotor-router, d=%d, host cores=%d) ===\n"
+    d
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-10s %-8s %-8s %12s %14s %10s\n" "n" "domains" "steps" "wall (s)"
+    "steps/sec" "speedup";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let g = Graphs.Gen.random_regular (Prng.Splitmix.create 11) ~n ~d in
+      let init = Core.Loads.point_mass ~n ~total:(16 * n) in
+      let steps = max 4 ((1 lsl 22) / n) in
+      let base_rate = ref nan in
+      List.iter
+        (fun domains ->
+          let t0 = Unix.gettimeofday () in
+          let result =
+            Shard.Shard_engine.run ~strategy:Shard.Partition.Bfs_blocks
+              ~shards:domains ~graph:g
+              ~make_balancer:(fun () -> Core.Rotor_router.make g ~self_loops:d)
+              ~init ~steps ()
+          in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          assert (result.Core.Engine.steps_run = steps);
+          let rate = float_of_int steps /. elapsed in
+          if domains = 1 then base_rate := rate;
+          let speedup = rate /. !base_rate in
+          Printf.printf "%-10d %-8d %-8d %12.3f %14.1f %9.2fx\n" n domains steps
+            elapsed rate speedup;
+          rows := (n, domains, steps, elapsed, rate, speedup) :: !rows)
+        domain_counts)
+    sizes;
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"shard-strong-scaling\",\n  \"algo\": \"rotor-router\",\n\
+    \  \"degree\": %d,\n  \"partition\": \"bfs-blocks\",\n  \"host_cores\": %d,\n\
+    \  \"note\": \"speedup_vs_1 is bounded above by host_cores\",\n\
+    \  \"results\": [\n"
+    d
+    (Domain.recommended_domain_count ());
+  let rows = List.rev !rows in
+  List.iteri
+    (fun i (n, domains, steps, elapsed, rate, speedup) ->
+      Printf.fprintf oc
+        "    {\"n\": %d, \"domains\": %d, \"steps\": %d, \"seconds\": %.4f, \
+         \"steps_per_sec\": %.2f, \"speedup_vs_1\": %.3f}%s\n"
+        n domains steps elapsed rate speedup
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "strong-scaling results written to %s\n" json_path
+
 let run_microbenchmarks () =
   let open Bechamel in
   let open Toolkit in
@@ -138,12 +200,18 @@ let () =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) (drop_csv args)
   in
   let want_micro = selected = [] || List.mem "micro" selected in
+  let want_shard = selected = [] || List.mem "shard" selected in
   let experiment_ids =
-    match List.filter (fun a -> String.lowercase_ascii a <> "micro") selected with
-    | [] -> List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all
+    match
+      List.filter
+        (fun a ->
+          let a = String.lowercase_ascii a in
+          a <> "micro" && a <> "shard")
+        selected
+    with
+    | [] when selected = [] -> List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all
     | ids -> ids
   in
-  let experiment_ids = if selected = [] || experiment_ids <> [] then experiment_ids else [] in
   Printf.printf
     "Load-balancing benchmark harness — reproduction of Berenbrink et al.,\n\
      \"Improved Analysis of Deterministic Load-Balancing Schemes\" (PODC 2015).\n";
@@ -170,4 +238,5 @@ let () =
            !csv_rows);
     Printf.printf "\nCSV written to %s\n" path
   | None -> ());
+  if want_shard then run_shard_scaling ~quick ();
   if want_micro then run_microbenchmarks ()

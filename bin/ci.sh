@@ -1,0 +1,25 @@
+#!/bin/sh
+# CI smoke script: build, run the full tier-1 test suite, then exercise
+# the sharded engine end-to-end (equivalence suite + a 4-shard CLI run
+# with checkpoint/resume).  Exits non-zero on any failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest (tier-1 + shard equivalence) =="
+dune runtest
+
+echo "== sharded CLI smoke: 4 shards, checkpoint + resume =="
+ckpt=$(mktemp -t lb_ci_ckpt.XXXXXX)
+trap 'rm -f "$ckpt"' EXIT
+dune exec bin/lb_sim.exe -- --graph torus:16x16 --algo rotor-router \
+  --init point:4096 --steps 200 --shards 4 \
+  --checkpoint "$ckpt" --checkpoint-every 50
+dune exec bin/lb_sim.exe -- --graph torus:16x16 --algo rotor-router \
+  --init point:4096 --steps 200 --shards 4 \
+  --checkpoint "$ckpt" --resume
+
+echo "== ci.sh: all green =="

@@ -5,61 +5,88 @@
      lb_sim --graph torus:16x16 --algo send-round --self-loops 12 \
             --horizon continuous:2 --target 8 --audit
      lb_sim --graph random:256,6,42 --algo mimic --steps 500 --series
+     lb_sim --graph torus:64x64 --algo rotor-router --steps 2000 \
+            --shards 4 --partition bfs \
+            --checkpoint run.ckpt --checkpoint-every 500
+     lb_sim ... --checkpoint run.ckpt --resume   # continue a killed run
 *)
 
 exception Spec_error of string
 
+let spec_fail fmt = Printf.ksprintf (fun m -> raise (Spec_error m)) fmt
+
+let positive what v =
+  if v <= 0 then spec_fail "%s must be positive (got %d)" what v;
+  v
+
+let non_negative what v =
+  if v < 0 then spec_fail "%s must be non-negative (got %d)" what v;
+  v
+
 let parse_graph s =
   let fail () =
-    raise
-      (Spec_error
-         (Printf.sprintf
-            "bad graph spec %S (expected cycle:N, torus:AxB, hypercube:R, \
-             complete:N, clique:N,D or random:N,D,SEED)"
-            s))
+    spec_fail
+      "bad graph spec %S (expected cycle:N, torus:AxB, hypercube:R, complete:N, \
+       clique:N,D or random:N,D,SEED)"
+      s
   in
   let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
   match String.split_on_char ':' s with
-  | [ "cycle"; n ] -> Harness.Experiment.Cycle (int_of n)
-  | [ "hypercube"; r ] -> Harness.Experiment.Hypercube (int_of r)
-  | [ "complete"; n ] -> Harness.Experiment.Complete (int_of n)
+  | [ "cycle"; n ] -> Harness.Experiment.Cycle (positive "cycle size" (int_of n))
+  | [ "hypercube"; r ] ->
+    Harness.Experiment.Hypercube (positive "hypercube dimension" (int_of r))
+  | [ "complete"; n ] ->
+    Harness.Experiment.Complete (positive "complete-graph size" (int_of n))
   | [ "torus"; dims ] -> (
     match String.split_on_char 'x' dims with
-    | [ a; b ] when a = b -> Harness.Experiment.Torus2d (int_of a)
+    | [ a; b ] when a = b -> Harness.Experiment.Torus2d (positive "torus side" (int_of a))
     | _ -> fail ())
   | [ "clique"; args ] -> (
     match String.split_on_char ',' args with
-    | [ n; d ] -> Harness.Experiment.Clique_circulant { n = int_of n; d = int_of d }
+    | [ n; d ] ->
+      Harness.Experiment.Clique_circulant
+        { n = positive "clique n" (int_of n); d = positive "clique degree" (int_of d) }
     | _ -> fail ())
   | [ "random"; args ] -> (
     match String.split_on_char ',' args with
-    | [ n; d ] -> Harness.Experiment.Random_regular { n = int_of n; d = int_of d; seed = 1 }
+    | [ n; d ] ->
+      Harness.Experiment.Random_regular
+        { n = positive "graph size" (int_of n);
+          d = positive "graph degree" (int_of d);
+          seed = 1 }
     | [ n; d; seed ] ->
-      Harness.Experiment.Random_regular { n = int_of n; d = int_of d; seed = int_of seed }
+      Harness.Experiment.Random_regular
+        { n = positive "graph size" (int_of n);
+          d = positive "graph degree" (int_of d);
+          seed = int_of seed }
     | _ -> fail ())
   | _ -> fail ()
 
 let parse_init s =
   let fail () =
-    raise
-      (Spec_error
-         (Printf.sprintf
-            "bad init spec %S (expected point:TOTAL, bimodal:HIGH,LOW or \
-             random:TOTAL[,SEED])"
-            s))
+    spec_fail
+      "bad init spec %S (expected point:TOTAL, bimodal:HIGH,LOW or random:TOTAL[,SEED])"
+      s
   in
   let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
   match String.split_on_char ':' s with
-  | [ "point"; t ] -> Harness.Experiment.Point_mass (int_of t)
+  | [ "point"; t ] ->
+    Harness.Experiment.Point_mass (non_negative "initial total" (int_of t))
   | [ "bimodal"; args ] -> (
     match String.split_on_char ',' args with
-    | [ h; l ] -> Harness.Experiment.Bimodal { high = int_of h; low = int_of l }
+    | [ h; l ] ->
+      Harness.Experiment.Bimodal
+        { high = non_negative "bimodal high" (int_of h);
+          low = non_negative "bimodal low" (int_of l) }
     | _ -> fail ())
   | [ "random"; args ] -> (
     match String.split_on_char ',' args with
-    | [ t ] -> Harness.Experiment.Uniform_random { total = int_of t; seed = 1 }
+    | [ t ] ->
+      Harness.Experiment.Uniform_random
+        { total = non_negative "initial total" (int_of t); seed = 1 }
     | [ t; seed ] ->
-      Harness.Experiment.Uniform_random { total = int_of t; seed = int_of seed }
+      Harness.Experiment.Uniform_random
+        { total = non_negative "initial total" (int_of t); seed = int_of seed }
     | _ -> fail ())
   | _ -> fail ()
 
@@ -84,83 +111,236 @@ let parse_algo ~self_loops ~seed s =
 
 let parse_horizon steps horizon =
   match (steps, horizon) with
-  | Some s, None -> Ok (Harness.Experiment.Fixed_steps s)
+  | Some s, None ->
+    if s < 1 then Error (Printf.sprintf "--steps must be >= 1 (got %d)" s)
+    else Ok (Harness.Experiment.Fixed_steps s)
   | None, None -> Ok (Harness.Experiment.Continuous_multiple 1.0)
   | None, Some h -> (
     match String.split_on_char ':' h with
     | [ "mixing"; c ] -> (
       match float_of_string_opt c with
-      | Some c -> Ok (Harness.Experiment.Mixing_multiple c)
+      | Some c when c > 0.0 -> Ok (Harness.Experiment.Mixing_multiple c)
+      | Some _ -> Error "mixing multiple must be positive"
       | None -> Error "bad mixing multiple")
     | [ "continuous"; c ] -> (
       match float_of_string_opt c with
-      | Some c -> Ok (Harness.Experiment.Continuous_multiple c)
+      | Some c when c > 0.0 -> Ok (Harness.Experiment.Continuous_multiple c)
+      | Some _ -> Error "continuous multiple must be positive"
       | None -> Error "bad continuous multiple")
     | _ -> Error "bad horizon (expected mixing:C or continuous:C)")
   | Some _, Some _ -> Error "--steps and --horizon are mutually exclusive"
 
-let run graph algo self_loops init steps horizon target audit series seed =
+let parse_partition = function
+  | "contiguous" -> Ok Shard.Partition.Contiguous
+  | "round-robin" -> Ok Shard.Partition.Round_robin
+  | "bfs" -> Ok Shard.Partition.Bfs_blocks
+  | other ->
+    Error
+      (Printf.sprintf "unknown partition strategy %S (expected contiguous, \
+                       round-robin or bfs)"
+         other)
+
+let die msg =
+  prerr_endline ("lb_sim: " ^ msg);
+  exit 2
+
+let print_summary ~graph_label ~algo_label ~n ~degree ~self_loops ~gap
+    ~initial_discrepancy ~horizon ~target ~time_to_target
+    (result : Core.Engine.result) =
+  Printf.printf "graph:        %s (n=%d, d=%d)\n" graph_label n degree;
+  Printf.printf "algorithm:    %s (d°=%d, d⁺=%d)\n" algo_label self_loops
+    (degree + self_loops);
+  Printf.printf "spectral gap: µ = %.6g\n" gap;
+  Printf.printf "initial K:    %d\n" initial_discrepancy;
+  Printf.printf "steps run:    %d (horizon %d)\n" result.Core.Engine.steps_run horizon;
+  Printf.printf "final disc:   %d\n"
+    (Core.Loads.discrepancy result.Core.Engine.final_loads);
+  (match target with
+  | Some t ->
+    Printf.printf "time to ≤%d:  %s\n" t
+      (match time_to_target with Some tt -> string_of_int tt | None -> "not reached")
+  | None -> ());
+  if result.Core.Engine.min_load_seen < 0 then
+    Printf.printf "NEGATIVE LOAD observed (min %d)\n" result.Core.Engine.min_load_seen;
+  match result.Core.Engine.fairness with
+  | Some rep -> Format.printf "fairness audit:@\n%a@." Core.Fairness.pp_report rep
+  | None -> ()
+
+let run_sharded ~audit ~target ~series ~shards ~strategy ~checkpoint_path
+    ~checkpoint_every ~resume ~graph_spec ~algo_spec ~init_spec ~horizon_spec () =
+  let g = Harness.Experiment.build_graph graph_spec in
+  let n = Graphs.Graph.n g in
+  let init = Harness.Experiment.build_init init_spec ~n in
+  let make_balancer () = Harness.Experiment.build_balancer algo_spec g ~init in
+  let probe = make_balancer () in
+  let self_loops = probe.Core.Balancer.self_loops in
+  let steps =
+    Harness.Experiment.horizon_steps ~graph:g ~self_loops ~init horizon_spec
+  in
+  let part = Shard.Partition.make ~strategy ~shards g in
+  let pstats = Shard.Partition.stats part g in
+  Printf.printf "shards:       %d (%s partition, %d cut edges, imbalance %.3f)\n"
+    shards
+    (Shard.Partition.strategy_name strategy)
+    pstats.Shard.Partition.cut_edges pstats.Shard.Partition.max_imbalance;
+  let checkpoint =
+    match checkpoint_path with
+    | Some path ->
+      Printf.printf "checkpoint:   %s (every %d steps)\n" path checkpoint_every;
+      Some { Shard.Shard_engine.path; every = checkpoint_every }
+    | None -> None
+  in
+  let resume_snap =
+    if not resume then None
+    else
+      match checkpoint_path with
+      | None -> die "--resume requires --checkpoint PATH"
+      | Some path ->
+        let snap = Shard.Checkpoint.load ~path in
+        Printf.printf "resuming:     %s\n" (Shard.Checkpoint.describe snap);
+        Some snap
+  in
+  let first_hit = ref None in
+  let hook =
+    match target with
+    | Some tgt ->
+      Some
+        (fun t loads ->
+          if !first_hit = None && Core.Loads.discrepancy loads <= tgt then
+            first_hit := Some t)
+    | None -> None
+  in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Shard.Shard_engine.run ~audit
+      ~sample_every:(max 1 (steps / 64))
+      ?hook ~strategy ?checkpoint ?resume:resume_snap ~shards ~graph:g
+      ~make_balancer ~init ~steps ()
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let time_to_target =
+    match target with
+    | None -> None
+    | Some tgt -> if Core.Loads.discrepancy init <= tgt then Some 0 else !first_hit
+  in
+  print_summary ~graph_label:(Harness.Experiment.graph_name graph_spec)
+    ~algo_label:probe.Core.Balancer.name ~n ~degree:(Graphs.Graph.degree g)
+    ~self_loops
+    ~gap:(Harness.Experiment.spectral_gap ~graph:g ~self_loops)
+    ~initial_discrepancy:(Core.Loads.discrepancy init)
+    ~horizon:steps ~target ~time_to_target result;
+  let steps_executed =
+    result.Core.Engine.steps_run
+    - (match resume_snap with Some s -> s.Shard.Checkpoint.step | None -> 0)
+  in
+  if elapsed > 0.0 && steps_executed > 0 then
+    Printf.printf "throughput:   %.0f steps/sec (%.2fs wall)\n"
+      (float_of_int steps_executed /. elapsed)
+      elapsed;
+  if series then begin
+    print_endline "step,discrepancy";
+    Array.iter (fun (t, d) -> Printf.printf "%d,%d\n" t d) result.Core.Engine.series
+  end
+
+let run graph algo self_loops init steps horizon target audit series seed shards
+    domains partition checkpoint_path checkpoint_every resume =
   match
     try Ok (parse_graph graph, parse_init init) with Spec_error m -> Error m
   with
-  | Error msg ->
-    prerr_endline ("lb_sim: " ^ msg);
-    exit 2
+  | Error msg -> die msg
   | Ok (graph_spec, init_spec) ->
   match parse_algo ~self_loops ~seed algo with
-  | Error msg ->
-    prerr_endline ("lb_sim: " ^ msg);
-    exit 2
+  | Error msg -> die msg
   | Ok algo_of_degree -> (
     match parse_horizon steps horizon with
-    | Error msg ->
-      prerr_endline ("lb_sim: " ^ msg);
-      exit 2
+    | Error msg -> die msg
     | Ok horizon_spec ->
-      let g = Harness.Experiment.build_graph graph_spec in
-      let degree = Graphs.Graph.degree g in
-      let algo_spec = algo_of_degree degree in
-      let outcome =
-        Harness.Experiment.run ~audit ?target ~graph:graph_spec ~algo:algo_spec
-          ~init:init_spec ~horizon:horizon_spec ()
+    match parse_partition partition with
+    | Error msg -> die msg
+    | Ok strategy ->
+      (match self_loops with
+      | Some k when k < 0 -> die "--self-loops must be non-negative"
+      | _ -> ());
+      (match shards with
+      | Some k when k < 1 -> die "--shards must be >= 1"
+      | _ -> ());
+      (match domains with
+      | Some k when k < 1 -> die "--domains must be >= 1"
+      | _ -> ());
+      if checkpoint_every < 1 then die "--checkpoint-every must be >= 1";
+      (* One domain per shard: --shards picks the partition, --domains
+         alone is shorthand for the same count. *)
+      let shard_count =
+        match (shards, domains) with
+        | Some k, _ -> k
+        | None, Some d -> d
+        | None, None -> 1
       in
-      Printf.printf "graph:        %s (n=%d, d=%d)\n" outcome.Harness.Experiment.graph_label
-        outcome.Harness.Experiment.n outcome.Harness.Experiment.degree;
-      Printf.printf "algorithm:    %s (d°=%d, d⁺=%d)\n" outcome.Harness.Experiment.algo_label
-        outcome.Harness.Experiment.self_loops
-        (outcome.Harness.Experiment.degree + outcome.Harness.Experiment.self_loops);
-      Printf.printf "spectral gap: µ = %.6g\n" outcome.Harness.Experiment.gap;
-      Printf.printf "initial K:    %d\n" outcome.Harness.Experiment.initial_discrepancy;
-      Printf.printf "steps run:    %d (horizon %d)\n" outcome.Harness.Experiment.steps
-        outcome.Harness.Experiment.horizon;
-      Printf.printf "final disc:   %d\n" outcome.Harness.Experiment.final_discrepancy;
-      (match target with
-      | Some t ->
-        Printf.printf "time to ≤%d:  %s\n" t
-          (match outcome.Harness.Experiment.time_to_target with
-          | Some tt -> string_of_int tt
-          | None -> "not reached")
-      | None -> ());
-      if outcome.Harness.Experiment.min_load_seen < 0 then
-        Printf.printf "NEGATIVE LOAD observed (min %d)\n"
-          outcome.Harness.Experiment.min_load_seen;
-      (match outcome.Harness.Experiment.fairness with
-      | Some rep -> Format.printf "fairness audit:@\n%a@." Core.Fairness.pp_report rep
-      | None -> ());
-      if series then begin
-        (* Re-run with a fine-grained series for plotting. *)
-        let n = Graphs.Graph.n g in
-        let init_loads = Harness.Experiment.build_init init_spec ~n in
-        let balancer = Harness.Experiment.build_balancer algo_spec g ~init:init_loads in
-        let r =
-          Core.Engine.run
-            ~sample_every:(max 1 (outcome.Harness.Experiment.horizon / 50))
-            ~graph:g ~balancer ~init:init_loads
-            ~steps:outcome.Harness.Experiment.horizon ()
-        in
-        print_endline "step,discrepancy";
-        Array.iter (fun (t, d) -> Printf.printf "%d,%d\n" t d) r.Core.Engine.series
-      end)
+      let sharded =
+        shard_count > 1 || checkpoint_path <> None || resume
+        || shards <> None || domains <> None
+      in
+      try
+        let g = Harness.Experiment.build_graph graph_spec in
+        let degree = Graphs.Graph.degree g in
+        let algo_spec = algo_of_degree degree in
+        if sharded then
+          run_sharded ~audit ~target ~series ~shards:shard_count ~strategy
+            ~checkpoint_path ~checkpoint_every ~resume ~graph_spec ~algo_spec
+            ~init_spec ~horizon_spec ()
+        else begin
+          let outcome =
+            Harness.Experiment.run ~audit ?target ~graph:graph_spec ~algo:algo_spec
+              ~init:init_spec ~horizon:horizon_spec ()
+          in
+          Printf.printf "graph:        %s (n=%d, d=%d)\n"
+            outcome.Harness.Experiment.graph_label outcome.Harness.Experiment.n
+            outcome.Harness.Experiment.degree;
+          Printf.printf "algorithm:    %s (d°=%d, d⁺=%d)\n"
+            outcome.Harness.Experiment.algo_label
+            outcome.Harness.Experiment.self_loops
+            (outcome.Harness.Experiment.degree + outcome.Harness.Experiment.self_loops);
+          Printf.printf "spectral gap: µ = %.6g\n" outcome.Harness.Experiment.gap;
+          Printf.printf "initial K:    %d\n"
+            outcome.Harness.Experiment.initial_discrepancy;
+          Printf.printf "steps run:    %d (horizon %d)\n"
+            outcome.Harness.Experiment.steps outcome.Harness.Experiment.horizon;
+          Printf.printf "final disc:   %d\n"
+            outcome.Harness.Experiment.final_discrepancy;
+          (match target with
+          | Some t ->
+            Printf.printf "time to ≤%d:  %s\n" t
+              (match outcome.Harness.Experiment.time_to_target with
+              | Some tt -> string_of_int tt
+              | None -> "not reached")
+          | None -> ());
+          if outcome.Harness.Experiment.min_load_seen < 0 then
+            Printf.printf "NEGATIVE LOAD observed (min %d)\n"
+              outcome.Harness.Experiment.min_load_seen;
+          (match outcome.Harness.Experiment.fairness with
+          | Some rep ->
+            Format.printf "fairness audit:@\n%a@." Core.Fairness.pp_report rep
+          | None -> ());
+          if series then begin
+            (* Re-run with a fine-grained series for plotting. *)
+            let n = Graphs.Graph.n g in
+            let init_loads = Harness.Experiment.build_init init_spec ~n in
+            let balancer =
+              Harness.Experiment.build_balancer algo_spec g ~init:init_loads
+            in
+            let r =
+              Core.Engine.run
+                ~sample_every:(max 1 (outcome.Harness.Experiment.horizon / 50))
+                ~graph:g ~balancer ~init:init_loads
+                ~steps:outcome.Harness.Experiment.horizon ()
+            in
+            print_endline "step,discrepancy";
+            Array.iter (fun (t, d) -> Printf.printf "%d,%d\n" t d) r.Core.Engine.series
+          end
+        end
+      with
+      | Spec_error msg | Invalid_argument msg -> die msg
+      | Shard.Checkpoint.Checkpoint_error msg -> die ("checkpoint: " ^ msg))
 
 open Cmdliner
 
@@ -224,12 +404,61 @@ let series_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Seed for randomized algorithms.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Partition the graph into K shards and run the domain-parallel engine \
+           (one OCaml domain per shard). Bit-identical to the sequential engine \
+           for deterministic algorithms.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"K"
+        ~doc:"Shorthand for --shards K (the engine runs one domain per shard).")
+
+let partition_arg =
+  Arg.(
+    value
+    & opt string "contiguous"
+    & info [ "partition" ] ~docv:"STRATEGY"
+        ~doc:"Shard partition strategy: contiguous, round-robin or bfs.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"PATH"
+        ~doc:"Write crash-resumable checkpoints to PATH (atomically overwritten).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt int 1000
+    & info [ "checkpoint-every" ] ~docv:"K"
+        ~doc:"Checkpoint after every K-th step (default 1000).")
+
+let resume_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the checkpoint at --checkpoint PATH instead of starting \
+           from the initial loads.")
+
 let cmd =
   let doc = "simulate deterministic load-balancing schemes (Berenbrink et al., PODC 2015)" in
   Cmd.v
     (Cmd.info "lb_sim" ~version:"1.0.0" ~doc)
     Term.(
       const run $ graph_arg $ algo_arg $ self_loops_arg $ init_arg $ steps_arg
-      $ horizon_arg $ target_arg $ audit_arg $ series_arg $ seed_arg)
+      $ horizon_arg $ target_arg $ audit_arg $ series_arg $ seed_arg $ shards_arg
+      $ domains_arg $ partition_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg)
 
 let () = exit (Cmd.eval cmd)

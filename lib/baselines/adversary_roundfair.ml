@@ -46,6 +46,7 @@ let make ?root g =
           no_communication = true;
         };
       assign;
+      persist = None;
     }
   in
   (balancer, init)

@@ -78,6 +78,7 @@ let make_general g ~d ~rule =
           no_communication = true;
         };
       assign;
+      persist = None;
     }
   in
   (balancer, init)

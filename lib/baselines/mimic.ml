@@ -63,4 +63,5 @@ let make g ~self_loops ~init =
         no_communication = false;
       };
     assign;
+    persist = None;
   }

@@ -43,5 +43,6 @@ let make g ~self_loops =
           no_communication = true;
         };
       assign;
+      persist = None;
     },
     inspector )

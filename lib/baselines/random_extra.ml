@@ -23,4 +23,5 @@ let make rng g ~self_loops =
         no_communication = true;
       };
     assign;
+    persist = None;
   }

@@ -26,16 +26,39 @@ type properties = {
   no_communication : bool; (** NC column: needs no info beyond its own load *)
 }
 
+type persistence = {
+  state_save : unit -> int array;
+  (** Snapshot the balancer's mutable state as a per-node int array
+      (entry [u] is node [u]'s state).  Used by checkpointing and by the
+      sharded engine, which merges per-shard snapshots by node owner. *)
+  state_restore : int array -> unit;
+  (** Overwrite the balancer's state with a previously saved snapshot.
+      @raise Invalid_argument on a length mismatch. *)
+}
+
 type t = {
   name : string;
   degree : int;       (** d: original edges per node *)
   self_loops : int;   (** d°: self-loops per node in G⁺ *)
   props : properties;
   assign : step:int -> node:int -> load:int -> ports:int array -> unit;
+  persist : persistence option;
+  (** Checkpoint capability.  [None] for balancers whose state cannot be
+      captured as a per-node int vector (or that have none — stateless
+      balancers need no persistence to be resumable). *)
 }
 
 val d_plus : t -> int
 (** d⁺ = degree + self_loops. *)
+
+val resumable : t -> bool
+(** A balancer can be checkpoint-resumed iff it is stateless (nothing to
+    save) or provides a {!persistence} capability. *)
+
+val per_node_persistence : int array -> persistence option
+(** [per_node_persistence arr] is the standard capability for a balancer
+    whose whole mutable state is the per-node int array [arr] (e.g. a
+    rotor position per node): save copies it, restore blits into it. *)
 
 val paper_deterministic : properties
 (** D ✓, SL ✗, NL ✓, NC ✓ — rotor-router-style. *)

@@ -104,6 +104,29 @@ let report t =
     eq3_deviation = float_of_int t.eq3_num /. float_of_int t.d_plus;
   }
 
+let merge_reports reports =
+  match reports with
+  | [] -> invalid_arg "Fairness.merge_reports: empty list"
+  | first :: rest ->
+    (* Every per-observation check is local to one node, and every report
+       field is a sum / max / min / conjunction over observations — so
+       merging per-shard reports of disjoint node sets is exact. *)
+    List.fold_left
+      (fun acc r ->
+        {
+          observations = acc.observations + r.observations;
+          cumulative_delta = max acc.cumulative_delta r.cumulative_delta;
+          floor_share_ok = acc.floor_share_ok && r.floor_share_ok;
+          round_fair = acc.round_fair && r.round_fair;
+          ceil_cap_ok = acc.ceil_cap_ok && r.ceil_cap_ok;
+          self_pref_s =
+            (match (acc.self_pref_s, r.self_pref_s) with
+            | None, s | s, None -> s
+            | Some a, Some b -> Some (min a b));
+          eq3_deviation = Float.max acc.eq3_deviation r.eq3_deviation;
+        })
+      first rest
+
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>observations: %d@ empirical δ: %d@ floor-share ok: %b@ round-fair: %b@ \

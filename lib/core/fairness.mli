@@ -43,4 +43,10 @@ val node_spread : t -> int -> int
 
 val report : t -> report
 
+val merge_reports : report list -> report
+(** Combine reports from trackers that audited {e disjoint} node sets of
+    the same run (e.g. one tracker per shard).  Exact: every field is a
+    sum, max, min or conjunction over per-node observations.
+    @raise Invalid_argument on the empty list. *)
+
 val pp_report : Format.formatter -> report -> unit

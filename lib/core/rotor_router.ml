@@ -71,4 +71,5 @@ let make ?order ?init_rotor g ~self_loops =
     self_loops;
     props = Balancer.paper_deterministic;
     assign;
+    persist = Balancer.per_node_persistence rotor;
   }

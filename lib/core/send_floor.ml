@@ -14,4 +14,5 @@ let make g ~self_loops =
     self_loops;
     props = Balancer.paper_stateless;
     assign;
+    persist = None;
   }

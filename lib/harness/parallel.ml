@@ -1,7 +1,5 @@
 let num_domains () = max 1 (Domain.recommended_domain_count ())
 
-type 'b outcome = Value of 'b | Raised of exn
-
 let map ?domains f xs =
   let domains = match domains with Some d -> max 1 d | None -> num_domains () in
   let items = Array.of_list xs in
@@ -10,31 +8,12 @@ let map ?domains f xs =
   else begin
     let workers = min domains n in
     if workers = 1 then List.map f xs
-    else begin
-      let results = Array.make n None in
-      (* Static round-robin split: worker w takes indices w, w+k, ... —
-         no shared mutable state beyond the disjoint result slots. *)
-      let worker w () =
-        let out = ref [] in
-        let i = ref w in
-        while !i < n do
-          let r = try Value (f items.(!i)) with e -> Raised e in
-          out := (!i, r) :: !out;
-          i := !i + workers
-        done;
-        !out
-      in
-      let handles = List.init workers (fun w -> Domain.spawn (worker w)) in
-      List.iter
-        (fun h ->
-          List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join h))
-        handles;
-      Array.to_list results
-      |> List.map (function
-           | Some (Value v) -> v
-           | Some (Raised e) -> raise e
-           | None -> assert false)
-    end
+    else
+      (* Replica-level parallelism rides the same domain-pool abstraction
+         as the sharded engine (Shard.Pool); workers pull items off an
+         atomic cursor so uneven task costs still balance. *)
+      Shard.Pool.with_pool ~domains:workers (fun pool ->
+          Array.to_list (Shard.Pool.map pool f items))
   end
 
 let replicate ?domains ~seeds f =

@@ -1,5 +1,7 @@
 (** Parallel map over OCaml 5 domains — used to spread independent
     experiment replicas (different seeds, different n) across cores.
+    Built on the shared domain-pool abstraction ([Shard.Pool]) that also
+    powers the sharded engine.
 
     Tasks must be pure-ish and independent: they must not share mutable
     state (each task should build its own graphs/balancers/RNGs, which

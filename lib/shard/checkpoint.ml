@@ -1,0 +1,61 @@
+exception Checkpoint_error of string
+
+let magic = "LOADBAL-CKPT"
+let version = 1
+
+type snapshot = {
+  balancer_name : string;
+  n : int;
+  degree : int;
+  total_steps : int;
+  step : int;
+  loads : int array;
+  balancer_state : int array option;
+  series_rev : (int * int) list;
+  min_load_seen : int;
+  reached_target : int option;
+}
+
+let save ~path snap =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc version;
+      Marshal.to_channel oc snap []);
+  (* Atomic publish: a crash mid-write leaves the previous checkpoint
+     intact, never a truncated file. *)
+  Sys.rename tmp path
+
+let load ~path =
+  if not (Sys.file_exists path) then
+    raise (Checkpoint_error (Printf.sprintf "no checkpoint at %s" path));
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        let header = really_input_string ic (String.length magic) in
+        if header <> magic then
+          raise (Checkpoint_error (Printf.sprintf "%s: not a checkpoint file" path));
+        let v = input_binary_int ic in
+        if v <> version then
+          raise
+            (Checkpoint_error
+               (Printf.sprintf "%s: checkpoint version %d, expected %d" path v version));
+        let snap : snapshot = Marshal.from_channel ic in
+        if Array.length snap.loads <> snap.n then
+          raise (Checkpoint_error (Printf.sprintf "%s: corrupt checkpoint" path));
+        snap
+      with End_of_file | Failure _ ->
+        (* Truncated file or a Marshal payload that does not parse. *)
+        raise (Checkpoint_error (Printf.sprintf "%s: corrupt checkpoint" path)))
+
+let describe snap =
+  Printf.sprintf "%s: step %d/%d, n=%d, d=%d%s" snap.balancer_name snap.step
+    snap.total_steps snap.n snap.degree
+    (match snap.balancer_state with
+    | Some _ -> ", with balancer state"
+    | None -> "")

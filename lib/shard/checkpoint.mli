@@ -1,0 +1,40 @@
+(** Crash-resumable checkpoints for long simulation runs.
+
+    A checkpoint captures everything {!Shard_engine.run} needs to
+    continue a run as if it had never stopped: the completed step, the
+    full load vector, the balancer's per-node state (via
+    [Balancer.persist]), and the already-accumulated pieces of the
+    result record (series, minimum load, target hit).  The on-disk
+    format is a magic string + version + [Marshal] payload, written to a
+    temp file and renamed so a crash can never leave a truncated
+    checkpoint behind.
+
+    Checkpoints are shard-count independent: state is stored per node,
+    so a run checkpointed with 8 shards can resume with 2 (or
+    sequentially). *)
+
+exception Checkpoint_error of string
+
+type snapshot = {
+  balancer_name : string;       (** for mismatch detection on resume *)
+  n : int;
+  degree : int;
+  total_steps : int;            (** the horizon of the original run *)
+  step : int;                   (** last completed step *)
+  loads : int array;            (** load vector after [step] *)
+  balancer_state : int array option;
+      (** merged per-node balancer state; [None] for stateless balancers *)
+  series_rev : (int * int) list;
+      (** (step, discrepancy) samples so far, newest first *)
+  min_load_seen : int;
+  reached_target : int option;
+}
+
+val save : path:string -> snapshot -> unit
+(** Atomic: writes [path ^ ".tmp"], then renames over [path]. *)
+
+val load : path:string -> snapshot
+(** @raise Checkpoint_error on a missing, foreign or corrupt file. *)
+
+val describe : snapshot -> string
+(** One-line human summary (for CLI logging). *)

@@ -1,0 +1,46 @@
+(** Node partitioner for the sharded engine.
+
+    Splits the nodes of a regular graph into [shards] disjoint parts.
+    The partition fixes which domain owns (reads the load of, assigns
+    the tokens of, and writes the next load of) each node; every edge
+    whose endpoints live in different parts becomes halo traffic at the
+    per-step exchange. *)
+
+type strategy =
+  | Contiguous   (** node [u] → block [u·k/n]: ideal for cycles/tori as
+                     generated (index-local neighborhoods). *)
+  | Round_robin  (** node [u] → [u mod k]: worst-case cut, useful as a
+                     stress test of the halo exchange. *)
+  | Bfs_blocks   (** contiguous blocks of the BFS order from node 0:
+                     approximates a low-cut partition on any connected
+                     graph without an external partitioner. *)
+
+val strategy_name : strategy -> string
+
+type t = {
+  shards : int;
+  strategy : strategy;
+  owner : int array;        (** node → shard *)
+  parts : int array array;  (** shard → owned nodes, ascending *)
+  local_index : int array;  (** node → its index within [parts.(owner)] *)
+}
+
+type stats = {
+  sizes : int array;          (** nodes per shard *)
+  cut_edges : int;            (** edges crossing shards (halo volume) *)
+  internal_edges : int;
+  boundary_nodes : int array; (** per shard: own nodes incident to a cut edge *)
+  max_imbalance : float;      (** max part size / ideal part size *)
+}
+
+val make : ?strategy:strategy -> shards:int -> Graphs.Graph.t -> t
+(** Parts are balanced to within one node for every strategy.  Parts may
+    be empty when [shards > n].
+    @raise Invalid_argument if [shards < 1]. *)
+
+val shards : t -> int
+val owner : t -> int -> int
+val nodes_of : t -> int -> int array
+
+val stats : t -> Graphs.Graph.t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -46,6 +46,7 @@ let playback_balancer t =
         if step < 1 || step > t.steps then
           invalid_arg "Trace.replay: step outside recorded range";
         Array.blit t.assignments.(step - 1).(node) 0 ports 0 dp);
+    persist = None;
   }
 
 let replay t =

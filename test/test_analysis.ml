@@ -163,6 +163,7 @@ let test_coloring_flags_bad_balancer () =
       degree = 2;
       self_loops = 2;
       props = Core.Balancer.paper_stateless;
+      persist = None;
       assign =
         (fun ~step:_ ~node:_ ~load ~ports ->
           Array.fill ports 0 4 0;

@@ -13,6 +13,7 @@ let keep_all g ~self_loops =
     degree = d;
     self_loops;
     props = Core.Balancer.paper_stateless;
+    persist = None;
     assign =
       (fun ~step:_ ~node:_ ~load ~ports ->
         Array.fill ports 0 (d + self_loops) 0;
@@ -27,6 +28,7 @@ let push_port0 g ~self_loops =
     degree = d;
     self_loops;
     props = Core.Balancer.paper_stateless;
+    persist = None;
     assign =
       (fun ~step:_ ~node:_ ~load ~ports ->
         Array.fill ports 0 (d + self_loops) 0;
@@ -41,6 +43,7 @@ let leaky g ~self_loops =
     degree = d;
     self_loops;
     props = Core.Balancer.paper_stateless;
+    persist = None;
     assign =
       (fun ~step:_ ~node:_ ~load ~ports ->
         Array.fill ports 0 (d + self_loops) 0;
@@ -55,6 +58,7 @@ let negative_sender g ~self_loops =
     degree = d;
     self_loops;
     props = Core.Balancer.paper_stateless;
+    persist = None;
     assign =
       (fun ~step:_ ~node:_ ~load ~ports ->
         Array.fill ports 0 (d + self_loops) 0;

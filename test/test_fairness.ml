@@ -87,6 +87,7 @@ let test_unfair_balancer_flagged () =
       degree = d;
       self_loops;
       props = Core.Balancer.paper_stateless;
+      persist = None;
       assign =
         (fun ~step:_ ~node:_ ~load ~ports ->
           let q = load / dp and e = load mod dp in
@@ -111,6 +112,7 @@ let test_floor_violation_flagged () =
       degree = 2;
       self_loops = 1;
       props = Core.Balancer.paper_stateless;
+      persist = None;
       assign =
         (fun ~step:_ ~node:_ ~load ~ports ->
           ports.(0) <- load;
