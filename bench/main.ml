@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- e3 e7        # selected experiments
      dune exec bench/main.exe -- micro        # microbenchmarks only
      dune exec bench/main.exe -- shard        # sharded-engine strong scaling
+     dune exec bench/main.exe -- faults       # fault-recovery sweep (BENCH_faults.json)
      dune exec bench/main.exe -- --csv out.csv e1
 *)
 
@@ -147,6 +148,43 @@ let run_shard_scaling ?(json_path = "BENCH_shard.json") ~quick () =
   close_out oc;
   Printf.printf "strong-scaling results written to %s\n" json_path
 
+(* Fault-recovery section: the Faultsweep scenarios (crash with state
+   wiped/kept, load shock, edge outage) for the stateful rotor-router vs
+   the stateless send-floor on ring/torus/hypercube, written to
+   BENCH_faults.json.  The recovery tolerance is the Theorem 2.3 band. *)
+let run_fault_recovery ?(json_path = "BENCH_faults.json") ~quick () =
+  Printf.printf "\n=== Fault recovery: rotor-router vs send-floor (Thm 2.3 band) ===\n";
+  let t0 = Unix.gettimeofday () in
+  let points = Harness.Faultsweep.sweep ~quick () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Harness.Faultsweep.print_table points;
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"fault-recovery\",\n  \"eps\": \"theorem-2.3 band \
+     d*min(sqrt(log n/mu), sqrt n)\",\n  \"quick\": %b,\n  \"seconds\": %.3f,\n\
+    \  \"results\": [\n"
+    quick elapsed;
+  let last = List.length points - 1 in
+  List.iteri
+    (fun i (p : Harness.Faultsweep.point) ->
+      Printf.fprintf oc
+        "    {\"graph\": %S, \"algo\": %S, \"fault\": %S, \"eps\": %d, \
+         \"pre\": %d, \"shock\": %d, \"worst\": %d, \"recovery_steps\": %s, \
+         \"conserved\": %b}%s\n"
+        p.Harness.Faultsweep.graph p.Harness.Faultsweep.algo
+        p.Harness.Faultsweep.scenario p.Harness.Faultsweep.eps
+        p.Harness.Faultsweep.pre p.Harness.Faultsweep.shock
+        p.Harness.Faultsweep.worst
+        (match p.Harness.Faultsweep.recovery with
+        | Some k -> string_of_int k
+        | None -> "null")
+        p.Harness.Faultsweep.conserved
+        (if i = last then "" else ","))
+    points;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "fault-recovery results written to %s\n" json_path
+
 let run_microbenchmarks () =
   let open Bechamel in
   let open Toolkit in
@@ -201,12 +239,13 @@ let () =
   in
   let want_micro = selected = [] || List.mem "micro" selected in
   let want_shard = selected = [] || List.mem "shard" selected in
+  let want_faults = selected = [] || List.mem "faults" selected in
   let experiment_ids =
     match
       List.filter
         (fun a ->
           let a = String.lowercase_ascii a in
-          a <> "micro" && a <> "shard")
+          a <> "micro" && a <> "shard" && a <> "faults")
         selected
     with
     | [] when selected = [] -> List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all
@@ -239,4 +278,5 @@ let () =
     Printf.printf "\nCSV written to %s\n" path
   | None -> ());
   if want_shard then run_shard_scaling ~quick ();
+  if want_faults then run_fault_recovery ~quick ();
   if want_micro then run_microbenchmarks ()

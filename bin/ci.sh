@@ -1,25 +1,43 @@
 #!/bin/sh
 # CI smoke script: build, run the full tier-1 test suite, then exercise
 # the sharded engine end-to-end (equivalence suite + a 4-shard CLI run
-# with checkpoint/resume).  Exits non-zero on any failure.
+# with checkpoint/resume) and the fault-injection path (crash 10% of a
+# 2^10 ring, require recovery into the Theorem 2.3 band).  Exits
+# non-zero on any failure.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+# Backtraces on any uncaught exception, in tests and smokes alike.
+OCAMLRUNPARAM=b
+export OCAMLRUNPARAM
+
 echo "== dune build =="
 dune build
 
-echo "== dune runtest (tier-1 + shard equivalence) =="
+echo "== dune runtest (tier-1 + shard equivalence + faults) =="
 dune runtest
 
 echo "== sharded CLI smoke: 4 shards, checkpoint + resume =="
 ckpt=$(mktemp -t lb_ci_ckpt.XXXXXX)
-trap 'rm -f "$ckpt"' EXIT
+trap 'rm -f "$ckpt" "$ckpt.prev"' EXIT
 dune exec bin/lb_sim.exe -- --graph torus:16x16 --algo rotor-router \
   --init point:4096 --steps 200 --shards 4 \
   --checkpoint "$ckpt" --checkpoint-every 50
 dune exec bin/lb_sim.exe -- --graph torus:16x16 --algo rotor-router \
   --init point:4096 --steps 200 --shards 4 \
   --checkpoint "$ckpt" --resume
+
+echo "== fault smoke: crash 10% of a 2^10 ring, recover within Thm 2.3 band =="
+# cycle(1024): d = 2, so the Theorem 2.3 bound d*min(sqrt(log n/mu), sqrt n)
+# is 2*sqrt(1024) = 64.  --require-recovery exits 3 if any episode fails.
+dune exec bin/lb_sim.exe -- --graph cycle:1024 --algo rotor-router \
+  --init random:65536 --steps 4000 --crash-nodes 0.1@500 \
+  --recovery-eps 64 --require-recovery
+# Same plan, sharded: the run must replay identically and pass the same
+# recovery gate.
+dune exec bin/lb_sim.exe -- --graph cycle:1024 --algo rotor-router \
+  --init random:65536 --steps 4000 --crash-nodes 0.1@500 \
+  --recovery-eps 64 --require-recovery --shards 2
 
 echo "== ci.sh: all green =="

@@ -9,6 +9,11 @@
             --shards 4 --partition bfs \
             --checkpoint run.ckpt --checkpoint-every 500
      lb_sim ... --checkpoint run.ckpt --resume   # continue a killed run
+     lb_sim --graph cycle:1024 --algo rotor-router --init random:65536 \
+            --steps 4000 --crash-nodes 0.1@500 --recovery-eps 64
+     lb_sim --graph torus:16x16 --algo send-floor --steps 2000 \
+            --fault-plan "crash:0.05@200:keep:spill; outage:0.1@600+50; shock:500@1200" \
+            --fault-seed 7 --require-recovery
 *)
 
 exception Spec_error of string
@@ -196,9 +201,20 @@ let run_sharded ~audit ~target ~series ~shards ~strategy ~checkpoint_path
       match checkpoint_path with
       | None -> die "--resume requires --checkpoint PATH"
       | Some path ->
-        let snap = Shard.Checkpoint.load ~path in
-        Printf.printf "resuming:     %s\n" (Shard.Checkpoint.describe snap);
-        Some snap
+        (* Recover survives a corrupted primary: the checksum rejects it
+           and the rotated .prev copy is used instead. *)
+        let r = Shard.Checkpoint.recover ~path () in
+        List.iter
+          (fun (_, err) ->
+            Printf.printf "rejected:     %s\n" (Shard.Checkpoint.error_message err))
+          r.Shard.Checkpoint.rejected;
+        Printf.printf "resuming:     %s%s\n"
+          (Shard.Checkpoint.describe r.Shard.Checkpoint.snapshot)
+          (match r.Shard.Checkpoint.source with
+          | Shard.Checkpoint.Primary -> ""
+          | Shard.Checkpoint.Rotated ->
+            Printf.sprintf " (from rotated copy %s)" (Shard.Checkpoint.prev_path path));
+        Some r.Shard.Checkpoint.snapshot
   in
   let first_hit = ref None in
   let hook =
@@ -242,8 +258,55 @@ let run_sharded ~audit ~target ~series ~shards ~strategy ~checkpoint_path
     Array.iter (fun (t, d) -> Printf.printf "%d,%d\n" t d) result.Core.Engine.series
   end
 
+let run_faulted ~series ~shards ~strategy ~fault_specs ~fault_seed ~recovery_eps
+    ~require_recovery ~graph_spec ~algo_spec ~init_spec ~horizon_spec () =
+  let g = Harness.Experiment.build_graph graph_spec in
+  let n = Graphs.Graph.n g in
+  let init = Harness.Experiment.build_init init_spec ~n in
+  let make_balancer () = Harness.Experiment.build_balancer algo_spec g ~init in
+  let probe = make_balancer () in
+  let self_loops = probe.Core.Balancer.self_loops in
+  let steps =
+    Harness.Experiment.horizon_steps ~graph:g ~self_loops ~init horizon_spec
+  in
+  let plan = Faults.Schedule.realize ~seed:fault_seed ~graph:g fault_specs in
+  Printf.printf "fault plan:   %d events, seed %d (%s)\n" (List.length plan)
+    fault_seed
+    (String.concat "; " (List.map Faults.Schedule.spec_to_string fault_specs));
+  let mode =
+    match shards with
+    | None -> Faults.Engine.Sequential
+    | Some shards ->
+      Printf.printf "shards:       %d (%s partition)\n" shards
+        (Shard.Partition.strategy_name strategy);
+      Faults.Engine.Sharded { shards; strategy }
+  in
+  let report =
+    Faults.Engine.run ~mode ?eps:recovery_eps
+      ~sample_every:(max 1 (steps / 64))
+      ~graph:g ~make_balancer ~plan ~init ~steps ()
+  in
+  print_summary ~graph_label:(Harness.Experiment.graph_name graph_spec)
+    ~algo_label:probe.Core.Balancer.name ~n ~degree:(Graphs.Graph.degree g)
+    ~self_loops
+    ~gap:(Harness.Experiment.spectral_gap ~graph:g ~self_loops)
+    ~initial_discrepancy:(Core.Loads.discrepancy init)
+    ~horizon:steps ~target:None ~time_to_target:None report.Faults.Engine.result;
+  List.iter print_endline (Faults.Engine.report_lines report);
+  if series then begin
+    print_endline "step,discrepancy";
+    Array.iter
+      (fun (t, d) -> Printf.printf "%d,%d\n" t d)
+      report.Faults.Engine.result.Core.Engine.series
+  end;
+  if require_recovery && not (Faults.Engine.all_recovered report) then begin
+    prerr_endline "lb_sim: --require-recovery: some fault episodes did not recover";
+    exit 3
+  end
+
 let run graph algo self_loops init steps horizon target audit series seed shards
-    domains partition checkpoint_path checkpoint_every resume =
+    domains partition checkpoint_path checkpoint_every resume fault_plan
+    crash_nodes edge_outage fault_seed recovery_eps require_recovery =
   match
     try Ok (parse_graph graph, parse_init init) with Spec_error m -> Error m
   with
@@ -276,6 +339,42 @@ let run graph algo self_loops init steps horizon target audit series seed shards
         | None, Some d -> d
         | None, None -> 1
       in
+      let fault_specs =
+        let parse_or_die label s =
+          match Faults.Schedule.parse s with
+          | Ok specs -> specs
+          | Error m -> die (label ^ ": " ^ m)
+        in
+        List.concat
+          [
+            (match fault_plan with
+            | Some s -> parse_or_die "--fault-plan" s
+            | None -> []);
+            (match crash_nodes with
+            | Some s -> parse_or_die "--crash-nodes" ("crash:" ^ s)
+            | None -> []);
+            (match edge_outage with
+            | Some s -> parse_or_die "--edge-outage" ("outage:" ^ s)
+            | None -> []);
+          ]
+      in
+      let faulted = fault_specs <> [] in
+      if faulted && (checkpoint_path <> None || resume) then
+        die "fault injection and checkpointing cannot be combined (fault state \
+             is not checkpointed)";
+      if faulted && audit then
+        die "--audit is not available under fault injection";
+      if faulted && target <> None then
+        die "--target is not available under fault injection (use --recovery-eps)";
+      (match recovery_eps with
+      | Some e when e < 0 -> die "--recovery-eps must be non-negative"
+      | _ -> ());
+      if (not faulted)
+         && (recovery_eps <> None || require_recovery || crash_nodes <> None
+           || edge_outage <> None)
+      then
+        die "--recovery-eps/--require-recovery need a fault plan \
+             (--fault-plan, --crash-nodes or --edge-outage)";
       let sharded =
         shard_count > 1 || checkpoint_path <> None || resume
         || shards <> None || domains <> None
@@ -284,7 +383,12 @@ let run graph algo self_loops init steps horizon target audit series seed shards
         let g = Harness.Experiment.build_graph graph_spec in
         let degree = Graphs.Graph.degree g in
         let algo_spec = algo_of_degree degree in
-        if sharded then
+        if faulted then
+          run_faulted ~series
+            ~shards:(if sharded then Some shard_count else None)
+            ~strategy ~fault_specs ~fault_seed ~recovery_eps ~require_recovery
+            ~graph_spec ~algo_spec ~init_spec ~horizon_spec ()
+        else if sharded then
           run_sharded ~audit ~target ~series ~shards:shard_count ~strategy
             ~checkpoint_path ~checkpoint_every ~resume ~graph_spec ~algo_spec
             ~init_spec ~horizon_spec ()
@@ -340,7 +444,10 @@ let run graph algo self_loops init steps horizon target audit series seed shards
         end
       with
       | Spec_error msg | Invalid_argument msg -> die msg
-      | Shard.Checkpoint.Checkpoint_error msg -> die ("checkpoint: " ^ msg))
+      | Shard.Checkpoint.Checkpoint_error err ->
+        die ("checkpoint: " ^ Shard.Checkpoint.error_message err)
+      | Faults.Watchdog.Invariant_violation d ->
+        die (Faults.Watchdog.to_string d))
 
 open Cmdliner
 
@@ -451,6 +558,54 @@ let resume_arg =
           "Resume from the checkpoint at --checkpoint PATH instead of starting \
            from the initial loads.")
 
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Semicolon-separated fault specs: crash:FRAC\\@STEP[:wipe|keep][:lose|spill], \
+           outage:RATE\\@STEP+DURATION, shock:AMOUNT\\@STEP[:node=N]. Realized \
+           into concrete node/edge events with --fault-seed; same seed and plan \
+           replay the identical faulted run.")
+
+let crash_nodes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "crash-nodes" ] ~docv:"FRAC@STEP"
+        ~doc:"Shorthand for --fault-plan crash:FRAC\\@STEP (wipe state, lose tokens).")
+
+let edge_outage_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "edge-outage" ] ~docv:"RATE@STEP+DUR"
+        ~doc:"Shorthand for --fault-plan outage:RATE\\@STEP+DUR.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "fault-seed" ] ~docv:"S"
+        ~doc:"Seed used to realize the fault plan into concrete events (default 1).")
+
+let recovery_eps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "recovery-eps" ] ~docv:"E"
+        ~doc:
+          "A fault episode counts as recovered once the discrepancy returns \
+           within E of its pre-fault value (default: the graph degree d).")
+
+let require_recovery_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "require-recovery" ]
+        ~doc:"Exit with status 3 if any fault episode fails to recover.")
+
 let cmd =
   let doc = "simulate deterministic load-balancing schemes (Berenbrink et al., PODC 2015)" in
   Cmd.v
@@ -459,6 +614,7 @@ let cmd =
       const run $ graph_arg $ algo_arg $ self_loops_arg $ init_arg $ steps_arg
       $ horizon_arg $ target_arg $ audit_arg $ series_arg $ seed_arg $ shards_arg
       $ domains_arg $ partition_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg)
+      $ resume_arg $ fault_plan_arg $ crash_nodes_arg $ edge_outage_arg
+      $ fault_seed_arg $ recovery_eps_arg $ require_recovery_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -69,8 +69,13 @@ val e14_equation7 : experiment
 (** Equation (7) of the Theorem 2.3 proof: measured window-averaged
     deviation vs the explicit right-hand side (exact current sums). *)
 
+val e15_fault_recovery : experiment
+(** Robustness: recovery time back into the Theorem 2.3 band after node
+    crashes, edge outages and load shocks, for the stateful rotor-router
+    vs the stateless send-floor (see {!Faultsweep}). *)
+
 val all : experiment list
-(** E1 .. E14 in order. *)
+(** E1 .. E15 in order. *)
 
 val run_by_id : quick:bool -> string -> (row list, string) Result.t
 (** Run one experiment by its id (case-insensitive); [Error] lists the

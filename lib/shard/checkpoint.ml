@@ -1,7 +1,30 @@
-exception Checkpoint_error of string
+type error =
+  | Missing of string
+  | Bad_magic of string
+  | Bad_version of { path : string; found : int; expected : int }
+  | Truncated of string
+  | Bad_checksum of { path : string; stored : int32; computed : int32 }
+  | Bad_payload of string
+  | Mismatch of string
+
+exception Checkpoint_error of error
+
+let error_message = function
+  | Missing path -> Printf.sprintf "no checkpoint at %s" path
+  | Bad_magic path -> Printf.sprintf "%s: not a checkpoint file (bad magic)" path
+  | Bad_version { path; found; expected } ->
+    Printf.sprintf "%s: checkpoint version %d, expected %d" path found expected
+  | Truncated path -> Printf.sprintf "%s: truncated checkpoint (torn write?)" path
+  | Bad_checksum { path; stored; computed } ->
+    Printf.sprintf "%s: checksum mismatch (stored %08lx, computed %08lx)" path stored
+      computed
+  | Bad_payload path -> Printf.sprintf "%s: corrupt checkpoint payload" path
+  | Mismatch msg -> msg
+
+let fail e = raise (Checkpoint_error e)
 
 let magic = "LOADBAL-CKPT"
-let version = 1
+let version = 2
 
 type snapshot = {
   balancer_name : string;
@@ -16,7 +39,10 @@ type snapshot = {
   reached_target : int option;
 }
 
+let prev_path path = path ^ ".prev"
+
 let save ~path snap =
+  let payload = Marshal.to_string snap [] in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
@@ -24,34 +50,78 @@ let save ~path snap =
     (fun () ->
       output_string oc magic;
       output_binary_int oc version;
-      Marshal.to_channel oc snap []);
-  (* Atomic publish: a crash mid-write leaves the previous checkpoint
-     intact, never a truncated file. *)
+      output_binary_int oc (String.length payload);
+      output_binary_int oc (Int32.to_int (Crc32.string payload));
+      output_string oc payload;
+      (* Durability before visibility: the bytes must be on disk before
+         the rename makes them the checkpoint. *)
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  (* Keep the previous good checkpoint as a fallback: if this process is
+     killed between the two renames, [recover] still finds [.prev]. *)
+  if Sys.file_exists path then Sys.rename path (prev_path path);
   Sys.rename tmp path
 
 let load ~path =
-  if not (Sys.file_exists path) then
-    raise (Checkpoint_error (Printf.sprintf "no checkpoint at %s" path));
+  if not (Sys.file_exists path) then fail (Missing path);
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      try
-        let header = really_input_string ic (String.length magic) in
-        if header <> magic then
-          raise (Checkpoint_error (Printf.sprintf "%s: not a checkpoint file" path));
-        let v = input_binary_int ic in
-        if v <> version then
-          raise
-            (Checkpoint_error
-               (Printf.sprintf "%s: checkpoint version %d, expected %d" path v version));
-        let snap : snapshot = Marshal.from_channel ic in
-        if Array.length snap.loads <> snap.n then
-          raise (Checkpoint_error (Printf.sprintf "%s: corrupt checkpoint" path));
-        snap
-      with End_of_file | Failure _ ->
-        (* Truncated file or a Marshal payload that does not parse. *)
-        raise (Checkpoint_error (Printf.sprintf "%s: corrupt checkpoint" path)))
+      let header =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> fail (Truncated path)
+      in
+      if header <> magic then fail (Bad_magic path);
+      let v = try input_binary_int ic with End_of_file -> fail (Truncated path) in
+      if v <> version then fail (Bad_version { path; found = v; expected = version });
+      let len = try input_binary_int ic with End_of_file -> fail (Truncated path) in
+      if len < 0 then fail (Bad_payload path);
+      let stored =
+        try Int32.of_int (input_binary_int ic) with End_of_file -> fail (Truncated path)
+      in
+      let payload =
+        try really_input_string ic len with End_of_file -> fail (Truncated path)
+      in
+      let computed = Crc32.string payload in
+      if stored <> computed then fail (Bad_checksum { path; stored; computed });
+      let snap : snapshot =
+        (* The checksum already vouches for the bytes; a Marshal failure
+           here means the payload was written by something else. *)
+        try Marshal.from_string payload 0 with Failure _ -> fail (Bad_payload path)
+      in
+      if Array.length snap.loads <> snap.n then fail (Bad_payload path);
+      snap)
+
+type source = Primary | Rotated
+
+type recovery = {
+  snapshot : snapshot;
+  source : source;
+  rejected : (string * error) list;
+}
+
+let recover ?(retries = 2) ?(backoff = 0.05) ~path () =
+  let attempt () =
+    match load ~path with
+    | snap -> Ok { snapshot = snap; source = Primary; rejected = [] }
+    | exception Checkpoint_error primary_err -> (
+      let prev = prev_path path in
+      match load ~path:prev with
+      | snap ->
+        Ok { snapshot = snap; source = Rotated; rejected = [ (path, primary_err) ] }
+      | exception Checkpoint_error prev_err ->
+        Error (primary_err, (path, primary_err), (prev, prev_err)))
+  in
+  let rec go attempts_left sleep =
+    match attempt () with
+    | Ok r -> r
+    | Error (primary_err, _, _) when attempts_left <= 0 -> fail primary_err
+    | Error _ ->
+      Unix.sleepf sleep;
+      go (attempts_left - 1) (sleep *. 2.0)
+  in
+  go (max 0 retries) backoff
 
 let describe snap =
   Printf.sprintf "%s: step %d/%d, n=%d, d=%d%s" snap.balancer_name snap.step

@@ -4,16 +4,38 @@
     continue a run as if it had never stopped: the completed step, the
     full load vector, the balancer's per-node state (via
     [Balancer.persist]), and the already-accumulated pieces of the
-    result record (series, minimum load, target hit).  The on-disk
-    format is a magic string + version + [Marshal] payload, written to a
-    temp file and renamed so a crash can never leave a truncated
-    checkpoint behind.
+    result record (series, minimum load, target hit).
+
+    Durability guarantees (see DESIGN.md §8.3):
+    - the on-disk format is magic + version + payload length + CRC-32 +
+      [Marshal] payload, so truncation and bit rot are detected on load
+      rather than deserialized into silently wrong state;
+    - writes go to a temp file that is [fsync]ed before being renamed
+      into place, so a crash can never publish a torn checkpoint;
+    - before the rename, the previous good checkpoint is rotated to
+      [path ^ ".prev"]; {!recover} falls back to it automatically when
+      the primary is missing or fails validation.
 
     Checkpoints are shard-count independent: state is stored per node,
     so a run checkpointed with 8 shards can resume with 2 (or
     sequentially). *)
 
-exception Checkpoint_error of string
+type error =
+  | Missing of string  (** no file at the path *)
+  | Bad_magic of string  (** not a checkpoint file at all *)
+  | Bad_version of { path : string; found : int; expected : int }
+  | Truncated of string  (** shorter than its header claims *)
+  | Bad_checksum of { path : string; stored : int32; computed : int32 }
+      (** payload bytes fail CRC-32 — torn write or bit rot *)
+  | Bad_payload of string  (** payload deserialized but is inconsistent *)
+  | Mismatch of string
+      (** a valid snapshot that does not fit the run being resumed
+          (different graph, balancer, or horizon) *)
+
+exception Checkpoint_error of error
+
+val error_message : error -> string
+(** Human-readable one-liner naming the failed validation. *)
 
 type snapshot = {
   balancer_name : string;       (** for mismatch detection on resume *)
@@ -31,10 +53,35 @@ type snapshot = {
 }
 
 val save : path:string -> snapshot -> unit
-(** Atomic: writes [path ^ ".tmp"], then renames over [path]. *)
+(** Durable publish: writes and fsyncs [path ^ ".tmp"], rotates any
+    existing checkpoint to [path ^ ".prev"], then renames the temp file
+    over [path]. *)
 
 val load : path:string -> snapshot
-(** @raise Checkpoint_error on a missing, foreign or corrupt file. *)
+(** Load and validate one file.  @raise Checkpoint_error naming the
+    specific validation that failed (magic, version, truncation,
+    checksum, payload). *)
+
+val prev_path : string -> string
+(** The rotated-copy path: [path ^ ".prev"]. *)
+
+type source = Primary | Rotated
+
+type recovery = {
+  snapshot : snapshot;
+  source : source;  (** which file the snapshot came from *)
+  rejected : (string * error) list;
+      (** files that failed validation before one succeeded, for logging *)
+}
+
+val recover : ?retries:int -> ?backoff:float -> path:string -> unit -> recovery
+(** [recover ~path ()] loads the newest usable checkpoint: the primary
+    if it validates, otherwise the rotated [.prev] copy.  When both fail
+    the whole sequence is retried up to [retries] more times (default 2)
+    with exponentially growing sleeps starting at [backoff] seconds
+    (default 0.05) — a checkpoint being written concurrently by a dying
+    run settles after its rename.  @raise Checkpoint_error (the
+    primary's error) when no attempt produces a usable snapshot. *)
 
 val describe : snapshot -> string
 (** One-line human summary (for CLI logging). *)

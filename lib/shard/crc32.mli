@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+    Used to checksum checkpoint payloads so that a file torn by a crash
+    mid-write — or flipped bits from a bad disk — is detected on load
+    instead of being deserialized into silently wrong state. *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val digest : ?init:int32 -> string -> pos:int -> len:int -> int32
+(** Incremental form: [digest ~init s ~pos ~len] extends a running
+    checksum ([init] defaults to the empty-string state) over a
+    substring.  [string s = digest s ~pos:0 ~len:(String.length s)].
+    @raise Invalid_argument on an out-of-range substring. *)

@@ -148,10 +148,11 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy
   | Some _ when not (Core.Balancer.resumable b0) ->
     raise
       (Checkpoint.Checkpoint_error
-         (Printf.sprintf
-            "balancer %s is not checkpointable (stateful without a persist \
-             capability)"
-            b0.Core.Balancer.name))
+         (Checkpoint.Mismatch
+            (Printf.sprintf
+               "balancer %s is not checkpointable (stateful without a persist \
+                capability)"
+               b0.Core.Balancer.name)))
   | _ -> ());
   let cur =
     match resume with None -> Array.copy init | Some s -> Array.copy s.Checkpoint.loads
@@ -171,18 +172,21 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy
       if snap.Checkpoint.n <> n || snap.Checkpoint.degree <> d then
         raise
           (Checkpoint.Checkpoint_error
-             (Printf.sprintf "checkpoint is for n=%d d=%d, run has n=%d d=%d"
-                snap.Checkpoint.n snap.Checkpoint.degree n d));
+             (Checkpoint.Mismatch
+                (Printf.sprintf "checkpoint is for n=%d d=%d, run has n=%d d=%d"
+                   snap.Checkpoint.n snap.Checkpoint.degree n d)));
       if snap.Checkpoint.balancer_name <> b0.Core.Balancer.name then
         raise
           (Checkpoint.Checkpoint_error
-             (Printf.sprintf "checkpoint is for balancer %s, run uses %s"
-                snap.Checkpoint.balancer_name b0.Core.Balancer.name));
+             (Checkpoint.Mismatch
+                (Printf.sprintf "checkpoint is for balancer %s, run uses %s"
+                   snap.Checkpoint.balancer_name b0.Core.Balancer.name)));
       if snap.Checkpoint.step > steps then
         raise
           (Checkpoint.Checkpoint_error
-             (Printf.sprintf "checkpoint is at step %d, past the %d-step horizon"
-                snap.Checkpoint.step steps));
+             (Checkpoint.Mismatch
+                (Printf.sprintf "checkpoint is at step %d, past the %d-step horizon"
+                   snap.Checkpoint.step steps)));
       (match (snap.Checkpoint.balancer_state, b0.Core.Balancer.persist) with
       | Some state, Some _ ->
         Array.iter
@@ -195,8 +199,9 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy
       | _ ->
         raise
           (Checkpoint.Checkpoint_error
-             "checkpoint balancer state does not match the balancer's persist \
-              capability"));
+             (Checkpoint.Mismatch
+                "checkpoint balancer state does not match the balancer's persist \
+                 capability")));
       ( snap.Checkpoint.step,
         snap.Checkpoint.series_rev,
         snap.Checkpoint.min_load_seen,

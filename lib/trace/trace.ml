@@ -86,55 +86,78 @@ let save ~path t =
         done
       done)
 
+exception Parse_error of { line : int; reason : string }
+
+let parse_error_message = function
+  | Parse_error { line; reason } ->
+    Some (Printf.sprintf "trace parse error at line %d: %s" line reason)
+  | _ -> None
+
 let tokens_of_line line =
   String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
-
-let int_of_token line tok =
-  match int_of_string_opt tok with
-  | Some v -> v
-  | None -> failwith (Printf.sprintf "Trace.load: bad integer %S in line %S" tok line)
 
 let load ~path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
+      let lineno = ref 0 in
+      let fail fmt =
+        Printf.ksprintf
+          (fun reason -> raise (Parse_error { line = !lineno; reason }))
+          fmt
+      in
+      let int_of_token tok =
+        match int_of_string_opt tok with
+        | Some v -> v
+        | None -> fail "bad integer %S" tok
+      in
+      (* Distinguishes the legal end of the assignment stream from a file
+         that ends mid-header, without matching on exception strings. *)
+      let exception End_of_input in
       let line () =
         match In_channel.input_line ic with
-        | Some l -> l
-        | None -> failwith "Trace.load: unexpected end of file"
+        | Some l ->
+          incr lineno;
+          l
+        | None ->
+          incr lineno;
+          raise End_of_input
       in
-      (match tokens_of_line (line ()) with
+      let header_line what =
+        match line () with
+        | l -> l
+        | exception End_of_input -> fail "unexpected end of file (expected %s)" what
+      in
+      (match tokens_of_line (header_line "magic") with
       | [ "loadbal-trace"; "1" ] -> ()
-      | _ -> failwith "Trace.load: bad magic (expected 'loadbal-trace 1')");
+      | _ -> fail "bad magic (expected 'loadbal-trace 1')");
       let n, degree, self_loops, steps =
-        let l = line () in
-        match tokens_of_line l with
+        match tokens_of_line (header_line "graph line") with
         | [ "graph"; a; b; c; d ] ->
-          (int_of_token l a, int_of_token l b, int_of_token l c, int_of_token l d)
-        | _ -> failwith "Trace.load: bad graph line"
+          (int_of_token a, int_of_token b, int_of_token c, int_of_token d)
+        | _ -> fail "bad graph line (expected 'graph N DEGREE SELF_LOOPS STEPS')"
       in
       let edges =
-        let l = line () in
-        match tokens_of_line l with
+        match tokens_of_line (header_line "edges line") with
         | "edges" :: rest ->
-          let vals = List.map (int_of_token l) rest in
+          let vals = List.map int_of_token rest in
           let rec pair = function
             | [] -> []
             | u :: v :: rest -> (u, v) :: pair rest
-            | [ _ ] -> failwith "Trace.load: odd edge endpoint count"
+            | [ _ ] -> fail "odd edge endpoint count"
           in
           Array.of_list (pair vals)
-        | _ -> failwith "Trace.load: bad edges line"
+        | _ -> fail "bad edges line (expected 'edges U1 V1 U2 V2 ...')"
       in
       let init =
-        let l = line () in
-        match tokens_of_line l with
+        match tokens_of_line (header_line "init line") with
         | "init" :: rest ->
-          let a = Array.of_list (List.map (int_of_token l) rest) in
-          if Array.length a <> n then failwith "Trace.load: init length mismatch";
+          let a = Array.of_list (List.map int_of_token rest) in
+          if Array.length a <> n then
+            fail "init has %d loads, graph line declared n = %d" (Array.length a) n;
           a
-        | _ -> failwith "Trace.load: bad init line"
+        | _ -> fail "bad init line (expected 'init X1 ... Xn')"
       in
       let dp = degree + self_loops in
       let assignments =
@@ -146,26 +169,25 @@ let load ~path =
            let l = line () in
            match tokens_of_line l with
            | "a" :: s :: u :: ports ->
-             let step = int_of_token l s and node = int_of_token l u in
+             let step = int_of_token s and node = int_of_token u in
              if step < 1 || step > steps || node < 0 || node >= n then
-               failwith "Trace.load: assignment record out of range";
-             let ports = List.map (int_of_token l) ports in
+               fail "assignment record (step %d, node %d) out of range" step node;
+             let ports = List.map int_of_token ports in
              if List.length ports <> dp then
-               failwith "Trace.load: wrong port count in assignment";
+               fail "assignment has %d ports, expected d⁺ = %d"
+                 (List.length ports) dp;
              List.iteri (fun k p -> assignments.(step - 1).(node).(k) <- p) ports;
              seen.(step - 1).(node) <- true
            | [] -> ()
-           | _ -> failwith (Printf.sprintf "Trace.load: bad line %S" l)
+           | _ -> fail "bad line %S" l
          done
-       with Failure msg when msg = "Trace.load: unexpected end of file" -> ());
+       with End_of_input -> ());
       Array.iteri
         (fun s row ->
           Array.iteri
             (fun u present ->
               if not present then
-                failwith
-                  (Printf.sprintf "Trace.load: missing assignment for step %d node %d"
-                     (s + 1) u))
+                fail "missing assignment for step %d node %d" (s + 1) u)
             row)
         seen;
       { n; degree; self_loops; steps; edges; init; assignments })

@@ -41,8 +41,19 @@ val graph_of : t -> Graphs.Graph.t
 
 val save : path:string -> t -> unit
 
+exception Parse_error of { line : int; reason : string }
+(** Raised by {!load} on a malformed file, naming the 1-based line the
+    parse failed on.  An end-of-file mid-header reports the line after
+    the last one read. *)
+
+val parse_error_message : exn -> string option
+(** [Some human_message] for a {!Parse_error}, [None] otherwise —
+    convenience for CLI catch sites. *)
+
 val load : path:string -> t
-(** @raise Failure on a malformed file. *)
+(** @raise Parse_error on a malformed file (bad magic, malformed header,
+    non-integer token, out-of-range or missing assignment records).
+    @raise Sys_error if the file cannot be opened. *)
 
 val replay : t -> Core.Engine.result
 (** Re-execute the recorded assignments through the engine (via a

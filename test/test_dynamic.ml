@@ -99,6 +99,62 @@ let test_max_loaded_is_bounded_anyway () =
   in
   check_bool "no upward trend" true (lq_mean < 2.0 *. r.Core.Dynamic.steady_mean +. 10.0)
 
+let test_departure_drains_to_empty_and_clamps () =
+  (* Departures far exceeding the remaining mass must clamp at zero:
+     a departure aimed at an empty node is skipped, never counted, and
+     no load ever goes negative. *)
+  let g = Graphs.Gen.cycle 8 in
+  let balancer = Core.Send_floor.make g ~self_loops:2 in
+  let r =
+    Core.Dynamic.run
+      ~departure:(Core.Dynamic.Uniform_work { rng = Prng.Splitmix.create 6; per_round = 10 })
+      ~graph:g ~balancer
+      ~injection:(Core.Dynamic.Point_batch { node = 0; per_round = 0 })
+      ~init:(Core.Loads.flat ~n:8 ~value:1) ~rounds:30 ()
+  in
+  check_int "injected nothing" 0 r.Core.Dynamic.total_injected;
+  check_int "departed exactly the initial mass" 8 r.Core.Dynamic.total_departed;
+  check_int "system fully drained" 0 (Core.Loads.total r.Core.Dynamic.final_loads);
+  Array.iter (fun x -> check_bool "never negative" true (x >= 0))
+    r.Core.Dynamic.final_loads
+
+let test_departure_deterministic_replay () =
+  let run () =
+    let g = torus () in
+    let balancer = Core.Rotor_router.make g ~self_loops:4 in
+    Core.Dynamic.run
+      ~departure:(Core.Dynamic.Uniform_work { rng = Prng.Splitmix.create 8; per_round = 7 })
+      ~graph:g ~balancer
+      ~injection:(Core.Dynamic.Uniform_batch { rng = Prng.Splitmix.create 9; per_round = 7 })
+      ~init:(Core.Loads.flat ~n:36 ~value:3) ~rounds:60 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (array int))
+    "same seeds, same loads" a.Core.Dynamic.final_loads b.Core.Dynamic.final_loads;
+  check_int "same departures" a.Core.Dynamic.total_departed
+    b.Core.Dynamic.total_departed;
+  check_int "same injections" a.Core.Dynamic.total_injected
+    b.Core.Dynamic.total_injected
+
+let test_departure_heavy_turnover_stays_balanced () =
+  (* Arrival rate = departure capacity: the open system churns its whole
+     population many times over yet the discrepancy band stays static. *)
+  let g = torus () in
+  let balancer = Core.Send_round.make g ~self_loops:4 in
+  let r =
+    Core.Dynamic.run
+      ~departure:(Core.Dynamic.Uniform_work { rng = Prng.Splitmix.create 10; per_round = 18 })
+      ~graph:g ~balancer
+      ~injection:(Core.Dynamic.Uniform_batch { rng = Prng.Splitmix.create 11; per_round = 18 })
+      ~init:(Core.Loads.flat ~n:36 ~value:5) ~rounds:500 ()
+  in
+  check_bool "turned the population over" true
+    (r.Core.Dynamic.total_departed > 10 * (36 * 5));
+  check_bool
+    (Printf.sprintf "steady mean %.1f small" r.Core.Dynamic.steady_mean)
+    true
+    (r.Core.Dynamic.steady_mean < 25.0)
+
 let test_rejects_bad_inputs () =
   let g = torus () in
   let balancer = Core.Rotor_router.make g ~self_loops:4 in
@@ -134,6 +190,15 @@ let () =
           Alcotest.test_case "uniform injection" `Quick test_mass_accounting_uniform;
           Alcotest.test_case "with departures" `Quick test_mass_accounting_with_departures;
           Alcotest.test_case "rejects bad inputs" `Quick test_rejects_bad_inputs;
+        ] );
+      ( "departures",
+        [
+          Alcotest.test_case "drains to empty, clamps at zero" `Quick
+            test_departure_drains_to_empty_and_clamps;
+          Alcotest.test_case "seeded replay is deterministic" `Quick
+            test_departure_deterministic_replay;
+          Alcotest.test_case "heavy turnover stays balanced" `Quick
+            test_departure_heavy_turnover_stays_balanced;
         ] );
       ( "steady state",
         [

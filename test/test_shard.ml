@@ -305,6 +305,86 @@ let test_checkpoint_corrupt_rejected () =
        false
      with Shard.Checkpoint.Checkpoint_error _ -> true)
 
+let test_checkpoint_checksum_detects_bitflip () =
+  let g = Graphs.Gen.cycle 12 in
+  let init = Core.Loads.point_mass ~n:12 ~total:600 in
+  let path = temp_ckpt "loadbal_test_ckpt_bitflip.bin" in
+  let algo = List.hd deterministic_algos in
+  (try
+     ignore
+       (Shard.Shard_engine.run ~shards:2 ~graph:g ~make_balancer:(algo.make g)
+          ~checkpoint:{ Shard.Shard_engine.path; every = 5 }
+          ~hook:(fun t _ -> if t = 7 then raise Killed)
+          ~init ~steps:20 ())
+   with Killed -> ());
+  (* Flip one bit in the middle of the marshalled payload. *)
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string contents in
+  let i = Bytes.length b - (Bytes.length b / 4) in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  (match Shard.Checkpoint.load ~path with
+  | (_ : Shard.Checkpoint.snapshot) -> Alcotest.fail "bit flip not detected"
+  | exception Shard.Checkpoint.Checkpoint_error (Shard.Checkpoint.Bad_checksum _) ->
+    ()
+  | exception Shard.Checkpoint.Checkpoint_error e ->
+    Alcotest.fail
+      ("expected Bad_checksum, got: " ^ Shard.Checkpoint.error_message e));
+  Sys.remove path
+
+let test_checkpoint_prev_fallback_golden () =
+  (* Golden recovery path: the primary checkpoint is truncated mid-write;
+     recover must fall back to the rotated [.prev] copy and the resumed
+     run must be bit-identical to the uninterrupted one. *)
+  let g = Graphs.Gen.torus [ 5; 5 ] in
+  let init = Core.Loads.bimodal ~n:25 ~high:211 ~low:9 in
+  let path = temp_ckpt "loadbal_test_ckpt_prevfall.bin" in
+  let algo = List.hd deterministic_algos in
+  let uninterrupted =
+    Shard.Shard_engine.run ~shards:2 ~graph:g ~make_balancer:(algo.make g) ~init
+      ~steps:30 ()
+  in
+  (* Checkpoints land after steps 6, 12 and 18; the rotation keeps 12 as
+     [.prev] once 18 is published, then the hook kills the run. *)
+  (try
+     ignore
+       (Shard.Shard_engine.run ~shards:2 ~graph:g ~make_balancer:(algo.make g)
+          ~checkpoint:{ Shard.Shard_engine.path; every = 6 }
+          ~hook:(fun t _ -> if t = 19 then raise Killed)
+          ~init ~steps:30 ())
+   with Killed -> ());
+  check_bool "rotated copy exists" true
+    (Sys.file_exists (Shard.Checkpoint.prev_path path));
+  (* Intact primary: recover picks it and rejects nothing. *)
+  let r = Shard.Checkpoint.recover ~retries:0 ~path () in
+  check_bool "intact primary chosen" true (r.Shard.Checkpoint.source = Shard.Checkpoint.Primary);
+  check_int "intact primary step" 18 r.Shard.Checkpoint.snapshot.Shard.Checkpoint.step;
+  check_int "nothing rejected" 0 (List.length r.Shard.Checkpoint.rejected);
+  (* Truncate the primary as if the writer died mid-write. *)
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub contents 0 (String.length contents / 2)));
+  let r = Shard.Checkpoint.recover ~retries:0 ~path () in
+  check_bool "fell back to .prev" true
+    (r.Shard.Checkpoint.source = Shard.Checkpoint.Rotated);
+  check_int "rotated snapshot step" 12 r.Shard.Checkpoint.snapshot.Shard.Checkpoint.step;
+  check_bool "primary rejection recorded" true
+    (List.exists (fun (p, _) -> p = path) r.Shard.Checkpoint.rejected);
+  let resumed =
+    Shard.Shard_engine.run ~shards:2 ~graph:g ~make_balancer:(algo.make g)
+      ~resume:r.Shard.Checkpoint.snapshot ~init ~steps:30 ()
+  in
+  check_result_equal "resume from .prev vs uninterrupted" uninterrupted resumed;
+  Sys.remove path;
+  Sys.remove (Shard.Checkpoint.prev_path path);
+  (* Both copies gone: recover reports the primary's error. *)
+  check_bool "recover with nothing left fails" true
+    (try
+       ignore (Shard.Checkpoint.recover ~retries:0 ~path ());
+       false
+     with Shard.Checkpoint.Checkpoint_error (Shard.Checkpoint.Missing _) -> true)
+
 let test_unresumable_balancer_rejected () =
   (* Mimic is stateful without a persist capability: asking for
      checkpoints must fail fast, not produce broken snapshots. *)
@@ -357,6 +437,10 @@ let () =
             test_checkpoint_resume_different_shards;
           Alcotest.test_case "corrupt/missing files rejected" `Quick
             test_checkpoint_corrupt_rejected;
+          Alcotest.test_case "checksum detects bit flip" `Quick
+            test_checkpoint_checksum_detects_bitflip;
+          Alcotest.test_case "truncated primary falls back to .prev" `Quick
+            test_checkpoint_prev_fallback_golden;
           Alcotest.test_case "unresumable balancer rejected" `Quick
             test_unresumable_balancer_rejected;
         ] );

@@ -23,7 +23,7 @@ let with_silenced_stdout f =
     f
 
 let test_registry_complete () =
-  check_int "14 experiments" 14 (List.length Harness.Suite.all);
+  check_int "15 experiments" 15 (List.length Harness.Suite.all);
   let ids = List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all in
   List.iteri
     (fun i id -> Alcotest.(check string) "ordered ids" (Printf.sprintf "E%d" (i + 1)) id)
@@ -105,6 +105,21 @@ let test_e14_rows_all_hold () =
           | [ "E14"; _w; _lhs; _rhs; holds ] ->
             Alcotest.(check string) "eq(7) holds" "yes" holds
           | _ -> Alcotest.fail "unexpected E14 row shape")
+        rows)
+
+let test_e15_rows_recover_and_conserve () =
+  with_silenced_stdout (fun () ->
+      let rows = Harness.Suite.e15_fault_recovery.Harness.Suite.run ~quick:true in
+      (* 3 graphs × 2 algorithms × 4 fault scenarios. *)
+      check_int "24 sweep points" 24 (List.length rows);
+      List.iter
+        (fun row ->
+          match row with
+          | [ "E15"; _g; _a; _fault; _eps; _pre; _shock; _worst; recovered; conserved ] ->
+            check_bool "recovered within band" true
+              (recovered <> "never" && int_of_string_opt recovered <> None);
+            Alcotest.(check string) "tokens conserved" "yes" conserved
+          | _ -> Alcotest.fail "unexpected E15 row shape")
         rows)
 
 (* --- Series --- *)
@@ -205,6 +220,7 @@ let () =
           Alcotest.test_case "E6 formulas" `Quick test_e6_rows_match_formula;
           Alcotest.test_case "E12 within bound" `Quick test_e12_rows_within_bound;
           Alcotest.test_case "E14 all hold" `Quick test_e14_rows_all_hold;
+          Alcotest.test_case "E15 recovery" `Quick test_e15_rows_recover_and_conserve;
         ] );
       ( "series",
         [

@@ -81,14 +81,64 @@ let test_verify_detects_tampering () =
   | Ok () -> Alcotest.fail "negative send not detected"
   | Error _ -> ()
 
-let test_load_rejects_garbage () =
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let load_error contents =
   let path = Filename.temp_file "loadbal" ".trace" in
   let oc = open_out path in
-  output_string oc "not a trace\n";
+  output_string oc contents;
   close_out oc;
-  let rejected = try ignore (Trace.load ~path); false with Failure _ -> true in
+  let r =
+    try
+      ignore (Trace.load ~path);
+      None
+    with Trace.Parse_error { line; reason } -> Some (line, reason)
+  in
   Sys.remove path;
-  check_bool "garbage rejected" true rejected
+  r
+
+let test_load_rejects_garbage () =
+  match load_error "not a trace\n" with
+  | Some (line, _) -> check_int "error on magic line" 1 line
+  | None -> Alcotest.fail "garbage not rejected"
+
+let test_load_parse_error_pinpoints_line () =
+  (* Valid magic, then a malformed graph line: the error names line 2. *)
+  (match load_error "loadbal-trace 1\ngraph 4 two 0 3\n" with
+  | Some (line, reason) ->
+    check_int "error on graph line" 2 line;
+    check_bool "reason names the bad token" true (contains ~needle:"two" reason)
+  | None -> Alcotest.fail "bad graph line not rejected");
+  (* A file truncated mid-header reports the line after the last read. *)
+  match load_error "loadbal-trace 1\n" with
+  | Some (line, _) -> check_int "EOF reported past last line" 2 line
+  | None -> Alcotest.fail "truncated header not rejected"
+
+let test_load_reports_missing_assignment () =
+  let g, init, balancer = make_run () in
+  let t, _ = Trace.record ~graph:g ~balancer ~init ~steps:3 in
+  let path = Filename.temp_file "loadbal" ".trace" in
+  Trace.save ~path t;
+  (* Drop the last assignment line. *)
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let kept = List.filteri (fun i _ -> i < List.length lines - 1) lines in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) kept);
+  let r =
+    try
+      ignore (Trace.load ~path);
+      None
+    with Trace.Parse_error { reason; _ } -> Some reason
+  in
+  Sys.remove path;
+  match r with
+  | Some reason ->
+    check_bool "reason names the gap" true
+      (contains ~needle:"missing assignment" reason)
+  | None -> Alcotest.fail "truncated assignment stream not rejected"
 
 let test_trace_of_randomized_run_is_deterministic_replay () =
   (* The point of tracing: a randomized run, once recorded, replays
@@ -133,6 +183,10 @@ let () =
         [
           Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage;
+          Alcotest.test_case "parse error pinpoints line" `Quick
+            test_load_parse_error_pinpoints_line;
+          Alcotest.test_case "missing assignment reported" `Quick
+            test_load_reports_missing_assignment;
         ] );
       ( "verification",
         [
