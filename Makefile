@@ -1,4 +1,4 @@
-.PHONY: all build test check bench-shard clean
+.PHONY: all build test check bench-shard bench-net clean
 
 all: build
 
@@ -15,6 +15,10 @@ check:
 # Refresh the strong-scaling baseline (writes BENCH_shard.json).
 bench-shard:
 	dune exec bench/main.exe -- shard
+
+# Refresh the lossy-network degradation sweep (writes BENCH_net.json).
+bench-net:
+	dune exec bench/main.exe -- net
 
 clean:
 	dune clean

@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- micro        # microbenchmarks only
      dune exec bench/main.exe -- shard        # sharded-engine strong scaling
      dune exec bench/main.exe -- faults       # fault-recovery sweep (BENCH_faults.json)
+     dune exec bench/main.exe -- net          # unreliable-network sweep (BENCH_net.json)
      dune exec bench/main.exe -- --csv out.csv e1
 *)
 
@@ -158,6 +159,30 @@ let run_fault_recovery ?(json_path = "BENCH_faults.json") ~quick () =
   let points = Harness.Faultsweep.sweep ~quick () in
   let elapsed = Unix.gettimeofday () -. t0 in
   Harness.Faultsweep.print_table points;
+  (* Per-algorithm mean recovery, counting only points that actually had
+     a fault episode and recovered — a sweep where nothing recovered (or
+     nothing faulted) reports n/a instead of dividing by zero. *)
+  let algos =
+    List.sort_uniq compare
+      (List.map (fun (p : Harness.Faultsweep.point) -> p.Harness.Faultsweep.algo) points)
+  in
+  List.iter
+    (fun algo ->
+      let recovered =
+        List.filter_map
+          (fun (p : Harness.Faultsweep.point) ->
+            if p.Harness.Faultsweep.algo = algo && p.Harness.Faultsweep.episodes > 0
+            then p.Harness.Faultsweep.recovery
+            else None)
+          points
+      in
+      match recovered with
+      | [] -> Printf.printf "mean recovery (%s): n/a (no recovered episodes)\n" algo
+      | ks ->
+        Printf.printf "mean recovery (%s): %.1f steps over %d points\n" algo
+          (float_of_int (List.fold_left ( + ) 0 ks) /. float_of_int (List.length ks))
+          (List.length ks))
+    algos;
   let oc = open_out json_path in
   Printf.fprintf oc
     "{\n  \"bench\": \"fault-recovery\",\n  \"eps\": \"theorem-2.3 band \
@@ -169,12 +194,12 @@ let run_fault_recovery ?(json_path = "BENCH_faults.json") ~quick () =
     (fun i (p : Harness.Faultsweep.point) ->
       Printf.fprintf oc
         "    {\"graph\": %S, \"algo\": %S, \"fault\": %S, \"eps\": %d, \
-         \"pre\": %d, \"shock\": %d, \"worst\": %d, \"recovery_steps\": %s, \
-         \"conserved\": %b}%s\n"
+         \"pre\": %d, \"shock\": %d, \"worst\": %d, \"episodes\": %d, \
+         \"recovery_steps\": %s, \"conserved\": %b}%s\n"
         p.Harness.Faultsweep.graph p.Harness.Faultsweep.algo
         p.Harness.Faultsweep.scenario p.Harness.Faultsweep.eps
         p.Harness.Faultsweep.pre p.Harness.Faultsweep.shock
-        p.Harness.Faultsweep.worst
+        p.Harness.Faultsweep.worst p.Harness.Faultsweep.episodes
         (match p.Harness.Faultsweep.recovery with
         | Some k -> string_of_int k
         | None -> "null")
@@ -184,6 +209,45 @@ let run_fault_recovery ?(json_path = "BENCH_faults.json") ~quick () =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf "fault-recovery results written to %s\n" json_path
+
+(* Unreliable-network section: the Netsweep degradation grid (drop ×
+   delay × backoff for rotor-router / rotor-router* / quasirandom on
+   torus, hypercube and a random-regular expander), written to
+   BENCH_net.json.  Inflation is relative to the Theorem 2.3 band on a
+   reliable network; retx_overhead is retransmissions per first-copy
+   message — the traffic cost of the exactly-once guarantee. *)
+let run_net_degradation ?(json_path = "BENCH_net.json") ~quick () =
+  Printf.printf
+    "\n=== Unreliable network: discrepancy inflation vs Thm 2.3 band ===\n";
+  let t0 = Unix.gettimeofday () in
+  let points = Harness.Netsweep.sweep ~quick () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Harness.Netsweep.print_table points;
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"net-degradation\",\n  \"band\": \"theorem-2.3 band \
+     d*min(sqrt(log n/mu), sqrt n)\",\n  \"staleness\": 2,\n  \"quick\": %b,\n\
+    \  \"seconds\": %.3f,\n  \"results\": [\n"
+    quick elapsed;
+  let last = List.length points - 1 in
+  List.iteri
+    (fun i (p : Harness.Netsweep.point) ->
+      Printf.fprintf oc
+        "    {\"graph\": %S, \"algo\": %S, \"drop\": %g, \"delay\": %d, \
+         \"backoff\": %S, \"band\": %d, \"final\": %d, \"inflation\": %.4f, \
+         \"retx_overhead\": %.4f, \"degraded_rounds\": %d, \"drain_rounds\": %d, \
+         \"drained\": %b, \"conserved\": %b}%s\n"
+        p.Harness.Netsweep.graph p.Harness.Netsweep.algo p.Harness.Netsweep.drop
+        p.Harness.Netsweep.delay p.Harness.Netsweep.backoff
+        p.Harness.Netsweep.band p.Harness.Netsweep.final
+        p.Harness.Netsweep.inflation p.Harness.Netsweep.retx_overhead
+        p.Harness.Netsweep.degraded_rounds p.Harness.Netsweep.drain_rounds
+        p.Harness.Netsweep.drained p.Harness.Netsweep.conserved
+        (if i = last then "" else ","))
+    points;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "net-degradation results written to %s\n" json_path
 
 let run_microbenchmarks () =
   let open Bechamel in
@@ -240,12 +304,13 @@ let () =
   let want_micro = selected = [] || List.mem "micro" selected in
   let want_shard = selected = [] || List.mem "shard" selected in
   let want_faults = selected = [] || List.mem "faults" selected in
+  let want_net = selected = [] || List.mem "net" selected in
   let experiment_ids =
     match
       List.filter
         (fun a ->
           let a = String.lowercase_ascii a in
-          a <> "micro" && a <> "shard" && a <> "faults")
+          a <> "micro" && a <> "shard" && a <> "faults" && a <> "net")
         selected
     with
     | [] when selected = [] -> List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all
@@ -279,4 +344,5 @@ let () =
   | None -> ());
   if want_shard then run_shard_scaling ~quick ();
   if want_faults then run_fault_recovery ~quick ();
+  if want_net then run_net_degradation ~quick ();
   if want_micro then run_microbenchmarks ()

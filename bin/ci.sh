@@ -40,4 +40,37 @@ dune exec bin/lb_sim.exe -- --graph cycle:1024 --algo rotor-router \
   --init random:65536 --steps 4000 --crash-nodes 0.1@500 \
   --recovery-eps 64 --require-recovery --shards 2
 
+echo "== net smoke: loss=0 network is bit-identical to the core engine =="
+# A reliable network (--drop 0) must reproduce the synchronous engine's
+# result exactly; compare the "final disc:" lines of the two runs.
+ref=$(dune exec bin/lb_sim.exe -- --graph torus:16x16 --algo rotor-router \
+  --init point:4096 --steps 200 | grep '^final disc:')
+net=$(dune exec bin/lb_sim.exe -- --graph torus:16x16 --algo rotor-router \
+  --init point:4096 --steps 200 --drop 0 | grep '^final disc:')
+if [ "$ref" != "$net" ]; then
+  echo "loss=0 network diverged from the core engine: '$ref' vs '$net'" >&2
+  exit 1
+fi
+
+echo "== net smoke: lossy runs replay identically under one --net-seed =="
+run1=$(dune exec bin/lb_sim.exe -- --graph hypercube:6 --algo send-floor \
+  --init random:8192 --steps 150 --drop 0.1 --delay 2 --staleness 2 --net-seed 7)
+run2=$(dune exec bin/lb_sim.exe -- --graph hypercube:6 --algo send-floor \
+  --init random:8192 --steps 150 --drop 0.1 --delay 2 --staleness 2 --net-seed 7)
+if [ "$run1" != "$run2" ]; then
+  echo "two identically-seeded lossy runs diverged" >&2
+  exit 1
+fi
+# The lossy run must still close its token ledger exactly.
+echo "$run1" | grep -q '(conserved)' || {
+  echo "lossy run did not report a conserved ledger" >&2
+  exit 1
+}
+
+echo "== net smoke: BENCH_net.json is well-formed JSON =="
+bench_json=$(mktemp -d -t lb_ci_net.XXXXXX)
+(cd "$bench_json" && "$OLDPWD/_build/default/bench/main.exe" --quick net > /dev/null)
+dune exec bin/jsonlint.exe -- "$bench_json/BENCH_net.json"
+rm -rf "$bench_json"
+
 echo "== ci.sh: all green =="

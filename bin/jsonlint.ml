@@ -1,0 +1,174 @@
+(* jsonlint: validate that each file argument is well-formed JSON.
+
+   A minimal strict RFC 8259 parser — no dependencies — so CI can check
+   that the BENCH_*.json artifacts the bench harness hand-writes with
+   printf actually parse.  Exit 0 if every file parses, 1 otherwise,
+   2 on usage errors. *)
+
+exception Bad of int * string  (* position, message *)
+
+let parse (s : string) =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad (!pos, m))) fmt in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let next () =
+    if !pos >= len then fail "unexpected end of input";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let expect c =
+    let g = next () in
+    if g <> c then fail "expected %C, got %C" c g
+  in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        true
+      | _ -> false
+    do
+      ()
+    done
+  in
+  let literal word =
+    String.iter expect word
+  in
+  let rec string_body () =
+    match next () with
+    | '"' -> ()
+    | '\\' ->
+      (match next () with
+      | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> ()
+      | 'u' ->
+        for _ = 1 to 4 do
+          match next () with
+          | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+          | c -> fail "bad unicode escape digit %C" c
+        done
+      | c -> fail "bad escape \\%C" c);
+      string_body ()
+    | c when Char.code c < 0x20 -> fail "unescaped control character 0x%02x" (Char.code c)
+    | _ -> string_body ()
+  in
+  let digits () =
+    let n0 = !pos in
+    while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+      incr pos
+    done;
+    if !pos = n0 then fail "expected a digit"
+  in
+  let number () =
+    if peek () = Some '-' then incr pos;
+    (match next () with
+    | '0' -> ()
+    | '1' .. '9' ->
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        incr pos
+      done
+    | c -> fail "bad number start %C" c);
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match next () with
+    | '{' ->
+      skip_ws ();
+      if peek () = Some '}' then incr pos
+      else begin
+        let rec members () =
+          skip_ws ();
+          expect '"';
+          string_body ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match next () with
+          | ',' -> members ()
+          | '}' -> ()
+          | c -> fail "expected ',' or '}' in object, got %C" c
+        in
+        members ()
+      end
+    | '[' ->
+      skip_ws ();
+      if peek () = Some ']' then incr pos
+      else begin
+        let rec elements () =
+          value ();
+          skip_ws ();
+          match next () with
+          | ',' -> elements ()
+          | ']' -> ()
+          | c -> fail "expected ',' or ']' in array, got %C" c
+        in
+        elements ()
+      end
+    | '"' -> string_body ()
+    | 't' ->
+      pos := !pos - 1;
+      literal "true"
+    | 'f' ->
+      pos := !pos - 1;
+      literal "false"
+    | 'n' ->
+      pos := !pos - 1;
+      literal "null"
+    | ('-' | '0' .. '9') ->
+      pos := !pos - 1;
+      number ()
+    | c -> fail "unexpected %C" c
+  in
+  value ();
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage"
+
+let line_col s pos =
+  let line = ref 1 and col = ref 1 in
+  String.iteri
+    (fun i c ->
+      if i < pos then
+        if c = '\n' then begin
+          incr line;
+          col := 1
+        end
+        else incr col)
+    s;
+  (!line, !col)
+
+let check path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m ->
+    Printf.eprintf "jsonlint: %s\n" m;
+    false
+  | contents -> (
+    match parse contents with
+    | () -> true
+    | exception Bad (pos, msg) ->
+      let line, col = line_col contents pos in
+      Printf.eprintf "jsonlint: %s:%d:%d: %s\n" path line col msg;
+      false)
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [] ->
+    prerr_endline "usage: jsonlint FILE...";
+    exit 2
+  | paths -> exit (if List.for_all check paths then 0 else 1)

@@ -149,6 +149,15 @@ let die msg =
   prerr_endline ("lb_sim: " ^ msg);
   exit 2
 
+(* Exit 4 (documented in EXIT STATUS): an invariant the run was supposed
+   to maintain — token conservation, non-negative NL loads, state range,
+   network drain — failed.  Distinct from 2 (bad specs) and 3
+   (--require-recovery), so scripts can tell "you asked wrong" from
+   "the simulation broke its own guarantees". *)
+let die_invariant msg =
+  prerr_endline ("lb_sim: invariant violation: " ^ msg);
+  exit 4
+
 let print_summary ~graph_label ~algo_label ~n ~degree ~self_loops ~gap
     ~initial_discrepancy ~horizon ~target ~time_to_target
     (result : Core.Engine.result) =
@@ -304,9 +313,56 @@ let run_faulted ~series ~shards ~strategy ~fault_specs ~fault_seed ~recovery_eps
     exit 3
   end
 
+let run_net ~series ~net_cfg ~fault_specs ~fault_seed ~graph_spec ~algo_spec
+    ~init_spec ~horizon_spec () =
+  let g = Harness.Experiment.build_graph graph_spec in
+  let n = Graphs.Graph.n g in
+  let init = Harness.Experiment.build_init init_spec ~n in
+  let balancer = Harness.Experiment.build_balancer algo_spec g ~init in
+  let self_loops = balancer.Core.Balancer.self_loops in
+  let steps =
+    Harness.Experiment.horizon_steps ~graph:g ~self_loops ~init horizon_spec
+  in
+  if fault_specs <> [] then
+    Printf.printf "fault plan:   %d specs, seed %d (%s)\n"
+      (List.length fault_specs) fault_seed
+      (String.concat "; " (List.map Faults.Schedule.spec_to_string fault_specs));
+  let plan = Faults.Schedule.realize ~seed:fault_seed ~graph:g fault_specs in
+  Printf.printf "network:      %s; %s; staleness σ=%d; net seed %d\n"
+    (Net.Channel.config_to_string net_cfg.Net.Async_engine.channel)
+    (Net.Protocol.config_to_string net_cfg.Net.Async_engine.protocol)
+    net_cfg.Net.Async_engine.staleness net_cfg.Net.Async_engine.seed;
+  let report =
+    Net.Async_engine.run ~config:net_cfg ~plan ~graph:g ~balancer ~init ~steps ()
+  in
+  print_summary ~graph_label:(Harness.Experiment.graph_name graph_spec)
+    ~algo_label:balancer.Core.Balancer.name ~n ~degree:(Graphs.Graph.degree g)
+    ~self_loops
+    ~gap:(Harness.Experiment.spectral_gap ~graph:g ~self_loops)
+    ~initial_discrepancy:(Core.Loads.discrepancy init)
+    ~horizon:steps ~target:None ~time_to_target:None report.Net.Async_engine.result;
+  List.iter print_endline (Net.Async_engine.report_lines report);
+  if series then begin
+    print_endline "step,discrepancy";
+    Array.iter
+      (fun (t, d) -> Printf.printf "%d,%d\n" t d)
+      report.Net.Async_engine.result.Core.Engine.series
+  end;
+  if not report.Net.Async_engine.drained then
+    die_invariant
+      (Printf.sprintf "network failed to quiesce within %d drain rounds"
+         net_cfg.Net.Async_engine.max_drain_rounds);
+  if not (Net.Async_engine.conserved report) then
+    die_invariant
+      (Printf.sprintf "net ledger unbalanced: total %d, expected %d"
+         report.Net.Async_engine.final_total
+         (report.Net.Async_engine.initial_total + report.Net.Async_engine.injected
+        - report.Net.Async_engine.lost))
+
 let run graph algo self_loops init steps horizon target audit series seed shards
     domains partition checkpoint_path checkpoint_every resume fault_plan
-    crash_nodes edge_outage fault_seed recovery_eps require_recovery =
+    crash_nodes edge_outage fault_seed recovery_eps require_recovery drop delay
+    dup reorder staleness retx_timeout retx_backoff net_seed no_degrade =
   match
     try Ok (parse_graph graph, parse_init init) with Spec_error m -> Error m
   with
@@ -359,6 +415,71 @@ let run graph algo self_loops init steps horizon target audit series seed shards
           ]
       in
       let faulted = fault_specs <> [] in
+      let netted =
+        drop <> None || delay <> None || dup <> None || reorder <> None
+        || staleness <> None || retx_timeout <> None || retx_backoff <> None
+        || net_seed <> None || no_degrade
+      in
+      if netted
+         && (shards <> None || domains <> None || checkpoint_path <> None || resume)
+      then
+        die "the unreliable-network engine is single-domain (no --shards, \
+             --domains, --checkpoint or --resume)";
+      if netted && audit then die "--audit is not available on an unreliable network";
+      if netted && target <> None then
+        die "--target is not available on an unreliable network";
+      if netted && (recovery_eps <> None || require_recovery) then
+        die "--recovery-eps/--require-recovery measure fault episodes, which \
+             the network engine does not track";
+      let net_cfg =
+        if not netted then None
+        else begin
+          let backoff =
+            match retx_backoff with
+            | None -> Net.Protocol.default_config.Net.Protocol.backoff
+            | Some s -> (
+              match Net.Protocol.backoff_of_string s with
+              | Ok b -> b
+              | Error m -> die ("--retx-backoff: " ^ m))
+          in
+          let channel =
+            {
+              Net.Channel.drop = Option.value ~default:0.0 drop;
+              dup = Option.value ~default:0.0 dup;
+              reorder = Option.value ~default:0.0 reorder;
+              delay = Option.value ~default:0 delay;
+            }
+          in
+          (match Net.Channel.validate_config channel with
+          | Ok () -> ()
+          | Error m -> die m);
+          let protocol =
+            {
+              Net.Protocol.default_config with
+              Net.Protocol.timeout =
+                Option.value
+                  ~default:Net.Protocol.default_config.Net.Protocol.timeout
+                  retx_timeout;
+              backoff;
+            }
+          in
+          (match Net.Protocol.validate_config protocol with
+          | Ok () -> ()
+          | Error m -> die m);
+          (match staleness with
+          | Some s when s < 0 -> die "--staleness must be non-negative"
+          | _ -> ());
+          Some
+            {
+              Net.Async_engine.channel;
+              protocol;
+              staleness = Option.value ~default:0 staleness;
+              degrade = not no_degrade;
+              seed = Option.value ~default:1 net_seed;
+              max_drain_rounds = 100_000;
+            }
+        end
+      in
       if faulted && (checkpoint_path <> None || resume) then
         die "fault injection and checkpointing cannot be combined (fault state \
              is not checkpointed)";
@@ -383,6 +504,11 @@ let run graph algo self_loops init steps horizon target audit series seed shards
         let g = Harness.Experiment.build_graph graph_spec in
         let degree = Graphs.Graph.degree g in
         let algo_spec = algo_of_degree degree in
+        match net_cfg with
+        | Some net_cfg ->
+          run_net ~series ~net_cfg ~fault_specs ~fault_seed ~graph_spec
+            ~algo_spec ~init_spec ~horizon_spec ()
+        | None ->
         if faulted then
           run_faulted ~series
             ~shards:(if sharded then Some shard_count else None)
@@ -447,7 +573,7 @@ let run graph algo self_loops init steps horizon target audit series seed shards
       | Shard.Checkpoint.Checkpoint_error err ->
         die ("checkpoint: " ^ Shard.Checkpoint.error_message err)
       | Faults.Watchdog.Invariant_violation d ->
-        die (Faults.Watchdog.to_string d))
+        die_invariant (Faults.Watchdog.to_string d))
 
 open Cmdliner
 
@@ -606,15 +732,109 @@ let require_recovery_arg =
     & info [ "require-recovery" ]
         ~doc:"Exit with status 3 if any fault episode fails to recover.")
 
+let drop_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "drop" ] ~docv:"P"
+        ~doc:
+          "Run on an unreliable network: drop each transmission with \
+           probability P in [0, 1). Tokens ride an exactly-once retry \
+           protocol, so conservation still holds end-to-end.")
+
+let delay_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "delay" ] ~docv:"D"
+        ~doc:"Delay each packet by a uniform 0..D extra rounds.")
+
+let dup_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "dup" ] ~docv:"P"
+        ~doc:"Duplicate each transmission with probability P (the receiver \
+              discards the extra copy).")
+
+let reorder_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "reorder" ] ~docv:"P"
+        ~doc:"Hold each packet back one round with probability P, letting \
+              later traffic overtake it.")
+
+let staleness_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "staleness" ] ~docv:"S"
+        ~doc:
+          "Bounded-staleness window σ: a node whose oldest undelivered \
+           message is more than σ rounds old balances on its last-known \
+           load instead of fresh information (default 0).")
+
+let retx_timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retx-timeout" ] ~docv:"T"
+        ~doc:"Rounds before an unacknowledged message is retransmitted \
+              (default 4).")
+
+let retx_backoff_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "retx-backoff" ] ~docv:"POLICY"
+        ~doc:"Retransmission backoff: fixed or exp[onential] (default exp, \
+              capped at 64 rounds).")
+
+let no_degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "no-degrade" ]
+        ~doc:
+          "Strict staleness: a node past its $(b,--staleness) window skips \
+           the round entirely instead of balancing its last-known load. \
+           Incompatible with balancers that require consecutive steps \
+           (mimic).")
+
+let net_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "net-seed" ] ~docv:"S"
+        ~doc:
+          "Seed for the channel's fault randomness; the same seed and flags \
+           replay the identical lossy run bit for bit (default 1).")
+
+let exits =
+  Cmd.Exit.info 0 ~doc:"on success."
+  :: Cmd.Exit.info 2
+       ~doc:"on an invalid graph/algorithm/init/fault/network specification."
+  :: Cmd.Exit.info 3
+       ~doc:"when $(b,--require-recovery) is set and a fault episode never \
+             recovers."
+  :: Cmd.Exit.info 4
+       ~doc:
+         "when a run violates its own invariants: the watchdog trips \
+          (conservation, negative load, state range) or the unreliable \
+          network fails to drain."
+  :: Cmd.Exit.defaults
+
 let cmd =
   let doc = "simulate deterministic load-balancing schemes (Berenbrink et al., PODC 2015)" in
   Cmd.v
-    (Cmd.info "lb_sim" ~version:"1.0.0" ~doc)
+    (Cmd.info "lb_sim" ~version:"1.0.0" ~doc ~exits)
     Term.(
       const run $ graph_arg $ algo_arg $ self_loops_arg $ init_arg $ steps_arg
       $ horizon_arg $ target_arg $ audit_arg $ series_arg $ seed_arg $ shards_arg
       $ domains_arg $ partition_arg $ checkpoint_arg $ checkpoint_every_arg
       $ resume_arg $ fault_plan_arg $ crash_nodes_arg $ edge_outage_arg
-      $ fault_seed_arg $ recovery_eps_arg $ require_recovery_arg)
+      $ fault_seed_arg $ recovery_eps_arg $ require_recovery_arg $ drop_arg
+      $ delay_arg $ dup_arg $ reorder_arg $ staleness_arg $ retx_timeout_arg
+      $ retx_backoff_arg $ net_seed_arg $ no_degrade_arg)
 
 let () = exit (Cmd.eval cmd)

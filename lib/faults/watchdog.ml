@@ -26,14 +26,15 @@ type t = {
   never_negative : bool;
   state_range : (int * int) option;
   state_sources : (unit -> int array) list;
+  extra_mass : unit -> int;
   mutable expected : int;
   mutable checks : int;
 }
 
-let create ?state_range ?(state_sources = []) ~name ~never_negative ~expected_total
-    () =
-  { name; never_negative; state_range; state_sources; expected = expected_total;
-    checks = 0 }
+let create ?state_range ?(state_sources = []) ?(extra_mass = fun () -> 0) ~name
+    ~never_negative ~expected_total () =
+  { name; never_negative; state_range; state_sources; extra_mass;
+    expected = expected_total; checks = 0 }
 
 let adjust_expected t delta = t.expected <- t.expected + delta
 let expected_total t = t.expected
@@ -51,10 +52,13 @@ let check t ~step ~loads =
       total := !total + x;
       if x < 0 && !first_negative < 0 then first_negative := u)
     loads;
-  if !total <> t.expected then
+  let extra = t.extra_mass () in
+  if !total + extra <> t.expected then
     violate t ~step Conservation
-      (Printf.sprintf "load sum %d, ledger expects %d (drift %+d)" !total t.expected
-         (!total - t.expected));
+      (Printf.sprintf "load sum %d%s, ledger expects %d (drift %+d)" !total
+         (if extra = 0 then "" else Printf.sprintf " + %d in flight" extra)
+         t.expected
+         (!total + extra - t.expected));
   if t.never_negative && !first_negative >= 0 then
     violate t ~step ~node:!first_negative Negative_load
       (Printf.sprintf "load %d at an NL scheme's node" loads.(!first_negative));

@@ -33,6 +33,7 @@ type t
 val create :
   ?state_range:int * int ->
   ?state_sources:(unit -> int array) list ->
+  ?extra_mass:(unit -> int) ->
   name:string ->
   never_negative:bool ->
   expected_total:int ->
@@ -43,7 +44,10 @@ val create :
     expected total.  [state_range] = [(lo, hi)] (exclusive [hi]) plus
     [state_sources] (one state snapshot function per balancer instance,
     e.g. each shard's [Balancer.persist.state_save]) enable the
-    state-range check. *)
+    state-range check.  [extra_mass] (default: constant 0) reports
+    legitimate token mass held outside the load vector — e.g. tokens in
+    flight on an unreliable network — which the conservation check adds
+    to [Σ loads] before comparing against the ledger. *)
 
 val adjust_expected : t -> int -> unit
 (** Record a legitimate change of total mass (fault ledger: shocks add,

@@ -7,6 +7,7 @@ type point = {
   shock : int;
   worst : int;
   recovery : int option;
+  episodes : int;
   conserved : bool;
 }
 
@@ -14,9 +15,17 @@ let theorem_band ~graph ~self_loops =
   let n = Graphs.Graph.n graph in
   let d = Graphs.Graph.degree graph in
   let mu = Experiment.spectral_gap ~graph ~self_loops in
-  let via_gap = sqrt (log (float_of_int n) /. mu) in
   let via_n = sqrt (float_of_int n) in
-  max 1 (int_of_float (ceil (float_of_int d *. Float.min via_gap via_n)))
+  (* A degenerate spectral gap (µ ≤ 0, or NaN from numerical noise on
+     tiny graphs) would turn the √(log n/µ) branch into ∞ or NaN; the
+     theorem's min then falls back to the unconditional √n branch. *)
+  let via_gap =
+    if Float.is_finite mu && mu > 0.0 then sqrt (log (float_of_int n) /. mu)
+    else infinity
+  in
+  let band = float_of_int d *. Float.min via_gap via_n in
+  if not (Float.is_finite band) then max 1 d
+  else max 1 (int_of_float (ceil band))
 
 type algo = {
   label : string;
@@ -75,6 +84,7 @@ let run_point ?mode ~graph_label ~graph ~algo ~scenario_label ~spec ~steps () =
     Faults.Engine.run ?mode ~eps ~sample_every:steps ~graph
       ~make_balancer:(algo.make graph) ~plan ~init ~steps ()
   in
+  let episodes = List.length report.Faults.Engine.episodes in
   let pre, shock, worst, recovery =
     match slowest_episode report with
     | Some e ->
@@ -82,7 +92,7 @@ let run_point ?mode ~graph_label ~graph ~algo ~scenario_label ~spec ~steps () =
         e.Faults.Engine.shock_discrepancy,
         e.Faults.Engine.worst_discrepancy,
         Faults.Engine.steps_to_recover e )
-    | None -> (0, 0, 0, Some 0)
+    | None -> (0, 0, 0, None)
   in
   {
     graph = graph_label;
@@ -93,6 +103,7 @@ let run_point ?mode ~graph_label ~graph ~algo ~scenario_label ~spec ~steps () =
     shock;
     worst;
     recovery;
+    episodes;
     conserved =
       report.Faults.Engine.final_total
       = report.Faults.Engine.initial_total + report.Faults.Engine.injected
@@ -137,7 +148,11 @@ let to_rows points =
         string_of_int p.pre;
         string_of_int p.shock;
         string_of_int p.worst;
-        (match p.recovery with Some k -> string_of_int k | None -> "never");
+        (* A plan can realize to zero episodes (e.g. a 10% crash on a
+           graph too small to pick any node): nothing to recover from,
+           which is "n/a", not "never recovered". *)
+        (if p.episodes = 0 then "n/a"
+         else match p.recovery with Some k -> string_of_int k | None -> "never");
         (if p.conserved then "yes" else "NO");
       ])
     points

@@ -17,11 +17,14 @@ type point = {
   shock : int;  (** discrepancy just after it *)
   worst : int;  (** worst discrepancy until recovery *)
   recovery : int option;  (** steps to recover, slowest episode; None = never *)
+  episodes : int;  (** fault episodes observed; 0 ⇒ recovery is n/a *)
   conserved : bool;  (** final total matched the fault ledger *)
 }
 
 val theorem_band : graph:Graphs.Graph.t -> self_loops:int -> int
-(** ⌈d·min{√(log n/µ), √n}⌉, the Theorem 2.3 discrepancy bound. *)
+(** ⌈d·min{√(log n/µ), √n}⌉, the Theorem 2.3 discrepancy bound.
+    Degenerate spectral gaps (µ ≤ 0 or non-finite) fall back to the
+    unconditional √n branch instead of dividing by zero. *)
 
 val sweep : ?mode:Faults.Engine.mode -> quick:bool -> unit -> point list
 (** Crash (wipe+lose), crash (keep+spill), load-shock and edge-outage

@@ -1,0 +1,54 @@
+(** Graceful-degradation sweep: balancing quality on unreliable networks.
+
+    One sweep point runs a (graph, algorithm, channel-fault, backoff)
+    combination through {!Net.Async_engine} — message loss, bounded
+    delay and the exactly-once retry protocol underneath — and compares
+    the final discrepancy against the Theorem 2.3 band
+    d·min{√(log n/µ), √n} that the same scheme earns on the paper's
+    synchronous, reliable network.  The inflation factor (final
+    discrepancy / band) quantifies how gracefully each scheme degrades,
+    and the retransmission overhead quantifies what the exactly-once
+    guarantee costs in extra traffic. *)
+
+type point = {
+  graph : string;
+  algo : string;
+  drop : float;  (** per-transmission loss probability *)
+  delay : int;  (** max extra delivery delay in rounds *)
+  backoff : string;  (** retransmission backoff policy name *)
+  staleness : int;  (** bounded-staleness window σ *)
+  band : int;  (** Theorem 2.3 band on the reliable network *)
+  final : int;  (** final discrepancy after the run + drain *)
+  inflation : float;  (** final / band; ≤ 1 means within the theorem band *)
+  retx_overhead : float;  (** retransmissions / first-copy messages *)
+  degraded_rounds : int;  (** node-rounds balanced on stale information *)
+  drain_rounds : int;  (** extra rounds needed to quiesce the protocol *)
+  drained : bool;
+  conserved : bool;  (** net ledger balanced after the final drain *)
+}
+
+val run_point :
+  graph_label:string ->
+  graph:Graphs.Graph.t ->
+  algo_label:string ->
+  make_balancer:(unit -> Core.Balancer.t) ->
+  self_loops:int ->
+  drop:float ->
+  delay:int ->
+  backoff:Net.Protocol.backoff ->
+  staleness:int ->
+  steps:int ->
+  seed:int ->
+  point
+(** One cell of the sweep; a fresh balancer instance per call. *)
+
+val sweep : quick:bool -> unit -> point list
+(** Rotor-router, rotor-router* and quasirandom on torus, hypercube and
+    a random-regular expander, across a drop-rate × delay × backoff
+    grid (σ = 2, degrade-on-stale).  [quick] shrinks both the graphs
+    and the grid to smoke-test size. *)
+
+val print_table : point list -> unit
+
+val to_rows : point list -> string list list
+(** CSV-shaped rows, one per point, in sweep order. *)

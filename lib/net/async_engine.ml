@@ -1,0 +1,313 @@
+type config = {
+  channel : Channel.config;
+  protocol : Protocol.config;
+  staleness : int;
+  degrade : bool;
+  seed : int;
+  max_drain_rounds : int;
+}
+
+let default_config =
+  {
+    channel = Channel.reliable;
+    protocol = Protocol.default_config;
+    staleness = 0;
+    degrade = true;
+    seed = 1;
+    max_drain_rounds = 100_000;
+  }
+
+type report = {
+  result : Core.Engine.result;
+  channel_stats : Channel.stats;
+  protocol_stats : Protocol.stats;
+  degraded_rounds : int;
+  stalled_rounds : int;
+  drain_rounds : int;
+  drained : bool;
+  injected : int;
+  lost : int;
+  spilled : int;
+  initial_total : int;
+  final_total : int;
+  watchdog_checks : int;
+}
+
+let conserved r =
+  r.drained && r.final_total = r.initial_total + r.injected - r.lost
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let validate_plan ~n ~d ~steps plan =
+  List.iter
+    (fun { Faults.Schedule.step; event } ->
+      if step < 1 || step > max 1 steps then
+        invalid_arg
+          (Printf.sprintf "Net.Async_engine.run: fault at step %d outside [1, %d]"
+             step steps);
+      match event with
+      | Faults.Schedule.Crash { node; _ } | Faults.Schedule.Load_shock { node; _ } ->
+        if node < 0 || node >= n then
+          invalid_arg
+            (Printf.sprintf "Net.Async_engine.run: node %d out of range" node)
+      | Faults.Schedule.Edge_outage { node; port; last_step } ->
+        if node < 0 || node >= n then
+          invalid_arg
+            (Printf.sprintf "Net.Async_engine.run: node %d out of range" node);
+        if port < 0 || port >= d then
+          invalid_arg
+            (Printf.sprintf "Net.Async_engine.run: port %d out of range" port);
+        if last_step < step then
+          invalid_arg "Net.Async_engine.run: outage ends before it starts")
+    plan
+
+let run ?(config = default_config) ?(plan = []) ?(watchdog = true)
+    ?(sample_every = 1) ?hook ?on_message ~graph ~balancer ~init ~steps () =
+  let n = Graphs.Graph.n graph in
+  let d = Graphs.Graph.degree graph in
+  if balancer.Core.Balancer.degree <> d then
+    invalid_arg
+      (Printf.sprintf
+         "Net.Async_engine.run: balancer %s built for degree %d, graph has %d"
+         balancer.Core.Balancer.name balancer.Core.Balancer.degree d);
+  if Array.length init <> n then
+    invalid_arg "Net.Async_engine.run: init length mismatch";
+  if steps < 0 then invalid_arg "Net.Async_engine.run: negative step count";
+  if sample_every <= 0 then
+    invalid_arg "Net.Async_engine.run: sample_every must be positive";
+  if config.staleness < 0 then
+    invalid_arg "Net.Async_engine.run: negative staleness bound";
+  if config.max_drain_rounds < 0 then
+    invalid_arg "Net.Async_engine.run: negative drain bound";
+  validate_plan ~n ~d ~steps plan;
+  let adj = Graphs.Graph.adjacency graph in
+  let dp = Core.Balancer.d_plus balancer in
+  let emit = match on_message with Some f -> f | None -> fun _ -> () in
+  let on_drop ~now ~edge payload =
+    match payload with
+    | Channel.Data { seq; tokens } ->
+      emit
+        { Trace.m_step = now; m_kind = Trace.Msg_drop; m_edge = edge;
+          m_seq = seq; m_tokens = tokens }
+    | Channel.Ack _ -> ()
+  in
+  let channel =
+    Channel.create ~on_drop ~seed:config.seed ~config:config.channel ~n ~degree:d
+      ()
+  in
+  let proto =
+    Protocol.create ~on_message:emit ~graph ~channel ~config:config.protocol ()
+  in
+  let initial_total = Core.Loads.total init in
+  let wd =
+    if not watchdog then None
+    else
+      Some
+        (Faults.Watchdog.create
+           ?state_range:
+             (if has_prefix ~prefix:"rotor-router" balancer.Core.Balancer.name
+              then Some (0, dp)
+              else None)
+           ~state_sources:
+             (match balancer.Core.Balancer.persist with
+             | Some p -> [ (fun () -> p.Core.Balancer.state_save ()) ]
+             | None -> [])
+           ~extra_mass:(fun () -> Protocol.in_flight_tokens proto)
+           ~name:balancer.Core.Balancer.name
+           ~never_negative:
+             balancer.Core.Balancer.props.Core.Balancer.never_negative
+           ~expected_total:initial_total ())
+  in
+  let injected = ref 0 and lost = ref 0 and spilled = ref 0 in
+  let wipe_state node =
+    match balancer.Core.Balancer.persist with
+    | None -> ()
+    | Some p ->
+      let s = p.Core.Balancer.state_save () in
+      if s.(node) <> 0 then begin
+        s.(node) <- 0;
+        p.Core.Balancer.state_restore s
+      end
+  in
+  let cur = Array.copy init in
+  let apply_events ~step events =
+    let ep_injected = ref 0 and ep_lost = ref 0 in
+    List.iter
+      (fun event ->
+        match event with
+        | Faults.Schedule.Crash { node; state; tokens } ->
+          let x = cur.(node) in
+          (match tokens with
+          | Faults.Schedule.Lose_tokens ->
+            cur.(node) <- 0;
+            ep_lost := !ep_lost + x
+          | Faults.Schedule.Spill_tokens ->
+            (* Spilled locally, as in Faults.Engine: the crash handler
+               dumps the node's tokens on its neighbors directly, it
+               does not get to use the network. *)
+            if x > 0 then begin
+              let q = x / d and r = x mod d in
+              let base = node * d in
+              for k = 0 to d - 1 do
+                let v = adj.(base + k) in
+                cur.(v) <- cur.(v) + q + (if k < r then 1 else 0)
+              done;
+              cur.(node) <- 0
+            end;
+            spilled := !spilled + x);
+          (match state with
+          | Faults.Schedule.Wipe_state -> wipe_state node
+          | Faults.Schedule.Keep_state -> ())
+        | Faults.Schedule.Edge_outage { node; port; last_step } ->
+          Channel.set_outage channel ~edge:((node * d) + port) ~until:last_step
+        | Faults.Schedule.Load_shock { node; amount } ->
+          cur.(node) <- cur.(node) + amount;
+          ep_injected := !ep_injected + amount)
+      events;
+    ignore step;
+    injected := !injected + !ep_injected;
+    lost := !lost + !ep_lost;
+    match wd with
+    | Some w -> Faults.Watchdog.adjust_expected w (!ep_injected - !ep_lost)
+    | None -> ()
+  in
+  let ports = Array.make dp 0 in
+  let degraded = ref 0 and stalled = ref 0 in
+  let series = ref [] in
+  let scan () =
+    let lo = ref cur.(0) and hi = ref cur.(0) in
+    for i = 1 to n - 1 do
+      let x = cur.(i) in
+      if x < !lo then lo := x;
+      if x > !hi then hi := x
+    done;
+    (!hi - !lo, !lo)
+  in
+  let d0, m0 = scan () in
+  let min_seen = ref m0 in
+  series := (0, d0) :: !series;
+  let deliver ~node ~tokens = cur.(node) <- cur.(node) + tokens in
+  for t = 1 to steps do
+    (match Faults.Schedule.events_at plan ~step:t with
+    | [] -> ()
+    | evs -> apply_events ~step:t evs);
+    for u = 0 to n - 1 do
+      let stale =
+        config.staleness >= 0
+        &&
+        match Protocol.oldest_pending proto ~node:u with
+        | Some r -> r <= t - 1 - config.staleness
+        | None -> false
+      in
+      if stale && not config.degrade then incr stalled
+      else begin
+        if stale then incr degraded;
+        let x = cur.(u) in
+        balancer.Core.Balancer.assign ~step:t ~node:u ~load:x ~ports;
+        (* Same inline validation as Core.Engine: conservation and
+           non-negative sends on original ports. *)
+        let sum = ref 0 in
+        for k = 0 to dp - 1 do
+          sum := !sum + ports.(k);
+          if k < d && ports.(k) < 0 then
+            raise
+              (Core.Engine.Invariant_violation
+                 (Printf.sprintf
+                    "%s: node %d step %d sends %d (< 0) on original port %d"
+                    balancer.Core.Balancer.name u t ports.(k) k))
+        done;
+        if !sum <> x then
+          raise
+            (Core.Engine.Invariant_violation
+               (Printf.sprintf "%s: node %d step %d assigned %d tokens of load %d"
+                  balancer.Core.Balancer.name u t !sum x));
+        let kept = ref 0 in
+        for k = d to dp - 1 do
+          kept := !kept + ports.(k)
+        done;
+        cur.(u) <- !kept;
+        for k = 0 to d - 1 do
+          if ports.(k) <> 0 then
+            Protocol.send proto ~now:t ~node:u ~port:k ~tokens:ports.(k)
+        done
+      end
+    done;
+    Protocol.tick proto ~now:t ~deliver;
+    (match wd with
+    | Some w -> Faults.Watchdog.check w ~step:t ~loads:cur
+    | None -> ());
+    let disc, mn = scan () in
+    if mn < !min_seen then min_seen := mn;
+    if t mod sample_every = 0 || t = steps then series := (t, disc) :: !series;
+    match hook with Some f -> f t cur | None -> ()
+  done;
+  (* Drain: protocol-only rounds until every in-flight token has landed
+     and every message is acknowledged, so the ledger closes exactly. *)
+  let drain_rounds = ref 0 in
+  while
+    (not (Protocol.quiesced proto)) && !drain_rounds < config.max_drain_rounds
+  do
+    incr drain_rounds;
+    let now = steps + !drain_rounds in
+    Protocol.tick proto ~now ~deliver;
+    match wd with
+    | Some w -> Faults.Watchdog.check w ~step:now ~loads:cur
+    | None -> ()
+  done;
+  let drained = Protocol.quiesced proto in
+  {
+    result =
+      {
+        Core.Engine.steps_run = steps;
+        final_loads = cur;
+        series = Array.of_list (List.rev !series);
+        min_load_seen = !min_seen;
+        reached_target = None;
+        fairness = None;
+      };
+    channel_stats = Channel.stats channel;
+    protocol_stats = Protocol.stats proto;
+    degraded_rounds = !degraded;
+    stalled_rounds = !stalled;
+    drain_rounds = !drain_rounds;
+    drained;
+    injected = !injected;
+    lost = !lost;
+    spilled = !spilled;
+    initial_total;
+    final_total = Core.Loads.total cur;
+    watchdog_checks =
+      (match wd with Some w -> Faults.Watchdog.checks w | None -> 0);
+  }
+
+let report_lines r =
+  let c = r.channel_stats and p = r.protocol_stats in
+  let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den in
+  [
+    Printf.sprintf
+      "transport:    %d transmissions: %d dropped (%.1f%%), %d outage-dropped, \
+       %d duplicated, %d delayed"
+      c.Channel.transmissions c.Channel.dropped
+      (pct c.Channel.dropped c.Channel.transmissions)
+      c.Channel.outage_dropped c.Channel.duplicated c.Channel.delayed;
+    Printf.sprintf
+      "protocol:     %d messages (%d tokens), %d retransmissions (%.1f%% \
+       overhead), %d acks, %d dup-discarded, %d out-of-order, max in-flight %d"
+      p.Protocol.messages_sent p.Protocol.tokens_sent p.Protocol.retransmissions
+      (pct p.Protocol.retransmissions p.Protocol.messages_sent)
+      p.Protocol.acks_sent p.Protocol.duplicates_discarded
+      p.Protocol.out_of_order p.Protocol.max_in_flight_tokens;
+    Printf.sprintf "staleness:    %d degraded node-rounds, %d stalled node-rounds"
+      r.degraded_rounds r.stalled_rounds;
+    Printf.sprintf "drain:        %d extra rounds%s" r.drain_rounds
+      (if r.drained then "" else " — DID NOT QUIESCE within the bound");
+    Printf.sprintf "net ledger:   injected %d, lost %d, spilled %d; total %d → %d%s"
+      r.injected r.lost r.spilled r.initial_total r.final_total
+      (if conserved r then " (conserved)" else " (CONSERVATION VIOLATED)");
+  ]
+  @
+  if r.watchdog_checks > 0 then
+    [ Printf.sprintf "watchdog:     %d checks, all invariants held" r.watchdog_checks ]
+  else []

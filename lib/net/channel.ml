@@ -1,0 +1,174 @@
+type config = {
+  drop : float;
+  dup : float;
+  reorder : float;
+  delay : int;
+}
+
+let reliable = { drop = 0.0; dup = 0.0; reorder = 0.0; delay = 0 }
+
+let is_reliable c =
+  c.drop = 0.0 && c.dup = 0.0 && c.reorder = 0.0 && c.delay = 0
+
+let validate_config c =
+  if c.drop < 0.0 || c.drop >= 1.0 then
+    Error
+      (Printf.sprintf
+         "drop probability %g must be in [0, 1) — at 1 no retry protocol can drain"
+         c.drop)
+  else if c.dup < 0.0 || c.dup > 1.0 then
+    Error (Printf.sprintf "dup probability %g outside [0, 1]" c.dup)
+  else if c.reorder < 0.0 || c.reorder > 1.0 then
+    Error (Printf.sprintf "reorder probability %g outside [0, 1]" c.reorder)
+  else if c.delay < 0 then
+    Error (Printf.sprintf "max delay %d must be non-negative" c.delay)
+  else Ok ()
+
+let config_to_string c =
+  Printf.sprintf "drop %g, dup %g, reorder %g, delay ≤%d" c.drop c.dup c.reorder
+    c.delay
+
+type payload = Data of { seq : int; tokens : int } | Ack of { cum : int }
+
+type stats = {
+  transmissions : int;
+  dropped : int;
+  outage_dropped : int;
+  duplicated : int;
+  delayed : int;
+  delivered : int;
+}
+
+type packet = { id : int; p_edge : int; p_payload : payload }
+
+type t = {
+  config : config;
+  on_drop : now:int -> edge:int -> payload -> unit;
+  rng : Prng.Splitmix.t;
+  edges : int;  (** n·degree directed edges *)
+  outage_until : int array;
+  buckets : (int, packet list) Hashtbl.t;  (** arrival round → packets *)
+  mutable next_id : int;
+  mutable in_flight : int;
+  mutable transmissions : int;
+  mutable dropped : int;
+  mutable outage_dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable delivered : int;
+}
+
+let create ?(on_drop = fun ~now:_ ~edge:_ _ -> ()) ~seed ~config ~n ~degree () =
+  (match validate_config config with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Net.Channel.create: " ^ m));
+  if n <= 0 || degree <= 0 then
+    invalid_arg "Net.Channel.create: non-positive dimensions";
+  {
+    config;
+    on_drop;
+    rng = Prng.Splitmix.create seed;
+    edges = n * degree;
+    outage_until = Array.make (n * degree) 0;
+    buckets = Hashtbl.create 64;
+    next_id = 0;
+    in_flight = 0;
+    transmissions = 0;
+    dropped = 0;
+    outage_dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+    delivered = 0;
+  }
+
+let check_edge t edge =
+  if edge < 0 || edge >= t.edges then
+    invalid_arg (Printf.sprintf "Net.Channel: edge %d outside [0, %d)" edge t.edges)
+
+let set_outage t ~edge ~until =
+  check_edge t edge;
+  if t.outage_until.(edge) < until then t.outage_until.(edge) <- until
+
+let enqueue t ~arrive ~edge payload =
+  let pkt = { id = t.next_id; p_edge = edge; p_payload = payload } in
+  t.next_id <- t.next_id + 1;
+  t.in_flight <- t.in_flight + 1;
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.buckets arrive) in
+  Hashtbl.replace t.buckets arrive (pkt :: prev)
+
+(* One physical transmission attempt: outage, then drop, then delay /
+   hold-back.  The PRNG draw order is fixed so equal seeds replay the
+   identical fault pattern. *)
+let transmit t ~now ~edge payload =
+  t.transmissions <- t.transmissions + 1;
+  if t.outage_until.(edge) >= now then begin
+    t.outage_dropped <- t.outage_dropped + 1;
+    t.on_drop ~now ~edge payload
+  end
+  else if t.config.drop > 0.0 && Prng.Splitmix.bernoulli t.rng t.config.drop then begin
+    t.dropped <- t.dropped + 1;
+    t.on_drop ~now ~edge payload
+  end
+  else begin
+    let extra =
+      if t.config.delay > 0 then Prng.Splitmix.int t.rng (t.config.delay + 1) else 0
+    in
+    let held =
+      t.config.reorder > 0.0 && Prng.Splitmix.bernoulli t.rng t.config.reorder
+    in
+    let extra = extra + (if held then 1 else 0) in
+    if extra > 0 then t.delayed <- t.delayed + 1;
+    enqueue t ~arrive:(now + extra) ~edge payload
+  end
+
+let send t ~now ~edge payload =
+  check_edge t edge;
+  transmit t ~now ~edge payload;
+  if t.config.dup > 0.0 && Prng.Splitmix.bernoulli t.rng t.config.dup then begin
+    t.duplicated <- t.duplicated + 1;
+    transmit t ~now ~edge payload
+  end
+
+let due_rounds t ~now =
+  Hashtbl.fold (fun r _ acc -> if r <= now then r :: acc else acc) t.buckets []
+  |> List.sort compare
+
+let deliver t ~now f =
+  (* Handing a packet over can enqueue replies that fall due in this
+     same round (zero-delay ACKs), so sweep until no due bucket is
+     left. *)
+  let rec sweep () =
+    match due_rounds t ~now with
+    | [] -> ()
+    | rounds ->
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt t.buckets r with
+          | None -> ()
+          | Some pkts ->
+            Hashtbl.remove t.buckets r;
+            let pkts =
+              List.sort (fun a b -> compare a.id b.id) pkts
+            in
+            List.iter
+              (fun p ->
+                t.in_flight <- t.in_flight - 1;
+                t.delivered <- t.delivered + 1;
+                f ~edge:p.p_edge p.p_payload)
+              pkts)
+        rounds;
+      sweep ()
+  in
+  sweep ()
+
+let pending t = t.in_flight
+
+let stats t =
+  {
+    transmissions = t.transmissions;
+    dropped = t.dropped;
+    outage_dropped = t.outage_dropped;
+    duplicated = t.duplicated;
+    delayed = t.delayed;
+    delivered = t.delivered;
+  }

@@ -1,0 +1,94 @@
+(** Unreliable message transport: per-edge delivery faults, seeded.
+
+    A channel carries packets over the directed edges of a d-regular
+    graph (edge index [u·d + port], {!Graphs.Graph.directed_edge_index}).
+    Each transmission is independently subjected to
+
+    - {e drop}: the packet vanishes (probability [drop]);
+    - {e duplication}: a second copy is enqueued, with its own delay
+      (probability [dup]);
+    - {e delay}: delivery is postponed by a uniform number of extra
+      rounds in [0, delay];
+    - {e reorder}: the packet is held back one extra round, letting
+      later traffic on the same edge overtake it (probability
+      [reorder]).
+
+    All randomness comes from one {!Prng.Splitmix} stream derived from
+    the seed, so equal (seed, config, send sequence) replay the
+    identical fault pattern — lossy runs are reproducible bit for bit.
+
+    Within a round, packets are handed out in transmission order;
+    out-of-order delivery arises when delay, reorder or
+    drop-plus-retransmission pushes a packet into a later round than a
+    younger one.  A packet sent in round [t] with zero delay is
+    delivered in round [t] — the paper's synchronous model is the
+    all-zero {!reliable} configuration.
+
+    Edge outages (the {!Faults.Schedule.Edge_outage} fault) compose
+    with the probabilistic faults: while an edge is down, {e every}
+    transmission on it is dropped, and the retry protocol layered on
+    top recovers the tokens once the outage lifts. *)
+
+type config = {
+  drop : float;  (** per-transmission loss probability, in [0, 1) *)
+  dup : float;  (** per-transmission duplication probability, in [0, 1] *)
+  reorder : float;  (** per-transmission hold-back probability, in [0, 1] *)
+  delay : int;  (** max extra delivery delay in rounds, ≥ 0 *)
+}
+
+val reliable : config
+(** No faults: drop = dup = reorder = 0, delay = 0. *)
+
+val is_reliable : config -> bool
+
+val validate_config : config -> (unit, string) result
+(** [drop] must be < 1 (otherwise a retry protocol can never drain). *)
+
+val config_to_string : config -> string
+
+type payload =
+  | Data of { seq : int; tokens : int }
+  | Ack of { cum : int }  (** cumulative: all seqs ≤ [cum] received *)
+
+type stats = {
+  transmissions : int;  (** send attempts, including retransmissions *)
+  dropped : int;  (** lost to probabilistic drops *)
+  outage_dropped : int;  (** lost to scheduled edge outages *)
+  duplicated : int;  (** extra copies injected *)
+  delayed : int;  (** packets delivered later than the minimum round *)
+  delivered : int;  (** packets handed to the receiver *)
+}
+
+type t
+
+val create :
+  ?on_drop:(now:int -> edge:int -> payload -> unit) ->
+  seed:int ->
+  config:config ->
+  n:int ->
+  degree:int ->
+  unit ->
+  t
+(** [on_drop] observes every transmission lost to a probabilistic drop
+    or an outage (for tracing), with the round it was sent in.
+    @raise Invalid_argument on an invalid config (see
+    {!validate_config}) or non-positive dimensions. *)
+
+val set_outage : t -> edge:int -> until:int -> unit
+(** Drop every transmission on [edge] in all rounds ≤ [until]
+    (extends, never shortens, an existing outage). *)
+
+val send : t -> now:int -> edge:int -> payload -> unit
+(** Transmit one packet in round [now]; it is delivered (0, 1 or 2
+    times) by {!deliver} calls of rounds ≥ [now]. *)
+
+val deliver : t -> now:int -> (edge:int -> payload -> unit) -> unit
+(** Hand over every packet whose delivery round is ≤ [now], in
+    deterministic (round, transmission) order.  Packets enqueued by the
+    callback itself (e.g. ACKs answering a delivery) are included if
+    they too fall due in round [now]. *)
+
+val pending : t -> int
+(** Packets accepted but not yet delivered. *)
+
+val stats : t -> stats

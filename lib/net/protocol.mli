@@ -1,0 +1,90 @@
+(** Exactly-once token transfer over a lossy {!Channel}.
+
+    Every directed edge is an independent ARQ stream: the sender stamps
+    each transfer with a per-edge sequence number (1, 2, …) and keeps
+    it buffered until acknowledged; the receiver delivers strictly in
+    sequence order, stashes out-of-order arrivals, discards duplicates,
+    and answers every data packet with a {e cumulative} ACK (largest
+    seq below which everything was received).  Unacknowledged messages
+    are retransmitted after a timeout that backs off exponentially up
+    to a cap ({!config}).
+
+    Invariants (audited by {!Faults.Watchdog} through
+    {!in_flight_tokens}):
+
+    - {e exactly-once}: each sequence number's tokens are added to the
+      receiving node's load exactly once, no matter how often the
+      channel duplicates or the sender retransmits;
+    - {e conservation}: [Σ loads + in_flight_tokens] is constant —
+      tokens are either held by a node or in exactly one unacknowledged,
+      undelivered message;
+    - {e in-order}: per edge, tokens are applied in send order, so a
+      drained protocol leaves the same per-edge token totals as a
+      reliable network. *)
+
+type backoff = Fixed | Exponential
+
+val backoff_of_string : string -> (backoff, string) result
+(** ["fixed"] or ["exp"]/["exponential"]. *)
+
+val backoff_name : backoff -> string
+
+type config = {
+  timeout : int;
+      (** rounds an unacked message waits before its first
+          retransmission, ≥ 1 *)
+  backoff : backoff;
+  cap : int;  (** upper bound on the backed-off timeout, ≥ [timeout] *)
+}
+
+val default_config : config
+(** timeout 4, exponential backoff, cap 64. *)
+
+val validate_config : config -> (unit, string) result
+val config_to_string : config -> string
+
+type stats = {
+  messages_sent : int;  (** distinct sequence numbers first-sent *)
+  tokens_sent : int;  (** tokens they carried *)
+  retransmissions : int;
+  duplicates_discarded : int;  (** data packets the receiver had seen *)
+  out_of_order : int;  (** arrivals stashed awaiting an earlier seq *)
+  acks_sent : int;
+  max_in_flight_tokens : int;
+}
+
+type t
+
+val create :
+  ?on_message:(Trace.message_event -> unit) ->
+  graph:Graphs.Graph.t ->
+  channel:Channel.t ->
+  config:config ->
+  unit ->
+  t
+(** One protocol instance per run.  [on_message] observes every
+    transport event (send / deliver / drop / retransmit) as a
+    {!Trace.message_event} for recording. *)
+
+val send : t -> now:int -> node:int -> port:int -> tokens:int -> unit
+(** Hand [tokens] > 0 to the transport for the directed edge
+    [(node, port)] in round [now].  The tokens leave the caller's
+    ledger and are accounted in {!in_flight_tokens} until delivered. *)
+
+val tick : t -> now:int -> deliver:(node:int -> tokens:int -> unit) -> unit
+(** Drive one round: pull channel deliveries due in [now] (applying
+    data in-order via [deliver], processing ACKs), then retransmit
+    every timed-out unacknowledged message. *)
+
+val in_flight_tokens : t -> int
+(** Tokens sent but not yet applied to a receiving node — the mass the
+    conservation audit must add to [Σ loads]. *)
+
+val quiesced : t -> bool
+(** No undelivered tokens and no unacknowledged messages. *)
+
+val oldest_pending : t -> node:int -> int option
+(** The send round of the oldest message addressed to [node] whose
+    tokens have not yet been applied — the engine's staleness gauge. *)
+
+val stats : t -> stats

@@ -1,3 +1,13 @@
+type message_kind = Msg_send | Msg_deliver | Msg_drop | Msg_retransmit
+
+type message_event = {
+  m_step : int;
+  m_kind : message_kind;
+  m_edge : int;
+  m_seq : int;
+  m_tokens : int;
+}
+
 type t = {
   n : int;
   degree : int;
@@ -6,7 +16,16 @@ type t = {
   edges : (int * int) array;
   init : int array;
   assignments : int array array array;
+  messages : message_event array;
 }
+
+let message_kind_char = function
+  | Msg_send -> 's'
+  | Msg_deliver -> 'd'
+  | Msg_drop -> 'x'
+  | Msg_retransmit -> 'r'
+
+let with_messages t events = { t with messages = Array.of_list events }
 
 let record ~graph ~balancer ~init ~steps =
   let n = Graphs.Graph.n graph in
@@ -28,6 +47,7 @@ let record ~graph ~balancer ~init ~steps =
       edges = Graphs.Graph.edges graph;
       init = Array.copy init;
       assignments;
+      messages = [||];
     }
   in
   (trace, result)
@@ -84,7 +104,12 @@ let save ~path t =
           Array.iter (fun p -> Printf.fprintf oc " %d" p) t.assignments.(step - 1).(u);
           output_char oc '\n'
         done
-      done)
+      done;
+      Array.iter
+        (fun m ->
+          Printf.fprintf oc "m %c %d %d %d %d\n" (message_kind_char m.m_kind)
+            m.m_step m.m_edge m.m_seq m.m_tokens)
+        t.messages)
 
 exception Parse_error of { line : int; reason : string }
 
@@ -164,6 +189,14 @@ let load ~path =
         Array.init steps (fun _ -> Array.init n (fun _ -> Array.make dp 0))
       in
       let seen = Array.make_matrix steps n false in
+      let messages = ref [] in
+      let message_kind_of_token = function
+        | "s" -> Msg_send
+        | "d" -> Msg_deliver
+        | "x" -> Msg_drop
+        | "r" -> Msg_retransmit
+        | tok -> fail "bad message kind %S (expected s, d, x or r)" tok
+      in
       (try
          while true do
            let l = line () in
@@ -178,6 +211,16 @@ let load ~path =
                  (List.length ports) dp;
              List.iteri (fun k p -> assignments.(step - 1).(node).(k) <- p) ports;
              seen.(step - 1).(node) <- true
+           | [ "m"; kind; s; e; q; toks ] ->
+             let m_kind = message_kind_of_token kind in
+             let m_step = int_of_token s and m_edge = int_of_token e in
+             let m_seq = int_of_token q and m_tokens = int_of_token toks in
+             if m_edge < 0 || m_edge >= n * degree then
+               fail "message record edge %d outside [0, %d)" m_edge (n * degree);
+             if m_seq < 1 then fail "message record seq %d < 1" m_seq;
+             messages := { m_step; m_kind; m_edge; m_seq; m_tokens } :: !messages
+           | "m" :: _ ->
+             fail "bad message record %S (expected 'm KIND STEP EDGE SEQ TOKENS')" l
            | [] -> ()
            | _ -> fail "bad line %S" l
          done
@@ -190,4 +233,5 @@ let load ~path =
                 fail "missing assignment for step %d node %d" (s + 1) u)
             row)
         seen;
-      { n; degree; self_loops; steps; edges; init; assignments })
+      { n; degree; self_loops; steps; edges; init; assignments;
+        messages = Array.of_list (List.rev !messages) })

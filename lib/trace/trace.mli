@@ -13,7 +13,28 @@
     edges <u_1> <v_1> <u_2> <v_2> ...
     init <x_1> ... <x_n>
     a <step> <node> <p_0> ... <p_(d⁺-1)>   # one per node per step
-    v} *)
+    m <kind> <step> <edge> <seq> <tokens>  # optional message events
+    v}
+
+    Message records capture the transport-level life of a token transfer
+    under the unreliable-network engine ({!Net.Async_engine}): [kind] is
+    [s] (send), [d] (deliver), [x] (drop) or [r] (retransmit); [edge] is
+    the directed edge index [u·d + port].  Traces recorded by the
+    synchronous engine carry none. *)
+
+type message_kind =
+  | Msg_send  (** first transmission of a sequence number *)
+  | Msg_deliver  (** in-order delivery to the application *)
+  | Msg_drop  (** the channel dropped a transmission *)
+  | Msg_retransmit  (** sender re-sent an unacknowledged message *)
+
+type message_event = {
+  m_step : int;  (** round the event happened in *)
+  m_kind : message_kind;
+  m_edge : int;  (** directed edge index [u·degree + port] *)
+  m_seq : int;  (** per-edge sequence number (1-based) *)
+  m_tokens : int;  (** tokens carried (0 for token-free events) *)
+}
 
 type t = {
   n : int;
@@ -25,6 +46,9 @@ type t = {
   assignments : int array array array;
       (** [assignments.(t).(u)] = ports of node [u] at step [t+1];
           length d⁺ each *)
+  messages : message_event array;
+      (** transport events in emission order; [[||]] for synchronous
+          traces *)
 }
 
 val record :
@@ -52,8 +76,15 @@ val parse_error_message : exn -> string option
 
 val load : path:string -> t
 (** @raise Parse_error on a malformed file (bad magic, malformed header,
-    non-integer token, out-of-range or missing assignment records).
+    non-integer token, out-of-range or missing assignment records,
+    malformed message records).
     @raise Sys_error if the file cannot be opened. *)
+
+val with_messages : t -> message_event list -> t
+(** Attach transport events (in emission order) to a trace. *)
+
+val message_kind_char : message_kind -> char
+(** The one-character record tag: [s], [d], [x] or [r]. *)
 
 val replay : t -> Core.Engine.result
 (** Re-execute the recorded assignments through the engine (via a

@@ -154,6 +154,114 @@ let test_trace_of_randomized_run_is_deterministic_replay () =
   Alcotest.(check (array int)) "replay idempotent" r1.Core.Engine.final_loads
     r2.Core.Engine.final_loads
 
+let test_message_events_roundtrip () =
+  let g, init, balancer = make_run () in
+  let t, _ = Trace.record ~graph:g ~balancer ~init ~steps:3 in
+  (* One event of each kind; edges must be < n·d = 64. *)
+  let msgs =
+    [
+      { Trace.m_step = 1; m_kind = Trace.Msg_send; m_edge = 0; m_seq = 1; m_tokens = 5 };
+      { Trace.m_step = 1; m_kind = Trace.Msg_drop; m_edge = 7; m_seq = 1; m_tokens = 5 };
+      { Trace.m_step = 2; m_kind = Trace.Msg_retransmit; m_edge = 7; m_seq = 1; m_tokens = 5 };
+      { Trace.m_step = 2; m_kind = Trace.Msg_deliver; m_edge = 63; m_seq = 2; m_tokens = 1 };
+    ]
+  in
+  let t = Trace.with_messages t msgs in
+  let path = Filename.temp_file "loadbal" ".trace" in
+  Trace.save ~path t;
+  let t' = Trace.load ~path in
+  Sys.remove path;
+  check_int "message count" 4 (Array.length t'.Trace.messages);
+  List.iteri
+    (fun i m ->
+      check_bool
+        (Printf.sprintf "message %d round-trips" i)
+        true
+        (t'.Trace.messages.(i) = m))
+    msgs
+
+let test_recorded_net_messages_roundtrip () =
+  (* The real producer: a lossy async run's on_message stream, attached
+     to a trace and round-tripped through disk. *)
+  let g, init, balancer = make_run () in
+  let t, _ = Trace.record ~graph:g ~balancer ~init ~steps:5 in
+  let events = ref [] in
+  let config =
+    {
+      Net.Async_engine.default_config with
+      Net.Async_engine.channel =
+        { Net.Channel.drop = 0.2; dup = 0.1; reorder = 0.1; delay = 2 };
+      staleness = 2;
+    }
+  in
+  let balancer2 = Core.Rotor_router.make g ~self_loops:4 in
+  ignore
+    (Net.Async_engine.run ~config ~on_message:(fun e -> events := e :: !events)
+       ~graph:g ~balancer:balancer2 ~init ~steps:5 ());
+  let msgs = List.rev !events in
+  check_bool "run produced message events" true (msgs <> []);
+  let t = Trace.with_messages t msgs in
+  let path = Filename.temp_file "loadbal" ".trace" in
+  Trace.save ~path t;
+  let t' = Trace.load ~path in
+  Sys.remove path;
+  check_int "all events survive" (List.length msgs) (Array.length t'.Trace.messages);
+  List.iteri
+    (fun i m -> check_bool "event identical" true (t'.Trace.messages.(i) = m))
+    msgs
+
+let append_lines path lines =
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let test_malformed_message_records_pinpoint_line () =
+  let g, init, balancer = make_run () in
+  let t, _ = Trace.record ~graph:g ~balancer ~init ~steps:2 in
+  let base = Filename.temp_file "loadbal" ".trace" in
+  Trace.save ~path:base t;
+  let base_lines =
+    List.length (In_channel.with_open_text base In_channel.input_lines)
+  in
+  let expect_error ?(needle = "message") ~label extra =
+    let path = Filename.temp_file "loadbal" ".trace" in
+    (let contents = In_channel.with_open_text base In_channel.input_all in
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc contents));
+    append_lines path extra;
+    let r =
+      try
+        ignore (Trace.load ~path);
+        None
+      with Trace.Parse_error { line; reason } -> Some (line, reason)
+    in
+    Sys.remove path;
+    match r with
+    | Some (line, reason) ->
+      check_int (label ^ ": error on the appended line") (base_lines + 1) line;
+      check_bool (label ^ ": reason names the defect") true
+        (contains ~needle reason)
+    | None -> Alcotest.fail (label ^ ": malformed record not rejected")
+  in
+  (* Wrong field count, unknown kind, non-integer seq, out-of-range
+     edge, and a zero seq: all rejected with the exact line number. *)
+  expect_error ~label:"truncated" [ "m s 1 0" ];
+  expect_error ~label:"unknown kind" [ "m z 1 0 1 5" ];
+  expect_error ~needle:"one" ~label:"non-integer seq" [ "m s 1 0 one 5" ];
+  expect_error ~label:"edge out of range" [ "m s 1 64 1 5" ];
+  expect_error ~label:"zero seq" [ "m s 1 0 0 5" ];
+  Sys.remove base
+
+let test_messages_default_empty () =
+  let g, init, balancer = make_run () in
+  let t, _ = Trace.record ~graph:g ~balancer ~init ~steps:2 in
+  check_int "record has no messages" 0 (Array.length t.Trace.messages);
+  let path = Filename.temp_file "loadbal" ".trace" in
+  Trace.save ~path t;
+  let t' = Trace.load ~path in
+  Sys.remove path;
+  check_int "load keeps it empty" 0 (Array.length t'.Trace.messages)
+
 let prop_trace_roundtrip_preserves_finals =
   QCheck.Test.make ~name:"save/load preserves replayed final loads" ~count:20
     QCheck.(pair (int_range 3 10) (int_range 0 300))
@@ -187,6 +295,17 @@ let () =
             test_load_parse_error_pinpoints_line;
           Alcotest.test_case "missing assignment reported" `Quick
             test_load_reports_missing_assignment;
+        ] );
+      ( "message events",
+        [
+          Alcotest.test_case "hand-built events round-trip" `Quick
+            test_message_events_roundtrip;
+          Alcotest.test_case "recorded net events round-trip" `Quick
+            test_recorded_net_messages_roundtrip;
+          Alcotest.test_case "malformed records pinpoint line" `Quick
+            test_malformed_message_records_pinpoint_line;
+          Alcotest.test_case "messages default empty" `Quick
+            test_messages_default_empty;
         ] );
       ( "verification",
         [
