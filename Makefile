@@ -1,4 +1,5 @@
-.PHONY: all build test check bench-shard bench-net clean
+.PHONY: all build test check bench-shard bench-net bench-faults bench-obs \
+	bench-all clean
 
 all: build
 
@@ -19,6 +20,22 @@ bench-shard:
 # Refresh the lossy-network degradation sweep (writes BENCH_net.json).
 bench-net:
 	dune exec bench/main.exe -- net
+
+# Refresh the fault-recovery sweep (writes BENCH_faults.json).
+bench-faults:
+	dune exec bench/main.exe -- faults
+
+# Re-measure the observability overhead; exits non-zero if probes cost
+# more than the 5% budget (writes BENCH_obs.json).
+bench-obs:
+	dune exec bench/main.exe -- obs
+
+# Every bench section back to back, then validate every JSON artifact
+# the sections hand-write.
+bench-all:
+	dune exec bench/main.exe -- shard faults net obs
+	dune exec bin/jsonlint.exe -- \
+		BENCH_shard.json BENCH_faults.json BENCH_net.json BENCH_obs.json
 
 clean:
 	dune clean

@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- shard        # sharded-engine strong scaling
      dune exec bench/main.exe -- faults       # fault-recovery sweep (BENCH_faults.json)
      dune exec bench/main.exe -- net          # unreliable-network sweep (BENCH_net.json)
+     dune exec bench/main.exe -- obs          # probes-on overhead (BENCH_obs.json)
      dune exec bench/main.exe -- --csv out.csv e1
 *)
 
@@ -249,6 +250,118 @@ let run_net_degradation ?(json_path = "BENCH_net.json") ~quick () =
   close_out oc;
   Printf.printf "net-degradation results written to %s\n" json_path
 
+(* Observability-overhead section: rotor-router on torus / hypercube /
+   random-regular expander, probes off vs on (snapshot cadence 16),
+   best-of-3 wall clock each way, written to BENCH_obs.json.  Probes
+   must be free in both senses: the final load vectors are asserted
+   bit-identical, and the wall-clock overhead must stay under 5%. *)
+let obs_budget_pct = 5.0
+
+let run_obs_overhead ?(json_path = "BENCH_obs.json") ~quick () =
+  let cells =
+    if quick then
+      [
+        ("torus-16x16", Graphs.Gen.torus [ 16; 16 ]);
+        ("hypercube-8", Graphs.Gen.hypercube 8);
+        ( "random-8reg-1024",
+          Graphs.Gen.random_regular (Prng.Splitmix.create 21) ~n:1024 ~d:8 );
+      ]
+    else
+      [
+        ("torus-64x64", Graphs.Gen.torus [ 64; 64 ]);
+        ("hypercube-12", Graphs.Gen.hypercube 12);
+        ( "random-8reg-4096",
+          Graphs.Gen.random_regular (Prng.Splitmix.create 21) ~n:4096 ~d:8 );
+      ]
+  in
+  Printf.printf
+    "\n=== Observability overhead: probes off vs on (rotor-router, every=16) ===\n";
+  Printf.printf "%-20s %-8s %-8s %10s %10s %10s\n" "graph" "n" "steps" "off (s)"
+    "on (s)" "overhead";
+  let rows = ref [] in
+  List.iter
+    (fun (label, g) ->
+      let n = Graphs.Graph.n g in
+      let d = Graphs.Graph.degree g in
+      let init = Core.Loads.point_mass ~n ~total:(16 * n) in
+      let steps = max 64 ((if quick then 1 lsl 20 else 1 lsl 23) / n) in
+      let once () =
+        let balancer = Core.Rotor_router.make g ~self_loops:d in
+        let t0 = Unix.gettimeofday () in
+        let r = Core.Engine.run ~graph:g ~balancer ~init ~steps () in
+        (Unix.gettimeofday () -. t0, r.Core.Engine.final_loads)
+      in
+      (* Paired measurement: each rep times an off run immediately
+         followed by an on run, so machine drift hits both sides alike;
+         the overhead is the median of the per-rep on/off ratios, which
+         shrugs off the occasional rep a GC or scheduler blip inflates. *)
+      let reps = 7 in
+      let ratios = ref [] in
+      let off_s = ref infinity and on_s = ref infinity in
+      let off_loads = ref [||] and on_loads = ref [||] in
+      for rep = 0 to reps do
+        Obs.Probe.disable ();
+        let t_off, l_off = once () in
+        Obs.Probe.enable ~every:16 ();
+        let t_on, l_on = once () in
+        if rep > 0 then begin
+          (* rep 0 is warmup: first touches of the graph and balancer
+             arrays go through cold caches. *)
+          ratios := (t_on /. t_off) :: !ratios;
+          if t_off < !off_s then off_s := t_off;
+          if t_on < !on_s then on_s := t_on;
+          off_loads := l_off;
+          on_loads := l_on
+        end
+      done;
+      Obs.Probe.disable ();
+      let median =
+        let a = Array.of_list !ratios in
+        Array.sort Float.compare a;
+        a.(Array.length a / 2)
+      in
+      let off_s = !off_s and on_s = !on_s in
+      let off_loads = !off_loads and on_loads = !on_loads in
+      if off_loads <> on_loads then
+        failwith
+          (Printf.sprintf
+             "obs-overhead: %s: probes changed the result (loads differ)" label);
+      let overhead = (median -. 1.0) *. 100.0 in
+      Printf.printf "%-20s %-8d %-8d %10.4f %10.4f %9.2f%%\n" label n steps off_s
+        on_s overhead;
+      rows := (label, n, d, steps, off_s, on_s, overhead) :: !rows)
+    cells;
+  let rows = List.rev !rows in
+  let max_overhead =
+    List.fold_left (fun a (_, _, _, _, _, _, o) -> Float.max a o) neg_infinity rows
+  in
+  let within = max_overhead < obs_budget_pct in
+  Printf.printf "max overhead: %.2f%% (budget %.0f%%) — %s\n" max_overhead
+    obs_budget_pct
+    (if within then "within budget" else "OVER BUDGET");
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"obs-overhead\",\n  \"algo\": \"rotor-router\",\n\
+    \  \"every\": 16,\n  \"budget_pct\": %.1f,\n  \"quick\": %b,\n\
+    \  \"results\": [\n"
+    obs_budget_pct quick;
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (label, n, d, steps, off_s, on_s, overhead) ->
+      Printf.fprintf oc
+        "    {\"graph\": %S, \"n\": %d, \"d\": %d, \"steps\": %d, \
+         \"off_seconds\": %.4f, \"on_seconds\": %.4f, \"overhead_pct\": %.2f, \
+         \"bit_identical\": true}%s\n"
+        label n d steps off_s on_s overhead
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"max_overhead_pct\": %.2f,\n  \"within_budget\": %b\n}\n"
+    max_overhead within;
+  close_out oc;
+  Printf.printf "obs-overhead results written to %s\n" json_path;
+  if not within then exit 1
+
 let run_microbenchmarks () =
   let open Bechamel in
   let open Toolkit in
@@ -305,12 +418,13 @@ let () =
   let want_shard = selected = [] || List.mem "shard" selected in
   let want_faults = selected = [] || List.mem "faults" selected in
   let want_net = selected = [] || List.mem "net" selected in
+  let want_obs = selected = [] || List.mem "obs" selected in
   let experiment_ids =
     match
       List.filter
         (fun a ->
           let a = String.lowercase_ascii a in
-          a <> "micro" && a <> "shard" && a <> "faults" && a <> "net")
+          a <> "micro" && a <> "shard" && a <> "faults" && a <> "net" && a <> "obs")
         selected
     with
     | [] when selected = [] -> List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all
@@ -345,4 +459,5 @@ let () =
   if want_shard then run_shard_scaling ~quick ();
   if want_faults then run_fault_recovery ~quick ();
   if want_net then run_net_degradation ~quick ();
+  if want_obs then run_obs_overhead ~quick ();
   if want_micro then run_microbenchmarks ()

@@ -67,10 +67,31 @@ echo "$run1" | grep -q '(conserved)' || {
   exit 1
 }
 
-echo "== net smoke: BENCH_net.json is well-formed JSON =="
-bench_json=$(mktemp -d -t lb_ci_net.XXXXXX)
-(cd "$bench_json" && "$OLDPWD/_build/default/bench/main.exe" --quick net > /dev/null)
-dune exec bin/jsonlint.exe -- "$bench_json/BENCH_net.json"
+echo "== obs smoke: --metrics/--profile export parses =="
+prom=$(mktemp -t lb_ci_obs.XXXXXX)
+dune exec bin/lb_sim.exe -- --graph random:64,6,5 --algo rotor-router \
+  --init point:2048 --steps 200 --metrics --metrics-out "$prom" \
+  --metrics-every 10 --profile > /dev/null
+test -s "$prom" || { echo "empty Prometheus export $prom" >&2; exit 1; }
+grep -q '^# TYPE lb_rounds_total counter' "$prom" || {
+  echo "Prometheus export is missing lb_rounds_total" >&2
+  exit 1
+}
+grep -q '^lb_discrepancy{engine="core"} ' "$prom" || {
+  echo "Prometheus export is missing the core-engine discrepancy gauge" >&2
+  exit 1
+}
+test -s "$prom.jsonl" || { echo "empty JSONL timeline $prom.jsonl" >&2; exit 1; }
+dune exec bin/jsonlint.exe -- --jsonl "$prom.jsonl"
+rm -f "$prom" "$prom.jsonl"
+
+echo "== bench smoke: every BENCH_*.json artifact is well-formed JSON =="
+bench_json=$(mktemp -d -t lb_ci_bench.XXXXXX)
+(cd "$bench_json" && "$OLDPWD/_build/default/bench/main.exe" \
+  --quick shard faults net obs > /dev/null)
+dune exec bin/jsonlint.exe -- \
+  "$bench_json/BENCH_shard.json" "$bench_json/BENCH_faults.json" \
+  "$bench_json/BENCH_net.json" "$bench_json/BENCH_obs.json"
 rm -rf "$bench_json"
 
 echo "== ci.sh: all green =="

@@ -2,7 +2,9 @@
 
    A minimal strict RFC 8259 parser — no dependencies — so CI can check
    that the BENCH_*.json artifacts the bench harness hand-writes with
-   printf actually parse.  Exit 0 if every file parses, 1 otherwise,
+   printf actually parse.  With --jsonl each non-empty line must be its
+   own JSON document (the lb_sim --metrics-out timeline format); an
+   empty file is valid JSONL.  Exit 0 if every file parses, 1 otherwise,
    2 on usage errors. *)
 
 exception Bad of int * string  (* position, message *)
@@ -148,13 +150,14 @@ let line_col s pos =
     s;
   (!line, !col)
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let check path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
+  match read_file path with
   | exception Sys_error m ->
     Printf.eprintf "jsonlint: %s\n" m;
     false
@@ -166,9 +169,32 @@ let check path =
       Printf.eprintf "jsonlint: %s:%d:%d: %s\n" path line col msg;
       false)
 
+(* One JSON document per non-empty line; blank lines (and hence the
+   empty file) are fine. *)
+let check_jsonl path =
+  match read_file path with
+  | exception Sys_error m ->
+    Printf.eprintf "jsonlint: %s\n" m;
+    false
+  | contents ->
+    let ok = ref true in
+    List.iteri
+      (fun i line ->
+        if String.trim line <> "" then
+          match parse line with
+          | () -> ()
+          | exception Bad (pos, msg) ->
+            Printf.eprintf "jsonlint: %s:%d:%d: %s\n" path (i + 1) (pos + 1) msg;
+            ok := false)
+      (String.split_on_char '\n' contents);
+    !ok
+
 let () =
-  match List.tl (Array.to_list Sys.argv) with
+  let args = List.tl (Array.to_list Sys.argv) in
+  let jsonl = List.mem "--jsonl" args in
+  match List.filter (fun a -> a <> "--jsonl") args with
   | [] ->
-    prerr_endline "usage: jsonlint FILE...";
+    prerr_endline "usage: jsonlint [--jsonl] FILE...";
     exit 2
-  | paths -> exit (if List.for_all check paths then 0 else 1)
+  | paths ->
+    exit (if List.for_all (if jsonl then check_jsonl else check) paths then 0 else 1)

@@ -359,10 +359,63 @@ let run_net ~series ~net_cfg ~fault_specs ~fault_seed ~graph_spec ~algo_spec
          (report.Net.Async_engine.initial_total + report.Net.Async_engine.injected
         - report.Net.Async_engine.lost))
 
+(* Observability: enable probes/profiling before the run; the export
+   itself is registered with at_exit. *)
+let setup_obs ~metrics ~metrics_out ~metrics_every ~profile =
+  let metrics_on = metrics || metrics_out <> None in
+  if metrics_every < 1 then die "--metrics-every must be >= 1";
+  let jsonl = ref None in
+  if metrics_on then begin
+    Obs.Probe.enable ~every:metrics_every ();
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      let oc =
+        try open_out (path ^ ".jsonl")
+        with Sys_error msg -> die (Printf.sprintf "--metrics-out: %s" msg)
+      in
+      jsonl := Some oc;
+      Obs.Probe.set_sink
+        (Some
+           (fun snap ->
+             output_string oc (Obs.Export.snapshot_json snap);
+             output_char oc '\n';
+             flush oc));
+      (* kill -USR1 <pid> scrapes a live run into the same file. *)
+      ignore (Obs.Export.install_sigusr1 ~path ())
+  end;
+  if profile then Obs.Prof.set_enabled true;
+  (* at_exit so the export also happens on the non-zero exits (3:
+     unrecovered, 4: invariant violation) — the metrics of a failed run
+     are exactly the ones worth reading. *)
+  if metrics_on || profile then
+    at_exit (fun () ->
+        (match !jsonl with Some oc -> close_out oc | None -> ());
+        if metrics_on then begin
+          match metrics_out with
+          | Some path ->
+            (try Obs.Export.write ~path ()
+             with Sys_error msg ->
+               Printf.eprintf "error: metrics export failed: %s\n" msg);
+            Printf.printf "metrics:      %s (timeline: %s.jsonl, %d snapshots%s)\n"
+              path path
+              (Array.length (Obs.Probe.timeline ()))
+              (let d = Obs.Probe.timeline_dropped () in
+               if d = 0 then "" else Printf.sprintf ", %d dropped" d)
+          | None ->
+            print_endline "--- metrics (Prometheus text exposition) ---";
+            print_string (Obs.Export.prometheus ())
+        end;
+        if profile then begin
+          print_endline "--- profile (wall-clock + GC per engine phase) ---";
+          List.iter print_endline (Obs.Prof.report_lines ())
+        end)
+
 let run graph algo self_loops init steps horizon target audit series seed shards
     domains partition checkpoint_path checkpoint_every resume fault_plan
     crash_nodes edge_outage fault_seed recovery_eps require_recovery drop delay
-    dup reorder staleness retx_timeout retx_backoff net_seed no_degrade =
+    dup reorder staleness retx_timeout retx_backoff net_seed no_degrade metrics
+    metrics_out metrics_every profile =
   match
     try Ok (parse_graph graph, parse_init init) with Spec_error m -> Error m
   with
@@ -500,6 +553,7 @@ let run graph algo self_loops init steps horizon target audit series seed shards
         shard_count > 1 || checkpoint_path <> None || resume
         || shards <> None || domains <> None
       in
+      setup_obs ~metrics ~metrics_out ~metrics_every ~profile;
       try
         let g = Harness.Experiment.build_graph graph_spec in
         let degree = Graphs.Graph.degree g in
@@ -810,6 +864,44 @@ let net_seed_arg =
           "Seed for the channel's fault randomness; the same seed and flags \
            replay the identical lossy run bit for bit (default 1).")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect per-round metrics (discrepancy, load extrema, potentials \
+           $(b,φ)/$(b,φ'), tokens moved, network and fault counters) and print \
+           them in Prometheus text format after the run. Probes observe only: \
+           the simulation itself is bit-identical with or without this flag.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the Prometheus exposition to $(docv) (atomically) instead of \
+           stdout, plus a JSONL snapshot timeline to $(docv).jsonl. Implies \
+           $(b,--metrics). Sending SIGUSR1 scrapes a live run into $(docv).")
+
+let metrics_every_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "metrics-every" ] ~docv:"N"
+        ~doc:
+          "Take a full snapshot (potentials, timeline entry, JSONL line) only \
+           every $(docv)-th round; cheap counters still update every round \
+           (default 1).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Time each engine phase (assign, scan, merge, checkpoint, drain) and \
+           report wall-clock and GC allocation per phase after the run.")
+
 let exits =
   Cmd.Exit.info 0 ~doc:"on success."
   :: Cmd.Exit.info 2
@@ -835,6 +927,7 @@ let cmd =
       $ resume_arg $ fault_plan_arg $ crash_nodes_arg $ edge_outage_arg
       $ fault_seed_arg $ recovery_eps_arg $ require_recovery_arg $ drop_arg
       $ delay_arg $ dup_arg $ reorder_arg $ staleness_arg $ retx_timeout_arg
-      $ retx_backoff_arg $ net_seed_arg $ no_degrade_arg)
+      $ retx_backoff_arg $ net_seed_arg $ no_degrade_arg $ metrics_arg
+      $ metrics_out_arg $ metrics_every_arg $ profile_arg)
 
 let () = exit (Cmd.eval cmd)

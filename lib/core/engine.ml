@@ -36,6 +36,11 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy ~graph
     else None
   in
   let adj = Graphs.Graph.adjacency graph in
+  (* Probes only read; with them disabled this costs one branch per
+     node, and either way the dynamics are untouched (bit-identical
+     results — property-tested in test_obs.ml). *)
+  let probing = Obs.Probe.enabled () in
+  let moved = ref 0 in
   let cur = ref (Array.copy init) in
   let next = ref (Array.make n 0) in
   let ports = Array.make dp 0 in
@@ -51,6 +56,8 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy ~graph
   (try
      for t = 1 to steps do
        if !reached <> None && stop_at_discrepancy <> None then raise Exit;
+       let sp = Obs.Prof.start "core.assign" in
+       moved := 0;
        let cur_a = !cur and next_a = !next in
        Array.fill next_a 0 n 0;
        for u = 0 to n - 1 do
@@ -85,13 +92,20 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy ~graph
          for k = d to dp - 1 do
            kept := !kept + ports.(k)
          done;
+         if probing then moved := !moved + (x - !kept);
          next_a.(u) <- next_a.(u) + !kept
        done;
+       Obs.Prof.stop sp;
        let tmp = !cur in
        cur := !next;
        next := tmp;
        steps_done := t;
+       let sp = Obs.Prof.start "core.scan" in
        let disc, mn = scan_discrepancy_and_min !cur in
+       Obs.Prof.stop sp;
+       if probing then
+         Obs.Probe.on_round ~engine:"core" ~d_plus:dp ~step:t ~tokens_moved:!moved
+           ~discrepancy:disc ~max_load:(mn + disc) ~min_load:mn ~loads:!cur;
        if mn < !min_seen then min_seen := mn;
        if t mod sample_every = 0 || t = steps then series := (t, disc) :: !series;
        (match hook with Some f -> f t !cur | None -> ());

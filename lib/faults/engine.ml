@@ -152,6 +152,7 @@ let run ?(mode = Sequential) ?eps ?(watchdog = true) ?(sample_every = 1) ?hook
       inner_instances
   in
   let apply_episode ~loads ~step events =
+    Obs.Prof.time "faults.episode" @@ fun () ->
     let pre = Core.Loads.discrepancy loads in
     let ep_injected = ref 0 and ep_lost = ref 0 and ep_spilled = ref 0 in
     List.iter
@@ -259,6 +260,13 @@ let run ?(mode = Sequential) ?eps ?(watchdog = true) ?(sample_every = 1) ?hook
         })
       !trackers
   in
+  let watchdog_checks = match wd with Some w -> Watchdog.checks w | None -> 0 in
+  if Obs.Probe.enabled () then begin
+    List.iter
+      (fun e -> Obs.Probe.on_recovery ~engine:"faults" ~steps:(steps_to_recover e))
+      episodes;
+    Obs.Probe.on_watchdog ~engine:"faults" ~checks:watchdog_checks
+  end;
   {
     result;
     eps;
@@ -268,7 +276,7 @@ let run ?(mode = Sequential) ?eps ?(watchdog = true) ?(sample_every = 1) ?hook
     spilled = !spilled;
     initial_total;
     final_total = Core.Loads.total result.Core.Engine.final_loads;
-    watchdog_checks = (match wd with Some w -> Watchdog.checks w | None -> 0);
+    watchdog_checks;
   }
 
 let summarize_events events =

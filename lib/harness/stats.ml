@@ -6,6 +6,7 @@ let mean a =
   Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
 
 let variance a =
+  require_nonempty "variance" a;
   let n = Array.length a in
   if n < 2 then 0.0
   else begin
@@ -14,13 +15,15 @@ let variance a =
     ss /. float_of_int (n - 1)
   end
 
-let stddev a = sqrt (variance a)
+let stddev a =
+  require_nonempty "stddev" a;
+  sqrt (variance a)
 
 let percentile a p =
   require_nonempty "percentile" a;
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else begin

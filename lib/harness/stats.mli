@@ -1,8 +1,13 @@
-(** Descriptive statistics and shape-fitting for experiment outputs. *)
+(** Descriptive statistics and shape-fitting for experiment outputs.
+
+    Every sample-taking function raises [Invalid_argument
+    "Stats.<fn>: empty sample"] on an empty array — an empty sweep is a
+    harness bug, and a loud error beats a silent [nan] propagating into
+    a BENCH_*.json artifact. *)
 
 val mean : float array -> float
 val variance : float array -> float
-(** Unbiased sample variance (0 for fewer than 2 points). *)
+(** Unbiased sample variance (0 for a single point). *)
 
 val stddev : float array -> float
 val median : float array -> float

@@ -175,6 +175,18 @@ let run ?(config = default_config) ?(plan = []) ?(watchdog = true)
   in
   let ports = Array.make dp 0 in
   let degraded = ref 0 and stalled = ref 0 in
+  (* Observation only, same bit-identical guarantee as Core.Engine: the
+     probes never touch the channel's randomness or the protocol state. *)
+  let probing = Obs.Probe.enabled () in
+  let moved = ref 0 in
+  let mirror_net_stats () =
+    let c = Channel.stats channel and p = Protocol.stats proto in
+    Obs.Probe.on_net ~engine:"net" ~sent:p.Protocol.messages_sent
+      ~tokens:p.Protocol.tokens_sent ~retransmissions:p.Protocol.retransmissions
+      ~dropped:(c.Channel.dropped + c.Channel.outage_dropped)
+      ~acks:p.Protocol.acks_sent ~duplicates:p.Protocol.duplicates_discarded
+      ~degraded:!degraded ~stalled:!stalled
+  in
   let series = ref [] in
   let scan () =
     let lo = ref cur.(0) and hi = ref cur.(0) in
@@ -193,6 +205,8 @@ let run ?(config = default_config) ?(plan = []) ?(watchdog = true)
     (match Faults.Schedule.events_at plan ~step:t with
     | [] -> ()
     | evs -> apply_events ~step:t evs);
+    let sp = Obs.Prof.start "net.assign" in
+    moved := 0;
     for u = 0 to n - 1 do
       let stale =
         config.staleness >= 0
@@ -227,6 +241,7 @@ let run ?(config = default_config) ?(plan = []) ?(watchdog = true)
         for k = d to dp - 1 do
           kept := !kept + ports.(k)
         done;
+        if probing then moved := !moved + (x - !kept);
         cur.(u) <- !kept;
         for k = 0 to d - 1 do
           if ports.(k) <> 0 then
@@ -234,11 +249,19 @@ let run ?(config = default_config) ?(plan = []) ?(watchdog = true)
         done
       end
     done;
+    Obs.Prof.stop sp;
+    let sp = Obs.Prof.start "net.tick" in
     Protocol.tick proto ~now:t ~deliver;
+    Obs.Prof.stop sp;
     (match wd with
     | Some w -> Faults.Watchdog.check w ~step:t ~loads:cur
     | None -> ());
     let disc, mn = scan () in
+    if probing then begin
+      Obs.Probe.on_round ~engine:"net" ~d_plus:dp ~step:t ~tokens_moved:!moved
+        ~discrepancy:disc ~max_load:(mn + disc) ~min_load:mn ~loads:cur;
+      mirror_net_stats ()
+    end;
     if mn < !min_seen then min_seen := mn;
     if t mod sample_every = 0 || t = steps then series := (t, disc) :: !series;
     match hook with Some f -> f t cur | None -> ()
@@ -246,6 +269,7 @@ let run ?(config = default_config) ?(plan = []) ?(watchdog = true)
   (* Drain: protocol-only rounds until every in-flight token has landed
      and every message is acknowledged, so the ledger closes exactly. *)
   let drain_rounds = ref 0 in
+  let sp = Obs.Prof.start "net.drain" in
   while
     (not (Protocol.quiesced proto)) && !drain_rounds < config.max_drain_rounds
   do
@@ -256,7 +280,13 @@ let run ?(config = default_config) ?(plan = []) ?(watchdog = true)
     | Some w -> Faults.Watchdog.check w ~step:now ~loads:cur
     | None -> ()
   done;
+  Obs.Prof.stop sp;
   let drained = Protocol.quiesced proto in
+  if probing then begin
+    mirror_net_stats ();
+    Obs.Probe.on_watchdog ~engine:"net"
+      ~checks:(match wd with Some w -> Faults.Watchdog.checks w | None -> 0)
+  end;
   {
     result =
       {

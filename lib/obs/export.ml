@@ -1,0 +1,118 @@
+let escape_label_value s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* HELP lines escape only backslash and newline (exposition format
+   v0.0.4); quotes stay literal there. *)
+let escape_help s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label_value v)) labels)
+    ^ "}"
+
+let render_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_bound v = if v = infinity then "+Inf" else Printf.sprintf "%g" v
+
+let kind_of = function
+  | Metrics.Counter_value _ -> "counter"
+  | Metrics.Gauge_value _ -> "gauge"
+  | Metrics.Histogram_value _ -> "histogram"
+
+let prometheus ?registry () =
+  let samples = Metrics.snapshot ?registry () in
+  let b = Buffer.create 4096 in
+  let last_header = ref "" in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      if s.Metrics.name <> !last_header then begin
+        last_header := s.Metrics.name;
+        if s.Metrics.help <> "" then
+          Buffer.add_string b
+            (Printf.sprintf "# HELP %s %s\n" s.Metrics.name
+               (escape_help s.Metrics.help));
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" s.Metrics.name (kind_of s.Metrics.value))
+      end;
+      let labels = render_labels s.Metrics.labels in
+      match s.Metrics.value with
+      | Metrics.Counter_value v ->
+        Buffer.add_string b (Printf.sprintf "%s%s %d\n" s.Metrics.name labels v)
+      | Metrics.Gauge_value v ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" s.Metrics.name labels (render_float v))
+      | Metrics.Histogram_value { cumulative; sum; count } ->
+        List.iter
+          (fun (le, c) ->
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" s.Metrics.name
+                 (render_labels (s.Metrics.labels @ [ ("le", render_bound le) ]))
+                 c))
+          cumulative;
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" s.Metrics.name labels (render_float sum));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" s.Metrics.name labels count))
+    samples;
+  Buffer.contents b
+
+let write ~path ?registry () =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (prometheus ?registry ()));
+  Sys.rename tmp path
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let snapshot_json (s : Probe.snapshot) =
+  Printf.sprintf
+    "{\"at\": %.6f, \"engine\": \"%s\", \"step\": %d, \"discrepancy\": %d, \
+     \"max\": %d, \"min\": %d, \"total\": %d, \"c\": %d, \"phi\": %d, \
+     \"phi_prime\": %d, \"tokens_moved\": %d}"
+    s.Probe.at (json_escape s.Probe.engine) s.Probe.step s.Probe.discrepancy
+    s.Probe.max_load s.Probe.min_load s.Probe.total s.Probe.c_threshold
+    s.Probe.phi s.Probe.phi_prime s.Probe.tokens_moved
+
+let install_sigusr1 ~path ?registry () =
+  match
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle (fun _ -> write ~path ?registry ()))
+  with
+  | () -> true
+  | exception (Invalid_argument _ | Sys_error _) -> false

@@ -1,0 +1,19 @@
+(** Render the registry as Prometheus text exposition format (v0.0.4)
+    and probe snapshots as JSONL, and dump on demand via SIGUSR1. *)
+
+val prometheus : ?registry:Metrics.t -> unit -> string
+(** The whole registry in text exposition format: one [# HELP] /
+    [# TYPE] header per metric name, histograms as
+    [_bucket{le=...}]/[_sum]/[_count] series. *)
+
+val write : path:string -> ?registry:Metrics.t -> unit -> unit
+(** Atomically (write-then-rename) write {!prometheus} to [path]. *)
+
+val snapshot_json : Probe.snapshot -> string
+(** One probe snapshot as a single-line JSON object — append these to a
+    file for a JSONL stream ([bin/jsonlint --jsonl] validates it). *)
+
+val install_sigusr1 : path:string -> ?registry:Metrics.t -> unit -> bool
+(** Arrange for SIGUSR1 to dump {!prometheus} to [path] ("kill -USR1
+    <pid>" scrapes a live run).  Returns false when signal handling is
+    unavailable on the platform. *)

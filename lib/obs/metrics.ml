@@ -1,0 +1,182 @@
+type meta = { m_name : string; m_help : string; m_labels : (string * string) list }
+
+(* Log₂ bucket ladder shared by every histogram: upper bounds
+   2^min_exp .. 2^max_exp, then an implicit +∞ bucket ([h_count] minus
+   the finite buckets).  frexp makes insertion O(1). *)
+let min_exp = -20
+let max_exp = 20
+let finite_buckets = max_exp - min_exp + 1
+let bucket_upper i = ldexp 1.0 (min_exp + i)
+
+type counter = { c_meta : meta; mutable c_value : int }
+type gauge = { g_meta : meta; mutable g_value : float }
+
+type histogram = {
+  h_meta : meta;
+  h_counts : int array; (* per-bucket, non-cumulative *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { table : (string * (string * string) list, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+let default = create ()
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+let make_meta ~name ~help ~labels =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  List.iter
+    (fun (k, _) ->
+      if not (valid_name k) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label name %S on %s" k name))
+    labels;
+  { m_name = name; m_help = help; m_labels = List.sort compare labels }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let intern registry meta make =
+  let key = (meta.m_name, meta.m_labels) in
+  match Hashtbl.find_opt registry.table key with
+  | Some m -> m
+  | None ->
+    let m = make meta in
+    Hashtbl.add registry.table key m;
+    m
+
+let counter ?(registry = default) ?(help = "") ?(labels = []) name =
+  let meta = make_meta ~name ~help ~labels in
+  match intern registry meta (fun m -> Counter { c_meta = m; c_value = 0 }) with
+  | Counter c -> c
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.counter: %s is already a %s" name (kind_name other))
+
+let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
+  let meta = make_meta ~name ~help ~labels in
+  match intern registry meta (fun m -> Gauge { g_meta = m; g_value = 0.0 }) with
+  | Gauge g -> g
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.gauge: %s is already a %s" name (kind_name other))
+
+let histogram ?(registry = default) ?(help = "") ?(labels = []) name =
+  let meta = make_meta ~name ~help ~labels in
+  match
+    intern registry meta (fun m ->
+        Histogram
+          { h_meta = m; h_counts = Array.make finite_buckets 0; h_sum = 0.0; h_count = 0 })
+  with
+  | Histogram h -> h
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.histogram: %s is already a %s" name (kind_name other))
+
+let inc c n =
+  if n < 0 then invalid_arg "Metrics.inc: negative increment";
+  c.c_value <- c.c_value + n
+
+let set_counter c v = if v > c.c_value then c.c_value <- v
+let set g v = g.g_value <- v
+
+(* Index of the tightest bucket with [v <= bucket_upper i];
+   [finite_buckets] means "only the +∞ bucket". *)
+let bucket_index v =
+  if v <> v (* nan *) || v <= bucket_upper 0 then 0
+  else begin
+    let m, e = Float.frexp v in
+    let e = if m = 0.5 then e - 1 else e in
+    let i = e - min_exp in
+    if i < 0 then 0 else if i > finite_buckets then finite_buckets else i
+  end
+
+let observe h v =
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1;
+  let i = bucket_index v in
+  if i < finite_buckets then h.h_counts.(i) <- h.h_counts.(i) + 1
+
+let counter_value c = c.c_value
+let gauge_value g = g.g_value
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of {
+      cumulative : (float * int) list;
+      sum : float;
+      count : int;
+    }
+
+type sample = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  value : value;
+}
+
+let histogram_cumulative h =
+  let acc = ref 0 in
+  let pairs = ref [] in
+  for i = 0 to finite_buckets - 1 do
+    if h.h_counts.(i) > 0 then begin
+      acc := !acc + h.h_counts.(i);
+      pairs := (bucket_upper i, !acc) :: !pairs
+    end
+  done;
+  List.rev ((infinity, h.h_count) :: !pairs)
+
+let snapshot ?(registry = default) () =
+  let meta_of = function
+    | Counter c -> c.c_meta
+    | Gauge g -> g.g_meta
+    | Histogram h -> h.h_meta
+  in
+  Hashtbl.fold (fun _ m acc -> m :: acc) registry.table []
+  |> List.sort (fun a b ->
+         let ma = meta_of a and mb = meta_of b in
+         compare (ma.m_name, ma.m_labels) (mb.m_name, mb.m_labels))
+  |> List.map (fun m ->
+         let meta = meta_of m in
+         {
+           name = meta.m_name;
+           help = meta.m_help;
+           labels = meta.m_labels;
+           value =
+             (match m with
+             | Counter c -> Counter_value c.c_value
+             | Gauge g -> Gauge_value g.g_value
+             | Histogram h ->
+               Histogram_value
+                 {
+                   cumulative = histogram_cumulative h;
+                   sum = h.h_sum;
+                   count = h.h_count;
+                 });
+         })
+
+let reset ?(registry = default) () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        Array.fill h.h_counts 0 finite_buckets 0;
+        h.h_sum <- 0.0;
+        h.h_count <- 0)
+    registry.table

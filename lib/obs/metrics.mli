@@ -1,0 +1,80 @@
+(** Process-wide metrics registry: counters, gauges, and log-bucketed
+    histograms, each optionally labeled.  Registration interns by
+    (name, labels), so instrumentation points can re-register freely;
+    the returned handle holds the mutable cell directly, making every
+    hot-path update ([inc], [set], [observe]) an O(1) field write with
+    no lookup.
+
+    The catalogue of metric names the engines emit is in DESIGN.md §10. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every probe uses unless told otherwise. *)
+
+type counter
+type gauge
+type histogram
+
+val counter :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** [counter name] finds or creates the counter [name] with the given
+    labels.  @raise Invalid_argument if the name is already registered
+    as a different metric kind, or if the name/label names are not
+    valid Prometheus identifiers. *)
+
+val gauge :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list -> string -> histogram
+(** Histograms use a fixed ladder of log₂ buckets with upper bounds
+    2⁻²⁰ … 2²⁰ (plus +∞), covering sub-microsecond timings and
+    million-token counts alike with 41 slots and O(1) insertion. *)
+
+val inc : counter -> int -> unit
+(** Add to a counter.  Negative increments are rejected. *)
+
+val set_counter : counter -> int -> unit
+(** Set a counter to an absolute cumulative value — for mirroring an
+    externally accumulated monotone statistic (e.g. protocol stats).
+    The value is clamped to never move backwards. *)
+
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of {
+      cumulative : (float * int) list;
+          (** (upper bound, cumulative count) pairs in increasing bound
+              order, ending with (+∞, total). Buckets whose cumulative
+              count equals the previous entry are elided. *)
+      sum : float;
+      count : int;
+    }
+
+type sample = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  value : value;
+}
+
+val snapshot : ?registry:t -> unit -> sample list
+(** All registered metrics, sorted by (name, labels) — a deterministic
+    order suitable for text exposition. *)
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every metric's value; registrations survive. *)

@@ -1,0 +1,91 @@
+(** Instrumentation points the engines call.
+
+    All probes are no-ops (one branch) until {!enable} is called, so a
+    probes-off run is bit-identical to — and costs essentially the same
+    as — an uninstrumented one.  Enabled probes only *observe*: they
+    never touch engine state, so probes-on runs are bit-identical too.
+
+    Per-round quantities (discrepancy, extrema, tokens moved) feed the
+    registry on every round; every [every]-th round additionally takes
+    a {!snapshot} — computing the paper's potentials φ and φ′ over the
+    load vector — pushes it on the timeline, and hands it to the JSONL
+    sink if one is installed. *)
+
+type snapshot = {
+  at : float;  (** seconds since {!enable} *)
+  engine : string;  (** "core", "shard" or "net" *)
+  step : int;
+  discrepancy : int;
+  max_load : int;
+  min_load : int;
+  total : int;
+  c_threshold : int;
+      (** the canonical height c = round(x̄ / d⁺) the potentials use *)
+  phi : int;  (** φ_t(c) = Σ_v max(x_v − c·d⁺, 0), Lemma 3.5's potential *)
+  phi_prime : int;
+      (** φ′_t(c) with s = 0: Σ_v max(c·d⁺ − x_v, 0), Lemma 3.7's
+          potential at the same height *)
+  tokens_moved : int;  (** cumulative over the run, this engine *)
+}
+
+val enable :
+  ?registry:Metrics.t -> ?every:int -> ?timeline_capacity:int -> unit -> unit
+(** Switch probes on.  Resets the chosen registry (default
+    {!Metrics.default}) and starts a fresh timeline; [every] (default
+    1) is the snapshot cadence in rounds, [timeline_capacity] (default
+    4096) bounds retained snapshots.
+    @raise Invalid_argument on a non-positive [every] or capacity. *)
+
+val disable : unit -> unit
+(** Switch probes off and drop the sink.  The registry keeps its final
+    values for export. *)
+
+val enabled : unit -> bool
+
+val set_sink : (snapshot -> unit) option -> unit
+(** Install a streaming consumer for periodic snapshots (e.g. a JSONL
+    writer).  Cleared by {!disable}. *)
+
+val timeline : unit -> snapshot array
+(** Retained snapshots, oldest first; [[||]] when disabled. *)
+
+val timeline_dropped : unit -> int
+
+(** {1 Engine-facing probes} — no-ops when disabled. *)
+
+val on_round :
+  engine:string ->
+  d_plus:int ->
+  step:int ->
+  tokens_moved:int ->
+  discrepancy:int ->
+  max_load:int ->
+  min_load:int ->
+  loads:int array ->
+  unit
+(** One balancing round finished.  [tokens_moved] is this round's count
+    of tokens sent over original (non-self-loop) ports; [loads] is read
+    only on snapshot rounds. *)
+
+val on_net :
+  engine:string ->
+  sent:int ->
+  tokens:int ->
+  retransmissions:int ->
+  dropped:int ->
+  acks:int ->
+  duplicates:int ->
+  degraded:int ->
+  stalled:int ->
+  unit
+(** Mirror the network layer's cumulative message statistics. *)
+
+val on_recovery : engine:string -> steps:int option -> unit
+(** A fault episode closed: [Some k] means recovered in [k] steps,
+    [None] means it never re-entered the band. *)
+
+val on_watchdog : engine:string -> checks:int -> unit
+(** Mirror the invariant watchdog's cumulative check count. *)
+
+val on_checkpoint : bytes:int -> fsync_seconds:float -> unit
+(** A checkpoint was durably written. *)

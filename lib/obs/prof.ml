@@ -1,0 +1,121 @@
+type acc = {
+  a_name : string;
+  mutable a_calls : int;
+  mutable a_seconds : float;
+  mutable a_minor : float;
+  mutable a_major : float;
+  mutable a_collections : int;
+}
+
+let on = ref false
+let table : (string, acc) Hashtbl.t = Hashtbl.create 16
+
+let set_enabled b = on := b
+let enabled () = !on
+
+let acc_of name =
+  match Hashtbl.find_opt table name with
+  | Some a -> a
+  | None ->
+    let a =
+      { a_name = name; a_calls = 0; a_seconds = 0.0; a_minor = 0.0; a_major = 0.0;
+        a_collections = 0 }
+    in
+    Hashtbl.add table name a;
+    a
+
+type span =
+  | Null
+  | Span of {
+      sp_acc : acc;
+      sp_t0 : float;
+      sp_minor0 : float;
+      sp_major0 : float;
+      sp_collections0 : int;
+    }
+
+let start name =
+  if not !on then Null
+  else begin
+    let g = Gc.quick_stat () in
+    Span
+      {
+        sp_acc = acc_of name;
+        sp_t0 = Unix.gettimeofday ();
+        (* Gc.minor_words () reads the allocation pointer directly;
+           quick_stat's minor_words field only refreshes at collection
+           boundaries on OCaml 5, which would hide small allocations. *)
+        sp_minor0 = Gc.minor_words ();
+        sp_major0 = g.Gc.major_words;
+        sp_collections0 = g.Gc.major_collections;
+      }
+  end
+
+let stop = function
+  | Null -> ()
+  | Span { sp_acc = a; sp_t0; sp_minor0; sp_major0; sp_collections0 } ->
+    let t1 = Unix.gettimeofday () in
+    let g = Gc.quick_stat () in
+    a.a_calls <- a.a_calls + 1;
+    a.a_seconds <- a.a_seconds +. (t1 -. sp_t0);
+    a.a_minor <- a.a_minor +. (Gc.minor_words () -. sp_minor0);
+    a.a_major <- a.a_major +. (g.Gc.major_words -. sp_major0);
+    a.a_collections <- a.a_collections + (g.Gc.major_collections - sp_collections0)
+
+let time name f =
+  match start name with
+  | Null -> f ()
+  | sp -> Fun.protect ~finally:(fun () -> stop sp) f
+
+type phase = {
+  name : string;
+  calls : int;
+  seconds : float;
+  minor_words : float;
+  major_words : float;
+  major_collections : int;
+}
+
+let phases () =
+  Hashtbl.fold
+    (fun _ a l ->
+      {
+        name = a.a_name;
+        calls = a.a_calls;
+        seconds = a.a_seconds;
+        minor_words = a.a_minor;
+        major_words = a.a_major;
+        major_collections = a.a_collections;
+      }
+      :: l)
+    table []
+  |> List.sort (fun a b -> compare (b.seconds, b.name) (a.seconds, a.name))
+
+let human_words w =
+  if w >= 1e9 then Printf.sprintf "%.2fGw" (w /. 1e9)
+  else if w >= 1e6 then Printf.sprintf "%.2fMw" (w /. 1e6)
+  else if w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
+
+let report_lines () =
+  match phases () with
+  | [] -> [ "profile:      no phases recorded (enable with --profile)" ]
+  | ps ->
+    let total = List.fold_left (fun s p -> s +. p.seconds) 0.0 ps in
+    Printf.sprintf "%-24s %10s %12s %12s %12s %8s" "phase" "calls" "total"
+      "mean" "alloc/call" "majors"
+    :: List.map
+         (fun p ->
+           let mean_us =
+             if p.calls = 0 then 0.0 else p.seconds /. float_of_int p.calls *. 1e6
+           in
+           let per_call =
+             if p.calls = 0 then 0.0
+             else (p.minor_words +. p.major_words) /. float_of_int p.calls
+           in
+           Printf.sprintf "%-24s %10d %11.4fs %10.1fµs %12s %8d" p.name p.calls
+             p.seconds mean_us (human_words per_call) p.major_collections)
+         ps
+    @ [ Printf.sprintf "%-24s %10s %11.4fs" "(all phases)" "" total ]
+
+let reset () = Hashtbl.reset table

@@ -1,0 +1,40 @@
+(** Scoped wall-clock + GC profiling of engine phases.
+
+    When disabled (the default), [start] returns a null span and the
+    whole facility costs one branch per instrumentation point.  When
+    enabled, each span records elapsed wall-clock and the
+    [Gc.quick_stat] deltas (minor/major words allocated, major
+    collections), accumulated per phase name. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+type span
+
+val start : string -> span
+(** Open a span for the named phase; a no-op null span when disabled. *)
+
+val stop : span -> unit
+(** Close the span, folding its deltas into the phase.  Null spans are
+    ignored. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f ()] inside a span (exception-safe). *)
+
+type phase = {
+  name : string;
+  calls : int;
+  seconds : float;
+  minor_words : float;
+  major_words : float;
+  major_collections : int;
+}
+
+val phases : unit -> phase list
+(** Accumulated phases, heaviest wall-clock first. *)
+
+val report_lines : unit -> string list
+(** Human-readable per-phase profile (header + one line per phase), or
+    a single "no phases recorded" line. *)
+
+val reset : unit -> unit

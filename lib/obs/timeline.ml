@@ -1,0 +1,38 @@
+type 'a t = {
+  data : 'a option array;
+  mutable next : int; (* slot the next push writes *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Timeline.create: capacity must be >= 1";
+  { data = Array.make capacity None; next = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.data
+let length t = t.len
+let dropped t = t.dropped
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+  t.data.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod cap
+
+let to_array t =
+  let cap = Array.length t.data in
+  let start = (t.next - t.len + cap) mod cap in
+  Array.init t.len (fun i ->
+      match t.data.((start + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let last t =
+  if t.len = 0 then None
+  else t.data.((t.next - 1 + Array.length t.data) mod Array.length t.data)
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.next <- 0;
+  t.len <- 0;
+  t.dropped <- 0

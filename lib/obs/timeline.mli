@@ -1,0 +1,21 @@
+(** Fixed-capacity ring buffer for periodic snapshots: post-run
+    inspection of a long simulation without unbounded memory.  When
+    full, the oldest entry is overwritten and counted as dropped. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val push : 'a t -> 'a -> unit
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val dropped : 'a t -> int
+(** How many entries have been overwritten since creation/[clear]. *)
+
+val to_array : 'a t -> 'a array
+(** Retained entries, oldest first. *)
+
+val last : 'a t -> 'a option
+val clear : 'a t -> unit

@@ -43,6 +43,7 @@ let prev_path path = path ^ ".prev"
 
 let save ~path snap =
   let payload = Marshal.to_string snap [] in
+  let probing = Obs.Probe.enabled () in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
@@ -55,8 +56,13 @@ let save ~path snap =
       output_string oc payload;
       (* Durability before visibility: the bytes must be on disk before
          the rename makes them the checkpoint. *)
+      let t0 = if probing then Unix.gettimeofday () else 0.0 in
       flush oc;
-      Unix.fsync (Unix.descr_of_out_channel oc));
+      Unix.fsync (Unix.descr_of_out_channel oc);
+      if probing then
+        Obs.Probe.on_checkpoint
+          ~bytes:(String.length magic + 12 + String.length payload)
+          ~fsync_seconds:(Unix.gettimeofday () -. t0));
   (* Keep the previous good checkpoint as a fallback: if this process is
      killed between the two renames, [recover] still finds [.prev]. *)
   if Sys.file_exists path then Sys.rename path (prev_path path);

@@ -17,6 +17,7 @@ type shard_ctx = {
   tracker : Core.Fairness.t option;
   mutable lo : int;          (* per-step min/max over my nodes *)
   mutable hi : int;
+  mutable moved : int;       (* per-step tokens sent on original ports *)
 }
 
 let scan_discrepancy_and_min loads =
@@ -74,6 +75,7 @@ let build_contexts ~graph ~part ~d ~dp ~audit ~self_loops =
              else None);
           lo = max_int;
           hi = min_int;
+          moved = 0;
         })
   in
   (* Halo wiring: every outbox slot of shard o targeting a node of shard
@@ -211,6 +213,10 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy
     build_contexts ~graph ~part ~d ~dp ~audit
       ~self_loops:b0.Core.Balancer.self_loops
   in
+  (* Observation only — same bit-identical guarantee as Core.Engine.
+     Workers accumulate into their own ctx; the coordinator reduces, so
+     no cross-domain races. *)
+  let probing = Obs.Probe.enabled () in
   let series = ref series0 in
   let min_seen = ref min0 in
   let reached = ref reached0 in
@@ -223,6 +229,7 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy
     let acc = ctx.acc and ports = ctx.ports in
     let m = Array.length mine in
     Array.fill acc 0 (Array.length acc) 0;
+    ctx.moved <- 0;
     for i = 0 to m - 1 do
       let u = mine.(i) in
       let x = cur.(u) in
@@ -254,6 +261,7 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy
       for k = d to dp - 1 do
         kept := !kept + ports.(k)
       done;
+      if probing then ctx.moved <- ctx.moved + (x - !kept);
       acc.(i) <- acc.(i) + !kept
     done
   in
@@ -280,6 +288,7 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy
   let write_checkpoint t =
     match checkpoint with
     | Some { path; every } when t mod every = 0 && t < steps ->
+      Obs.Prof.time "shard.checkpoint" @@ fun () ->
       Checkpoint.save ~path
         {
           Checkpoint.balancer_name = b0.Core.Balancer.name;
@@ -299,8 +308,12 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy
       try
         for t = start + 1 to steps do
           if !reached <> None && stop_at_discrepancy <> None then raise Exit;
+          let sp = Obs.Prof.start "shard.assign" in
           Pool.run pool (phase_assign t);
+          Obs.Prof.stop sp;
+          let sp = Obs.Prof.start "shard.merge" in
           Pool.run pool phase_merge;
+          Obs.Prof.stop sp;
           steps_done := t;
           let lo = ref max_int and hi = ref min_int in
           Array.iter
@@ -309,6 +322,12 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy
               if ctx.hi > !hi then hi := ctx.hi)
             ctxs;
           let disc = !hi - !lo and mn = !lo in
+          if probing then begin
+            let moved = Array.fold_left (fun a ctx -> a + ctx.moved) 0 ctxs in
+            Obs.Probe.on_round ~engine:"shard" ~d_plus:dp ~step:t
+              ~tokens_moved:moved ~discrepancy:disc ~max_load:!hi ~min_load:mn
+              ~loads:cur
+          end;
           if mn < !min_seen then min_seen := mn;
           if t mod sample_every = 0 || t = steps then series := (t, disc) :: !series;
           (match hook with Some f -> f t cur | None -> ());

@@ -19,6 +19,31 @@ let test_median_percentile () =
   check_float "p0" 1.0 (Harness.Stats.percentile [| 1.0; 2.0; 3.0 |] 0.0);
   check_float "p100" 3.0 (Harness.Stats.percentile [| 1.0; 2.0; 3.0 |] 100.0)
 
+let test_empty_samples_rejected () =
+  (* Every sample-taking helper must refuse an empty array with a clear
+     message rather than returning nan/infinity. *)
+  let rejects name f =
+    check_bool name true
+      (try
+         ignore (f [||]);
+         false
+       with Invalid_argument m ->
+         (* The message names the offending function. *)
+         String.length m > String.length "Stats."
+         && String.sub m 0 6 = "Stats.")
+  in
+  rejects "mean" Harness.Stats.mean;
+  rejects "variance" Harness.Stats.variance;
+  rejects "stddev" Harness.Stats.stddev;
+  rejects "median" Harness.Stats.median;
+  rejects "percentile" (fun a -> Harness.Stats.percentile a 50.0);
+  rejects "minimum" Harness.Stats.minimum;
+  rejects "maximum" Harness.Stats.maximum;
+  (* Singletons are fine everywhere. *)
+  check_float "singleton mean" 7.0 (Harness.Stats.mean [| 7.0 |]);
+  check_float "singleton stddev" 0.0 (Harness.Stats.stddev [| 7.0 |]);
+  check_float "singleton median" 7.0 (Harness.Stats.median [| 7.0 |])
+
 let test_linear_fit () =
   let a, b = Harness.Stats.linear_fit [| (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) |] in
   check_float "slope" 2.0 a;
@@ -206,6 +231,8 @@ let () =
         [
           Alcotest.test_case "mean/variance" `Quick test_mean_variance;
           Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+          Alcotest.test_case "empty samples rejected" `Quick
+            test_empty_samples_rejected;
           Alcotest.test_case "linear fit" `Quick test_linear_fit;
           Alcotest.test_case "power law fit" `Quick test_power_law_fit;
           Alcotest.test_case "power law rejects" `Quick test_power_law_rejects_nonpositive;
