@@ -1,5 +1,5 @@
-.PHONY: all build test check bench-shard bench-net bench-faults bench-obs \
-	bench-all clean
+.PHONY: all build test lint check bench-shard bench-net bench-faults \
+	bench-obs bench-all clean
 
 all: build
 
@@ -8,6 +8,11 @@ build:
 
 test:
 	dune runtest
+
+# Static analysis: determinism / ordering / totality / interface / IO
+# rules over lib/ and bin/ (see DESIGN.md §11).  Exit 1 on findings.
+lint:
+	dune exec bin/lb_lint.exe -- lib bin
 
 # CI entry point: tier-1 tests plus the sharded-engine smoke (see bin/ci.sh).
 check:

@@ -15,6 +15,12 @@ export OCAMLRUNPARAM
 echo "== dune build =="
 dune build
 
+echo "== lb_lint: static analysis over lib/ and bin/ =="
+# Determinism / ordering / totality / interface / IO rules (DESIGN.md
+# §11).  Any finding fails the build; exceptions live in bin/lint_allow
+# or as (* lint: ... *) annotations next to the offending line.
+dune exec bin/lb_lint.exe -- lib bin
+
 echo "== dune runtest (tier-1 + shard equivalence + faults) =="
 dune runtest
 

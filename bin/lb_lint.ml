@@ -1,0 +1,100 @@
+(* lb_lint: determinism & correctness static analysis over lib/ and bin/.
+
+   Usage: lb_lint [--allow FILE] [--rules] [--version] PATH...
+
+   Exit codes: 0 clean, 1 findings, 2 config or parse errors. *)
+
+let version = "lb_lint 1.0.0"
+
+let default_allow_candidates = [ "bin/lint_allow"; "lint_allow" ]
+
+let usage () =
+  String.concat "\n"
+    [
+      "usage: lb_lint [options] PATH...";
+      "";
+      "Static analysis for the load-balancing simulator: proves lib/ code";
+      "cannot silently reintroduce nondeterminism (the engines' bit-identical";
+      "replay guarantee) and enforces totality/interface/IO hygiene.";
+      "";
+      "options:";
+      "  --allow FILE   allowlist file (default: bin/lint_allow if present)";
+      "  --no-allow     ignore any allowlist file";
+      "  --rules        print the rule catalogue and exit";
+      "  --version      print version and exit";
+      "";
+      "exit codes: 0 no findings, 1 findings, 2 config/parse errors";
+    ]
+
+let print_rules () =
+  List.iter
+    (fun r ->
+      Printf.printf "%s (%s)\n  %s\n" (Lint.Finding.rule_id r)
+        (Lint.Finding.rule_title r) (Lint.Finding.rule_doc r))
+    Lint.Finding.all_rules;
+  print_newline ();
+  print_endline
+    "Suppression: `(* lint: allow R1 ... *)` or `(* lint: total *)` on the";
+  print_endline
+    "offending line or the line above; file-level entries in bin/lint_allow";
+  print_endline "(`<path-substring> <rule>...`, `all` covers every rule)."
+
+let fail_config msg =
+  prerr_endline ("lb_lint: " ^ msg);
+  exit 2
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse paths allow_file no_allow = function
+    | [] -> (List.rev paths, allow_file, no_allow)
+    | "--version" :: _ ->
+      print_endline version;
+      exit 0
+    | "--rules" :: _ ->
+      print_rules ();
+      exit 0
+    | ("--help" | "-h") :: _ ->
+      print_endline (usage ());
+      exit 0
+    | "--allow" :: file :: rest -> parse paths (Some file) no_allow rest
+    | "--allow" :: [] -> fail_config "--allow needs a FILE argument"
+    | "--no-allow" :: rest -> parse paths allow_file true rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      fail_config (Printf.sprintf "unknown option %s\n%s" arg (usage ()))
+    | path :: rest -> parse (path :: paths) allow_file no_allow rest
+  in
+  let paths, allow_file, no_allow = parse [] None false args in
+  if paths = [] then fail_config ("no paths given\n" ^ usage ());
+  let allow =
+    if no_allow then Lint.Allow.empty
+    else
+      match allow_file with
+      | Some file -> (
+        match Lint.Allow.load file with
+        | Ok a -> a
+        | Error e -> fail_config ("bad allowlist: " ^ e))
+      | None -> (
+        match List.find_opt Sys.file_exists default_allow_candidates with
+        | None -> Lint.Allow.empty
+        | Some file -> (
+          match Lint.Allow.load file with
+          | Ok a -> a
+          | Error e -> fail_config ("bad allowlist: " ^ e)))
+  in
+  match Lint.Scan.run ~allow paths with
+  | Error e -> fail_config e
+  | Ok { findings; errors } ->
+    List.iter
+      (fun f -> print_endline (Lint.Finding.to_string f))
+      findings;
+    List.iter
+      (fun { Lint.Scan.path; message } ->
+        Printf.eprintf "lb_lint: %s: %s\n" path message)
+      errors;
+    if errors <> [] then exit 2
+    else if findings <> [] then begin
+      Printf.printf "%d finding%s\n" (List.length findings)
+        (if List.length findings = 1 then "" else "s");
+      exit 1
+    end
+    else exit 0

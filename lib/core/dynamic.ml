@@ -90,7 +90,7 @@ let run ?(departure = No_departure) ~graph ~balancer ~injection ~init ~rounds ()
     if Array.length tail = 0 then (0.0, 0.0, 0)
     else begin
       let sorted = Array.copy tail in
-      Array.sort compare sorted;
+      Array.sort Float.compare sorted;
       ( Array.fold_left ( +. ) 0.0 tail /. float_of_int (Array.length tail),
         percentile sorted 95.0,
         int_of_float sorted.(Array.length sorted - 1) )

@@ -36,7 +36,11 @@ let run ~graph ~balancer ~init ~steps =
             end
             else deliver u c)
           ports)
-      (List.sort compare !loads);
+      (List.sort
+         (fun (u1, c1) (u2, c2) ->
+           let c = Int.compare u1 u2 in
+           if c <> 0 then c else Int.compare c1 c2)
+         !loads);
     loads :=
       List.init n (fun u ->
           (u, try List.assoc u !deliveries with Not_found -> 0))

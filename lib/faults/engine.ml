@@ -113,7 +113,11 @@ let run ?(mode = Sequential) ?eps ?(watchdog = true) ?(sample_every = 1) ?hook
     if has_outages then List.map (fun b -> wrap_outages b ~d ~outage_until) inner_instances
     else inner_instances
   in
-  let b0 = List.hd inner_instances in
+  let b0 =
+    match inner_instances with
+    | b :: _ -> b
+    | [] -> invalid_arg "Faults.Engine.run: no balancer instances"
+  in
   let dp_in = Core.Balancer.d_plus b0 in
   let initial_total = Core.Loads.total init in
   let wd =
@@ -231,8 +235,13 @@ let run ?(mode = Sequential) ?eps ?(watchdog = true) ?(sample_every = 1) ?hook
   let result =
     match mode with
     | Sequential ->
-      Core.Engine.run ~sample_every ~hook:engine_hook ~graph
-        ~balancer:(List.hd engine_instances) ~init:cur ~steps ()
+      let balancer =
+        match engine_instances with
+        | b :: _ -> b
+        | [] -> invalid_arg "Faults.Engine.run: no balancer instances"
+      in
+      Core.Engine.run ~sample_every ~hook:engine_hook ~graph ~balancer
+        ~init:cur ~steps ()
     | Sharded { shards; strategy } ->
       let queue = Queue.create () in
       List.iter (fun b -> Queue.add b queue) engine_instances;

@@ -48,7 +48,7 @@ let realize ~seed ~graph specs =
           in
           let count = if fraction > 0.0 && count = 0 then 1 else count in
           let nodes = Prng.Sample.sample_without_replacement rng count n in
-          Array.sort compare nodes;
+          Array.sort Int.compare nodes;
           Array.to_list nodes
           |> List.map (fun node -> { step; event = Crash { node; state; tokens } })
         | Edge_outage_rate { rate; step; duration } ->
@@ -81,7 +81,7 @@ let realize ~seed ~graph specs =
           [ { step; event = Load_shock { node; amount } } ])
       specs
   in
-  List.stable_sort (fun a b -> compare a.step b.step) events
+  List.stable_sort (fun a b -> Int.compare a.step b.step) events
 
 (* --- CLI plan syntax --- *)
 

@@ -21,15 +21,22 @@ let create g ~self_loops =
 
 let power t k =
   if k < 0 then invalid_arg "Mixing.power: negative exponent";
+  let rec last_exn = function
+    | [] -> invalid_arg "Mixing.power: empty power cache (P^0 = I missing)"
+    | [ m ] -> m
+    | _ :: rest -> last_exn rest
+  in
   let rec extend () =
     if List.length t.powers <= k then begin
-      let last = List.nth t.powers (List.length t.powers - 1) in
+      let last = last_exn t.powers in
       t.powers <- t.powers @ [ Linalg.Mat.mul last t.p ];
       extend ()
     end
   in
   extend ();
-  List.nth t.powers k
+  match List.nth_opt t.powers k with
+  | Some m -> m
+  | None -> invalid_arg "Mixing.power: power cache failed to extend"
 
 let error_term t k =
   let pk = power t k in

@@ -88,17 +88,21 @@ type horizon =
   | Continuous_multiple of float
 
 (* Spectral gaps are expensive on large graphs; memoize per graph shape.
-   The key combines size, degree, d° and a structural hash of the
-   adjacency, which is collision-safe enough for a cache of a handful of
-   experiment graphs. *)
+   The key combines size, degree, d° and an FNV-1a fold of the flat
+   adjacency — deterministic across runs and OCaml versions, unlike
+   [Hashtbl.hash_param], and collision-safe enough for a cache of a
+   handful of experiment graphs. *)
 let gap_cache : (int * int * int * int, float) Hashtbl.t = Hashtbl.create 16
+
+let adjacency_fingerprint (adj : int array) =
+  Array.fold_left (fun h v -> (h lxor v) * 0x1000193) 0x811c9dc5 adj
 
 let spectral_gap ~graph ~self_loops =
   let key =
     ( Graphs.Graph.n graph,
       Graphs.Graph.degree graph,
       self_loops,
-      Hashtbl.hash_param 512 512 (Graphs.Graph.adjacency graph) )
+      adjacency_fingerprint (Graphs.Graph.adjacency graph) )
   in
   match Hashtbl.find_opt gap_cache key with
   | Some g -> g

@@ -137,7 +137,12 @@ let run_e1 ~quick =
             Core.Engine.run ~stop_at_discrepancy:od_target ~graph:g ~balancer:balancer2
               ~init ~steps:(12 * t) ()
           in
-          let rep = Option.get after_t.Core.Engine.fairness in
+          let rep =
+            match after_t.Core.Engine.fairness with
+            | Some rep -> rep
+            | None ->
+              invalid_arg "Suite: audited run produced no fairness report"
+          in
           let bound = thm23_bound ~delta:rep.Core.Fairness.cumulative_delta ~d ~n ~gap in
           let neg = if after_t.Core.Engine.min_load_seen < 0 then "yes" else "no" in
           let row =
@@ -510,7 +515,8 @@ let run_e8 ~quick =
   ignore (Core.Engine.run ~hook ~graph:g ~balancer ~init ~steps ());
   let phis, phis' = finish () in
   let checkpoints =
-    List.sort_uniq compare [ 0; steps / 8; steps / 4; steps / 2; (3 * steps) / 4; steps ]
+    List.sort_uniq Int.compare
+      [ 0; steps / 8; steps / 4; steps / 2; (3 * steps) / 4; steps ]
   in
   let value_at trace t0 =
     let best = ref 0 in
@@ -856,9 +862,9 @@ let run_e13 ~quick =
 
 let run_e14 ~quick =
   fresh_section "E14" "Equation (7) — window-averaged deviation vs the proof's bound"
-    "Paper (proof of Thm 2.3): the time-average of any node's load over a window
-     of length T̂ deviates from x̄ by at most 1/4 + (δd⁺+2r) + O(current sum)/T̂.
-     Measured LHS vs the explicit RHS (exact current sum from the dense
+    "Paper (proof of Thm 2.3): the time-average of any node's load over a window\n\
+     of length T̂ deviates from x̄ by at most 1/4 + (δd⁺+2r) + O(current sum)/T̂.\n\
+     Measured LHS vs the explicit RHS (exact current sum from the dense\n\
      spectrum), for a ladder of windows.";
   let n = if quick then 12 else 24 in
   let g = Graphs.Gen.cycle n in
@@ -881,7 +887,11 @@ let run_e14 ~quick =
           Core.Deviation.measure ~graph:g ~balancer ~init ~burn_in ~windows:[ window ]
             ()
         in
-        let lhs = (List.hd stats).Core.Deviation.max_deviation in
+        let lhs =
+          match stats with
+          | s :: _ -> s.Core.Deviation.max_deviation
+          | [] -> invalid_arg "Suite: Deviation.measure returned no windows"
+        in
         let rhs =
           Core.Deviation.rhs_bound ~delta:1 ~d_plus:dp ~remainder:dp ~current_sum
             ~window

@@ -69,7 +69,7 @@ let run ?(sample_every = 1) policy ~graph ~self_loops ~init ~steps =
         | Oblivious -> bag
         | Largest_first ->
           let s = Array.copy bag in
-          Array.sort (fun a b -> compare b a) s;
+          Array.sort (fun a b -> Int.compare b a) s;
           s
       in
       let r = rotor.(u) in

@@ -15,7 +15,8 @@ let of_triplets ~n entries =
   (* Sort by (row, col) and merge duplicates. *)
   let arr = Array.of_list entries in
   Array.sort
-    (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+    (fun (i1, j1, _) (i2, j2, _) ->
+      if i1 <> i2 then Int.compare i1 i2 else Int.compare j1 j2)
     arr;
   let merged = ref [] in
   Array.iter

@@ -65,7 +65,7 @@ let decompose ?(max_sweeps = 100) ?(tol = 1e-12) m =
   done;
   (* Sort eigenpairs in descending eigenvalue order. *)
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun i j -> compare (Mat.get a j j) (Mat.get a i i)) order;
+  Array.sort (fun i j -> Float.compare (Mat.get a j j) (Mat.get a i i)) order;
   {
     eigenvalues = Array.map (fun i -> Mat.get a i i) order;
     eigenvectors = Mat.init n (fun i j -> Mat.get v i order.(j));

@@ -1,0 +1,158 @@
+type entry = { pattern : string; rules : Finding.rule list option }
+(* [rules = None] means "all rules". *)
+
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+
+(* Normalize a path to forward slashes so patterns written in the allow
+   file match on every platform and however the scanner was invoked. *)
+let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+
+let parse_rule_words words =
+  let rec go acc = function
+    | [] -> Ok (Some (List.rev acc))
+    | w :: rest -> (
+      if String.lowercase_ascii w = "all" then Ok None
+      else
+        match Finding.rule_of_string w with
+        | Some r -> go (r :: acc) rest
+        | None -> Error (Printf.sprintf "unknown rule %S" w))
+  in
+  go [] words
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let of_lines lines =
+  let rec go acc lineno = function
+    | [] -> Ok { entries = List.rev acc }
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match split_words line with
+      | [] -> go acc (lineno + 1) rest
+      | [ _ ] ->
+        Error
+          (Printf.sprintf "line %d: expected `<path-pattern> <rule>...`"
+             lineno)
+      | pattern :: rule_words -> (
+        match parse_rule_words rule_words with
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        | Ok rules ->
+          go ({ pattern = normalize pattern; rules } :: acc) (lineno + 1) rest)
+      )
+  in
+  go [] 1 lines
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines)
+  with
+  | lines -> (
+    match of_lines lines with
+    | Ok t -> Ok t
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | exception Sys_error e -> Error e
+
+let builtin_r1_exempt path =
+  let p = normalize path in
+  contains ~sub:"/prng/" p
+  || contains ~sub:"obs/prof.ml" p
+  || contains ~sub:"obs/probe.ml" p
+  || contains ~sub:"shard/checkpoint.ml" p
+
+let file_allows t ~path rule =
+  let p = normalize path in
+  List.exists
+    (fun e ->
+      contains ~sub:e.pattern p
+      && match e.rules with None -> true | Some rs -> List.mem rule rs)
+    t.entries
+
+(* --- in-source annotations --- *)
+
+type annotations = (int * Finding.rule list option) list
+(* (line, rules); [None] = all rules. *)
+
+let annotation_re_scan line =
+  (* Find "lint:" inside a comment opener on this line and collect the
+     words that follow up to the comment close (or end of line). *)
+  let find sub s from =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  match find "(*" line 0 with
+  | None -> None
+  | Some open_i -> (
+    match find "lint:" line open_i with
+    | None -> None
+    | Some i ->
+      let start = i + String.length "lint:" in
+      let stop =
+        match find "*)" line start with
+        | Some j -> j
+        | None -> String.length line
+      in
+      Some (String.sub line start (stop - start)))
+
+let annotations_of_source src : annotations =
+  let lines = String.split_on_char '\n' src in
+  let rec go lineno acc = function
+    | [] -> List.rev acc
+    | line :: rest ->
+      let acc =
+        match annotation_re_scan line with
+        | None -> acc
+        | Some body ->
+          let words = split_words body in
+          let words =
+            List.filter
+              (fun w ->
+                let w = String.lowercase_ascii w in
+                w <> "allow" && w <> "-" && w <> "--")
+              words
+          in
+          let all = List.exists (fun w -> String.lowercase_ascii w = "all") words in
+          let rules = List.filter_map Finding.rule_of_string words in
+          if all then (lineno, None) :: acc
+          else if rules <> [] then (lineno, Some rules) :: acc
+          else acc
+      in
+      go (lineno + 1) acc rest
+  in
+  go 1 [] lines
+
+let annotation_allows (anns : annotations) ~line rule =
+  List.exists
+    (fun (l, rules) ->
+      (l = line || l = line - 1)
+      && match rules with None -> true | Some rs -> List.mem rule rs)
+    anns

@@ -1,0 +1,38 @@
+(** Suppression machinery: the built-in R1 module allowlist, the
+    [bin/lint_allow] file, and in-source [(* lint: ... *)] annotations. *)
+
+type t
+(** Parsed allowlist file (plus the built-ins). *)
+
+val empty : t
+(** Built-ins only: no file entries. *)
+
+val load : string -> (t, string) result
+(** Parse an allowlist file. Each non-comment line is
+    [<path-substring> <rule> [<rule> ...]] where a rule is an id ("R5"),
+    an alias ("io"), or "all". Returns [Error msg] on a malformed line. *)
+
+val of_lines : string list -> (t, string) result
+(** Same, from in-memory lines (for tests). *)
+
+val builtin_r1_exempt : string -> bool
+(** True when the path is one of the sanctioned nondeterminism modules:
+    lib/prng/*, lib/obs/prof.ml, lib/obs/probe.ml, lib/shard/checkpoint.ml. *)
+
+val file_allows : t -> path:string -> Finding.rule -> bool
+(** True when an allowlist-file entry matches [path] and covers the rule. *)
+
+type annotations
+(** Per-file suppression sites harvested from [(* lint: ... *)] comments. *)
+
+val annotations_of_source : string -> annotations
+(** Scan raw source text. Recognized forms, on the offending line or the
+    line directly above it:
+    - [(* lint: allow R1 R2 *)] — suppress the listed rules
+    - [(* lint: total *)] — shorthand for allowing R3
+    - [(* lint: allow all *)] — suppress every rule.
+    Unknown words after [lint:] are ignored so prose justifications can
+    share the comment. *)
+
+val annotation_allows : annotations -> line:int -> Finding.rule -> bool
+(** True when an annotation on [line] or [line - 1] covers the rule. *)

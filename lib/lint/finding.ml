@@ -1,0 +1,72 @@
+type rule = R1 | R2 | R3 | R4 | R5
+
+type t = { file : string; line : int; col : int; rule : rule; msg : string }
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let rule_title = function
+  | R1 -> "determinism"
+  | R2 -> "float-safe ordering"
+  | R3 -> "totality"
+  | R4 -> "interface hygiene"
+  | R5 -> "IO hygiene"
+
+let rule_doc = function
+  | R1 ->
+    "Forbid nondeterminism sources in lib/: Random.*, Hashtbl.hash*, \
+     Sys.time, Unix.gettimeofday/Unix.time, and unordered Hashtbl.iter/fold. \
+     Allowlisted modules: lib/prng, lib/obs/prof, lib/obs/probe, \
+     lib/shard/checkpoint (seeded PRNG and wall-clock profiling live there \
+     by design)."
+  | R2 ->
+    "Forbid the polymorphic comparator: any use of bare compare / \
+     Stdlib.compare, and (=) (<) (<=) (>) (>=) (<>) (==) (!=) passed as a \
+     function argument. Polymorphic comparison on float-bearing data is \
+     order-fragile (nan, -0.) and boxes; use Float.compare / Int.compare / \
+     String.compare or an explicit comparator."
+  | R3 ->
+    "Flag partial functions in lib/: List.hd, List.tl, List.nth, \
+     Option.get. Prefer a total rewrite (match with an invalid_arg carrying \
+     a message), or annotate a proven-safe site with (* lint: total *)."
+  | R4 ->
+    "Every lib/**/*.ml must have a matching .mli so the public surface of \
+     each module is explicit and the linter's totality claims are about \
+     sealed interfaces."
+  | R5 ->
+    "No stdout printing in lib/ (print_*, Printf.printf, Format.printf); \
+     only bin/ talks to the terminal. Report renderers that write stdout by \
+     contract are allowlisted in bin/lint_allow."
+
+let all_rules = [ R1; R2; R3; R4; R5 ]
+
+let rule_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "r1" | "determinism" | "random" -> Some R1
+  | "r2" | "float" | "compare" | "ordering" -> Some R2
+  | "r3" | "total" | "totality" | "partial" -> Some R3
+  | "r4" | "mli" | "interface" -> Some R4
+  | "r5" | "io" | "print" -> Some R5
+  | _ -> None
+
+let make ~file ~line ~col ~rule ~msg = { file; line; col; rule; msg }
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: [%s] %s" t.file t.line t.col (rule_id t.rule) t.msg
+
+let rule_index = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else Int.compare (rule_index a.rule) (rule_index b.rule)

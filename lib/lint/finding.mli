@@ -1,0 +1,38 @@
+(** Lint findings: what a rule reported, and where.
+
+    Rules are identified by a small closed enum so that suppression
+    (annotations, allowlist file) and reporting stay table-driven. *)
+
+type rule = R1 | R2 | R3 | R4 | R5
+
+type t = {
+  file : string;  (** path as given to the scanner (normalized separators) *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler convention *)
+  rule : rule;
+  msg : string;
+}
+
+val rule_id : rule -> string
+(** ["R1"] .. ["R5"]. *)
+
+val rule_title : rule -> string
+(** Short human name, e.g. ["determinism"]. *)
+
+val rule_doc : rule -> string
+(** One-paragraph description used by [lb_lint --rules]. *)
+
+val all_rules : rule list
+(** In catalogue order R1..R5. *)
+
+val rule_of_string : string -> rule option
+(** Accepts ids ("R1", case-insensitive) and aliases
+    ("determinism", "float", "total", "mli", "io", ...). *)
+
+val make : file:string -> line:int -> col:int -> rule:rule -> msg:string -> t
+
+val to_string : t -> string
+(** [path:line:col: [Rn] message] — the stable diagnostic format. *)
+
+val compare : t -> t -> int
+(** Orders by (file, line, col, rule) for stable output. *)

@@ -1,0 +1,156 @@
+type scope = Lib | Bin | Other
+
+let path_components path =
+  String.map (fun c -> if c = '\\' then '/' else c) path
+  |> String.split_on_char '/'
+  |> List.filter (fun c -> c <> "" && c <> ".")
+
+let scope_of_path path =
+  let comps = path_components path in
+  let base = match List.rev comps with b :: _ -> b | [] -> "" in
+  let is_test =
+    List.mem "test" comps
+    || String.length base >= 5
+       && String.sub base 0 5 = "test_"
+  in
+  if is_test then Other
+  else if List.mem "lib" comps then Lib
+  else if List.mem "bin" comps then Bin
+  else Other
+
+(* --- identifier tables --- *)
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+let dotted parts = String.concat "." parts
+
+(* R1: sources of nondeterminism. *)
+let r1_msg parts =
+  let p = dotted parts in
+  match parts with
+  | "Random" :: _ ->
+    Some
+      (Printf.sprintf
+         "%s: ambient PRNG is nondeterministic across runs; draw from a \
+          seeded Prng.Splitmix state instead"
+         p)
+  | [ "Hashtbl"; ("hash" | "hash_param" | "seeded_hash" | "seeded_hash_param") ]
+    ->
+    Some
+      (Printf.sprintf
+         "%s: structural hashing is runtime-version dependent; derive a \
+          fingerprint explicitly (e.g. Shard.Crc32)"
+         p)
+  | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] ->
+    Some
+      (Printf.sprintf
+         "%s: wall-clock read in engine code breaks replayability; clocks \
+          belong to obs/prof, obs/probe and shard/checkpoint"
+         p)
+  | [ "Hashtbl"; (("iter" | "fold") as f) ] ->
+    Some
+      (Printf.sprintf
+         "Hashtbl.%s: iteration order is unspecified; sort the keys first \
+          or annotate the site if the fold is order-insensitive"
+         f)
+  | _ -> None
+
+(* R3: partial functions. *)
+let r3_msg parts =
+  match parts with
+  | [ "List"; (("hd" | "tl" | "nth") as f) ] ->
+    Some
+      (Printf.sprintf
+         "List.%s raises on short lists; use a total match with an \
+          invalid_arg message, or annotate (* lint: total *)"
+         f)
+  | [ "Option"; "get" ] ->
+    Some
+      "Option.get raises Invalid_argument with no context; match and \
+       invalid_arg with a message, or annotate (* lint: total *)"
+  | _ -> None
+
+(* R5: stdout writers. *)
+let r5_msg parts =
+  match parts with
+  | [ name ]
+    when String.length name >= 6 && String.sub name 0 6 = "print_" ->
+    Some
+      (Printf.sprintf
+         "%s writes to stdout from library code; return the text (or take \
+          an out_channel) and let bin/ print"
+         name)
+  | [ "Printf"; "printf" ] | [ "Format"; "printf" ] | [ "Format"; "print_string" ]
+    ->
+    Some
+      (Printf.sprintf
+         "%s writes to stdout from library code; use ksprintf/asprintf and \
+          let bin/ print"
+         (dotted parts))
+  | _ -> None
+
+let comparison_ops =
+  [ "="; "<"; ">"; "<="; ">="; "<>"; "=="; "!=" ]
+
+(* R2: the polymorphic comparator.  [head] is true when the identifier is
+   the function being applied (so infix [a = b] stays legal while
+   [List.mem ~eq:(=)] and [List.sort compare] are flagged). *)
+let r2_msg ~head parts =
+  match parts with
+  | [ "compare" ] ->
+    Some
+      "polymorphic compare is order-fragile on floats (nan, -0.) and \
+       boxes; use Float.compare / Int.compare / String.compare or an \
+       explicit comparator"
+  | [ op ] when (not head) && List.mem op comparison_ops ->
+    Some
+      (Printf.sprintf
+         "polymorphic (%s) passed as a function argument; pass the \
+          monomorphic equivalent (Float.equal, Int.equal, ...) instead"
+         op)
+  | _ -> None
+
+(* --- the walker --- *)
+
+let check_structure ~file ~scope structure =
+  let findings = ref [] in
+  let add loc rule msg =
+    let pos = loc.Location.loc_start in
+    findings :=
+      Finding.make ~file ~line:pos.Lexing.pos_lnum
+        ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+        ~rule ~msg
+      :: !findings
+  in
+  let in_lib = match scope with Lib -> true | Bin | Other -> false in
+  let active = match scope with Lib | Bin -> true | Other -> false in
+  let check_ident ~head loc lid =
+    let parts = strip_stdlib (Longident.flatten lid) in
+    (match r2_msg ~head parts with
+    | Some msg -> add loc Finding.R2 msg
+    | None -> ());
+    if in_lib then begin
+      (match r1_msg parts with
+      | Some msg -> add loc Finding.R1 msg
+      | None -> ());
+      (match r3_msg parts with
+      | Some msg -> add loc Finding.R3 msg
+      | None -> ());
+      match r5_msg parts with
+      | Some msg -> add loc Finding.R5 msg
+      | None -> ()
+    end
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr this (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+      check_ident ~head:true loc txt;
+      List.iter (fun (_, arg) -> this.Ast_iterator.expr this arg) args
+    | Pexp_ident { txt; loc } -> check_ident ~head:false loc txt
+    | _ -> super.expr this e
+  in
+  let iterator = { super with expr } in
+  if active then iterator.structure iterator structure;
+  List.sort Finding.compare !findings

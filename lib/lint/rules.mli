@@ -1,0 +1,16 @@
+(** The rule catalogue applied to a parsed implementation file. *)
+
+type scope = Lib | Bin | Other
+(** Which rule set applies: [Lib] gets R1/R2/R3/R5 (R4 is checked by the
+    scanner from the filesystem), [Bin] gets R2 only, [Other] nothing. *)
+
+val scope_of_path : string -> scope
+(** Classify by path components: a ["lib"] component (or a path under a
+    directory named [lib]) is [Lib]; ["bin"] is [Bin]; test files
+    ([test] component or [test_*.ml]) and everything else are [Other]. *)
+
+val check_structure :
+  file:string -> scope:scope -> Parsetree.structure -> Finding.t list
+(** Run the AST-level rules (R1/R2/R3/R5) over one implementation.
+    Findings are unsuppressed — the scanner applies annotations and the
+    allowlist. Sorted by position. *)

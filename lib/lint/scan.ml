@@ -1,0 +1,102 @@
+type error = { path : string; message : string }
+type report = { findings : Finding.t list; errors : error list }
+
+let is_hidden name = String.length name > 0 && name.[0] = '.'
+
+let has_suffix ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path
+    |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if is_hidden name || name = "_build" then acc
+           else walk acc (Filename.concat path name))
+         acc
+  else if has_suffix ~suffix:".ml" path then path :: acc
+  else acc
+
+let collect_files paths =
+  let rec go acc = function
+    | [] -> Ok (List.sort_uniq String.compare acc)
+    | p :: rest ->
+      if not (Sys.file_exists p) then
+        Error (Printf.sprintf "no such file or directory: %s" p)
+      else go (walk acc p) rest
+  in
+  go [] paths
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_implementation ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+let describe_parse_error exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok report) ->
+    Format.asprintf "%a" Location.print_report report
+    |> String.split_on_char '\n'
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> String.concat " "
+  | Some `Already_displayed | None -> Printexc.to_string exn
+
+let scan_file ~allow path =
+  match read_file path with
+  | exception Sys_error m -> { findings = []; errors = [ { path; message = m } ] }
+  | src -> (
+    match parse_implementation ~path src with
+    | exception exn ->
+      { findings = []; errors = [ { path; message = describe_parse_error exn } ] }
+    | structure ->
+      let scope = Rules.scope_of_path path in
+      let ast_findings = Rules.check_structure ~file:path ~scope structure in
+      let r4_findings =
+        match scope with
+        | Rules.Lib ->
+          let mli = Filename.remove_extension path ^ ".mli" in
+          if Sys.file_exists mli then []
+          else
+            [
+              Finding.make ~file:path ~line:1 ~col:0 ~rule:Finding.R4
+                ~msg:
+                  (Printf.sprintf
+                     "missing interface %s: every lib module must seal its \
+                      surface with an .mli"
+                     (Filename.basename mli));
+            ]
+        | Rules.Bin | Rules.Other -> []
+      in
+      let anns = Allow.annotations_of_source src in
+      let keep (f : Finding.t) =
+        (not (Allow.annotation_allows anns ~line:f.Finding.line f.Finding.rule))
+        && (not (Allow.file_allows allow ~path f.Finding.rule))
+        && not (f.Finding.rule = Finding.R1 && Allow.builtin_r1_exempt path)
+      in
+      {
+        findings = List.filter keep (ast_findings @ r4_findings);
+        errors = [];
+      })
+
+let run ~allow paths =
+  match collect_files paths with
+  | Error e -> Error e
+  | Ok files ->
+    let reports = List.map (scan_file ~allow) files in
+    Ok
+      {
+        findings =
+          List.concat_map (fun r -> r.findings) reports
+          |> List.sort Finding.compare;
+        errors = List.concat_map (fun r -> r.errors) reports;
+      }

@@ -1,0 +1,21 @@
+(** File discovery, parsing, rule application and suppression. *)
+
+type error = { path : string; message : string }
+(** A file that could not be read or parsed (syntax error), or a bad
+    configuration. These map to exit code 2 in the driver. *)
+
+type report = { findings : Finding.t list; errors : error list }
+
+val collect_files : string list -> (string list, string) result
+(** Expand the given files/directories into a sorted list of [.ml] files.
+    Directories are walked recursively; hidden directories and [_build]
+    are skipped. Errors on a path that does not exist. *)
+
+val scan_file : allow:Allow.t -> string -> report
+(** Lint one [.ml] file: parse, run {!Rules.check_structure}, check the
+    matching [.mli] exists (R4, lib scope only), then drop findings
+    suppressed by in-source annotations or the allowlist file. *)
+
+val run : allow:Allow.t -> string list -> (report, string) result
+(** [collect_files] then [scan_file] over each, merged and sorted.
+    [Error] only for path/config problems (exit 2 territory). *)

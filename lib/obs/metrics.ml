@@ -32,6 +32,23 @@ let valid_name s =
        (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
        s
 
+let compare_label (k1, v1) (k2, v2) =
+  let c = String.compare k1 k2 in
+  if c <> 0 then c else String.compare v1 v2
+
+let rec compare_labels l1 l2 =
+  match (l1, l2) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: r1, b :: r2 ->
+    let c = compare_label a b in
+    if c <> 0 then c else compare_labels r1 r2
+
+let compare_meta m1 m2 =
+  let c = String.compare m1.m_name m2.m_name in
+  if c <> 0 then c else compare_labels m1.m_labels m2.m_labels
+
 let make_meta ~name ~help ~labels =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
@@ -40,7 +57,7 @@ let make_meta ~name ~help ~labels =
       if not (valid_name k) then
         invalid_arg (Printf.sprintf "Metrics: invalid label name %S on %s" k name))
     labels;
-  { m_name = name; m_help = help; m_labels = List.sort compare labels }
+  { m_name = name; m_help = help; m_labels = List.sort compare_label labels }
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -146,10 +163,9 @@ let snapshot ?(registry = default) () =
     | Gauge g -> g.g_meta
     | Histogram h -> h.h_meta
   in
+  (* lint: allow R1 — order-insensitive harvest, sorted by meta just below *)
   Hashtbl.fold (fun _ m acc -> m :: acc) registry.table []
-  |> List.sort (fun a b ->
-         let ma = meta_of a and mb = meta_of b in
-         compare (ma.m_name, ma.m_labels) (mb.m_name, mb.m_labels))
+  |> List.sort (fun a b -> compare_meta (meta_of a) (meta_of b))
   |> List.map (fun m ->
          let meta = meta_of m in
          {
@@ -170,6 +186,7 @@ let snapshot ?(registry = default) () =
          })
 
 let reset ?(registry = default) () =
+  (* lint: allow R1 — per-entry zeroing, insensitive to iteration order *)
   Hashtbl.iter
     (fun _ m ->
       match m with

@@ -89,7 +89,9 @@ let phases () =
       }
       :: l)
     table []
-  |> List.sort (fun a b -> compare (b.seconds, b.name) (a.seconds, a.name))
+  |> List.sort (fun a b ->
+         let c = Float.compare b.seconds a.seconds in
+         if c <> 0 then c else String.compare b.name a.name)
 
 let human_words w =
   if w >= 1e9 then Printf.sprintf "%.2fGw" (w /. 1e9)

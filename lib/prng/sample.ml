@@ -44,7 +44,7 @@ let geometric_split g ~total ~parts =
   if parts = 1 then [| total |]
   else begin
     let cuts = sample_without_replacement g (parts - 1) (total + parts - 1) in
-    Array.sort compare cuts;
+    Array.sort Int.compare cuts;
     let out = Array.make parts 0 in
     let prev = ref (-1) in
     for i = 0 to parts - 2 do

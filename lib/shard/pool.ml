@@ -25,7 +25,11 @@ let worker_loop st w =
     if st.stopping then Mutex.unlock st.mutex
     else begin
       seen := st.generation;
-      let job = Option.get st.job in
+      let job =
+        match st.job with
+        | Some job -> job
+        | None -> invalid_arg "Shard.Pool: work signalled with no job installed"
+      in
       Mutex.unlock st.mutex;
       let outcome = try Ok (job w) with e -> Error e in
       Mutex.lock st.mutex;

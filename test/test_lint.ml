@@ -1,0 +1,431 @@
+(* lb_lint rule-catalogue tests: every rule fires on a violating fixture
+   with the right path:line:col, stays silent on clean code, and the two
+   suppression mechanisms (in-source annotations, allowlist file) work.
+   Ends with the meta-test: the linter over this repo's lib/ and bin/
+   reports zero findings. *)
+
+let counter = ref 0
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+(* Lay out [files : (relpath * content) list] under a fresh temp root,
+   run [f root], clean up. *)
+let with_fixture files f =
+  incr counter;
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lb_lint_test_%d_%d" (Unix.getpid ()) !counter)
+  in
+  mkdir_p root;
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      List.iter
+        (fun (rel, content) ->
+          let path = Filename.concat root rel in
+          mkdir_p (Filename.dirname path);
+          let oc = open_out path in
+          output_string oc content;
+          close_out oc)
+        files;
+      f root)
+
+let scan ?(allow = Lint.Allow.empty) root paths =
+  match Lint.Scan.run ~allow (List.map (Filename.concat root) paths) with
+  | Ok report -> report
+  | Error e -> Alcotest.failf "Scan.run: %s" e
+
+let rules_of (r : Lint.Scan.report) =
+  List.map (fun f -> Lint.Finding.rule_id f.Lint.Finding.rule) r.findings
+
+let check_rules what expected report =
+  Alcotest.(check (list string)) what expected (rules_of report)
+
+(* A minimal interface so fixtures don't trip R4 when testing other rules. *)
+let mli rel = (rel, "(* sealed for the lint fixtures *)\n")
+
+(* --- R1 determinism --- *)
+
+let test_r1_fires () =
+  with_fixture
+    [
+      ("lib/foo/a.ml", "let roll () = Random.int 6\n");
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      check_rules "R1 on Random.int" [ "R1" ] r;
+      let f = List.hd r.findings in
+      Alcotest.(check int) "line" 1 f.Lint.Finding.line;
+      Alcotest.(check int) "col" 14 f.Lint.Finding.col)
+
+let test_r1_catalogue () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "let a () = Hashtbl.hash 3\n\
+         let b () = Sys.time ()\n\
+         let c () = Unix.gettimeofday ()\n\
+         let d tbl = Hashtbl.iter (fun _ _ -> ()) tbl\n\
+         let e tbl = Hashtbl.fold (fun _ _ n -> n) tbl 0\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      check_rules "every R1 source fires" [ "R1"; "R1"; "R1"; "R1"; "R1" ] r)
+
+let test_r1_builtin_allowlist () =
+  let body = "let roll () = Random.int 6\n" in
+  with_fixture
+    [
+      ("lib/prng/a.ml", body);
+      mli "lib/prng/a.mli";
+      ("lib/obs/prof.ml", "let now () = Unix.gettimeofday ()\n");
+      mli "lib/obs/prof.mli";
+      ("lib/obs/probe.ml", "let now () = Unix.gettimeofday ()\n");
+      mli "lib/obs/probe.mli";
+      ("lib/shard/checkpoint.ml", "let now () = Unix.gettimeofday ()\n");
+      mli "lib/shard/checkpoint.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      check_rules "sanctioned modules are exempt from R1" [] r)
+
+let test_r1_not_in_bin () =
+  with_fixture
+    [ ("bin/tool.ml", "let roll () = Random.int 6\n") ]
+    (fun root ->
+      let r = scan root [ "bin" ] in
+      check_rules "R1 is lib-only" [] r)
+
+(* --- R2 float-safe ordering --- *)
+
+let test_r2_fires () =
+  with_fixture
+    [
+      ("lib/foo/a.ml", "let sort xs = List.sort compare xs\n");
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      check_rules "R2 on bare compare" [ "R2" ] r;
+      let f = List.hd r.findings in
+      Alcotest.(check int) "line" 1 f.Lint.Finding.line;
+      Alcotest.(check int) "col" 24 f.Lint.Finding.col)
+
+let test_r2_operator_as_argument () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "let a xs = List.sort ( > ) xs\n\
+         let b x = compare x\n\
+         let c x y = Stdlib.compare x y\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      check_rules "operators as arguments + Stdlib.compare"
+        [ "R2"; "R2"; "R2" ] r)
+
+let test_r2_clean_and_infix () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "let sort xs = List.sort Float.compare xs\n\
+         let eq a b = a = b && a < b + 1\n\
+         let cmp = Int.compare\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      check_rules "monomorphic comparators and infix ops are clean" [] r)
+
+let test_r2_applies_in_bin () =
+  with_fixture
+    [ ("bin/tool.ml", "let sort xs = List.sort compare xs\n") ]
+    (fun root ->
+      let r = scan root [ "bin" ] in
+      check_rules "R2 also covers bin/" [ "R2" ] r)
+
+(* --- R3 totality --- *)
+
+let test_r3_fires () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "let a xs = List.hd xs\n\
+         let b xs = List.nth xs 3\n\
+         let c o = Option.get o\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      check_rules "partial functions fire" [ "R3"; "R3"; "R3" ] r;
+      match r.findings with
+      | f :: _ ->
+        Alcotest.(check int) "line" 1 f.Lint.Finding.line;
+        Alcotest.(check int) "col" 11 f.Lint.Finding.col
+      | [] -> Alcotest.fail "no findings")
+
+let test_r3_total_annotation () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "(* lint: total — caller guarantees a non-empty list *)\n\
+         let a xs = List.hd xs\n\
+         let b xs = List.nth xs 3 (* lint: total *)\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      check_rules "(* lint: total *) silences R3, above or inline" [] r)
+
+let test_r3_total_rewrite_is_clean () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "let a xs =\n\
+        \  match xs with\n\
+        \  | x :: _ -> x\n\
+        \  | [] -> invalid_arg \"a: empty\"\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root -> check_rules "total rewrite is clean" [] (scan root [ "lib" ]))
+
+(* --- R4 interface hygiene --- *)
+
+let test_r4_fires () =
+  with_fixture
+    [ ("lib/foo/bare.ml", "let x = 1\n") ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      check_rules "missing .mli fires" [ "R4" ] r;
+      let f = List.hd r.findings in
+      Alcotest.(check int) "line" 1 f.Lint.Finding.line;
+      Alcotest.(check bool) "message names the interface" true
+        (String.length f.Lint.Finding.msg > 0))
+
+let test_r4_silent_with_mli () =
+  with_fixture
+    [ ("lib/foo/sealed.ml", "let x = 1\n"); mli "lib/foo/sealed.mli" ]
+    (fun root -> check_rules "paired .mli is clean" [] (scan root [ "lib" ]))
+
+(* --- R5 IO hygiene --- *)
+
+let test_r5_fires () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "let a () = print_endline \"hi\"\n\
+         let b () = Printf.printf \"%d\" 3\n\
+         let c () = Format.printf \"x\"\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      check_rules "stdout writers fire" [ "R5"; "R5"; "R5" ] r)
+
+let test_r5_stderr_and_sprintf_clean () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "let a () = prerr_endline \"warn\"\n\
+         let b () = Printf.sprintf \"%d\" 3\n\
+         let c oc = Printf.fprintf oc \"x\"\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      check_rules "stderr/sprintf/fprintf are clean" [] (scan root [ "lib" ]))
+
+(* --- suppression mechanisms --- *)
+
+let test_allow_file () =
+  let allow =
+    match Lint.Allow.of_lines [ "# comment"; ""; "lib/foo/a.ml R5 R3" ] with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "allowlist: %s" e
+  in
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "let a () = print_endline \"hi\"\nlet b xs = List.hd xs\n" );
+      mli "lib/foo/a.mli";
+      ("lib/foo/b.ml", "let c () = print_endline \"hi\"\n");
+      mli "lib/foo/b.mli";
+    ]
+    (fun root ->
+      let r = scan ~allow root [ "lib" ] in
+      (* a.ml fully covered; b.ml's R5 still fires. *)
+      check_rules "allow file scopes by path and rule" [ "R5" ] r;
+      match r.findings with
+      | f :: _ ->
+        Alcotest.(check bool) "finding is in b.ml" true
+          (Filename.basename f.Lint.Finding.file = "b.ml")
+      | [] -> Alcotest.fail "expected b.ml finding")
+
+let test_allow_file_all_and_errors () =
+  (match Lint.Allow.of_lines [ "lib/foo all" ] with
+  | Ok a ->
+    with_fixture
+      [
+        ("lib/foo/a.ml", "let a () = print_endline (string_of_int (List.hd []))\n");
+        mli "lib/foo/a.mli";
+      ]
+      (fun root ->
+        check_rules "'all' suppresses every rule" [] (scan ~allow:a root [ "lib" ]))
+  | Error e -> Alcotest.failf "allowlist: %s" e);
+  match Lint.Allow.of_lines [ "lib/foo R9" ] with
+  | Ok _ -> Alcotest.fail "unknown rule must be rejected"
+  | Error e ->
+    Alcotest.(check bool) "error names the rule" true
+      (String.length e > 0)
+
+let test_annotation_allow_rule () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "(* lint: allow R1 — order-insensitive fold *)\n\
+         let a tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0\n\
+         let b tbl = Hashtbl.fold (fun _ _ n -> n + 1) tbl 0\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      (* The annotation covers line 2 only; line 3 still fires. *)
+      check_rules "annotation is line-scoped" [ "R1" ] r;
+      match r.findings with
+      | f :: _ -> Alcotest.(check int) "unsuppressed line" 3 f.Lint.Finding.line
+      | [] -> Alcotest.fail "expected line-3 finding")
+
+let test_annotation_wrong_rule_does_not_mask () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "(* lint: allow R5 *)\nlet a xs = List.hd xs\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      check_rules "allowing R5 does not hide R3" [ "R3" ] (scan root [ "lib" ]))
+
+(* --- parse errors --- *)
+
+let test_parse_error_reported () =
+  with_fixture
+    [ ("lib/foo/bad.ml", "let x = (\n"); mli "lib/foo/bad.mli" ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      Alcotest.(check int) "no findings" 0 (List.length r.findings);
+      Alcotest.(check int) "one error" 1 (List.length r.errors))
+
+(* --- the meta-test: this repository lints clean --- *)
+
+let repo_root () =
+  let rec climb dir n =
+    if n > 6 then None
+    else if
+      Sys.file_exists (Filename.concat dir "lib/core/engine.ml")
+      && Sys.file_exists (Filename.concat dir "bin/lb_lint.ml")
+    then Some dir
+    else climb (Filename.dirname dir) (n + 1)
+  in
+  climb (Sys.getcwd ()) 0
+
+let test_repo_is_clean () =
+  match repo_root () with
+  | None -> Alcotest.fail "could not locate the repo root from the test cwd"
+  | Some root ->
+    let allow_file = Filename.concat root "bin/lint_allow" in
+    let allow =
+      if Sys.file_exists allow_file then
+        match Lint.Allow.load allow_file with
+        | Ok a -> a
+        | Error e -> Alcotest.failf "bin/lint_allow: %s" e
+      else Lint.Allow.empty
+    in
+    let r =
+      scan ~allow root [ "lib"; "bin" ]
+    in
+    List.iter
+      (fun f -> Printf.eprintf "%s\n" (Lint.Finding.to_string f))
+      r.findings;
+    List.iter
+      (fun { Lint.Scan.path; message } ->
+        Printf.eprintf "error: %s: %s\n" path message)
+      r.errors;
+    Alcotest.(check int) "lb_lint over lib/ and bin/ is clean" 0
+      (List.length r.findings);
+    Alcotest.(check int) "no parse errors" 0 (List.length r.errors)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "R1 determinism",
+        [
+          Alcotest.test_case "fires on Random.int with line:col" `Quick
+            test_r1_fires;
+          Alcotest.test_case "full catalogue fires" `Quick test_r1_catalogue;
+          Alcotest.test_case "built-in module allowlist" `Quick
+            test_r1_builtin_allowlist;
+          Alcotest.test_case "lib-only" `Quick test_r1_not_in_bin;
+        ] );
+      ( "R2 ordering",
+        [
+          Alcotest.test_case "fires on bare compare with line:col" `Quick
+            test_r2_fires;
+          Alcotest.test_case "operators as arguments" `Quick
+            test_r2_operator_as_argument;
+          Alcotest.test_case "clean comparators and infix ops" `Quick
+            test_r2_clean_and_infix;
+          Alcotest.test_case "covers bin/" `Quick test_r2_applies_in_bin;
+        ] );
+      ( "R3 totality",
+        [
+          Alcotest.test_case "fires on partial functions" `Quick test_r3_fires;
+          Alcotest.test_case "lint: total annotation" `Quick
+            test_r3_total_annotation;
+          Alcotest.test_case "total rewrite is clean" `Quick
+            test_r3_total_rewrite_is_clean;
+        ] );
+      ( "R4 interfaces",
+        [
+          Alcotest.test_case "fires on missing .mli" `Quick test_r4_fires;
+          Alcotest.test_case "silent with .mli" `Quick test_r4_silent_with_mli;
+        ] );
+      ( "R5 IO",
+        [
+          Alcotest.test_case "fires on stdout writers" `Quick test_r5_fires;
+          Alcotest.test_case "stderr and sprintf are clean" `Quick
+            test_r5_stderr_and_sprintf_clean;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "allow file" `Quick test_allow_file;
+          Alcotest.test_case "allow-all and bad rules" `Quick
+            test_allow_file_all_and_errors;
+          Alcotest.test_case "line-scoped annotation" `Quick
+            test_annotation_allow_rule;
+          Alcotest.test_case "wrong rule does not mask" `Quick
+            test_annotation_wrong_rule_does_not_mask;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "syntax error becomes exit-2 error" `Quick
+            test_parse_error_reported;
+        ] );
+      ( "meta",
+        [
+          Alcotest.test_case "the repo lints clean" `Quick test_repo_is_clean;
+        ] );
+    ]
