@@ -1,5 +1,5 @@
 .PHONY: all build test lint check bench-shard bench-net bench-faults \
-	bench-obs bench-all clean
+	bench-obs bench-workload bench-all clean
 
 all: build
 
@@ -35,12 +35,18 @@ bench-faults:
 bench-obs:
 	dune exec bench/main.exe -- obs
 
+# Refresh the open-system stability sweep; exits non-zero if the
+# stability shape breaks (writes BENCH_workload.json).
+bench-workload:
+	dune exec bench/main.exe -- workload
+
 # Every bench section back to back, then validate every JSON artifact
 # the sections hand-write.
 bench-all:
-	dune exec bench/main.exe -- shard faults net obs
+	dune exec bench/main.exe -- shard faults net obs workload
 	dune exec bin/jsonlint.exe -- \
-		BENCH_shard.json BENCH_faults.json BENCH_net.json BENCH_obs.json
+		BENCH_shard.json BENCH_faults.json BENCH_net.json BENCH_obs.json \
+		BENCH_workload.json
 
 clean:
 	dune clean

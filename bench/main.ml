@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- faults       # fault-recovery sweep (BENCH_faults.json)
      dune exec bench/main.exe -- net          # unreliable-network sweep (BENCH_net.json)
      dune exec bench/main.exe -- obs          # probes-on overhead (BENCH_obs.json)
+     dune exec bench/main.exe -- workload     # open-system stability sweep (BENCH_workload.json)
      dune exec bench/main.exe -- --csv out.csv e1
 *)
 
@@ -362,6 +363,55 @@ let run_obs_overhead ?(json_path = "BENCH_obs.json") ~quick () =
   Printf.printf "obs-overhead results written to %s\n" json_path;
   if not within then exit 1
 
+(* Open-system workload section: the Loadsweep λ-grid (Poisson arrivals
+   vs per-node service rate µ) for rotor-router and send-round on torus
+   and hypercube, written to BENCH_workload.json together with the three
+   stability-shape verdicts E17 asserts: bounded-and-conserved below
+   capacity, λ-monotone steady band, divergence detected above. *)
+let run_workload_sweep ?(json_path = "BENCH_workload.json") ~quick () =
+  Printf.printf
+    "\n=== Open-system workload: steady-state band vs arrival rate ===\n";
+  let t0 = Unix.gettimeofday () in
+  let points = Harness.Loadsweep.sweep ~quick () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Harness.Loadsweep.print_table points;
+  let stable = Harness.Loadsweep.stable_below_capacity points in
+  let diverged = Harness.Loadsweep.divergence_detected points in
+  let monotone = Harness.Loadsweep.monotone_in_lambda points in
+  Printf.printf
+    "below capacity bounded: %b; lambda-monotone: %b; above capacity diverged: %b\n"
+    stable monotone diverged;
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"workload-stability\",\n  \"model\": \"poisson(lambda) \
+     arrivals vs per-node service rate mu\",\n  \"quick\": %b,\n\
+    \  \"seconds\": %.3f,\n  \"results\": [\n"
+    quick elapsed;
+  let last = List.length points - 1 in
+  List.iteri
+    (fun i (p : Harness.Loadsweep.point) ->
+      Printf.fprintf oc
+        "    {\"graph\": %S, \"algo\": %S, \"ratio\": %.2f, \"lambda\": %.1f, \
+         \"mu\": %d, \"band\": %d, \"steady_mean\": %.2f, \"steady_p95\": %.2f, \
+         \"steady_p99\": %.2f, \"inflight_mean\": %.1f, \"overload_p99\": %.2f, \
+         \"throughput\": %.1f, \"diverged\": %b, \"conserved\": %b}%s\n"
+        p.Harness.Loadsweep.graph p.Harness.Loadsweep.algo
+        p.Harness.Loadsweep.ratio p.Harness.Loadsweep.lambda
+        p.Harness.Loadsweep.mu p.Harness.Loadsweep.band
+        p.Harness.Loadsweep.steady_mean p.Harness.Loadsweep.steady_p95
+        p.Harness.Loadsweep.steady_p99 p.Harness.Loadsweep.inflight_mean
+        p.Harness.Loadsweep.overload_p99 p.Harness.Loadsweep.throughput
+        p.Harness.Loadsweep.diverged p.Harness.Loadsweep.conserved
+        (if i = last then "" else ","))
+    points;
+  Printf.fprintf oc
+    "  ],\n  \"below_capacity_bounded\": %b,\n  \"lambda_monotone\": %b,\n\
+    \  \"above_capacity_diverged\": %b\n}\n"
+    stable monotone diverged;
+  close_out oc;
+  Printf.printf "workload-stability results written to %s\n" json_path;
+  if not (stable && diverged && monotone) then exit 1
+
 let run_microbenchmarks () =
   let open Bechamel in
   let open Toolkit in
@@ -419,12 +469,14 @@ let () =
   let want_faults = selected = [] || List.mem "faults" selected in
   let want_net = selected = [] || List.mem "net" selected in
   let want_obs = selected = [] || List.mem "obs" selected in
+  let want_workload = selected = [] || List.mem "workload" selected in
   let experiment_ids =
     match
       List.filter
         (fun a ->
           let a = String.lowercase_ascii a in
-          a <> "micro" && a <> "shard" && a <> "faults" && a <> "net" && a <> "obs")
+          a <> "micro" && a <> "shard" && a <> "faults" && a <> "net" && a <> "obs"
+          && a <> "workload")
         selected
     with
     | [] when selected = [] -> List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all
@@ -460,4 +512,5 @@ let () =
   if want_faults then run_fault_recovery ~quick ();
   if want_net then run_net_degradation ~quick ();
   if want_obs then run_obs_overhead ~quick ();
+  if want_workload then run_workload_sweep ~quick ();
   if want_micro then run_microbenchmarks ()

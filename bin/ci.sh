@@ -73,6 +73,37 @@ echo "$run1" | grep -q '(conserved)' || {
   exit 1
 }
 
+echo "== workload smoke: open system over a lossy, faulty network conserves tokens =="
+# Streaming Poisson arrivals with service departures, composed with a
+# 10% node crash and a lossy channel.  lb_sim exits 4 if the final
+# ledger (init + arrivals + fault-injected − departures − lost) does not
+# balance, so a plain exit-0 run IS the conservation check.
+wl=$(dune exec bin/lb_sim.exe -- --graph torus:8x8 --algo send-floor \
+  --init point:512 --steps 250 --arrivals uniform --arrival-rate 24 \
+  --lifetime work:24 --burst 512@100:node=3 --workload-seed 9 \
+  --crash-nodes 0.1@60 --drop 0.05 --delay 1 --net-seed 4)
+echo "$wl" | grep -q 'ledger conserved' || {
+  echo "open-system run did not report a conserved ledger" >&2
+  exit 1
+}
+# Identical --workload-seed must replay the identical trace.
+wl2=$(dune exec bin/lb_sim.exe -- --graph torus:8x8 --algo send-floor \
+  --init point:512 --steps 250 --arrivals uniform --arrival-rate 24 \
+  --lifetime work:24 --burst 512@100:node=3 --workload-seed 9 \
+  --crash-nodes 0.1@60 --drop 0.05 --delay 1 --net-seed 4)
+if [ "$wl" != "$wl2" ]; then
+  echo "two identically-seeded open-system runs diverged" >&2
+  exit 1
+fi
+
+echo "== workload smoke: quick E17 reproduces the stability shape =="
+# run_workload_sweep exits non-zero unless: bounded+conserved below
+# capacity, lambda-monotone steady band, divergence detected above.
+wl_json=$(mktemp -d -t lb_ci_workload.XXXXXX)
+(cd "$wl_json" && "$OLDPWD/_build/default/bench/main.exe" --quick workload > /dev/null)
+dune exec bin/jsonlint.exe -- "$wl_json/BENCH_workload.json"
+rm -rf "$wl_json"
+
 echo "== obs smoke: --metrics/--profile export parses =="
 prom=$(mktemp -t lb_ci_obs.XXXXXX)
 dune exec bin/lb_sim.exe -- --graph random:64,6,5 --algo rotor-router \

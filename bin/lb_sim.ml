@@ -145,6 +145,85 @@ let parse_partition = function
                        round-robin or bfs)"
          other)
 
+(* --arrivals uniform | bursty[:PERIOD,AMP] | point:N | hotspot, scaled
+   by --arrival-rate.  Fixed-placement processes round the rate to a
+   whole batch; uniform/bursty keep it as a Poisson mean. *)
+let parse_arrivals ~rng ~rate s =
+  let fail () =
+    spec_fail
+      "bad arrivals spec %S (expected uniform, bursty[:PERIOD,AMP], point:N or \
+       hotspot)"
+      s
+  in
+  let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
+  let float_of x =
+    match float_of_string_opt x with Some v -> v | None -> fail ()
+  in
+  let batch = int_of_float (Float.round rate) in
+  match String.split_on_char ':' s with
+  | [ "uniform" ] -> Workload.Arrival.poisson ~rng ~rate
+  | [ "bursty" ] ->
+    Workload.Arrival.diurnal ~period:100 ~amplitude:0.5
+      (Workload.Arrival.poisson ~rng ~rate)
+  | [ "bursty"; args ] -> (
+    match String.split_on_char ',' args with
+    | [ p; a ] ->
+      Workload.Arrival.diurnal ~period:(positive "bursty period" (int_of p))
+        ~amplitude:(float_of a)
+        (Workload.Arrival.poisson ~rng ~rate)
+    | _ -> fail ())
+  | [ "point"; node ] ->
+    Workload.Arrival.point ~node:(non_negative "arrival node" (int_of node))
+      ~per_round:batch
+  | [ "hotspot" ] -> Workload.Arrival.hotspot ~per_round:batch
+  | _ -> fail ()
+
+(* --burst SIZE@ROUND[+WIDTH][:node=N] *)
+let parse_burst s =
+  let fail () = spec_fail "bad burst spec %S (expected SIZE@ROUND[+WIDTH][:node=N])" s in
+  let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
+  let head, node =
+    match String.split_on_char ':' s with
+    | [ h ] -> (h, 0)
+    | [ h; nodespec ] -> (
+      match String.split_on_char '=' nodespec with
+      | [ "node"; v ] -> (h, non_negative "burst node" (int_of v))
+      | _ -> fail ())
+    | _ -> fail ()
+  in
+  match String.split_on_char '@' head with
+  | [ size; where ] ->
+    let size = non_negative "burst size" (int_of size) in
+    let at, width =
+      match String.split_on_char '+' where with
+      | [ at ] -> (positive "burst round" (int_of at), 1)
+      | [ at; w ] ->
+        (positive "burst round" (int_of at), positive "burst width" (int_of w))
+      | _ -> fail ()
+    in
+    Workload.Arrival.flash_crowd ~width ~at ~size ~node ()
+  | _ -> fail ()
+
+(* --lifetime immortal | service:R | geometric:M | fixed:L | work:B *)
+let parse_lifetime ~rng s =
+  let fail () =
+    spec_fail
+      "bad lifetime spec %S (expected immortal, service:RATE, geometric:MEAN, \
+       fixed:ROUNDS or work:BATCH)"
+      s
+  in
+  let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
+  let float_of x =
+    match float_of_string_opt x with Some v -> v | None -> fail ()
+  in
+  match String.split_on_char ':' s with
+  | [ "immortal" ] -> Workload.Lifetime.immortal
+  | [ "service"; r ] -> Workload.Lifetime.service ~rate:(int_of r)
+  | [ "geometric"; m ] -> Workload.Lifetime.geometric ~rng ~mean:(float_of m)
+  | [ "fixed"; l ] -> Workload.Lifetime.fixed ~rng ~rounds:(int_of l)
+  | [ "work"; b ] -> Workload.Lifetime.uniform_attempts ~rng ~per_round:(int_of b)
+  | _ -> fail ()
+
 let die msg =
   prerr_endline ("lb_sim: " ^ msg);
   exit 2
@@ -359,6 +438,110 @@ let run_net ~series ~net_cfg ~fault_specs ~fault_seed ~graph_spec ~algo_spec
          (report.Net.Async_engine.initial_total + report.Net.Async_engine.injected
         - report.Net.Async_engine.lost))
 
+let run_workload ~series ~net_cfg ~fault_specs ~fault_seed ~arrivals
+    ~arrival_rate ~burst ~hotspot ~lifetime ~warmup ~workload_seed ~rounds
+    ~graph_spec ~algo_spec ~init_spec () =
+  let g = Harness.Experiment.build_graph graph_spec in
+  let n = Graphs.Graph.n g in
+  let init = Harness.Experiment.build_init init_spec ~n in
+  let balancer = Harness.Experiment.build_balancer algo_spec g ~init in
+  let self_loops = balancer.Core.Balancer.self_loops in
+  (* One master stream; arrival and lifetime draws come from split
+     children, so adding a --lifetime never perturbs the arrival trace. *)
+  let master = Prng.Splitmix.create workload_seed in
+  let arrival_rng = Prng.Splitmix.split master in
+  let lifetime_rng = Prng.Splitmix.split master in
+  let rate = Option.value ~default:8.0 arrival_rate in
+  let parts =
+    List.concat
+      [
+        (match arrivals with
+        | Some s -> [ parse_arrivals ~rng:arrival_rng ~rate s ]
+        | None -> []);
+        (match hotspot with
+        | Some b -> [ Workload.Arrival.hotspot ~per_round:(non_negative "--hotspot" b) ]
+        | None -> []);
+        (match burst with Some s -> [ parse_burst s ] | None -> []);
+      ]
+  in
+  let arrival =
+    match parts with
+    | [] -> spec_fail "open-system mode needs at least one arrival source"
+    | p :: rest -> List.fold_left Workload.Arrival.overlay p rest
+  in
+  let lifetime =
+    match lifetime with
+    | Some s -> parse_lifetime ~rng:lifetime_rng s
+    | None -> Workload.Lifetime.immortal
+  in
+  let plan = Faults.Schedule.realize ~seed:fault_seed ~graph:g fault_specs in
+  if fault_specs <> [] then
+    Printf.printf "fault plan:   %d events, seed %d (%s)\n" (List.length plan)
+      fault_seed
+      (String.concat "; " (List.map Faults.Schedule.spec_to_string fault_specs));
+  let mode =
+    match net_cfg with
+    | Some config ->
+      Printf.printf "network:      %s; %s; staleness σ=%d; net seed %d\n"
+        (Net.Channel.config_to_string config.Net.Async_engine.channel)
+        (Net.Protocol.config_to_string config.Net.Async_engine.protocol)
+        config.Net.Async_engine.staleness config.Net.Async_engine.seed;
+      Harness.Openrun.Lossy { config; plan }
+    | None ->
+      if fault_specs <> [] then Harness.Openrun.Faulty { plan }
+      else Harness.Openrun.Plain
+  in
+  let config =
+    Workload.Engine.config
+      ?warmup:(Option.map (fun k -> Workload.Engine.Fixed_warmup k) warmup)
+      ~arrival ~lifetime ~rounds ()
+  in
+  let r = Harness.Openrun.run ~mode ~config ~graph:g ~balancer ~init () in
+  let band = Harness.Faultsweep.theorem_band ~graph:g ~self_loops in
+  Printf.printf "graph:        %s (n=%d, d=%d)\n"
+    (Harness.Experiment.graph_name graph_spec) n (Graphs.Graph.degree g);
+  Printf.printf "algorithm:    %s (d°=%d, d⁺=%d)\n" balancer.Core.Balancer.name
+    self_loops
+    (Graphs.Graph.degree g + self_loops);
+  Printf.printf "workload:     arrivals %s; lifetime %s; seed %d\n"
+    (Workload.Arrival.name arrival)
+    (Workload.Lifetime.name lifetime)
+    workload_seed;
+  Printf.printf "rounds run:   %d (warm-up %d)\n" r.Workload.Engine.rounds_run
+    r.Workload.Engine.warmup_end;
+  let sd = r.Workload.Engine.steady_discrepancy in
+  Printf.printf "steady disc:  mean %.1f, p95 %.1f, p99 %.1f (Thm 2.3 band %d)\n"
+    sd.Workload.Steady.mean sd.Workload.Steady.p95 sd.Workload.Steady.p99 band;
+  Printf.printf "backlog:      mean %.1f tokens in flight; overload p99 %.2f×mean\n"
+    r.Workload.Engine.steady_inflight.Workload.Steady.mean
+    r.Workload.Engine.steady_overload.Workload.Steady.p99;
+  Printf.printf "throughput:   %.1f tokens/round (arrivals %d, departures %d)\n"
+    r.Workload.Engine.throughput r.Workload.Engine.total_arrivals
+    r.Workload.Engine.total_departures;
+  if r.Workload.Engine.fault_injected <> 0 || r.Workload.Engine.fault_lost <> 0 then
+    Printf.printf "fault ledger: injected %d, lost %d\n"
+      r.Workload.Engine.fault_injected r.Workload.Engine.fault_lost;
+  Printf.printf "verdict:      %s, ledger %s\n"
+    (if r.Workload.Engine.diverged then "DIVERGED (backlog grows without settling)"
+     else "stable")
+    (if r.Workload.Engine.conserved then "conserved" else "UNBALANCED");
+  if series then begin
+    print_endline "round,discrepancy,inflight";
+    Array.iteri
+      (fun i (round, d) ->
+        Printf.printf "%d,%d,%d\n" round d (snd r.Workload.Engine.inflight_series.(i)))
+      r.Workload.Engine.discrepancy_series
+  end;
+  if not r.Workload.Engine.conserved then
+    die_invariant
+      (Printf.sprintf
+         "workload ledger unbalanced: final %d, expected init %d + arrivals %d + \
+          injected %d − departures %d − lost %d"
+         (Array.fold_left ( + ) 0 r.Workload.Engine.final_loads)
+         (Array.fold_left ( + ) 0 init)
+         r.Workload.Engine.total_arrivals r.Workload.Engine.fault_injected
+         r.Workload.Engine.total_departures r.Workload.Engine.fault_lost)
+
 (* Observability: enable probes/profiling before the run; the export
    itself is registered with at_exit. *)
 let setup_obs ~metrics ~metrics_out ~metrics_every ~profile =
@@ -414,8 +597,9 @@ let setup_obs ~metrics ~metrics_out ~metrics_every ~profile =
 let run graph algo self_loops init steps horizon target audit series seed shards
     domains partition checkpoint_path checkpoint_every resume fault_plan
     crash_nodes edge_outage fault_seed recovery_eps require_recovery drop delay
-    dup reorder staleness retx_timeout retx_backoff net_seed no_degrade metrics
-    metrics_out metrics_every profile =
+    dup reorder staleness retx_timeout retx_backoff net_seed no_degrade arrivals
+    arrival_rate burst hotspot lifetime warmup workload_seed metrics metrics_out
+    metrics_every profile =
   match
     try Ok (parse_graph graph, parse_init init) with Spec_error m -> Error m
   with
@@ -533,6 +717,32 @@ let run graph algo self_loops init steps horizon target audit series seed shards
             }
         end
       in
+      let workloaded = arrivals <> None || burst <> None || hotspot <> None in
+      if (not workloaded)
+         && (arrival_rate <> None || lifetime <> None || warmup <> None
+           || workload_seed <> None)
+      then
+        die "--arrival-rate/--lifetime/--warmup/--workload-seed need an \
+             open-system workload (--arrivals, --burst or --hotspot)";
+      if workloaded then begin
+        if horizon <> None then
+          die "--horizon is not available in open-system mode (--steps sets \
+               the round count, default 1000)";
+        if audit then die "--audit is not available in open-system mode";
+        if target <> None then
+          die "--target is not available in open-system mode (read the steady \
+               band instead)";
+        if shards <> None || domains <> None || checkpoint_path <> None || resume
+        then
+          die "the open-system engine is single-domain (no --shards, --domains, \
+               --checkpoint or --resume)";
+        if recovery_eps <> None || require_recovery then
+          die "--recovery-eps/--require-recovery measure closed-system fault \
+               episodes; open-system faults surface in the conservation ledger";
+        match warmup with
+        | Some w when w < 0 -> die "--warmup must be non-negative"
+        | _ -> ()
+      end;
       if faulted && (checkpoint_path <> None || resume) then
         die "fault injection and checkpointing cannot be combined (fault state \
              is not checkpointed)";
@@ -558,6 +768,13 @@ let run graph algo self_loops init steps horizon target audit series seed shards
         let g = Harness.Experiment.build_graph graph_spec in
         let degree = Graphs.Graph.degree g in
         let algo_spec = algo_of_degree degree in
+        if workloaded then
+          run_workload ~series ~net_cfg ~fault_specs ~fault_seed ~arrivals
+            ~arrival_rate ~burst ~hotspot ~lifetime ~warmup
+            ~workload_seed:(Option.value ~default:1 workload_seed)
+            ~rounds:(Option.value ~default:1000 steps)
+            ~graph_spec ~algo_spec ~init_spec ()
+        else
         match net_cfg with
         | Some net_cfg ->
           run_net ~series ~net_cfg ~fault_specs ~fault_seed ~graph_spec
@@ -864,6 +1081,79 @@ let net_seed_arg =
           "Seed for the channel's fault randomness; the same seed and flags \
            replay the identical lossy run bit for bit (default 1).")
 
+let arrivals_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "arrivals" ] ~docv:"SPEC"
+        ~doc:
+          "Run an open system with streaming arrivals: $(b,uniform) \
+           (Poisson-distributed batch at uniform nodes), \
+           $(b,bursty[:PERIOD,AMP]) (diurnal rate modulation, default \
+           100,0.5), $(b,point:N) (whole batch on node N) or $(b,hotspot) \
+           (batch on the currently max-loaded node). Scaled by \
+           $(b,--arrival-rate); each round also applies $(b,--lifetime) \
+           departures and one balancing step.")
+
+let arrival_rate_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "arrival-rate" ] ~docv:"R"
+        ~doc:
+          "Mean tokens arriving per round (default 8). Poisson mean for \
+           uniform/bursty arrivals, rounded to a whole batch for \
+           point/hotspot.")
+
+let burst_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "burst" ] ~docv:"SIZE@ROUND[+WIDTH][:node=N]"
+        ~doc:
+          "Overlay a flash crowd: SIZE extra tokens land on node N (default \
+           0) in rounds ROUND..ROUND+WIDTH-1 (default width 1). Implies \
+           open-system mode.")
+
+let hotspot_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hotspot" ] ~docv:"B"
+        ~doc:
+          "Overlay an adversarial source: B extra tokens per round on the \
+           currently max-loaded node. Implies open-system mode.")
+
+let lifetime_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lifetime" ] ~docv:"SPEC"
+        ~doc:
+          "Token lifetimes: $(b,immortal) (default, tokens never leave), \
+           $(b,service:RATE) (each node completes up to RATE tokens/round), \
+           $(b,geometric:MEAN) (memoryless, mean MEAN rounds), \
+           $(b,fixed:ROUNDS) (depart exactly ROUNDS rounds after arrival) or \
+           $(b,work:BATCH) (BATCH uniform completion attempts per round).")
+
+let warmup_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "warmup" ] ~docv:"N"
+        ~doc:
+          "Discard the first N rounds before computing steady-state \
+           statistics (default: automatic MSER warm-up detection).")
+
+let workload_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workload-seed" ] ~docv:"S"
+        ~doc:
+          "Seed for arrival and lifetime randomness (default 1); identical \
+           seeds replay the identical open-system trace bit for bit.")
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -927,7 +1217,9 @@ let cmd =
       $ resume_arg $ fault_plan_arg $ crash_nodes_arg $ edge_outage_arg
       $ fault_seed_arg $ recovery_eps_arg $ require_recovery_arg $ drop_arg
       $ delay_arg $ dup_arg $ reorder_arg $ staleness_arg $ retx_timeout_arg
-      $ retx_backoff_arg $ net_seed_arg $ no_degrade_arg $ metrics_arg
-      $ metrics_out_arg $ metrics_every_arg $ profile_arg)
+      $ retx_backoff_arg $ net_seed_arg $ no_degrade_arg $ arrivals_arg
+      $ arrival_rate_arg $ burst_arg $ hotspot_arg $ lifetime_arg $ warmup_arg
+      $ workload_seed_arg $ metrics_arg $ metrics_out_arg $ metrics_every_arg
+      $ profile_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,3 +1,9 @@
+(* Compatibility shim: the open-system loop itself lives in
+   lib/workload (Workload.Engine); this module keeps the historical API
+   and maps its injection/departure variants onto Workload.Arrival /
+   Workload.Lifetime.  The PRNG draw order is identical, so seeded runs
+   reproduce the pre-refactor results bit for bit. *)
+
 type injection =
   | Uniform_batch of { rng : Prng.Splitmix.t; per_round : int }
   | Point_batch of { node : int; per_round : int }
@@ -18,22 +24,6 @@ type result = {
   total_departed : int;
 }
 
-let argmax loads =
-  let best = ref 0 in
-  Array.iteri (fun i x -> if x > loads.(!best) then best := i) loads;
-  !best
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else begin
-    let rank = p /. 100.0 *. float_of_int (n - 1) in
-    let lo = int_of_float (floor rank) in
-    let hi = min (lo + 1) (n - 1) in
-    let frac = rank -. float_of_int lo in
-    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
-  end
-
 let run ?(departure = No_departure) ~graph ~balancer ~injection ~init ~rounds () =
   let n = Graphs.Graph.n graph in
   if Array.length init <> n then invalid_arg "Dynamic.run: init length mismatch";
@@ -44,42 +34,29 @@ let run ?(departure = No_departure) ~graph ~balancer ~injection ~init ~rounds ()
   | Uniform_batch { per_round; _ } | Point_batch { per_round; _ }
   | Max_loaded_batch { per_round } ->
     if per_round < 0 then invalid_arg "Dynamic.run: negative batch");
-  let loads = ref (Array.copy init) in
-  let injected = ref 0 and departed = ref 0 in
-  let series = ref [] in
-  for round = 1 to rounds do
-    (* 1. arrivals *)
-    (match injection with
-    | Uniform_batch { rng; per_round } ->
-      for _ = 1 to per_round do
-        let u = Prng.Splitmix.int rng n in
-        !loads.(u) <- !loads.(u) + 1
-      done;
-      injected := !injected + per_round
-    | Point_batch { node; per_round } ->
-      !loads.(node) <- !loads.(node) + per_round;
-      injected := !injected + per_round
-    | Max_loaded_batch { per_round } ->
-      let u = argmax !loads in
-      !loads.(u) <- !loads.(u) + per_round;
-      injected := !injected + per_round);
-    (* 2. departures *)
-    (match departure with
-    | No_departure -> ()
+  let arrival =
+    match injection with
+    | Uniform_batch { rng; per_round } -> Workload.Arrival.uniform ~rng ~per_round
+    | Point_batch { node; per_round } -> Workload.Arrival.point ~node ~per_round
+    | Max_loaded_batch { per_round } -> Workload.Arrival.hotspot ~per_round
+  in
+  let lifetime =
+    match departure with
+    | No_departure -> Workload.Lifetime.immortal
     | Uniform_work { rng; per_round } ->
-      for _ = 1 to per_round do
-        let u = Prng.Splitmix.int rng n in
-        if !loads.(u) > 0 then begin
-          !loads.(u) <- !loads.(u) - 1;
-          incr departed
-        end
-      done);
-    (* 3. one synchronous balancing step (balancer state persists). *)
-    let r = Engine.run ~graph ~balancer ~init:!loads ~steps:1 () in
-    loads := r.Engine.final_loads;
-    series := (round, Loads.discrepancy !loads) :: !series
-  done;
-  let series = Array.of_list (List.rev !series) in
+      Workload.Lifetime.uniform_attempts ~rng ~per_round
+  in
+  let stepper ~round:_ loads =
+    let r = Engine.run ~graph ~balancer ~init:loads ~steps:1 () in
+    { Workload.Engine.loads = r.Engine.final_loads; injected = 0; lost = 0 }
+  in
+  let config =
+    Workload.Engine.config ~probe_label:"dynamic" ~arrival ~lifetime ~rounds ()
+  in
+  let w = Workload.Engine.run config ~init stepper in
+  (* Historical steady-window convention: the second half of the series,
+     with interpolated percentiles (same semantics as Steady). *)
+  let series = w.Workload.Engine.discrepancy_series in
   let tail_start = Array.length series / 2 in
   let tail =
     Array.map
@@ -89,20 +66,17 @@ let run ?(departure = No_departure) ~graph ~balancer ~injection ~init ~rounds ()
   let steady_mean, steady_p95, steady_max =
     if Array.length tail = 0 then (0.0, 0.0, 0)
     else begin
-      let sorted = Array.copy tail in
-      Array.sort Float.compare sorted;
-      ( Array.fold_left ( +. ) 0.0 tail /. float_of_int (Array.length tail),
-        percentile sorted 95.0,
-        int_of_float sorted.(Array.length sorted - 1) )
+      let s = Workload.Steady.summarize tail in
+      (s.Workload.Steady.mean, s.Workload.Steady.p95, int_of_float s.Workload.Steady.max)
     end
   in
   {
-    rounds_run = rounds;
-    final_loads = !loads;
+    rounds_run = w.Workload.Engine.rounds_run;
+    final_loads = w.Workload.Engine.final_loads;
     series;
     steady_mean;
     steady_p95;
     steady_max;
-    total_injected = !injected;
-    total_departed = !departed;
+    total_injected = w.Workload.Engine.total_arrivals;
+    total_departed = w.Workload.Engine.total_departures;
   }

@@ -1,0 +1,49 @@
+(** Arrival-rate sweep: the open-system stability band (experiment E17).
+
+    Each point runs a (graph, algorithm, λ/capacity ratio) triple
+    through {!Openrun} with Poisson arrivals at rate λ = ratio·n·µ and
+    a deterministic per-node service rate µ.  Below capacity
+    (ratio < 1) the steady-state discrepancy should be bounded near
+    the Theorem 2.3 band and monotone in λ — the shape arXiv
+    2302.12201 (Theorem 2.3 there) proves for dynamic averaging and
+    the 2015 paper's local schemes inherit; above capacity the backlog
+    grows linearly and the divergence detector fires. *)
+
+type point = {
+  graph : string;
+  algo : string;
+  ratio : float;  (** λ / (n·µ), the offered-load fraction of capacity *)
+  lambda : float;  (** Poisson arrival rate, tokens per round *)
+  mu : int;  (** per-node service rate, tokens per node per round *)
+  band : int;  (** Theorem 2.3 closed-system band, the reference line *)
+  steady_mean : float;  (** post-warm-up mean discrepancy *)
+  steady_p95 : float;
+  steady_p99 : float;
+  inflight_mean : float;  (** post-warm-up mean backlog *)
+  overload_p99 : float;  (** p99 of (p99 node load ÷ mean), post-warm-up *)
+  throughput : float;  (** completed tokens per round *)
+  diverged : bool;
+  conserved : bool;
+}
+
+val sweep : quick:bool -> unit -> point list
+(** Rotor-router and SEND([x/d⁺]) (round) on torus and hypercube,
+    ratios spanning both sides of capacity.  [quick] shrinks graphs,
+    horizons and the ratio ladder to smoke-test size. *)
+
+val stable_below_capacity : point list -> bool
+(** Every under-capacity point kept a bounded steady band (no
+    divergence, conserved ledger, finite discrepancy). *)
+
+val divergence_detected : point list -> bool
+(** Every over-capacity point tripped the divergence detector. *)
+
+val monotone_in_lambda : point list -> bool
+(** Within each (graph, algo) group, the under-capacity steady mean
+    does not *decrease* materially as λ grows (tolerant:
+    [mean(λ₂) ≥ 0.75·mean(λ₁) − 1.0] for consecutive ratios). *)
+
+val print_table : point list -> unit
+
+val to_rows : point list -> string list list
+(** CSV-shaped rows, one per point, in sweep order. *)

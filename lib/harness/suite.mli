@@ -74,8 +74,22 @@ val e15_fault_recovery : experiment
     crashes, edge outages and load shocks, for the stateful rotor-router
     vs the stateless send-floor (see {!Faultsweep}). *)
 
+val e16_unreliable_net : experiment
+(** Beyond the paper's synchronous lossless model (§5 outlook): every
+    token transfer rides an unreliable per-edge channel under an
+    exactly-once retry protocol, with bounded staleness σ; reports the
+    discrepancy inflation over the Theorem 2.3 band and the
+    retransmission cost (see {!Netsweep}). *)
+
+val e17_open_system : experiment
+(** Open-system stability (arXiv 2302.12201 Theorem 2.3's shape):
+    Poisson(λ) arrivals against per-node service rate µ.  Below
+    capacity the steady-state discrepancy band is bounded and
+    λ-monotone; above capacity the divergence detector fires (see
+    {!Loadsweep}). *)
+
 val all : experiment list
-(** E1 .. E15 in order. *)
+(** E1 .. E17 in order. *)
 
 val run_by_id : quick:bool -> string -> (row list, string) Result.t
 (** Run one experiment by its id (case-insensitive); [Error] lists the

@@ -27,6 +27,16 @@ type handles = {
   mutable last_round_at : float;
 }
 
+(* Open-system (workload) handle block, interned per engine label like
+   [handles] so the per-round path is pure field updates. *)
+type workload_handles = {
+  w_arrivals : Metrics.counter;
+  w_departures : Metrics.counter;
+  w_inflight : Metrics.gauge;
+  w_discrepancy : Metrics.gauge;
+  w_round_arrivals : Metrics.histogram;
+}
+
 type state = {
   registry : Metrics.t;
   every : int;
@@ -34,6 +44,7 @@ type state = {
   t0 : float;
   mutable sink : (snapshot -> unit) option;
   engines : (string, handles) Hashtbl.t;
+  workloads : (string, workload_handles) Hashtbl.t;
 }
 
 let state : state option ref = ref None
@@ -50,6 +61,7 @@ let enable ?(registry = Metrics.default) ?(every = 1) ?(timeline_capacity = 4096
         t0 = Unix.gettimeofday ();
         sink = None;
         engines = Hashtbl.create 4;
+        workloads = Hashtbl.create 4;
       }
 
 let disable () = state := None
@@ -170,6 +182,47 @@ let on_round ~engine ~d_plus ~step ~tokens_moved ~discrepancy ~max_load ~min_loa
       Timeline.push st.timeline snap;
       match st.sink with Some f -> f snap | None -> ()
     end
+
+let workload_handles_of st engine =
+  match Hashtbl.find_opt st.workloads engine with
+  | Some h -> h
+  | None ->
+    let registry = st.registry in
+    let labels = [ ("engine", engine) ] in
+    let h =
+      {
+        w_arrivals =
+          Metrics.counter ~registry ~labels
+            ~help:"Tokens injected by the arrival process."
+            "lb_workload_arrivals_total";
+        w_departures =
+          Metrics.counter ~registry ~labels
+            ~help:"Tokens completed and departed." "lb_workload_departures_total";
+        w_inflight =
+          Metrics.gauge ~registry ~labels
+            ~help:"Tokens currently in the system." "lb_workload_inflight";
+        w_discrepancy =
+          Metrics.gauge ~registry ~labels
+            ~help:"Open-system discrepancy after the balancing step."
+            "lb_workload_discrepancy";
+        w_round_arrivals =
+          Metrics.histogram ~registry ~labels
+            ~help:"Arrival batch size per round." "lb_workload_round_arrivals";
+      }
+    in
+    Hashtbl.add st.workloads engine h;
+    h
+
+let on_workload ~engine ~round:_ ~arrivals ~departures ~inflight ~discrepancy =
+  match !state with
+  | None -> ()
+  | Some st ->
+    let h = workload_handles_of st engine in
+    Metrics.inc h.w_arrivals arrivals;
+    Metrics.inc h.w_departures departures;
+    Metrics.set h.w_inflight (float_of_int inflight);
+    Metrics.set h.w_discrepancy (float_of_int discrepancy);
+    Metrics.observe h.w_round_arrivals (float_of_int arrivals)
 
 let on_net ~engine ~sent ~tokens ~retransmissions ~dropped ~acks ~duplicates
     ~degraded ~stalled =

@@ -67,6 +67,18 @@ val on_round :
     of tokens sent over original (non-self-loop) ports; [loads] is read
     only on snapshot rounds. *)
 
+val on_workload :
+  engine:string ->
+  round:int ->
+  arrivals:int ->
+  departures:int ->
+  inflight:int ->
+  discrepancy:int ->
+  unit
+(** One open-system round finished: feed the [lb_workload_*] counters,
+    gauges and the per-round arrival histogram.  [engine] is the
+    workload run's probe label. *)
+
 val on_net :
   engine:string ->
   sent:int ->

@@ -1,0 +1,94 @@
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+  max : float;
+}
+
+let empty_summary =
+  { count = 0; mean = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0; p999 = 0.0; max = 0.0 }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Steady.percentile: empty sample";
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then empty_summary
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    {
+      count = n;
+      mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n;
+      p50 = percentile sorted 50.0;
+      p95 = percentile sorted 95.0;
+      p99 = percentile sorted 99.0;
+      p999 = percentile sorted 99.9;
+      max = sorted.(n - 1);
+    }
+  end
+
+(* MSER (White 1997): delete the prefix that minimizes the standard
+   error of the remaining mean.  Suffix sums make the scan O(n). *)
+let warmup_cutoff xs =
+  let n = Array.length xs in
+  if n < 8 then 0
+  else begin
+    (* suffix.(d) = Σ_{i≥d} x_i, suffix2.(d) = Σ_{i≥d} x_i² *)
+    let suffix = Array.make (n + 1) 0.0 in
+    let suffix2 = Array.make (n + 1) 0.0 in
+    for i = n - 1 downto 0 do
+      suffix.(i) <- suffix.(i + 1) +. xs.(i);
+      suffix2.(i) <- suffix2.(i + 1) +. (xs.(i) *. xs.(i))
+    done;
+    let best_d = ref 0 and best = ref infinity in
+    for d = 0 to n / 2 do
+      let m = float_of_int (n - d) in
+      let mean = suffix.(d) /. m in
+      let var = Float.max 0.0 ((suffix2.(d) /. m) -. (mean *. mean)) in
+      let mser = sqrt var /. sqrt m in
+      if mser < !best then begin
+        best := mser;
+        best_d := d
+      end
+    done;
+    !best_d
+  end
+
+let diverging xs =
+  let n = Array.length xs in
+  if n < 8 then false
+  else begin
+    let w = n / 4 in
+    let start = n - (4 * w) in
+    let mean_of k =
+      let s = ref 0.0 in
+      for i = start + (k * w) to start + ((k + 1) * w) - 1 do
+        s := !s +. xs.(i)
+      done;
+      !s /. float_of_int w
+    in
+    let m0 = mean_of 0 and m1 = mean_of 1 and m2 = mean_of 2 and m3 = mean_of 3 in
+    m0 < m1 && m1 < m2 && m2 < m3
+    && m3 -. m0 > Float.max (0.25 *. Float.abs m0) 4.0
+  end
+
+let absorb_time ~series ~at ~band =
+  let n = Array.length series in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      let r, v = series.(i) in
+      if r >= at && v <= band then Some (r - at) else scan (i + 1)
+    end
+  in
+  scan 0

@@ -23,7 +23,7 @@ let with_silenced_stdout f =
     f
 
 let test_registry_complete () =
-  check_int "16 experiments" 16 (List.length Harness.Suite.all);
+  check_int "17 experiments" 17 (List.length Harness.Suite.all);
   let ids = List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all in
   List.iteri
     (fun i id -> Alcotest.(check string) "ordered ids" (Printf.sprintf "E%d" (i + 1)) id)

@@ -1,0 +1,427 @@
+(* Tests for the open-system traffic engine (lib/workload): seeded
+   arrival processes, token lifetimes, steady-state estimators, the
+   workload driver's conservation ledger, and the E17 stability sweep. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+module A = Workload.Arrival
+module L = Workload.Lifetime
+module S = Workload.Steady
+module E = Workload.Engine
+
+let raises f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Steady: estimators over synthetic series with known answers.        *)
+
+let test_percentile_known () =
+  let sorted = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (S.percentile sorted 0.0);
+  Alcotest.(check (float 1e-9)) "p25" 2.0 (S.percentile sorted 25.0);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (S.percentile sorted 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (S.percentile sorted 100.0);
+  (* Interpolated rank: p90 of 5 points sits at rank 3.6. *)
+  Alcotest.(check (float 1e-9)) "p90" 4.6 (S.percentile sorted 90.0)
+
+let test_percentile_empty_raises () =
+  check_bool "empty sample raises" true (raises (fun () -> S.percentile [||] 50.0))
+
+let test_summarize_known () =
+  let s = S.summarize [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_int "count" 4 s.S.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.S.mean;
+  Alcotest.(check (float 1e-9)) "p50" 2.5 s.S.p50;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.S.max
+
+let test_summarize_empty_is_zero () =
+  let s = S.summarize [||] in
+  check_int "count" 0 s.S.count;
+  Alcotest.(check (float 1e-9)) "mean" 0.0 s.S.mean;
+  check_bool "equals empty_summary" true (s = S.empty_summary)
+
+let test_warmup_cutoff_step_series () =
+  (* A hot prefix followed by a flat tail: MSER must delete exactly the
+     prefix — the all-flat suffix has zero standard error. *)
+  let xs = Array.init 40 (fun i -> if i < 10 then 50.0 else 0.0) in
+  check_int "cutoff at the step" 10 (S.warmup_cutoff xs);
+  check_int "short series: no cutoff" 0 (S.warmup_cutoff [| 9.0; 1.0; 1.0 |]);
+  check_int "already flat: no cutoff" 0 (S.warmup_cutoff (Array.make 30 2.0))
+
+let test_diverging_detector () =
+  check_bool "linear ramp diverges" true
+    (S.diverging (Array.init 100 float_of_int));
+  check_bool "flat series settles" false (S.diverging (Array.make 100 5.0));
+  check_bool "bounded noise settles" false
+    (S.diverging (Array.init 100 (fun i -> if i mod 2 = 0 then 3.0 else 5.0)));
+  check_bool "under 8 points never diverges" false
+    (S.diverging [| 0.0; 10.0; 20.0; 30.0 |])
+
+let test_absorb_time () =
+  let series = [| (1, 2); (2, 50); (3, 30); (4, 10); (5, 4); (6, 3) |] in
+  (match S.absorb_time ~series ~at:2 ~band:5 with
+  | Some k -> check_int "absorbed 3 rounds after the spike" 3 k
+  | None -> Alcotest.fail "expected absorption");
+  (match S.absorb_time ~series ~at:1 ~band:5 with
+  | Some k -> check_int "already within band" 0 k
+  | None -> Alcotest.fail "expected Some 0");
+  check_bool "never recovers" true (S.absorb_time ~series ~at:2 ~band:1 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Arrival: determinism, composition, windows, validation.             *)
+
+let test_arrival_replay_deterministic () =
+  let trace seed =
+    let arr =
+      A.overlay
+        (A.poisson ~rng:(Prng.Splitmix.create seed) ~rate:5.0)
+        (A.flash_crowd ~at:7 ~size:32 ~node:1 ())
+    in
+    let loads = Array.make 8 0 in
+    let counts = Array.init 20 (fun i -> A.inject arr ~round:(i + 1) ~loads) in
+    (counts, loads)
+  in
+  let a = trace 9 and b = trace 9 and c = trace 10 in
+  check_bool "same seed, same counts" true (fst a = fst b);
+  Alcotest.(check (array int)) "same seed, same loads" (snd a) (snd b);
+  check_bool "different seed, different trace" true (a <> c)
+
+let test_poisson_empirical_rate () =
+  (* rate 12 stays in Knuth's direct regime; rate 100 exercises the
+     recursive-halving path.  500 draws pin the empirical mean within a
+     few percent of λ for any healthy stream. *)
+  List.iter
+    (fun rate ->
+      let arr = A.poisson ~rng:(Prng.Splitmix.create 61) ~rate in
+      let loads = Array.make 10 0 in
+      let total = ref 0 in
+      for r = 1 to 500 do
+        total := !total + A.inject arr ~round:r ~loads
+      done;
+      let mean = float_of_int !total /. 500.0 in
+      check_bool
+        (Printf.sprintf "empirical mean %.2f near λ=%g" mean rate)
+        true
+        (Float.abs (mean -. rate) < 0.15 *. rate);
+      check_int "loads sum to the injected total" !total
+        (Array.fold_left ( + ) 0 loads))
+    [ 12.0; 100.0 ]
+
+let test_flash_crowd_window () =
+  let arr = A.flash_crowd ~width:2 ~at:5 ~size:10 ~node:3 () in
+  let loads = Array.make 6 0 in
+  let per_round = Array.init 10 (fun i -> A.inject arr ~round:(i + 1) ~loads) in
+  check_int "fires at round 5" 10 per_round.(4);
+  check_int "fires at round 6" 10 per_round.(5);
+  check_int "quiet everywhere else" 20 (Array.fold_left ( + ) 0 per_round);
+  check_int "lands entirely on the target node" 20 loads.(3)
+
+let test_hotspot_targets_max_loaded () =
+  let arr = A.hotspot ~per_round:4 in
+  let loads = [| 0; 9; 3 |] in
+  check_int "injects the batch" 4 (A.inject arr ~round:1 ~loads);
+  check_int "onto the max-loaded node" 13 loads.(1);
+  (* Ties break to the lowest index. *)
+  let tied = [| 5; 5; 0 |] in
+  ignore (A.inject arr ~round:2 ~loads:tied);
+  check_int "tie goes to node 0" 9 tied.(0)
+
+let test_diurnal_modulation () =
+  (* period 4, amplitude 1: factors (1+sin) over one period are
+     2, 1, 0, 1 — so a batch of 4 injects 16 tokens per period. *)
+  let arr = A.diurnal ~period:4 ~amplitude:1.0 (A.point ~node:0 ~per_round:4) in
+  let loads = Array.make 2 0 in
+  let total = ref 0 in
+  for r = 1 to 4 do
+    total := !total + A.inject arr ~round:r ~loads
+  done;
+  check_int "one period injects batch x period" 16 !total
+
+let test_validate_node_range () =
+  let arr = A.point ~node:5 ~per_round:3 in
+  (match A.validate arr ~n:4 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted an out-of-range node");
+  (match A.validate arr ~n:8 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match A.validate (A.hotspot ~per_round:1) ~n:0 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted an empty network")
+
+let test_rejects_bad_specs () =
+  let rng () = Prng.Splitmix.create 1 in
+  check_bool "negative batch" true
+    (raises (fun () -> A.uniform ~rng:(rng ()) ~per_round:(-1)));
+  check_bool "negative rate" true
+    (raises (fun () -> A.poisson ~rng:(rng ()) ~rate:(-2.0)));
+  check_bool "amplitude > 1" true
+    (raises (fun () -> A.diurnal ~period:10 ~amplitude:1.5 (A.hotspot ~per_round:1)));
+  check_bool "double modulation" true
+    (raises (fun () ->
+         A.diurnal ~period:5 ~amplitude:0.5
+           (A.diurnal ~period:5 ~amplitude:0.5 (A.hotspot ~per_round:1))));
+  check_bool "flash crowd before round 1" true
+    (raises (fun () -> A.flash_crowd ~at:0 ~size:1 ~node:0 ()));
+  check_bool "negative service rate" true (raises (fun () -> L.service ~rate:(-1)));
+  check_bool "geometric mean < 1" true
+    (raises (fun () -> L.geometric ~rng:(rng ()) ~mean:0.5));
+  check_bool "fixed lifetime of 0 rounds" true
+    (raises (fun () -> L.fixed ~rng:(rng ()) ~rounds:0));
+  check_bool "negative engine rounds" true
+    (raises (fun () ->
+         E.config ~arrival:(A.hotspot ~per_round:1) ~lifetime:L.immortal
+           ~rounds:(-1) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Lifetime: capacity caps, calendars, clamping.                       *)
+
+let test_service_caps_per_node () =
+  let lt = L.service ~rate:2 in
+  let loads = [| 5; 0; 3 |] in
+  check_int "departs min(load, rate) per node" 4
+    (L.depart lt ~round:1 ~arrivals:0 ~loads);
+  check_bool "loads reduced in place" true (loads = [| 3; 0; 1 |]);
+  check_int "immortal never departs" 0
+    (L.depart L.immortal ~round:1 ~arrivals:0 ~loads)
+
+let test_fixed_lifetime_calendar () =
+  (* Lifetime 3: the cohort injected at round r departs at round r+3. *)
+  let lt = L.fixed ~rng:(Prng.Splitmix.create 51) ~rounds:3 in
+  let loads = [| 10; 0; 0; 0 |] in
+  check_int "round 1: nothing due" 0 (L.depart lt ~round:1 ~arrivals:10 ~loads);
+  check_int "round 2: nothing due" 0 (L.depart lt ~round:2 ~arrivals:0 ~loads);
+  check_int "round 3: nothing due" 0 (L.depart lt ~round:3 ~arrivals:0 ~loads);
+  check_int "round 4: the round-1 cohort departs" 10
+    (L.depart lt ~round:4 ~arrivals:0 ~loads);
+  check_int "fully drained" 0 (Array.fold_left ( + ) 0 loads)
+
+let test_fixed_lifetime_clamps_to_inflight () =
+  (* The calendar says 5 are due but only 3 tokens survive (e.g. a crash
+     destroyed some): departures clamp to the in-flight total. *)
+  let lt = L.fixed ~rng:(Prng.Splitmix.create 52) ~rounds:2 in
+  let loads = [| 3 |] in
+  check_int "cohort recorded" 0 (L.depart lt ~round:1 ~arrivals:5 ~loads);
+  check_int "nothing due yet" 0 (L.depart lt ~round:2 ~arrivals:0 ~loads);
+  check_int "clamped to what is present" 3 (L.depart lt ~round:3 ~arrivals:0 ~loads);
+  check_int "never negative" 0 loads.(0)
+
+let test_geometric_mean_one_drains () =
+  let lt = L.geometric ~rng:(Prng.Splitmix.create 53) ~mean:1.0 in
+  let loads = [| 3; 2; 0 |] in
+  check_int "probability-1 completion drains everything" 5
+    (L.depart lt ~round:1 ~arrivals:0 ~loads);
+  check_int "empty" 0 (Array.fold_left ( + ) 0 loads)
+
+let test_uniform_attempts_clamp () =
+  let lt = L.uniform_attempts ~rng:(Prng.Splitmix.create 54) ~per_round:100 in
+  let loads = Array.make 4 0 in
+  check_int "attempts at empty nodes never count" 0
+    (L.depart lt ~round:1 ~arrivals:0 ~loads)
+
+(* ------------------------------------------------------------------ *)
+(* Engine + Openrun: conservation, replay, probes, warm-up, E17.       *)
+
+let test_engine_rejects_bad_target () =
+  let g = Graphs.Gen.cycle 8 in
+  let balancer = Core.Send_floor.make g ~self_loops:2 in
+  let config =
+    E.config ~arrival:(A.point ~node:99 ~per_round:1) ~lifetime:L.immortal
+      ~rounds:5 ()
+  in
+  check_bool "out-of-range arrival target rejected" true
+    (raises (fun () ->
+         Harness.Openrun.run ~config ~graph:g ~balancer ~init:(Array.make 8 0) ()))
+
+let test_fixed_warmup_window () =
+  let g = Graphs.Gen.cycle 12 in
+  let balancer = Core.Send_round.make g ~self_loops:2 in
+  let config =
+    E.config ~warmup:(E.Fixed_warmup 25)
+      ~arrival:(A.uniform ~rng:(Prng.Splitmix.create 41) ~per_round:3)
+      ~lifetime:(L.service ~rate:1) ~rounds:100 ()
+  in
+  let r = Harness.Openrun.run ~config ~graph:g ~balancer ~init:(Array.make 12 0) () in
+  check_int "warm-up honoured" 25 r.E.warmup_end;
+  check_int "steady window = rounds - warm-up" 75 r.E.steady_discrepancy.S.count;
+  check_bool "conserved" true r.E.conserved
+
+let test_probes_on_off_bit_identical () =
+  let run () =
+    let g = Graphs.Gen.torus [ 4; 4 ] in
+    let balancer = Core.Send_round.make g ~self_loops:4 in
+    let config =
+      E.config
+        ~arrival:(A.uniform ~rng:(Prng.Splitmix.create 21) ~per_round:6)
+        ~lifetime:(L.service ~rate:1) ~rounds:120 ()
+    in
+    Harness.Openrun.run ~config ~graph:g ~balancer ~init:(Array.make 16 0) ()
+  in
+  let off = run () in
+  Obs.Probe.enable ();
+  let on_ = Fun.protect ~finally:Obs.Probe.disable run in
+  Alcotest.(check (array int)) "same final loads" off.E.final_loads on_.E.final_loads;
+  check_bool "same discrepancy series" true
+    (off.E.discrepancy_series = on_.E.discrepancy_series);
+  check_bool "same in-flight series" true
+    (off.E.inflight_series = on_.E.inflight_series)
+
+let test_flash_crowd_absorbed () =
+  (* A 720-token spike at round 40 on a 6x6 torus with system capacity
+     36/round against base load 4/round: the backlog drains and the
+     discrepancy returns to the Theorem 2.3 band (d·√n = 24). *)
+  let g = Graphs.Gen.torus [ 6; 6 ] in
+  let balancer = Core.Rotor_router.make g ~self_loops:4 in
+  let arrival =
+    A.overlay
+      (A.uniform ~rng:(Prng.Splitmix.create 31) ~per_round:4)
+      (A.flash_crowd ~at:40 ~size:720 ~node:0 ())
+  in
+  let config = E.config ~arrival ~lifetime:(L.service ~rate:1) ~rounds:400 () in
+  let r = Harness.Openrun.run ~config ~graph:g ~balancer ~init:(Array.make 36 0) () in
+  check_bool "conserved through the spike" true r.E.conserved;
+  match S.absorb_time ~series:r.E.discrepancy_series ~at:40 ~band:24 with
+  | Some k ->
+    check_bool (Printf.sprintf "absorbed %d rounds after the spike" k) true
+      (k < 360)
+  | None -> Alcotest.fail "flash crowd never absorbed"
+
+let test_e17_quick_stability_shape () =
+  (* The acceptance gate: the quick E17 sweep must reproduce the arXiv
+     2302.12201 stability shape — bounded λ-monotone steady discrepancy
+     below capacity, detected divergence above. *)
+  let points = Harness.Loadsweep.sweep ~quick:true () in
+  check_bool "has under- and over-capacity points" true
+    (List.exists (fun (p : Harness.Loadsweep.point) -> p.ratio < 1.0) points
+    && List.exists (fun (p : Harness.Loadsweep.point) -> p.ratio > 1.0) points);
+  check_bool "bounded below capacity" true
+    (Harness.Loadsweep.stable_below_capacity points);
+  check_bool "diverges above capacity" true
+    (Harness.Loadsweep.divergence_detected points);
+  check_bool "steady band monotone in λ" true
+    (Harness.Loadsweep.monotone_in_lambda points);
+  List.iter
+    (fun (p : Harness.Loadsweep.point) ->
+      check_bool (Printf.sprintf "%s/%s@%.2f conserved" p.graph p.algo p.ratio)
+        true p.conserved)
+    points
+
+(* ------------------------------------------------------------------ *)
+(* Properties.                                                         *)
+
+let balancer_of g ~self_loops = function
+  | 0 -> Core.Send_floor.make g ~self_loops
+  | 1 -> Core.Send_round.make g ~self_loops
+  | _ -> Core.Rotor_router.make g ~self_loops
+
+let arrival_of ~seed ~rate = function
+  | 0 -> A.uniform ~rng:(Prng.Splitmix.create seed) ~per_round:rate
+  | 1 -> A.poisson ~rng:(Prng.Splitmix.create seed) ~rate:(float_of_int rate)
+  | _ -> A.hotspot ~per_round:rate
+
+let prop_conservation_across_families =
+  QCheck.Test.make
+    ~name:"open-system ledger balances for every balancer x arrival pair"
+    ~count:40
+    QCheck.(
+      quad (int_range 4 12) (int_range 0 15) (int_range 5 60) (int_range 0 8))
+    (fun (n, rate, rounds, pick) ->
+      let g = Graphs.Gen.cycle n in
+      let balancer = balancer_of g ~self_loops:2 (pick mod 3) in
+      let seed = (n * 1000) + (rate * 10) + rounds in
+      let arrival = arrival_of ~seed ~rate (pick / 3) in
+      let lifetime =
+        L.uniform_attempts
+          ~rng:(Prng.Splitmix.create (seed + 1))
+          ~per_round:(rate / 2)
+      in
+      let config = E.config ~arrival ~lifetime ~rounds () in
+      let r = Harness.Openrun.run ~config ~graph:g ~balancer ~init:(Array.make n 1) () in
+      let final = Array.fold_left ( + ) 0 r.E.final_loads in
+      r.E.conserved
+      && final = n + r.E.total_arrivals - r.E.total_departures
+      && Array.for_all (fun x -> x >= 0) r.E.final_loads)
+
+let prop_replay_bit_identical =
+  QCheck.Test.make ~name:"equal workload seeds replay bit-identically" ~count:20
+    QCheck.(triple (int_range 4 10) (int_range 1 12) (int_range 10 80))
+    (fun (n, rate, rounds) ->
+      let run () =
+        let g = Graphs.Gen.cycle n in
+        let balancer = Core.Rotor_router.make g ~self_loops:2 in
+        let master = Prng.Splitmix.create ((n * 1000) + rate) in
+        let arrival =
+          A.poisson ~rng:(Prng.Splitmix.split master) ~rate:(float_of_int rate)
+        in
+        let lifetime = L.geometric ~rng:(Prng.Splitmix.split master) ~mean:4.0 in
+        let config = E.config ~arrival ~lifetime ~rounds () in
+        Harness.Openrun.run ~config ~graph:g ~balancer ~init:(Array.make n 2) ()
+      in
+      let a = run () and b = run () in
+      a.E.final_loads = b.E.final_loads
+      && a.E.discrepancy_series = b.E.discrepancy_series
+      && a.E.inflight_series = b.E.inflight_series
+      && a.E.total_arrivals = b.E.total_arrivals
+      && a.E.total_departures = b.E.total_departures)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "steady",
+        [
+          Alcotest.test_case "percentile: known values" `Quick test_percentile_known;
+          Alcotest.test_case "percentile: empty raises" `Quick
+            test_percentile_empty_raises;
+          Alcotest.test_case "summarize: known values" `Quick test_summarize_known;
+          Alcotest.test_case "summarize: empty is zero" `Quick
+            test_summarize_empty_is_zero;
+          Alcotest.test_case "MSER cutoff on a step series" `Quick
+            test_warmup_cutoff_step_series;
+          Alcotest.test_case "divergence detector" `Quick test_diverging_detector;
+          Alcotest.test_case "absorb time" `Quick test_absorb_time;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "seeded replay is deterministic" `Quick
+            test_arrival_replay_deterministic;
+          Alcotest.test_case "poisson empirical rate" `Quick
+            test_poisson_empirical_rate;
+          Alcotest.test_case "flash crowd window" `Quick test_flash_crowd_window;
+          Alcotest.test_case "hotspot targets max-loaded" `Quick
+            test_hotspot_targets_max_loaded;
+          Alcotest.test_case "diurnal modulation" `Quick test_diurnal_modulation;
+          Alcotest.test_case "validate node range" `Quick test_validate_node_range;
+          Alcotest.test_case "rejects bad specs" `Quick test_rejects_bad_specs;
+        ] );
+      ( "lifetimes",
+        [
+          Alcotest.test_case "service caps per node" `Quick test_service_caps_per_node;
+          Alcotest.test_case "fixed calendar" `Quick test_fixed_lifetime_calendar;
+          Alcotest.test_case "fixed clamps to in-flight" `Quick
+            test_fixed_lifetime_clamps_to_inflight;
+          Alcotest.test_case "geometric mean-1 drains" `Quick
+            test_geometric_mean_one_drains;
+          Alcotest.test_case "uniform attempts clamp" `Quick
+            test_uniform_attempts_clamp;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "rejects bad arrival target" `Quick
+            test_engine_rejects_bad_target;
+          Alcotest.test_case "fixed warm-up window" `Quick test_fixed_warmup_window;
+          Alcotest.test_case "probes on/off bit-identical" `Quick
+            test_probes_on_off_bit_identical;
+          Alcotest.test_case "flash crowd absorbed" `Quick test_flash_crowd_absorbed;
+          Alcotest.test_case "E17 quick stability shape" `Quick
+            test_e17_quick_stability_shape;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_conservation_across_families;
+          QCheck_alcotest.to_alcotest prop_replay_bit_identical;
+        ] );
+    ]
