@@ -1,5 +1,5 @@
 .PHONY: all build test lint check bench-shard bench-net bench-faults \
-	bench-obs bench-workload bench-all clean
+	bench-obs bench-workload bench-dist bench-all clean
 
 all: build
 
@@ -40,13 +40,20 @@ bench-obs:
 bench-workload:
 	dune exec bench/main.exe -- workload
 
+# Re-measure the forked-cluster throughput and crash-recovery stall;
+# exits non-zero unless every run conserves tokens (writes
+# BENCH_dist.json).
+bench-dist:
+	dune exec bench/main.exe -- dist
+	dune exec bin/jsonlint.exe -- BENCH_dist.json
+
 # Every bench section back to back, then validate every JSON artifact
 # the sections hand-write.
 bench-all:
-	dune exec bench/main.exe -- shard faults net obs workload
+	dune exec bench/main.exe -- shard faults net obs workload dist
 	dune exec bin/jsonlint.exe -- \
 		BENCH_shard.json BENCH_faults.json BENCH_net.json BENCH_obs.json \
-		BENCH_workload.json
+		BENCH_workload.json BENCH_dist.json
 
 clean:
 	dune clean

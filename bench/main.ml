@@ -14,6 +14,7 @@
      dune exec bench/main.exe -- net          # unreliable-network sweep (BENCH_net.json)
      dune exec bench/main.exe -- obs          # probes-on overhead (BENCH_obs.json)
      dune exec bench/main.exe -- workload     # open-system stability sweep (BENCH_workload.json)
+     dune exec bench/main.exe -- dist         # forked-cluster throughput + recovery (BENCH_dist.json)
      dune exec bench/main.exe -- --csv out.csv e1
 *)
 
@@ -412,6 +413,135 @@ let run_workload_sweep ?(json_path = "BENCH_workload.json") ~quick () =
   Printf.printf "workload-stability results written to %s\n" json_path;
   if not (stable && diverged && monotone) then exit 1
 
+(* Distributed-runtime section: real forked lb_node clusters over
+   loopback sockets (lib/dist), at 2/4/8 shards.  Each shard count runs
+   twice — lossless (steady-state round throughput) and chaos (5% frame
+   drop plus a kill -9 of shard 1 a third of the way in, measuring the
+   longest inter-commit stall, which brackets detection + abort +
+   respawn + checkpoint re-admission).  The coordinator's exact token
+   conservation check gates every run; written to BENCH_dist.json. *)
+let run_dist_cluster ?(json_path = "BENCH_dist.json") ~quick () =
+  Printf.printf
+    "\n=== Distributed runtime: forked shard processes over loopback ===\n";
+  let built =
+    match
+      Dist.Setup.build
+        { Dist.Setup.graph = "hypercube:5"; init = "point:8192";
+          algo = "rotor-router"; seed = 1; self_loops = None }
+    with
+    | Ok b -> b
+    | Error e -> failwith ("dist bench: " ^ e)
+  in
+  let rounds = if quick then 40 else 150 in
+  let shard_counts = if quick then [ 2; 4 ] else [ 2; 4; 8 ] in
+  let kill_round = rounds / 3 in
+  let mkdtemp () =
+    let base = Filename.get_temp_dir_name () in
+    let rec go k =
+      let d = Printf.sprintf "%s/bench_dist.%d.%d" base (Unix.getpid ()) k in
+      match Unix.mkdir d 0o700 with
+      | () -> d
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (k + 1)
+    in
+    go 0
+  in
+  let rmdir_r d =
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+      (Sys.readdir d);
+    try Unix.rmdir d with Unix.Unix_error _ -> ()
+  in
+  Dist.Launch.ignore_sigpipe ();
+  let run_once ~shards ~chaos =
+    let ckpt_dir = mkdtemp () in
+    let listen_fd, port = Dist.Transport.listen_loopback () in
+    let loss =
+      if chaos then
+        { Dist.Loss.drop = 0.05; delay_prob = 0.; delay_max = 0.; seed = 5 }
+      else Dist.Loss.none
+    in
+    let node_cfg shard =
+      { Dist.Node.shard; shards; port; graph = built.Dist.Setup.graph;
+        init = built.Dist.Setup.init;
+        make_balancer = built.Dist.Setup.make_balancer; rounds; ckpt_dir;
+        loss; protocol = Net.Protocol.default_config; tick = 0.01;
+        hb_interval = 0.03; metrics_port = None; verbose = false }
+    in
+    let sup = Dist.Launch.create ~listen_fd ~node_cfg ~shards ~verbose:false in
+    Dist.Launch.spawn_all sup;
+    let commit_times = ref [] in
+    let on_commit round =
+      commit_times := Unix.gettimeofday () :: !commit_times;
+      if chaos && round = kill_round then Dist.Launch.kill sup 1
+    in
+    let cfg =
+      { Dist.Coord.shards; rounds; graph = built.Dist.Setup.graph;
+        init = built.Dist.Setup.init; balancer_name = built.Dist.Setup.name;
+        listen_fd; suspect_timeout = 0.25; band = None; out_path = None;
+        metrics_port = None;
+        respawn =
+          Some (fun s -> Dist.Launch.reap sup; Dist.Launch.spawn sup s);
+        on_commit = Some on_commit; deadline = Some 120.; verbose = false }
+    in
+    let t0 = Unix.gettimeofday () in
+    let code =
+      Fun.protect
+        ~finally:(fun () -> Dist.Launch.shutdown sup)
+        (fun () -> Dist.Coord.main cfg)
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    rmdir_r ckpt_dir;
+    let stall =
+      let rec gaps acc = function
+        | a :: (b :: _ as rest) -> gaps (Float.max acc (a -. b)) rest
+        | _ -> acc
+      in
+      gaps 0.0 !commit_times (* newest first *)
+    in
+    (code, elapsed, stall)
+  in
+  Printf.printf "%-8s %-10s %8s %12s %14s %6s\n" "shards" "mode" "rounds"
+    "rounds/sec" "max stall (s)" "ok";
+  let rows = ref [] in
+  let all_ok = ref true in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun chaos ->
+          let code, elapsed, stall = run_once ~shards ~chaos in
+          let ok = code = 0 in
+          if not ok then all_ok := false;
+          let rps = float rounds /. elapsed in
+          Printf.printf "%-8d %-10s %8d %12.1f %14.3f %6b\n" shards
+            (if chaos then "chaos" else "lossless")
+            rounds rps stall ok;
+          rows := (shards, chaos, elapsed, rps, stall, code) :: !rows)
+        [ false; true ])
+    shard_counts;
+  let rows = List.rev !rows in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"dist-cluster\",\n  \"graph\": \"hypercube:5\",\n\
+    \  \"algo\": \"%s\",\n  \"chaos\": \"drop 0.05 + kill -9 shard 1 at \
+     round %d\",\n  \"rounds\": %d,\n  \"quick\": %b,\n  \"results\": [\n"
+    built.Dist.Setup.name kill_round rounds quick;
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (shards, chaos, elapsed, rps, stall, code) ->
+      Printf.fprintf oc
+        "    {\"shards\": %d, \"mode\": %S, \"seconds\": %.3f, \
+         \"rounds_per_sec\": %.1f, \"max_commit_stall_s\": %.3f, \
+         \"exit_code\": %d, \"conserved\": %b}%s\n"
+        shards
+        (if chaos then "chaos" else "lossless")
+        elapsed rps stall code (code = 0)
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"all_conserved\": %b\n}\n" !all_ok;
+  close_out oc;
+  Printf.printf "dist-cluster results written to %s\n" json_path;
+  if not !all_ok then exit 1
+
 let run_microbenchmarks () =
   let open Bechamel in
   let open Toolkit in
@@ -470,13 +600,14 @@ let () =
   let want_net = selected = [] || List.mem "net" selected in
   let want_obs = selected = [] || List.mem "obs" selected in
   let want_workload = selected = [] || List.mem "workload" selected in
+  let want_dist = selected = [] || List.mem "dist" selected in
   let experiment_ids =
     match
       List.filter
         (fun a ->
           let a = String.lowercase_ascii a in
           a <> "micro" && a <> "shard" && a <> "faults" && a <> "net" && a <> "obs"
-          && a <> "workload")
+          && a <> "workload" && a <> "dist")
         selected
     with
     | [] when selected = [] -> List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all
@@ -486,6 +617,10 @@ let () =
     "Load-balancing benchmark harness — reproduction of Berenbrink et al.,\n\
      \"Improved Analysis of Deterministic Load-Balancing Schemes\" (PODC 2015).\n";
   if quick then Printf.printf "(quick mode: reduced sizes)\n";
+  (* dist first: it forks shard processes, and OCaml 5 forbids
+     Unix.fork once anything else (shard scaling, suite experiments
+     with --shards) has spawned domains. *)
+  if want_dist then run_dist_cluster ~quick ();
   let csv_rows = ref [] in
   List.iter
     (fun id ->

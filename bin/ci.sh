@@ -122,13 +122,58 @@ test -s "$prom.jsonl" || { echo "empty JSONL timeline $prom.jsonl" >&2; exit 1; 
 dune exec bin/jsonlint.exe -- --jsonl "$prom.jsonl"
 rm -f "$prom" "$prom.jsonl"
 
+echo "== dist smoke: lossless cluster is bit-identical to lb_sim =="
+# A 4-process loopback cluster with no loss and no chaos must produce
+# the exact final load vector of the single-process simulator — the
+# node-side round execution mirrors Core.Engine port for port.
+dist_dir=$(mktemp -d -t lb_ci_dist.XXXXXX)
+dune exec bin/lb_sim.exe -- --graph hypercube:4 --algo rotor-router \
+  --init point:4096 --steps 60 --dump-loads "$dist_dir/sim.loads" > /dev/null
+mkdir "$dist_dir/lossless" "$dist_dir/chaos"
+dune exec bin/lb_cluster.exe -- --graph hypercube:4 --algo rotor-router \
+  --init point:4096 --rounds 60 --shards 4 --band none \
+  --out "$dist_dir/cluster.loads" --dir "$dist_dir/lossless"
+cmp "$dist_dir/sim.loads" "$dist_dir/cluster.loads" || {
+  echo "lossless cluster diverged from lb_sim --dump-loads" >&2
+  exit 1
+}
+
+echo "== dist smoke: 5% drop + kill -9, conserve tokens, re-enter the band =="
+# Chaos run: every data frame has a 5% seeded drop chance, and shard 2
+# is SIGKILLed when round 10 commits.  The coordinator must detect the
+# death, abort and re-run the wounded round, respawn the shard from its
+# checkpoint, and finish with the exact token total (watchdog-audited
+# every commit) inside the closed-system discrepancy band (--band auto
+# = the Theorem 2.3 bound for this graph).  lb_cluster exits 4 if
+# either check fails.  A /metrics endpoint is scraped mid-flight.
+dune exec bin/lb_cluster.exe -- --graph hypercube:4 --algo rotor-router \
+  --init point:4096 --rounds 60 --shards 4 --drop 0.05 --kill 2@10 \
+  --band auto --dir "$dist_dir/chaos" --metrics-port 19377 &
+cluster_pid=$!
+sleep 1
+scrape=$(curl -sf --max-time 2 http://127.0.0.1:19377/metrics || true)
+wait "$cluster_pid" || {
+  echo "chaos cluster run failed (conservation or band)" >&2
+  exit 1
+}
+echo "$scrape" | grep -q '^lb_coord_rounds_committed_total ' || {
+  echo "live /metrics scrape missing lb_coord_rounds_committed_total" >&2
+  exit 1
+}
+rm -rf "$dist_dir"
+
 echo "== bench smoke: every BENCH_*.json artifact is well-formed JSON =="
 bench_json=$(mktemp -d -t lb_ci_bench.XXXXXX)
+# dist runs in its own process: it forks, which OCaml 5 forbids once
+# the shard section has spawned domains in the same process.
+(cd "$bench_json" && "$OLDPWD/_build/default/bench/main.exe" \
+  --quick dist > /dev/null)
 (cd "$bench_json" && "$OLDPWD/_build/default/bench/main.exe" \
   --quick shard faults net obs > /dev/null)
 dune exec bin/jsonlint.exe -- \
   "$bench_json/BENCH_shard.json" "$bench_json/BENCH_faults.json" \
-  "$bench_json/BENCH_net.json" "$bench_json/BENCH_obs.json"
+  "$bench_json/BENCH_net.json" "$bench_json/BENCH_obs.json" \
+  "$bench_json/BENCH_dist.json"
 rm -rf "$bench_json"
 
 echo "== ci.sh: all green =="

@@ -1,0 +1,290 @@
+(* lb_cluster: single-machine crash-tolerant cluster launcher.
+
+   Binds the coordinator's loopback listener, forks one lb_node child
+   per shard, then runs the coordinator in this process with the fork
+   supervisor as the respawn callback.  A chaos schedule (--kill
+   SHARD@ROUND, repeatable) SIGKILLs shards at round commits; the
+   coordinator detects the silence, re-runs the wounded round under a
+   new epoch, respawns the shard, and re-admits it from its checkpoint.
+
+   Exit code is the coordinator's: 0 ok, 2 config, 3 recovery/timeout,
+   4 invariant (conservation or discrepancy band).  Spec grammar is
+   Harness.Experiment's, so a lossless run's --out file is
+   cmp-identical to lb_sim --dump-loads. *)
+
+let version = "%%VERSION%%"
+
+let die msg =
+  Printf.eprintf "lb_cluster: %s\n%!" msg;
+  exit 2
+
+(* "SHARD@ROUND" -> (shard, round); the kill fires when ROUND commits. *)
+let parse_kill s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "bad --kill %S (expected SHARD@ROUND)" s)
+  | Some i -> (
+    let shard = String.sub s 0 i in
+    let round = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt shard, int_of_string_opt round) with
+    | Some sh, Some r when sh >= 0 && r >= 0 -> Ok (sh, r)
+    | _ -> Error (Printf.sprintf "bad --kill %S (expected SHARD@ROUND)" s))
+
+let make_temp_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go k =
+    if k > 999 then die "cannot create a checkpoint directory under temp"
+    else begin
+      let d = Printf.sprintf "%s/lb_cluster.%d.%03d" base (Unix.getpid ()) k in
+      match Unix.mkdir d 0o700 with
+      | () -> d
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (k + 1)
+      | exception Unix.Unix_error (e, _, _) ->
+        die
+          (Printf.sprintf "cannot create %s: %s" d (Unix.error_message e))
+    end
+  in
+  go 0
+
+let remove_dir d =
+  match Sys.readdir d with
+  | entries ->
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+      entries;
+    (try Unix.rmdir d with Unix.Unix_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let run graph_s init_s algo_s rounds shards seed self_loops drop delay_prob
+    delay_max loss_seed kills_s band_s out dir tick hb_interval suspect_timeout
+    retx_timeout retx_backoff_s retx_cap metrics_port deadline verbose =
+  if rounds < 1 then die "--rounds must be >= 1";
+  if shards < 1 then die "--shards must be >= 1";
+  let built =
+    match
+      Dist.Setup.build
+        { graph = graph_s; init = init_s; algo = algo_s; seed; self_loops }
+    with
+    | Ok b -> b
+    | Error m -> die m
+  in
+  if shards > Graphs.Graph.n built.Dist.Setup.graph then
+    die "--shards exceeds the number of graph nodes";
+  let band =
+    match Dist.Setup.parse_band built band_s with
+    | Ok b -> b
+    | Error m -> die m
+  in
+  let retx_backoff =
+    match Net.Protocol.backoff_of_string retx_backoff_s with
+    | Ok b -> b
+    | Error m -> die ("--retx-backoff: " ^ m)
+  in
+  let protocol =
+    { Net.Protocol.timeout = retx_timeout; backoff = retx_backoff;
+      cap = retx_cap }
+  in
+  (match Net.Protocol.validate_config protocol with
+   | Ok () -> ()
+   | Error m -> die ("--retx-*: " ^ m));
+  let loss =
+    { Dist.Loss.drop; delay_prob; delay_max;
+      seed = (match loss_seed with Some s -> s | None -> seed) }
+  in
+  (match Dist.Loss.validate loss with
+   | Ok () -> ()
+   | Error m -> die m);
+  let kills =
+    List.map (fun s -> match parse_kill s with Ok k -> k | Error m -> die m)
+      kills_s
+  in
+  List.iter
+    (fun (sh, r) ->
+      if sh >= shards then
+        die (Printf.sprintf "--kill %d@%d: shard out of range" sh r))
+    kills;
+  let ckpt_dir, made_dir =
+    match dir with
+    | Some d ->
+      if not (Sys.file_exists d && Sys.is_directory d) then
+        die (Printf.sprintf "--dir %s: not a directory" d);
+      (d, false)
+    | None -> (make_temp_dir (), true)
+  in
+  Dist.Launch.ignore_sigpipe ();
+  let listen_fd, port = Dist.Transport.listen_loopback () in
+  if verbose then
+    Printf.eprintf "lb_cluster: %d shards, %d rounds, port %d, ckpts %s\n%!"
+      shards rounds port ckpt_dir;
+  let node_cfg shard =
+    { Dist.Node.shard; shards; port; graph = built.Dist.Setup.graph;
+      init = built.Dist.Setup.init;
+      make_balancer = built.Dist.Setup.make_balancer; rounds; ckpt_dir; loss;
+      protocol; tick; hb_interval;
+      metrics_port =
+        (match metrics_port with
+         | Some p when p > 0 -> Some (p + 1 + shard)
+         | Some _ | None -> None);
+      verbose }
+  in
+  let sup =
+    Dist.Launch.create ~listen_fd ~node_cfg ~shards ~verbose
+  in
+  Dist.Launch.spawn_all sup;
+  let on_commit round =
+    List.iter (fun (sh, r) -> if r = round then Dist.Launch.kill sup sh) kills
+  in
+  let respawn shard =
+    Dist.Launch.reap sup;
+    Dist.Launch.spawn sup shard
+  in
+  let coord_cfg =
+    { Dist.Coord.shards; rounds; graph = built.Dist.Setup.graph;
+      init = built.Dist.Setup.init; balancer_name = built.Dist.Setup.name;
+      listen_fd; suspect_timeout; band; out_path = out; metrics_port;
+      respawn = Some respawn;
+      on_commit = (if kills = [] then None else Some on_commit);
+      deadline = (if deadline > 0. then Some deadline else None); verbose }
+  in
+  let code =
+    Fun.protect
+      ~finally:(fun () -> Dist.Launch.shutdown sup)
+      (fun () ->
+        try Dist.Coord.main coord_cfg
+        with e ->
+          Printf.eprintf "lb_cluster: coordinator died: %s\n%!"
+            (Printexc.to_string e);
+          3)
+  in
+  if made_dir && code = 0 then remove_dir ckpt_dir
+  else if made_dir && verbose then
+    Printf.eprintf "lb_cluster: checkpoints kept at %s\n%!" ckpt_dir;
+  exit code
+
+open Cmdliner
+
+let graph_t =
+  Arg.(value & opt string "cycle:64"
+       & info [ "graph" ] ~docv:"SPEC" ~doc:"Graph spec (Harness grammar).")
+
+let init_t =
+  Arg.(value & opt string "point:4096"
+       & info [ "init" ] ~docv:"SPEC" ~doc:"Initial load spec.")
+
+let algo_t =
+  Arg.(value & opt string "rotor-router"
+       & info [ "algo" ] ~docv:"SPEC" ~doc:"Balancer spec.")
+
+let rounds_t =
+  Arg.(value & opt int 50
+       & info [ "rounds" ] ~docv:"T" ~doc:"Number of balancing rounds.")
+
+let shards_t =
+  Arg.(value & opt int 4
+       & info [ "shards" ] ~docv:"K" ~doc:"Number of node processes.")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Experiment seed.")
+
+let self_loops_t =
+  Arg.(value & opt (some int) None
+       & info [ "self-loops" ] ~docv:"D"
+           ~doc:"Self-loops added per node (algorithm default otherwise).")
+
+let drop_t =
+  Arg.(value & opt float 0.
+       & info [ "drop" ] ~docv:"P" ~doc:"Data-frame drop probability.")
+
+let delay_prob_t =
+  Arg.(value & opt float 0.
+       & info [ "delay-prob" ] ~docv:"P" ~doc:"Data-frame delay probability.")
+
+let delay_max_t =
+  Arg.(value & opt float 0.05
+       & info [ "delay-max" ] ~docv:"SEC" ~doc:"Maximum injected delay.")
+
+let loss_seed_t =
+  Arg.(value & opt (some int) None
+       & info [ "loss-seed" ] ~docv:"S"
+           ~doc:"Loss-shim seed (defaults to --seed).")
+
+let kill_t =
+  Arg.(value & opt_all string []
+       & info [ "kill" ] ~docv:"SHARD\\@ROUND"
+           ~doc:"SIGKILL shard when the round commits (repeatable).")
+
+let band_t =
+  Arg.(value & opt string "auto"
+       & info [ "band" ] ~docv:"B"
+           ~doc:"Final discrepancy bound: auto, none, or an integer.")
+
+let out_t =
+  Arg.(value & opt (some string) None
+       & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write merged final loads, one per line (cmp-comparable \
+                 with lb_sim --dump-loads).")
+
+let dir_t =
+  Arg.(value & opt (some string) None
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Checkpoint directory (fresh temp dir otherwise).")
+
+let tick_t =
+  Arg.(value & opt float 0.02
+       & info [ "tick" ] ~docv:"SEC" ~doc:"Seconds per ARQ round-unit.")
+
+let hb_interval_t =
+  Arg.(value & opt float 0.05
+       & info [ "hb-interval" ] ~docv:"SEC" ~doc:"Heartbeat interval.")
+
+let suspect_timeout_t =
+  Arg.(value & opt float 0.5
+       & info [ "suspect-timeout" ] ~docv:"SEC"
+           ~doc:"Heartbeat silence before a shard is declared dead.")
+
+let retx_timeout_t =
+  Arg.(value & opt int Net.Protocol.default_config.Net.Protocol.timeout
+       & info [ "retx-timeout" ] ~docv:"N"
+           ~doc:"ARQ ticks before first retransmission.")
+
+let retx_backoff_t =
+  Arg.(value & opt string "exp"
+       & info [ "retx-backoff" ] ~docv:"KIND" ~doc:"fixed or exp.")
+
+let retx_cap_t =
+  Arg.(value & opt int Net.Protocol.default_config.Net.Protocol.cap
+       & info [ "retx-cap" ] ~docv:"N" ~doc:"ARQ backoff cap, in ticks.")
+
+let metrics_port_t =
+  Arg.(value & opt (some int) None
+       & info [ "metrics-port" ] ~docv:"PORT"
+           ~doc:"Serve Prometheus /metrics: coordinator on PORT, shard i \
+                 on PORT+1+i.")
+
+let deadline_t =
+  Arg.(value & opt float 120.
+       & info [ "deadline" ] ~docv:"SEC"
+           ~doc:"Wall-clock budget; 0 disables.")
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress to stderr.")
+
+let term =
+  Term.(const run $ graph_t $ init_t $ algo_t $ rounds_t $ shards_t $ seed_t
+        $ self_loops_t $ drop_t $ delay_prob_t $ delay_max_t $ loss_seed_t
+        $ kill_t $ band_t $ out_t $ dir_t $ tick_t $ hb_interval_t
+        $ suspect_timeout_t $ retx_timeout_t $ retx_backoff_t $ retx_cap_t
+        $ metrics_port_t $ deadline_t $ verbose_t)
+
+let cmd =
+  let doc =
+    "run a crash-tolerant multi-process load-balancing cluster on loopback"
+  in
+  let exits =
+    [ Cmd.Exit.info 0 ~doc:"success (tokens conserved, band respected)";
+      Cmd.Exit.info 2 ~doc:"configuration error";
+      Cmd.Exit.info 3 ~doc:"recovery, connection, or deadline failure";
+      Cmd.Exit.info 4 ~doc:"invariant violation (conservation or band)" ]
+  in
+  Cmd.v (Cmd.info "lb_cluster" ~version ~doc ~exits) term
+
+let () = exit (Cmd.eval cmd)

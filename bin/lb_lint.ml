@@ -37,7 +37,11 @@ let print_rules () =
     "Suppression: `(* lint: allow R1 ... *)` or `(* lint: total *)` on the";
   print_endline
     "offending line or the line above; file-level entries in bin/lint_allow";
-  print_endline "(`<path-substring> <rule>...`, `all` covers every rule)."
+  print_endline "(`<path-substring> <rule>...`, `all` covers every rule).";
+  print_endline
+    "A scoped entry `R1[Unix.gettimeofday]` suppresses only findings led";
+  print_endline
+    "by that dotted identifier, so real-I/O modules get narrow waivers."
 
 let fail_config msg =
   prerr_endline ("lb_lint: " ^ msg);

@@ -1,0 +1,153 @@
+(* lb_node: one shard daemon, run standalone against an lb_coord.
+
+   lb_cluster forks this logic in-process; the standalone binary exists
+   so a cluster can be assembled by hand (or by an external supervisor)
+   across terminals: start lb_coord, note its port, start one lb_node
+   per shard with identical --graph/--init/--algo/--rounds/--seed.
+   Kill -9 a node and start a fresh one: it re-reports its checkpoints
+   in Hello and the coordinator re-admits it. *)
+
+let version = "%%VERSION%%"
+
+let die msg =
+  Printf.eprintf "lb_node: %s\n%!" msg;
+  exit 2
+
+let run shard shards port graph_s init_s algo_s rounds seed self_loops drop
+    delay_prob delay_max loss_seed dir tick hb_interval retx_timeout
+    retx_backoff_s retx_cap metrics_port verbose =
+  let built =
+    match
+      Dist.Setup.build
+        { graph = graph_s; init = init_s; algo = algo_s; seed; self_loops }
+    with
+    | Ok b -> b
+    | Error m -> die m
+  in
+  let retx_backoff =
+    match Net.Protocol.backoff_of_string retx_backoff_s with
+    | Ok b -> b
+    | Error m -> die ("--retx-backoff: " ^ m)
+  in
+  let protocol =
+    { Net.Protocol.timeout = retx_timeout; backoff = retx_backoff;
+      cap = retx_cap }
+  in
+  let loss =
+    { Dist.Loss.drop; delay_prob; delay_max;
+      seed = (match loss_seed with Some s -> s | None -> seed) }
+  in
+  let cfg =
+    { Dist.Node.shard; shards; port; graph = built.Dist.Setup.graph;
+      init = built.Dist.Setup.init;
+      make_balancer = built.Dist.Setup.make_balancer; rounds; ckpt_dir = dir;
+      loss; protocol; tick; hb_interval; metrics_port; verbose }
+  in
+  exit (Dist.Node.main cfg)
+
+open Cmdliner
+
+let shard_t =
+  Arg.(required & opt (some int) None
+       & info [ "shard" ] ~docv:"I" ~doc:"This daemon's shard id.")
+
+let shards_t =
+  Arg.(value & opt int 4
+       & info [ "shards" ] ~docv:"K" ~doc:"Total number of shards.")
+
+let port_t =
+  Arg.(required & opt (some int) None
+       & info [ "port" ] ~docv:"PORT" ~doc:"Coordinator port on 127.0.0.1.")
+
+let graph_t =
+  Arg.(value & opt string "cycle:64"
+       & info [ "graph" ] ~docv:"SPEC" ~doc:"Graph spec (Harness grammar).")
+
+let init_t =
+  Arg.(value & opt string "point:4096"
+       & info [ "init" ] ~docv:"SPEC" ~doc:"Initial load spec.")
+
+let algo_t =
+  Arg.(value & opt string "rotor-router"
+       & info [ "algo" ] ~docv:"SPEC" ~doc:"Balancer spec.")
+
+let rounds_t =
+  Arg.(value & opt int 50
+       & info [ "rounds" ] ~docv:"T" ~doc:"Number of balancing rounds.")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Experiment seed.")
+
+let self_loops_t =
+  Arg.(value & opt (some int) None
+       & info [ "self-loops" ] ~docv:"D"
+           ~doc:"Self-loops added per node (algorithm default otherwise).")
+
+let drop_t =
+  Arg.(value & opt float 0.
+       & info [ "drop" ] ~docv:"P" ~doc:"Data-frame drop probability.")
+
+let delay_prob_t =
+  Arg.(value & opt float 0.
+       & info [ "delay-prob" ] ~docv:"P" ~doc:"Data-frame delay probability.")
+
+let delay_max_t =
+  Arg.(value & opt float 0.05
+       & info [ "delay-max" ] ~docv:"SEC" ~doc:"Maximum injected delay.")
+
+let loss_seed_t =
+  Arg.(value & opt (some int) None
+       & info [ "loss-seed" ] ~docv:"S"
+           ~doc:"Loss-shim seed (defaults to --seed).")
+
+let dir_t =
+  Arg.(value & opt string "."
+       & info [ "dir" ] ~docv:"DIR" ~doc:"Checkpoint directory.")
+
+let tick_t =
+  Arg.(value & opt float 0.02
+       & info [ "tick" ] ~docv:"SEC" ~doc:"Seconds per ARQ round-unit.")
+
+let hb_interval_t =
+  Arg.(value & opt float 0.05
+       & info [ "hb-interval" ] ~docv:"SEC" ~doc:"Heartbeat interval.")
+
+let retx_timeout_t =
+  Arg.(value & opt int Net.Protocol.default_config.Net.Protocol.timeout
+       & info [ "retx-timeout" ] ~docv:"N"
+           ~doc:"ARQ ticks before first retransmission.")
+
+let retx_backoff_t =
+  Arg.(value & opt string "exp"
+       & info [ "retx-backoff" ] ~docv:"KIND" ~doc:"fixed or exp.")
+
+let retx_cap_t =
+  Arg.(value & opt int Net.Protocol.default_config.Net.Protocol.cap
+       & info [ "retx-cap" ] ~docv:"N" ~doc:"ARQ backoff cap, in ticks.")
+
+let metrics_port_t =
+  Arg.(value & opt (some int) None
+       & info [ "metrics-port" ] ~docv:"PORT"
+           ~doc:"Serve Prometheus /metrics on this port.")
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress to stderr.")
+
+let term =
+  Term.(const run $ shard_t $ shards_t $ port_t $ graph_t $ init_t $ algo_t
+        $ rounds_t $ seed_t $ self_loops_t $ drop_t $ delay_prob_t
+        $ delay_max_t $ loss_seed_t $ dir_t $ tick_t $ hb_interval_t
+        $ retx_timeout_t $ retx_backoff_t $ retx_cap_t $ metrics_port_t
+        $ verbose_t)
+
+let cmd =
+  let doc = "run one load-balancing shard daemon against an lb_coord" in
+  let exits =
+    [ Cmd.Exit.info 0 ~doc:"success";
+      Cmd.Exit.info 2 ~doc:"configuration error";
+      Cmd.Exit.info 3 ~doc:"recovery or connection failure";
+      Cmd.Exit.info 4 ~doc:"invariant violation" ]
+  in
+  Cmd.v (Cmd.info "lb_node" ~version ~doc ~exits) term
+
+let () = exit (Cmd.eval cmd)

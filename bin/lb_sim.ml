@@ -28,91 +28,22 @@ let non_negative what v =
   if v < 0 then spec_fail "%s must be non-negative (got %d)" what v;
   v
 
+(* Spec parsing lives in Harness.Experiment so lb_cluster and lb_node
+   accept the same grammar; these wrappers only adapt the error shape. *)
 let parse_graph s =
-  let fail () =
-    spec_fail
-      "bad graph spec %S (expected cycle:N, torus:AxB, hypercube:R, complete:N, \
-       clique:N,D or random:N,D,SEED)"
-      s
-  in
-  let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
-  match String.split_on_char ':' s with
-  | [ "cycle"; n ] -> Harness.Experiment.Cycle (positive "cycle size" (int_of n))
-  | [ "hypercube"; r ] ->
-    Harness.Experiment.Hypercube (positive "hypercube dimension" (int_of r))
-  | [ "complete"; n ] ->
-    Harness.Experiment.Complete (positive "complete-graph size" (int_of n))
-  | [ "torus"; dims ] -> (
-    match String.split_on_char 'x' dims with
-    | [ a; b ] when a = b -> Harness.Experiment.Torus2d (positive "torus side" (int_of a))
-    | _ -> fail ())
-  | [ "clique"; args ] -> (
-    match String.split_on_char ',' args with
-    | [ n; d ] ->
-      Harness.Experiment.Clique_circulant
-        { n = positive "clique n" (int_of n); d = positive "clique degree" (int_of d) }
-    | _ -> fail ())
-  | [ "random"; args ] -> (
-    match String.split_on_char ',' args with
-    | [ n; d ] ->
-      Harness.Experiment.Random_regular
-        { n = positive "graph size" (int_of n);
-          d = positive "graph degree" (int_of d);
-          seed = 1 }
-    | [ n; d; seed ] ->
-      Harness.Experiment.Random_regular
-        { n = positive "graph size" (int_of n);
-          d = positive "graph degree" (int_of d);
-          seed = int_of seed }
-    | _ -> fail ())
-  | _ -> fail ()
+  match Harness.Experiment.graph_of_string s with
+  | Ok spec -> spec
+  | Error m -> raise (Spec_error m)
 
 let parse_init s =
-  let fail () =
-    spec_fail
-      "bad init spec %S (expected point:TOTAL, bimodal:HIGH,LOW or random:TOTAL[,SEED])"
-      s
-  in
-  let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
-  match String.split_on_char ':' s with
-  | [ "point"; t ] ->
-    Harness.Experiment.Point_mass (non_negative "initial total" (int_of t))
-  | [ "bimodal"; args ] -> (
-    match String.split_on_char ',' args with
-    | [ h; l ] ->
-      Harness.Experiment.Bimodal
-        { high = non_negative "bimodal high" (int_of h);
-          low = non_negative "bimodal low" (int_of l) }
-    | _ -> fail ())
-  | [ "random"; args ] -> (
-    match String.split_on_char ',' args with
-    | [ t ] ->
-      Harness.Experiment.Uniform_random
-        { total = non_negative "initial total" (int_of t); seed = 1 }
-    | [ t; seed ] ->
-      Harness.Experiment.Uniform_random
-        { total = non_negative "initial total" (int_of t); seed = int_of seed }
-    | _ -> fail ())
-  | _ -> fail ()
+  match Harness.Experiment.init_of_string s with
+  | Ok spec -> spec
+  | Error m -> raise (Spec_error m)
 
 let parse_algo ~self_loops ~seed s =
-  let sl default = match self_loops with Some k -> k | None -> default in
-  match s with
-  | "rotor-router" -> Ok (fun d -> Harness.Experiment.Rotor_router { self_loops = sl d })
-  | "rotor-router-star" -> Ok (fun _ -> Harness.Experiment.Rotor_router_star)
-  | "send-floor" -> Ok (fun d -> Harness.Experiment.Send_floor { self_loops = sl d })
-  | "send-round" -> Ok (fun d -> Harness.Experiment.Send_round { self_loops = sl (2 * d) })
-  | "mimic" -> Ok (fun d -> Harness.Experiment.Mimic { self_loops = sl d })
-  | "random-extra" ->
-    Ok (fun d -> Harness.Experiment.Random_extra { self_loops = sl d; seed })
-  | "random-rounding" ->
-    Ok (fun d -> Harness.Experiment.Random_rounding { self_loops = sl d; seed })
-  | other ->
-    Error
-      (Printf.sprintf
-         "unknown algorithm %S (expected rotor-router, rotor-router-star, send-floor, \
-          send-round, mimic, random-extra or random-rounding)"
-         other)
+  match Harness.Experiment.algo_of_string ?self_loops ~seed s with
+  | Ok f -> Ok (fun d -> f ~degree:d)
+  | Error m -> Error m
 
 let parse_horizon steps horizon =
   match (steps, horizon) with
@@ -237,6 +168,19 @@ let die_invariant msg =
   prerr_endline ("lb_sim: invariant violation: " ^ msg);
   exit 4
 
+(* --dump-loads: final load vector, one integer per line — the format
+   lb_cluster also writes, so `cmp` gives the bit-for-bit equivalence
+   check between the simulator and the distributed runtime. *)
+let dump_loads_to path loads =
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Array.iter (fun x -> Printf.fprintf oc "%d\n" x) loads)
+  with
+  | () -> ()
+  | exception Sys_error msg -> die (Printf.sprintf "--dump-loads: %s" msg)
+
 let print_summary ~graph_label ~algo_label ~n ~degree ~self_loops ~gap
     ~initial_discrepancy ~horizon ~target ~time_to_target
     (result : Core.Engine.result) =
@@ -259,7 +203,7 @@ let print_summary ~graph_label ~algo_label ~n ~degree ~self_loops ~gap
   | Some rep -> Format.printf "fairness audit:@\n%a@." Core.Fairness.pp_report rep
   | None -> ()
 
-let run_sharded ~audit ~target ~series ~shards ~strategy ~checkpoint_path
+let run_sharded ~audit ~target ~series ~dump_loads ~shards ~strategy ~checkpoint_path
     ~checkpoint_every ~resume ~graph_spec ~algo_spec ~init_spec ~horizon_spec () =
   let g = Harness.Experiment.build_graph graph_spec in
   let n = Graphs.Graph.n g in
@@ -341,12 +285,15 @@ let run_sharded ~audit ~target ~series ~shards ~strategy ~checkpoint_path
     Printf.printf "throughput:   %.0f steps/sec (%.2fs wall)\n"
       (float_of_int steps_executed /. elapsed)
       elapsed;
+  (match dump_loads with
+  | Some p -> dump_loads_to p result.Core.Engine.final_loads
+  | None -> ());
   if series then begin
     print_endline "step,discrepancy";
     Array.iter (fun (t, d) -> Printf.printf "%d,%d\n" t d) result.Core.Engine.series
   end
 
-let run_faulted ~series ~shards ~strategy ~fault_specs ~fault_seed ~recovery_eps
+let run_faulted ~series ~dump_loads ~shards ~strategy ~fault_specs ~fault_seed ~recovery_eps
     ~require_recovery ~graph_spec ~algo_spec ~init_spec ~horizon_spec () =
   let g = Harness.Experiment.build_graph graph_spec in
   let n = Graphs.Graph.n g in
@@ -387,12 +334,15 @@ let run_faulted ~series ~shards ~strategy ~fault_specs ~fault_seed ~recovery_eps
       (fun (t, d) -> Printf.printf "%d,%d\n" t d)
       report.Faults.Engine.result.Core.Engine.series
   end;
+  (match dump_loads with
+  | Some p -> dump_loads_to p report.Faults.Engine.result.Core.Engine.final_loads
+  | None -> ());
   if require_recovery && not (Faults.Engine.all_recovered report) then begin
     prerr_endline "lb_sim: --require-recovery: some fault episodes did not recover";
     exit 3
   end
 
-let run_net ~series ~net_cfg ~fault_specs ~fault_seed ~graph_spec ~algo_spec
+let run_net ~series ~dump_loads ~net_cfg ~fault_specs ~fault_seed ~graph_spec ~algo_spec
     ~init_spec ~horizon_spec () =
   let g = Harness.Experiment.build_graph graph_spec in
   let n = Graphs.Graph.n g in
@@ -427,6 +377,9 @@ let run_net ~series ~net_cfg ~fault_specs ~fault_seed ~graph_spec ~algo_spec
       (fun (t, d) -> Printf.printf "%d,%d\n" t d)
       report.Net.Async_engine.result.Core.Engine.series
   end;
+  (match dump_loads with
+  | Some p -> dump_loads_to p report.Net.Async_engine.result.Core.Engine.final_loads
+  | None -> ());
   if not report.Net.Async_engine.drained then
     die_invariant
       (Printf.sprintf "network failed to quiesce within %d drain rounds"
@@ -438,7 +391,7 @@ let run_net ~series ~net_cfg ~fault_specs ~fault_seed ~graph_spec ~algo_spec
          (report.Net.Async_engine.initial_total + report.Net.Async_engine.injected
         - report.Net.Async_engine.lost))
 
-let run_workload ~series ~net_cfg ~fault_specs ~fault_seed ~arrivals
+let run_workload ~series ~dump_loads ~net_cfg ~fault_specs ~fault_seed ~arrivals
     ~arrival_rate ~burst ~hotspot ~lifetime ~warmup ~workload_seed ~rounds
     ~graph_spec ~algo_spec ~init_spec () =
   let g = Harness.Experiment.build_graph graph_spec in
@@ -532,6 +485,9 @@ let run_workload ~series ~net_cfg ~fault_specs ~fault_seed ~arrivals
         Printf.printf "%d,%d,%d\n" round d (snd r.Workload.Engine.inflight_series.(i)))
       r.Workload.Engine.discrepancy_series
   end;
+  (match dump_loads with
+  | Some p -> dump_loads_to p r.Workload.Engine.final_loads
+  | None -> ());
   if not r.Workload.Engine.conserved then
     die_invariant
       (Printf.sprintf
@@ -599,7 +555,7 @@ let run graph algo self_loops init steps horizon target audit series seed shards
     crash_nodes edge_outage fault_seed recovery_eps require_recovery drop delay
     dup reorder staleness retx_timeout retx_backoff net_seed no_degrade arrivals
     arrival_rate burst hotspot lifetime warmup workload_seed metrics metrics_out
-    metrics_every profile =
+    metrics_every profile dump_loads =
   match
     try Ok (parse_graph graph, parse_init init) with Spec_error m -> Error m
   with
@@ -769,7 +725,7 @@ let run graph algo self_loops init steps horizon target audit series seed shards
         let degree = Graphs.Graph.degree g in
         let algo_spec = algo_of_degree degree in
         if workloaded then
-          run_workload ~series ~net_cfg ~fault_specs ~fault_seed ~arrivals
+          run_workload ~series ~dump_loads ~net_cfg ~fault_specs ~fault_seed ~arrivals
             ~arrival_rate ~burst ~hotspot ~lifetime ~warmup
             ~workload_seed:(Option.value ~default:1 workload_seed)
             ~rounds:(Option.value ~default:1000 steps)
@@ -777,16 +733,16 @@ let run graph algo self_loops init steps horizon target audit series seed shards
         else
         match net_cfg with
         | Some net_cfg ->
-          run_net ~series ~net_cfg ~fault_specs ~fault_seed ~graph_spec
+          run_net ~series ~dump_loads ~net_cfg ~fault_specs ~fault_seed ~graph_spec
             ~algo_spec ~init_spec ~horizon_spec ()
         | None ->
         if faulted then
-          run_faulted ~series
+          run_faulted ~series ~dump_loads
             ~shards:(if sharded then Some shard_count else None)
             ~strategy ~fault_specs ~fault_seed ~recovery_eps ~require_recovery
             ~graph_spec ~algo_spec ~init_spec ~horizon_spec ()
         else if sharded then
-          run_sharded ~audit ~target ~series ~shards:shard_count ~strategy
+          run_sharded ~audit ~target ~series ~dump_loads ~shards:shard_count ~strategy
             ~checkpoint_path ~checkpoint_every ~resume ~graph_spec ~algo_spec
             ~init_spec ~horizon_spec ()
         else begin
@@ -822,8 +778,10 @@ let run graph algo self_loops init steps horizon target audit series seed shards
           | Some rep ->
             Format.printf "fairness audit:@\n%a@." Core.Fairness.pp_report rep
           | None -> ());
-          if series then begin
-            (* Re-run with a fine-grained series for plotting. *)
+          if series || dump_loads <> None then begin
+            (* Deterministic re-run with the same spec: a fine-grained
+               series for plotting, and the final vector for
+               --dump-loads (identical to the summarized run). *)
             let n = Graphs.Graph.n g in
             let init_loads = Harness.Experiment.build_init init_spec ~n in
             let balancer =
@@ -835,8 +793,13 @@ let run graph algo self_loops init steps horizon target audit series seed shards
                 ~graph:g ~balancer ~init:init_loads
                 ~steps:outcome.Harness.Experiment.horizon ()
             in
-            print_endline "step,discrepancy";
-            Array.iter (fun (t, d) -> Printf.printf "%d,%d\n" t d) r.Core.Engine.series
+            (match dump_loads with
+            | Some p -> dump_loads_to p r.Core.Engine.final_loads
+            | None -> ());
+            if series then begin
+              print_endline "step,discrepancy";
+              Array.iter (fun (t, d) -> Printf.printf "%d,%d\n" t d) r.Core.Engine.series
+            end
           end
         end
       with
@@ -1192,6 +1155,16 @@ let profile_arg =
           "Time each engine phase (assign, scan, merge, checkpoint, drain) and \
            report wall-clock and GC allocation per phase after the run.")
 
+let dump_loads_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-loads" ] ~docv:"FILE"
+        ~doc:
+          "Write the final load vector to $(docv), one integer per line \
+           (node order). lb_cluster emits the same format, so `cmp` checks \
+           simulator/cluster equivalence bit for bit.")
+
 let exits =
   Cmd.Exit.info 0 ~doc:"on success."
   :: Cmd.Exit.info 2
@@ -1220,6 +1193,6 @@ let cmd =
       $ retx_backoff_arg $ net_seed_arg $ no_degrade_arg $ arrivals_arg
       $ arrival_rate_arg $ burst_arg $ hotspot_arg $ lifetime_arg $ warmup_arg
       $ workload_seed_arg $ metrics_arg $ metrics_out_arg $ metrics_every_arg
-      $ profile_arg)
+      $ profile_arg $ dump_loads_arg)
 
 let () = exit (Cmd.eval cmd)

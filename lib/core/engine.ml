@@ -108,6 +108,9 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy ~graph
            ~discrepancy:disc ~max_load:(mn + disc) ~min_load:mn ~loads:!cur;
        if mn < !min_seen then min_seen := mn;
        if t mod sample_every = 0 || t = steps then series := (t, disc) :: !series;
+       (* Round boundary: service any pending SIGUSR1 scrape request
+          (the handler itself only sets a flag). *)
+       Obs.Export.poll ();
        (match hook with Some f -> f t !cur | None -> ());
        (match stop_at_discrepancy with
         | Some target when disc <= target && !reached = None -> reached := Some t

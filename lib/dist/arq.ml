@@ -1,0 +1,130 @@
+(* Real-time ARQ: per-directed-pair reliable delivery over the lossy
+   data plane.
+
+   Same scheme as Net.Protocol's round-based transport — per-pair
+   sequence numbers, cumulative ACKs, retransmission with the protocol's
+   backoff schedule — but clocked by wall time instead of rounds: a
+   message resent [retries] times waits
+   [tick *. float (Net.Protocol.retx_delay config ~retries)] seconds
+   before the next attempt.  Senders and receivers are created fresh on
+   every epoch change, which is how stale traffic is fenced (frames also
+   carry the epoch; see Msg).
+
+   Because acknowledgements are cumulative, the pending window is always
+   the contiguous range [lowest_unacked, next_seq): sweeping that range
+   in order keeps every traversal deterministic without ever iterating
+   the hash table. *)
+
+type 'a pending_item = {
+  payload : 'a;
+  mutable next_due : float;
+  mutable retries : int;
+}
+
+type 'a sender = {
+  config : Net.Protocol.config;
+  tick : float;
+  mutable next_seq : int;
+  pending : (int, 'a pending_item) Hashtbl.t; (* seq -> unacked *)
+  mutable lowest_unacked : int;
+  mutable retransmissions : int;
+}
+
+let sender ~config ~tick =
+  if tick <= 0.0 then invalid_arg "Dist.Arq.sender: tick must be > 0";
+  (match Net.Protocol.validate_config config with
+   | Ok () -> ()
+   | Error m -> invalid_arg ("Dist.Arq.sender: " ^ m));
+  {
+    config;
+    tick;
+    next_seq = 0;
+    pending = Hashtbl.create 64;
+    lowest_unacked = 0;
+    retransmissions = 0;
+  }
+
+let send t ~now payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (* next_due = now: the first transmission happens on the next [due]
+     sweep, which callers run immediately after queueing. *)
+  Hashtbl.replace t.pending seq { payload; next_due = now; retries = 0 };
+  seq
+
+let ack t ~upto =
+  (* Cumulative: every seq <= upto is delivered. *)
+  while t.lowest_unacked <= upto && t.lowest_unacked < t.next_seq do
+    Hashtbl.remove t.pending t.lowest_unacked;
+    t.lowest_unacked <- t.lowest_unacked + 1
+  done
+
+let due t ~now =
+  let out = ref [] in
+  for seq = t.next_seq - 1 downto t.lowest_unacked do
+    match Hashtbl.find_opt t.pending seq with
+    | None -> ()
+    | Some item ->
+      if item.next_due <= now then begin
+        if item.retries > 0 then t.retransmissions <- t.retransmissions + 1;
+        let delay =
+          t.tick
+          *. float_of_int (Net.Protocol.retx_delay t.config ~retries:item.retries)
+        in
+        item.next_due <- now +. delay;
+        item.retries <- item.retries + 1;
+        out := (seq, item.payload) :: !out
+      end
+  done;
+  !out
+
+let next_deadline t =
+  let acc = ref None in
+  for seq = t.lowest_unacked to t.next_seq - 1 do
+    match Hashtbl.find_opt t.pending seq with
+    | None -> ()
+    | Some item -> (
+      match !acc with
+      | None -> acc := Some item.next_due
+      | Some d -> acc := Some (Float.min d item.next_due))
+  done;
+  !acc
+
+let unacked t = Hashtbl.length t.pending
+let retransmissions t = t.retransmissions
+
+type 'a receiver = {
+  mutable expected : int;
+  stash : (int, 'a) Hashtbl.t; (* out-of-order arrivals *)
+  mutable duplicates : int;
+}
+
+let receiver () = { expected = 0; stash = Hashtbl.create 16; duplicates = 0 }
+
+let accept t ~seq payload =
+  if seq < t.expected then begin
+    t.duplicates <- t.duplicates + 1;
+    []
+  end
+  else if seq = t.expected then begin
+    let delivered = ref [ payload ] in
+    t.expected <- t.expected + 1;
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt t.stash t.expected with
+      | Some p ->
+        Hashtbl.remove t.stash t.expected;
+        delivered := p :: !delivered;
+        t.expected <- t.expected + 1
+      | None -> continue := false
+    done;
+    List.rev !delivered
+  end
+  else begin
+    if Hashtbl.mem t.stash seq then t.duplicates <- t.duplicates + 1
+    else Hashtbl.replace t.stash seq payload;
+    []
+  end
+
+let cumulative_ack t = t.expected - 1
+let duplicates t = t.duplicates

@@ -1,0 +1,48 @@
+(** Real-time ARQ for the lossy data plane.
+
+    The round-based transport in {!Net.Protocol} proves the scheme; this
+    module re-implements its sender/receiver halves clocked by wall time
+    so the distributed runtime can run it over real sockets.  Backoff is
+    shared with the simulator: a message already resent [retries] times
+    waits [tick * Net.Protocol.retx_delay config ~retries] seconds.
+
+    One sender and one receiver per directed shard pair and per epoch —
+    membership changes discard the instances wholesale, never reusing
+    sequence numbers across epochs. *)
+
+type 'a sender
+
+val sender : config:Net.Protocol.config -> tick:float -> 'a sender
+(** [tick] converts the protocol's round-denominated delays to seconds.
+    @raise Invalid_argument on a non-positive tick or invalid config. *)
+
+val send : 'a sender -> now:float -> 'a -> int
+(** Queue a payload; returns its sequence number (0, 1, …).  The first
+    transmission happens on the next {!due} sweep. *)
+
+val ack : 'a sender -> upto:int -> unit
+(** Cumulative acknowledgement: discard every queued seq [<= upto]. *)
+
+val due : 'a sender -> now:float -> (int * 'a) list
+(** Payloads to (re)transmit now, in ascending seq order; reschedules
+    each per the backoff before returning it. *)
+
+val next_deadline : 'a sender -> float option
+(** Earliest future retransmission time, for the event-loop timeout. *)
+
+val unacked : 'a sender -> int
+val retransmissions : 'a sender -> int
+
+type 'a receiver
+
+val receiver : unit -> 'a receiver
+
+val accept : 'a receiver -> seq:int -> 'a -> 'a list
+(** Feed an arrival; returns the payloads newly deliverable {e in
+    order} (empty for gaps and duplicates). *)
+
+val cumulative_ack : 'a receiver -> int
+(** Largest seq below which everything was delivered; [-1] initially.
+    Echoed back after every arrival, including duplicates. *)
+
+val duplicates : 'a receiver -> int

@@ -1,0 +1,7 @@
+(* The single sanctioned wall-clock read in lib/dist (see bin/lint_allow:
+   R1[Unix.gettimeofday] is scoped to this file).  Every time-dependent
+   component — heartbeat pacing, ARQ retransmit timers, connect backoff —
+   takes `~now` as an argument, so their logic stays pure and replayable
+   under test; only the event loops in Node and Coord call [now]. *)
+
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,8 @@
+(** Wall-clock access for the distributed runtime.
+
+    The only module in lib/dist allowed to read real time (scoped lint
+    waiver in bin/lint_allow).  Everything downstream takes [~now]
+    parameters so heartbeat, ARQ and membership logic stay pure. *)
+
+val now : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)

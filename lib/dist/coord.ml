@@ -1,0 +1,406 @@
+(* The lb_coord coordinator: membership, round barrier, relay, audit.
+
+   A thin imperative shell around the pure Member controller: sockets,
+   select, heartbeat suspicion, and the relay of data-plane frames
+   between shards (the cluster is a star — nodes only connect here).
+   Every membership decision comes out of Member as an action list;
+   this module executes them and turns the Committed stream into
+   watchdog audits, the discrepancy series, and the chaos hook.
+
+   Exit codes: 0 ok, 2 config error, 3 recovery/timeout failure,
+   4 invariant violation (conservation or final band). *)
+
+type config = {
+  shards : int;
+  rounds : int;
+  graph : Graphs.Graph.t;
+  init : int array;
+  balancer_name : string; (* diagnostics: names the run in the watchdog *)
+  listen_fd : Unix.file_descr; (* pre-bound loopback listener *)
+  suspect_timeout : float;
+  band : int option; (* final discrepancy must be <= band *)
+  out_path : string option; (* final loads, one integer per line *)
+  metrics_port : int option;
+  respawn : (int -> unit) option; (* supervisor callback (fork replacement) *)
+  on_commit : (int -> unit) option; (* chaos hook, called per committed round *)
+  deadline : float option; (* overall wall-clock budget, seconds *)
+  verbose : bool;
+}
+
+exception Fatal of int * string
+
+type t = {
+  cfg : config;
+  member : Member.t;
+  monitor : Heartbeat.monitor;
+  watchdog : Faults.Watchdog.t;
+  expected_total : int;
+  conns : Transport.conn option array; (* shard-bound connections *)
+  mutable pending : Transport.conn list; (* accepted, awaiting Hello *)
+  results : (int * int) list option array;
+  mutable stop : int option;
+  started : float;
+  httpd : Httpd.t option;
+  m_commits : Obs.Metrics.counter;
+  m_deaths : Obs.Metrics.counter;
+  m_respawns : Obs.Metrics.counter;
+  m_disc : Obs.Metrics.gauge;
+  m_epoch : Obs.Metrics.gauge;
+}
+
+let logf t fmt =
+  if t.cfg.verbose then Printf.eprintf ("lb_coord: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+let drop_conn t shard =
+  match t.conns.(shard) with
+  | None -> ()
+  | Some c ->
+    Transport.close c;
+    t.conns.(shard) <- None;
+    Heartbeat.unwatch t.monitor shard
+
+let rec do_actions t acts = List.iter (do_action t) acts
+
+and do_action t = function
+  | Member.Tell { shard; msg } -> (
+    match t.conns.(shard) with
+    | None -> logf t "shard %d unreachable; dropping %s" shard (Msg.describe msg)
+    | Some c -> (
+      try Transport.send c msg
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        declare_dead t shard))
+  | Member.Committed { round; sums; min_load; max_load } -> (
+    Obs.Metrics.inc t.m_commits 1;
+    let disc = max_load - min_load in
+    Obs.Metrics.set t.m_disc (float_of_int disc);
+    Obs.Metrics.set t.m_epoch (float_of_int (Member.epoch t.member));
+    logf t "committed round %d (discrepancy %d)" round disc;
+    (match Faults.Watchdog.check t.watchdog ~step:round ~loads:sums with
+     | () -> ()
+     | exception Faults.Watchdog.Invariant_violation d ->
+       Printf.eprintf "lb_coord: %s\n%!" (Faults.Watchdog.to_string d);
+       t.stop <- Some 4);
+    match t.cfg.on_commit with Some f -> f round | None -> ())
+  | Member.Respawn { shard } -> (
+    Obs.Metrics.inc t.m_respawns 1;
+    match t.cfg.respawn with
+    | Some f -> f shard
+    | None -> logf t "shard %d dead; waiting for an external restart" shard)
+  | Member.Fail { code; reason } ->
+    Printf.eprintf "lb_coord: %s\n%!" reason;
+    t.stop <- Some code
+  | Member.Finished -> logf t "all rounds committed; collecting results"
+
+and declare_dead t shard =
+  Obs.Metrics.inc t.m_deaths 1;
+  logf t "shard %d declared dead" shard;
+  drop_conn t shard;
+  do_actions t (Member.on_death t.member ~shard)
+
+let finalize t =
+  let n = Graphs.Graph.n t.cfg.graph in
+  let merged = Array.make n 0 in
+  let seen = Array.make n false in
+  let fail code m = raise (Fatal (code, m)) in
+  Array.iteri
+    (fun shard result ->
+      match result with
+      | None -> fail 3 (Printf.sprintf "no result from shard %d" shard)
+      | Some pairs ->
+        List.iter
+          (fun (u, load) ->
+            if u < 0 || u >= n then
+              fail 4 (Printf.sprintf "result names node %d outside the graph" u);
+            if seen.(u) then fail 4 (Printf.sprintf "node %d reported twice" u);
+            seen.(u) <- true;
+            merged.(u) <- load)
+          pairs)
+    t.results;
+  Array.iteri
+    (fun u s -> if not s then fail 4 (Printf.sprintf "node %d unreported" u))
+    seen;
+  let total = Array.fold_left ( + ) 0 merged in
+  if total <> t.expected_total then
+    fail 4
+      (Printf.sprintf "final tokens %d, expected %d: conservation broken" total
+         t.expected_total);
+  let mn = ref merged.(0) and mx = ref merged.(0) in
+  Array.iter
+    (fun (v : int) ->
+      if v < !mn then mn := v;
+      if v > !mx then mx := v)
+    merged;
+  let disc = !mx - !mn in
+  (match t.cfg.band with
+   | Some band when disc > band ->
+     fail 4
+       (Printf.sprintf "final discrepancy %d outside the band %d" disc band)
+   | Some _ | None -> ());
+  (match t.cfg.out_path with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Array.iter (fun v -> Printf.fprintf oc "%d\n" v) merged;
+     close_out oc);
+  logf t "final discrepancy %d, %d tokens conserved" disc total;
+  t.stop <- Some 0
+
+let on_result t ~shard loads =
+  if shard >= 0 && shard < t.cfg.shards then begin
+    t.results.(shard) <- Some loads;
+    (* The shard's work is done; it will exit as soon as it pleases.
+       Stop monitoring so its silence / closed socket reads as a clean
+       departure, not a death needing a respawn. *)
+    Heartbeat.unwatch t.monitor shard;
+    let all = ref true in
+    Array.iter (fun r -> if r = None then all := false) t.results;
+    if !all then finalize t
+  end
+
+let handle_shard_msg t ~shard msg =
+  Heartbeat.beat t.monitor ~now:(Clock.now ()) shard;
+  match msg with
+  | Msg.Data { dst; _ } | Msg.Data_ack { dst; _ } -> (
+    match t.conns.(dst) with
+    | None -> () (* destination dead; the sender's ARQ covers the gap *)
+    | Some c -> (
+      try Transport.send c msg
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        declare_dead t dst))
+  | Msg.Round_done { shard = s; epoch; round; load_sum; min_load; max_load } ->
+    if s = shard then
+      do_actions t
+        (Member.on_round_done t.member ~shard ~epoch ~round ~load_sum ~min_load
+           ~max_load)
+  | Msg.Heartbeat _ -> () (* the beat above is the signal *)
+  | Msg.Result { shard = s; loads } -> if s = shard then on_result t ~shard loads
+  | Msg.Hello _ ->
+    Printf.eprintf "lb_coord: duplicate hello from bound shard %d\n%!" shard;
+    t.stop <- Some 2
+  | Msg.Welcome _ | Msg.Start _ | Msg.Abort _ | Msg.Shutdown ->
+    logf t "ignoring coordinator-bound %s from shard %d" (Msg.describe msg) shard
+
+let handle_pending_msg t conn msg =
+  match msg with
+  | Msg.Hello { shard; staged_round; primary_round; rotated_round } ->
+    t.pending <- List.filter (fun c -> c != conn) t.pending;
+    if shard < 0 || shard >= t.cfg.shards then begin
+      Printf.eprintf "lb_coord: hello from unknown shard %d\n%!" shard;
+      Transport.close conn;
+      t.stop <- Some 2
+    end
+    else begin
+      (* A replacement may connect before the old socket's EOF was
+         processed: retire the old incarnation first (suppressing the
+         respawn — the replacement is this very connection). *)
+      (match t.conns.(shard) with
+       | Some _ ->
+         drop_conn t shard;
+         do_actions t
+           (List.filter
+              (function Member.Respawn _ -> false | _ -> true)
+              (Member.on_death t.member ~shard))
+       | None -> ());
+      t.conns.(shard) <- Some conn;
+      Heartbeat.watch t.monitor ~now:(Clock.now ()) shard;
+      logf t "%s" (Msg.describe msg);
+      do_actions t
+        (Member.on_hello t.member ~shard ~staged_round ~primary_round
+           ~rotated_round)
+    end
+  | _ ->
+    logf t "closing connection that sent %s before hello" (Msg.describe msg);
+    Transport.close conn;
+    t.pending <- List.filter (fun c -> c != conn) t.pending
+
+let shard_of_conn t conn =
+  let found = ref None in
+  Array.iteri
+    (fun shard c ->
+      match c with Some c when c == conn -> found := Some shard | Some _ | None -> ())
+    t.conns;
+  !found
+
+let per_shard_init cfg =
+  let part =
+    Shard.Partition.make ~strategy:Shard.Partition.Contiguous ~shards:cfg.shards
+      cfg.graph
+  in
+  let sums = Array.make cfg.shards 0 in
+  let mins = Array.make cfg.shards 0 in
+  let maxs = Array.make cfg.shards 0 in
+  Array.iteri
+    (fun s nodes ->
+      if Array.length nodes = 0 then
+        raise
+          (Fatal
+             (2, Printf.sprintf "shard %d owns no nodes (too many shards)" s));
+      let sum = ref 0 in
+      let mn = ref max_int and mx = ref min_int in
+      Array.iter
+        (fun u ->
+          let v = cfg.init.(u) in
+          sum := !sum + v;
+          if v < !mn then mn := v;
+          if v > !mx then mx := v)
+        nodes;
+      sums.(s) <- !sum;
+      mins.(s) <- !mn;
+      maxs.(s) <- !mx)
+    part.Shard.Partition.parts;
+  (sums, mins, maxs)
+
+let validate cfg =
+  let fail m = raise (Fatal (2, m)) in
+  if cfg.shards < 1 then fail "shards must be >= 1";
+  if cfg.rounds < 1 then fail "rounds must be >= 1";
+  if cfg.suspect_timeout <= 0.0 then fail "suspect timeout must be > 0";
+  if Array.length cfg.init <> Graphs.Graph.n cfg.graph then
+    fail "init vector does not match the graph"
+
+let run cfg =
+  validate cfg;
+  let init_sums, init_mins, init_maxs = per_shard_init cfg in
+  let expected_total = Array.fold_left ( + ) 0 cfg.init in
+  let registry = Obs.Metrics.default in
+  let t =
+    {
+      cfg;
+      member =
+        Member.create ~shards:cfg.shards ~rounds:cfg.rounds ~init_sums
+          ~init_mins ~init_maxs;
+      monitor = Heartbeat.monitor ~timeout:cfg.suspect_timeout;
+      watchdog =
+        Faults.Watchdog.create ~name:cfg.balancer_name ~never_negative:false
+          ~expected_total ();
+      expected_total;
+      conns = Array.make cfg.shards None;
+      pending = [];
+      results = Array.make cfg.shards None;
+      stop = None;
+      started = Clock.now ();
+      httpd =
+        (match cfg.metrics_port with
+         | None -> None
+         | Some p -> Some (Httpd.create ~port:p ~registry ()));
+      m_commits =
+        Obs.Metrics.counter ~registry ~help:"rounds committed"
+          "lb_coord_rounds_committed_total";
+      m_deaths =
+        Obs.Metrics.counter ~registry ~help:"shard deaths observed"
+          "lb_coord_deaths_total";
+      m_respawns =
+        Obs.Metrics.counter ~registry ~help:"respawns requested"
+          "lb_coord_respawns_total";
+      m_disc =
+        Obs.Metrics.gauge ~registry ~help:"committed discrepancy"
+          "lb_coord_discrepancy";
+      m_epoch =
+        Obs.Metrics.gauge ~registry ~help:"membership epoch" "lb_coord_epoch";
+    }
+  in
+  let rec loop () =
+    match t.stop with
+    | Some code -> code
+    | None ->
+      let now = Clock.now () in
+      (match t.cfg.deadline with
+       | Some d when now -. t.started > d ->
+         raise (Fatal (3, Printf.sprintf "deadline of %.0f s exceeded" d))
+       | Some _ | None -> ());
+      List.iter (fun s -> declare_dead t s) (Heartbeat.suspects t.monitor ~now);
+      (match t.stop with
+       | Some _ -> ()
+       | None ->
+         let bound = ref [] in
+         Array.iter
+           (fun c -> match c with Some c -> bound := c :: !bound | None -> ())
+           t.conns;
+         let fds =
+           (t.cfg.listen_fd
+            :: (match t.httpd with None -> [] | Some h -> [ Httpd.fd h ]))
+           @ List.map Transport.fd !bound
+           @ List.map Transport.fd t.pending
+         in
+         let timeout =
+           let dl =
+             match Heartbeat.next_deadline t.monitor with
+             | Some d -> Float.min d (now +. 0.2)
+             | None -> now +. 0.2
+           in
+           Float.max 0.002 (dl -. now)
+         in
+         let readable, _, _ =
+           try Unix.select fds [] [] timeout
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+         in
+         if List.memq t.cfg.listen_fd readable then begin
+           let client = Transport.accept t.cfg.listen_fd in
+           t.pending <-
+             Transport.of_fd ~peer:"node" client :: t.pending
+         end;
+         (match t.httpd with
+          | Some h when List.memq (Httpd.fd h) readable -> Httpd.serve_ready h
+          | Some _ | None -> ());
+         Array.iteri
+           (fun shard c ->
+             match c with
+             | Some conn when List.memq (Transport.fd conn) readable -> (
+               match Transport.read_step conn with
+               | Transport.Msgs msgs ->
+                 List.iter
+                   (fun m ->
+                     let still_bound =
+                       match t.conns.(shard) with
+                       | Some c -> c == conn
+                       | None -> false
+                     in
+                     if t.stop = None && still_bound then
+                       handle_shard_msg t ~shard m)
+                   msgs
+               | Transport.Closed ->
+                 if t.results.(shard) = None then declare_dead t shard
+                 else drop_conn t shard (* clean exit after its Result *)
+               | Transport.Corrupt m ->
+                 logf t "shard %d stream corrupt (%s)" shard m;
+                 declare_dead t shard)
+             | Some _ | None -> ())
+           t.conns;
+         List.iter
+           (fun conn ->
+             if List.memq (Transport.fd conn) readable then
+               match Transport.read_step conn with
+               | Transport.Msgs msgs ->
+                 (* The first message (Hello) binds the connection to a
+                    shard; anything batched behind it routes there. *)
+                 List.iter
+                   (fun m ->
+                     if t.stop = None then
+                       match shard_of_conn t conn with
+                       | Some shard -> handle_shard_msg t ~shard m
+                       | None -> handle_pending_msg t conn m)
+                   msgs
+               | Transport.Closed | Transport.Corrupt _ ->
+                 Transport.close conn;
+                 t.pending <- List.filter (fun c -> c != conn) t.pending)
+           t.pending);
+      loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iteri (fun s _ -> drop_conn t s) t.conns;
+      List.iter Transport.close t.pending;
+      (match t.httpd with Some h -> Httpd.close h | None -> ());
+      try Unix.close t.cfg.listen_fd with Unix.Unix_error _ -> ())
+    loop
+
+let main cfg =
+  match run cfg with
+  | code -> code
+  | exception Fatal (code, msg) ->
+    Printf.eprintf "lb_coord: %s\n%!" msg;
+    code
+  | exception Unix.Unix_error (e, fn, _) ->
+    Printf.eprintf "lb_coord: %s: %s\n%!" fn (Unix.error_message e);
+    3

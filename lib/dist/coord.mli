@@ -1,0 +1,37 @@
+(** The lb_coord coordinator: membership, round barrier, relay, audit.
+
+    The imperative shell around {!Member}: accepts node connections on
+    a pre-bound loopback listener, relays data-plane frames between
+    shards (star topology), runs heartbeat failure detection, audits
+    every committed round's token sums with {!Faults.Watchdog}, and —
+    once every shard reports its final loads — checks exact
+    conservation and the discrepancy band, optionally writing the
+    merged load vector (one integer per line, [cmp]-comparable with
+    [lb_sim --dump-loads]). *)
+
+type config = {
+  shards : int;
+  rounds : int;
+  graph : Graphs.Graph.t;
+  init : int array;
+  balancer_name : string;  (** names the run in watchdog diagnostics *)
+  listen_fd : Unix.file_descr;
+      (** pre-bound listener ({!Transport.listen_loopback}); binding
+          before forking nodes means no connect race at boot *)
+  suspect_timeout : float;  (** heartbeat silence before suspicion, s *)
+  band : int option;  (** final discrepancy must be [<=] this *)
+  out_path : string option;  (** write merged final loads here *)
+  metrics_port : int option;
+  respawn : (int -> unit) option;
+      (** supervisor callback: fork a replacement for the shard *)
+  on_commit : (int -> unit) option;
+      (** chaos hook, called after every committed round (incl. 0) *)
+  deadline : float option;  (** overall wall-clock budget, seconds *)
+  verbose : bool;
+}
+
+exception Fatal of int * string
+
+val main : config -> int
+(** Run to completion; returns the exit code (0 ok, 2 config,
+    3 recovery/timeout, 4 invariant: conservation or band). *)

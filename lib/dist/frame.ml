@@ -1,0 +1,107 @@
+(* Length-prefixed CRC-framed messages over a byte stream.
+
+   Wire layout per frame:
+
+     +----------------+----------------+===================+
+     | length (BE 32) | CRC-32 (BE 32) | payload bytes ... |
+     +----------------+----------------+===================+
+
+   The CRC covers the payload only, so a frame torn by a dying peer or
+   flipped in transit is rejected at the framing layer instead of being
+   deserialized into garbage (same policy as Shard.Checkpoint's on-disk
+   format, reusing its CRC-32). *)
+
+let max_payload = 1 lsl 24 (* 16 MiB: far above any transfer batch *)
+
+type error =
+  | Oversized of { claimed : int; limit : int }
+  | Bad_crc of { stored : int32; computed : int32 }
+
+let error_message = function
+  | Oversized { claimed; limit } ->
+    Printf.sprintf "frame claims %d bytes (limit %d) — corrupt or hostile header"
+      claimed limit
+  | Bad_crc { stored; computed } ->
+    Printf.sprintf "frame CRC mismatch: stored %08lx, computed %08lx" stored
+      computed
+
+let header_bytes = 8
+
+let encode payload =
+  let len = String.length payload in
+  if len > max_payload then
+    invalid_arg
+      (Printf.sprintf "Dist.Frame.encode: payload %d exceeds %d" len max_payload);
+  let b = Bytes.create (header_bytes + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.set_int32_be b 4 (Shard.Crc32.string payload);
+  Bytes.blit_string payload 0 b header_bytes len;
+  Bytes.unsafe_to_string b
+
+type decoder = {
+  mutable buf : Bytes.t;
+  mutable start : int; (* first unconsumed byte *)
+  mutable stop : int; (* end of valid data *)
+  mutable failed : error option; (* sticky: a framing error kills the stream *)
+}
+
+let create () = { buf = Bytes.create 4096; start = 0; stop = 0; failed = None }
+
+let buffered d = d.stop - d.start
+
+let ensure_room d extra =
+  let used = buffered d in
+  if d.start > 0 && used > 0 then Bytes.blit d.buf d.start d.buf 0 used;
+  d.start <- 0;
+  d.stop <- used;
+  if used + extra > Bytes.length d.buf then begin
+    let cap = ref (Bytes.length d.buf * 2) in
+    while used + extra > !cap do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit d.buf 0 bigger 0 used;
+    d.buf <- bigger
+  end
+
+let feed d src pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    invalid_arg "Dist.Frame.feed: out-of-range slice";
+  ensure_room d len;
+  Bytes.blit src pos d.buf d.stop len;
+  d.stop <- d.stop + len
+
+let next d =
+  match d.failed with
+  | Some e -> Some (Error e)
+  | None ->
+    if buffered d < header_bytes then None
+    else begin
+      let claimed = Int32.to_int (Bytes.get_int32_be d.buf d.start) in
+      if claimed < 0 || claimed > max_payload then begin
+        let e = Oversized { claimed; limit = max_payload } in
+        d.failed <- Some e;
+        Some (Error e)
+      end
+      else if buffered d < header_bytes + claimed then None
+      else begin
+        let stored = Bytes.get_int32_be d.buf (d.start + 4) in
+        let payload =
+          Bytes.sub_string d.buf (d.start + header_bytes) claimed
+        in
+        let computed = Shard.Crc32.string payload in
+        if not (Int32.equal stored computed) then begin
+          let e = Bad_crc { stored; computed } in
+          d.failed <- Some e;
+          Some (Error e)
+        end
+        else begin
+          d.start <- d.start + header_bytes + claimed;
+          if buffered d = 0 then begin
+            d.start <- 0;
+            d.stop <- 0
+          end;
+          Some (Ok payload)
+        end
+      end
+    end

@@ -1,0 +1,40 @@
+(** Length-prefixed, CRC-checked message framing over a byte stream.
+
+    Each frame is an 8-byte header (payload length and CRC-32, both
+    big-endian) followed by the payload.  The decoder accumulates
+    arbitrary byte slices (as delivered by [read]) and yields complete
+    validated payloads; truncation simply waits for more input, while a
+    corrupt header or checksum poisons the stream permanently — a peer
+    whose framing broke cannot be trusted to resynchronize. *)
+
+val max_payload : int
+(** Largest accepted payload (16 MiB); bigger claims are rejected as
+    corruption. *)
+
+type error =
+  | Oversized of { claimed : int; limit : int }
+      (** header length field exceeds {!max_payload} (or is negative) *)
+  | Bad_crc of { stored : int32; computed : int32 }
+      (** payload bytes fail the checksum *)
+
+val error_message : error -> string
+
+val encode : string -> string
+(** Wrap a payload in a frame.  @raise Invalid_argument beyond
+    {!max_payload}. *)
+
+type decoder
+
+val create : unit -> decoder
+
+val feed : decoder -> Bytes.t -> int -> int -> unit
+(** [feed d buf pos len] appends a received slice.
+    @raise Invalid_argument on an out-of-range slice. *)
+
+val next : decoder -> (string, error) result option
+(** Pop the next complete frame: [None] while more bytes are needed,
+    [Some (Ok payload)] per decoded frame, [Some (Error e)] once the
+    stream is corrupt (sticky — every later call returns the error). *)
+
+val buffered : decoder -> int
+(** Bytes accumulated but not yet consumed. *)

@@ -1,0 +1,60 @@
+(* Heartbeat pacing (node side) and fixed-timeout failure detection
+   (coordinator side).  Pure state machines over a caller-supplied
+   clock; nothing here reads the wall clock (see Clock).
+
+   The monitor keeps an explicit sorted membership list alongside the
+   beat table so every traversal is in shard order — deterministic
+   output without iterating the hash table. *)
+
+type pacer = { interval : float; mutable last : float }
+
+let pacer ~interval ~now =
+  if interval <= 0.0 then invalid_arg "Dist.Heartbeat.pacer: interval must be > 0";
+  { interval; last = now }
+
+let due p ~now =
+  if now -. p.last >= p.interval then begin
+    p.last <- now;
+    true
+  end
+  else false
+
+let next_due p = p.last +. p.interval
+
+type monitor = {
+  timeout : float; (* suspicion threshold, seconds since last beat *)
+  beats : (int, float) Hashtbl.t; (* shard -> last beat time *)
+  mutable members : int list; (* watched shards, ascending *)
+}
+
+let monitor ~timeout =
+  if timeout <= 0.0 then invalid_arg "Dist.Heartbeat.monitor: timeout must be > 0";
+  { timeout; beats = Hashtbl.create 16; members = [] }
+
+let watch m ~now shard =
+  if not (Hashtbl.mem m.beats shard) then
+    m.members <- List.sort Int.compare (shard :: m.members);
+  Hashtbl.replace m.beats shard now
+
+let beat m ~now shard = if Hashtbl.mem m.beats shard then Hashtbl.replace m.beats shard now
+
+let unwatch m shard =
+  Hashtbl.remove m.beats shard;
+  m.members <- List.filter (fun s -> s <> shard) m.members
+
+let last_beat m shard =
+  match Hashtbl.find_opt m.beats shard with
+  | Some t -> t
+  | None -> neg_infinity
+
+let suspects m ~now =
+  List.filter (fun shard -> now -. last_beat m shard > m.timeout) m.members
+
+let watched m = m.members
+
+let next_deadline m =
+  List.fold_left
+    (fun acc shard ->
+      let d = last_beat m shard +. m.timeout in
+      match acc with None -> Some d | Some e -> Some (Float.min d e))
+    None m.members

@@ -1,0 +1,43 @@
+(** Heartbeat pacing and fixed-timeout failure detection.
+
+    Pure over a caller-supplied clock.  The node side paces outgoing
+    heartbeats; the coordinator side marks a watched shard {e suspected}
+    once no beat has arrived for [timeout] seconds.  Suspicion is acted
+    on by {!Member} (round barrier exclusion); a late-but-alive process
+    that reconnects simply rejoins through the normal Hello path. *)
+
+type pacer
+
+val pacer : interval:float -> now:float -> pacer
+(** First beat is due [interval] after [now].
+    @raise Invalid_argument on a non-positive interval. *)
+
+val due : pacer -> now:float -> bool
+(** True when a beat should be sent; advances the schedule when so. *)
+
+val next_due : pacer -> float
+(** Time of the next beat, for the event-loop timeout. *)
+
+type monitor
+
+val monitor : timeout:float -> monitor
+(** @raise Invalid_argument on a non-positive timeout. *)
+
+val watch : monitor -> now:float -> int -> unit
+(** Start (or restart) watching a shard; counts as a beat at [now]. *)
+
+val beat : monitor -> now:float -> int -> unit
+(** Record a heartbeat (or any sign of life) from a shard.  Ignored for
+    shards not currently watched — a beat cannot resurrect a member the
+    detector already declared dead. *)
+
+val unwatch : monitor -> int -> unit
+(** Stop watching (shard declared dead or shut down). *)
+
+val suspects : monitor -> now:float -> int list
+(** Watched shards silent for longer than the timeout, ascending. *)
+
+val watched : monitor -> int list
+
+val next_deadline : monitor -> float option
+(** Earliest time a watched shard could become suspect. *)

@@ -1,0 +1,53 @@
+(* Minimal single-shot HTTP responder for the live /metrics endpoint.
+
+   One listening socket per process; each accepted client gets one
+   response and is closed — exactly the access pattern of a Prometheus
+   scrape or a curl in CI.  Served inline from the event loop (the
+   response body is built synchronously), so no threads and no shared
+   state beyond the metrics registry itself. *)
+
+type t = { fd : Unix.file_descr; port : int; registry : Obs.Metrics.t }
+
+let create ?(port = 0) ~registry () =
+  let fd, port = Transport.listen_loopback ~port () in
+  { fd; port; registry }
+
+let port t = t.port
+let fd t = t.fd
+
+let respond client ~status ~body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\nContent-Type: text/plain; version=0.0.4\r\n\
+       Content-Length: %d\r\nConnection: close\r\n\r\n"
+      status (String.length body)
+  in
+  let s = head ^ body in
+  Transport.write_all client s 0 (String.length s)
+
+(* Serve one pending client.  Call after select reports the listening
+   socket readable. *)
+let serve_ready t =
+  let client = Transport.accept t.fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* Read one request chunk; we only need the request line. *)
+      let buf = Bytes.create 4096 in
+      let n =
+        try Unix.read client buf 0 4096
+        with Unix.Unix_error _ -> 0
+      in
+      let req = Bytes.sub_string buf 0 (max n 0) in
+      let is_metrics =
+        (* GET /metrics (any HTTP version); anything else is a 404. *)
+        String.length req >= 12 && String.equal (String.sub req 0 12) "GET /metrics"
+      in
+      try
+        if is_metrics then
+          respond client ~status:"200 OK"
+            ~body:(Obs.Export.prometheus ~registry:t.registry ())
+        else respond client ~status:"404 Not Found" ~body:"not found\n"
+      with Unix.Unix_error _ -> () (* client went away; nothing to do *))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

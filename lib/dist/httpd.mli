@@ -1,0 +1,22 @@
+(** Live [/metrics] endpoint: a minimal one-shot HTTP responder.
+
+    Each cluster process (coordinator and every node) owns one instance
+    and serves its {!Obs.Metrics} registry in Prometheus text format.
+    Single-threaded: add {!fd} to the event loop's [select] set and
+    call {!serve_ready} when it reports readable; each client gets one
+    response and is closed. *)
+
+type t
+
+val create : ?port:int -> registry:Obs.Metrics.t -> unit -> t
+(** Listen on 127.0.0.1; port 0 (default) lets the kernel pick. *)
+
+val port : t -> int
+val fd : t -> Unix.file_descr
+
+val serve_ready : t -> unit
+(** Accept one pending client and answer it: [GET /metrics] gets the
+    registry rendering, anything else a 404.  Blocking but bounded —
+    one read, one write, close. *)
+
+val close : t -> unit

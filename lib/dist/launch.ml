@@ -1,0 +1,96 @@
+(* Fork-based single-machine supervisor.
+
+   lb_cluster runs the coordinator in the parent process and forks one
+   child per shard.  The coordinator's listener is bound BEFORE the
+   first fork, so children can connect immediately (the backlog holds
+   their Hello until the parent starts accepting) — no boot race.
+
+   Children never [exit]: after Node.main returns (or dies) they leave
+   through [Unix._exit], skipping at_exit handlers inherited from the
+   parent (buffered channels, temp-file cleanups) that must run exactly
+   once, in the parent. *)
+
+type t = {
+  shards : int;
+  pids : int array; (* current pid per shard; -1 when none *)
+  listen_fd : Unix.file_descr;
+  node_cfg : int -> Node.config;
+  verbose : bool;
+}
+
+let ignore_sigpipe () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let create ~listen_fd ~node_cfg ~shards ~verbose =
+  if shards < 1 then invalid_arg "Dist.Launch.create: shards must be >= 1";
+  { shards; pids = Array.make shards (-1); listen_fd; node_cfg; verbose }
+
+let logf t fmt =
+  if t.verbose then Printf.eprintf ("lb_cluster: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+let spawn t shard =
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Dist.Launch.spawn: shard out of range";
+  match Unix.fork () with
+  | 0 ->
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    let code =
+      try Node.main (t.node_cfg shard)
+      with e ->
+        Printf.eprintf "lb_node[%d]: uncaught %s\n%!" shard
+          (Printexc.to_string e);
+        3
+    in
+    Unix._exit code
+  | pid ->
+    t.pids.(shard) <- pid;
+    logf t "shard %d -> pid %d" shard pid
+
+let spawn_all t =
+  for shard = 0 to t.shards - 1 do
+    spawn t shard
+  done
+
+let pid t shard = t.pids.(shard)
+
+let kill t shard =
+  let pid = t.pids.(shard) in
+  if pid > 0 then begin
+    logf t "kill -9 shard %d (pid %d)" shard pid;
+    try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+  end
+
+(* Non-blocking zombie sweep; call before every respawn and at the end. *)
+let reap t =
+  let continue = ref true in
+  while !continue do
+    match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+    | 0, _ -> continue := false
+    | pid, status ->
+      (match status with
+       | Unix.WEXITED c -> logf t "pid %d exited with %d" pid c
+       | Unix.WSIGNALED s -> logf t "pid %d killed by signal %d" pid s
+       | Unix.WSTOPPED _ -> ());
+      Array.iteri (fun s p -> if p = pid then t.pids.(s) <- -1) t.pids
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Give surviving children a moment to exit on coordinator EOF, then
+   force the stragglers. *)
+let shutdown t =
+  reap t;
+  let waited = ref 0 in
+  while Array.exists (fun p -> p > 0) t.pids && !waited < 20 do
+    Unix.sleepf 0.05;
+    incr waited;
+    reap t
+  done;
+  Array.iteri
+    (fun shard p ->
+      if p > 0 then begin
+        kill t shard;
+        (try ignore (Unix.waitpid [] p) with Unix.Unix_error _ -> ());
+        t.pids.(shard) <- -1
+      end)
+    t.pids

@@ -1,0 +1,38 @@
+(** Fork-based single-machine supervisor for lb_cluster.
+
+    The parent binds the coordinator's listener first, forks one child
+    per shard (each runs {!Node.main} and leaves via [Unix._exit]),
+    then runs {!Coord.main} itself, passing {!spawn} as the respawn
+    callback and {!kill} to the chaos schedule. *)
+
+type t
+
+val ignore_sigpipe : unit -> unit
+(** Call once in the parent before forking: a dying peer must surface
+    as [EPIPE]/[ECONNRESET], not a process-killing signal. *)
+
+val create :
+  listen_fd:Unix.file_descr ->
+  node_cfg:(int -> Node.config) ->
+  shards:int ->
+  verbose:bool ->
+  t
+
+val spawn : t -> int -> unit
+(** Fork a (replacement) process for the shard.  The child closes the
+    inherited listener and never returns. *)
+
+val spawn_all : t -> unit
+
+val pid : t -> int -> int
+(** Current pid of the shard's process, [-1] if none. *)
+
+val kill : t -> int -> unit
+(** SIGKILL the shard's current process (the chaos injector). *)
+
+val reap : t -> unit
+(** Non-blocking zombie sweep; forgets reaped pids. *)
+
+val shutdown : t -> unit
+(** Wait briefly for children to exit (they see the coordinator's EOF),
+    then SIGKILL and reap any stragglers. *)

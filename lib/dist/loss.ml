@@ -1,0 +1,81 @@
+(* Seeded lossy transport shim.
+
+   Sits below the ARQ and above the socket: every data-plane frame about
+   to be written consults [decide], which can deliver, drop, or delay
+   it.  Decisions are drawn from a per-directed-link Prng.Splitmix
+   stream keyed on (seed, src, dst), so a run is replayable: the k-th
+   transmission on a link gets the same verdict in every execution with
+   the same seed, independent of wall-clock timing or process
+   interleaving.  Every call draws the same number of variates, keeping
+   streams aligned across configurations. *)
+
+type config = {
+  drop : float; (* P(frame silently discarded) *)
+  delay_prob : float; (* P(frame held back), evaluated after drop *)
+  delay_max : float; (* held frames release after U(0, delay_max) seconds *)
+  seed : int;
+}
+
+let none = { drop = 0.0; delay_prob = 0.0; delay_max = 0.0; seed = 0 }
+
+let validate c =
+  let prob what p =
+    if p < 0.0 || p >= 1.0 then
+      Error (Printf.sprintf "%s must be in [0, 1) (got %g)" what p)
+    else Ok ()
+  in
+  match prob "drop" c.drop with
+  | Error _ as e -> e
+  | Ok () -> (
+    match prob "delay probability" c.delay_prob with
+    | Error _ as e -> e
+    | Ok () ->
+      if c.delay_max < 0.0 then
+        Error (Printf.sprintf "delay max must be >= 0 (got %g)" c.delay_max)
+      else Ok ())
+
+type verdict = Deliver | Drop | Delay of float
+
+type t = {
+  config : config;
+  streams : (int, Prng.Splitmix.t) Hashtbl.t; (* directed link -> stream *)
+  mutable dropped : int;
+  mutable delayed : int;
+}
+
+let create config = { config; streams = Hashtbl.create 16; dropped = 0; delayed = 0 }
+
+let link_key ~src ~dst = (src lsl 20) lor dst
+
+let stream t ~src ~dst =
+  let key = link_key ~src ~dst in
+  match Hashtbl.find_opt t.streams key with
+  | Some s -> s
+  | None ->
+    (* Distinct deterministic seed per directed link. *)
+    let s = Prng.Splitmix.create (t.config.seed lxor (key * 0x9E3779B1)) in
+    Hashtbl.replace t.streams key s;
+    s
+
+let decide t ~src ~dst =
+  let c = t.config in
+  if c.drop = 0.0 && c.delay_prob = 0.0 then Deliver
+  else begin
+    let s = stream t ~src ~dst in
+    (* Fixed draw count per decision keeps link streams aligned. *)
+    let u = Prng.Splitmix.float s 1.0 in
+    let v = Prng.Splitmix.float s 1.0 in
+    let w = Prng.Splitmix.float s 1.0 in
+    if u < c.drop then begin
+      t.dropped <- t.dropped + 1;
+      Drop
+    end
+    else if v < c.delay_prob && c.delay_max > 0.0 then begin
+      t.delayed <- t.delayed + 1;
+      Delay (w *. c.delay_max)
+    end
+    else Deliver
+  end
+
+let dropped t = t.dropped
+let delayed t = t.delayed

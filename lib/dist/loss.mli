@@ -1,0 +1,31 @@
+(** Seeded lossy transport shim: drop/delay injection below the ARQ.
+
+    Verdicts come from per-directed-link Splitmix streams keyed on
+    (seed, src, dst), so runs are replayable — the k-th transmission on
+    a link receives the same verdict in every execution with the same
+    seed, regardless of timing.  Applied to data-plane frames only; the
+    control plane (membership, heartbeats) stays lossless. *)
+
+type config = {
+  drop : float;  (** P(frame silently discarded), in [0, 1) *)
+  delay_prob : float;  (** P(frame held back), evaluated after drop *)
+  delay_max : float;  (** held frames release after U(0, delay_max) seconds *)
+  seed : int;
+}
+
+val none : config
+(** Lossless: every verdict is [Deliver] without consuming randomness. *)
+
+val validate : config -> (unit, string) result
+
+type verdict = Deliver | Drop | Delay of float
+
+type t
+
+val create : config -> t
+
+val decide : t -> src:int -> dst:int -> verdict
+(** Verdict for the next transmission on the directed link. *)
+
+val dropped : t -> int
+val delayed : t -> int

@@ -1,0 +1,346 @@
+(* Membership and round-barrier controller: the coordinator's brain as a
+   pure state machine.
+
+   Every socket-level event (Hello received, Round_done received, a
+   shard declared dead) is fed in as a call; the controller returns the
+   list of actions the imperative shell must perform (send a message,
+   audit sums, respawn a process, fail the run).  Nothing here touches
+   sockets or clocks, so every membership scenario is unit-testable.
+
+   Rounds are transactions.  Round [r = committed + 1] runs under an
+   epoch; [Start {round = r + 1}] doubles as the commit of [r], a death
+   mid-round always aborts [r] (a new epoch re-runs it without the dead
+   shard, whose nodes freeze: tokens destined to them stay at the
+   sender), and [Shutdown] is the final commit.  A shard's death point
+   is therefore always a committed round boundary — [frozen_round] —
+   and the replacement process restarts from whichever of its reported
+   checkpoints carries exactly that round (see [choose_source]):
+
+   - died mid-round [r] with no staged save yet: its last commit-time
+     save has round [committed];
+   - died after its [Round_done { round = r }] but the cluster aborted
+     [r]: frozen at [r - 1] = its primary (commit-time) checkpoint;
+   - died after [Round_done { round = r }] and the cluster committed
+     [r]: frozen at [r] = its staged (done-time) checkpoint.
+
+   The rotated [.prev] copy is accepted as a further fallback against a
+   torn primary. *)
+
+type status =
+  | Waiting_hello
+  | Alive
+  | Dead of { frozen_round : int; frozen_sum : int }
+  | Joining of {
+      use : Msg.source_choice;
+      frozen_round : int;
+      frozen_sum : int;
+    }
+
+type phase = Boot | Running | Stalled | Finishing
+
+type action =
+  | Tell of { shard : int; msg : Msg.t }
+  | Committed of { round : int; sums : int array; min_load : int; max_load : int }
+  | Respawn of { shard : int }
+  | Fail of { code : int; reason : string }
+  | Finished
+
+type t = {
+  shards : int;
+  rounds : int;
+  mutable epoch : int;
+  mutable committed : int;
+  mutable phase : phase;
+  status : status array;
+  last_sum : int array; (* committed (or frozen) token sum per shard *)
+  last_min : int array; (* committed min load over the shard's nodes *)
+  last_max : int array;
+  done_r : (int * int * int) option array; (* (sum, min, max) for committed+1 *)
+}
+
+let create ~shards ~rounds ~init_sums ~init_mins ~init_maxs =
+  if shards < 1 then invalid_arg "Dist.Member.create: shards must be >= 1";
+  if rounds < 1 then invalid_arg "Dist.Member.create: rounds must be >= 1";
+  if
+    Array.length init_sums <> shards
+    || Array.length init_mins <> shards
+    || Array.length init_maxs <> shards
+  then invalid_arg "Dist.Member.create: init arrays must have one entry per shard";
+  {
+    shards;
+    rounds;
+    epoch = 0;
+    committed = 0;
+    phase = Boot;
+    status = Array.make shards Waiting_hello;
+    last_sum = Array.copy init_sums;
+    last_min = Array.copy init_mins;
+    last_max = Array.copy init_maxs;
+    done_r = Array.make shards None;
+  }
+
+let epoch t = t.epoch
+let committed t = t.committed
+let phase t = t.phase
+
+let status t shard =
+  if shard < 0 || shard >= t.shards then
+    invalid_arg "Dist.Member.status: shard out of range";
+  t.status.(shard)
+
+let alive t =
+  let acc = ref [] in
+  for s = t.shards - 1 downto 0 do
+    match t.status.(s) with Alive -> acc := s :: !acc | _ -> ()
+  done;
+  !acc
+
+let all_alive t =
+  let ok = ref true in
+  Array.iter (fun st -> match st with Alive -> () | _ -> ok := false) t.status;
+  !ok
+
+let clear_done t = Array.fill t.done_r 0 t.shards None
+
+let choose_source ~frozen_round ~staged ~primary ~rotated =
+  let is r o = match o with Some k -> k = r | None -> false in
+  if is frozen_round primary then Ok Msg.Use_primary
+  else if is frozen_round staged then Ok Msg.Use_staged
+  else if is frozen_round rotated then Ok Msg.Use_rotated
+  else if frozen_round = 0 && staged = None && primary = None && rotated = None
+  then Ok Msg.Use_fresh
+  else
+    let show = function None -> "-" | Some k -> string_of_int k in
+    Error
+      (Printf.sprintf
+         "no checkpoint carries the frozen round %d (staged=%s primary=%s \
+          rotated=%s)"
+         frozen_round (show staged) (show primary) (show rotated))
+
+let global_min t =
+  let m = ref max_int in
+  Array.iter (fun (v : int) -> if v < !m then m := v) t.last_min;
+  !m
+
+let global_max t =
+  let m = ref min_int in
+  Array.iter (fun (v : int) -> if v > !m then m := v) t.last_max;
+  !m
+
+(* Start the next round (or shut down) after a commit, a stall
+   resolution, or boot completion.  Admits pending joiners first. *)
+let advance t =
+  let old_members = alive t in
+  let joiners = ref [] in
+  for s = t.shards - 1 downto 0 do
+    match t.status.(s) with
+    | Joining { use; _ } -> joiners := (s, use) :: !joiners
+    | Waiting_hello | Alive | Dead _ -> ()
+  done;
+  let joiners = !joiners in
+  if joiners <> [] then begin
+    t.epoch <- t.epoch + 1;
+    List.iter (fun (s, _) -> t.status.(s) <- Alive) joiners
+  end;
+  let members = alive t in
+  if members = [] then begin
+    t.phase <- Stalled;
+    []
+  end
+  else if t.committed >= t.rounds then begin
+    (* Horizon reached.  Joiners still load their frozen state (round
+       beyond the horizon tells them to idle), then everyone shuts
+       down once the roster is complete. *)
+    let welcomes =
+      List.map
+        (fun (s, use) ->
+          Tell
+            {
+              shard = s;
+              msg =
+                Msg.Welcome
+                  { epoch = t.epoch; round = t.rounds + 1; members; use };
+            })
+        joiners
+    in
+    if all_alive t then begin
+      t.phase <- Finishing;
+      welcomes
+      @ List.map (fun s -> Tell { shard = s; msg = Msg.Shutdown }) members
+      @ [ Finished ]
+    end
+    else begin
+      t.phase <- Stalled;
+      welcomes
+    end
+  end
+  else begin
+    clear_done t;
+    t.phase <- Running;
+    let round = t.committed + 1 in
+    List.map
+      (fun (s, use) ->
+        Tell
+          {
+            shard = s;
+            msg = Msg.Welcome { epoch = t.epoch; round; members; use };
+          })
+      joiners
+    @ List.map
+        (fun s ->
+          Tell { shard = s; msg = Msg.Start { epoch = t.epoch; round; members } })
+        old_members
+  end
+
+let boot_complete t =
+  let ok = ref true in
+  Array.iter
+    (fun st -> match st with Joining _ -> () | _ -> ok := false)
+    t.status;
+  !ok
+
+(* Everyone said hello: emit the round-0 baseline (the watchdog's first
+   audit point) and start round 1. *)
+let complete_boot t =
+  Committed
+    {
+      round = 0;
+      sums = Array.copy t.last_sum;
+      min_load = global_min t;
+      max_load = global_max t;
+    }
+  :: advance t
+
+let on_hello t ~shard ~staged_round ~primary_round ~rotated_round =
+  if shard < 0 || shard >= t.shards then
+    [ Fail { code = 2; reason = Printf.sprintf "hello from unknown shard %d" shard } ]
+  else
+    match t.status.(shard) with
+    | Waiting_hello -> (
+      match
+        choose_source ~frozen_round:0 ~staged:staged_round ~primary:primary_round
+          ~rotated:rotated_round
+      with
+      | Error reason ->
+        [ Fail { code = 3; reason = Printf.sprintf "shard %d: %s" shard reason } ]
+      | Ok use ->
+        t.status.(shard) <-
+          Joining { use; frozen_round = 0; frozen_sum = t.last_sum.(shard) };
+        if boot_complete t then complete_boot t else [])
+    | Dead { frozen_round; frozen_sum } -> (
+      match
+        choose_source ~frozen_round ~staged:staged_round ~primary:primary_round
+          ~rotated:rotated_round
+      with
+      | Error reason ->
+        [ Fail { code = 3; reason = Printf.sprintf "shard %d: %s" shard reason } ]
+      | Ok use -> (
+        t.status.(shard) <- Joining { use; frozen_round; frozen_sum };
+        match t.phase with
+        | Boot -> if boot_complete t then complete_boot t else []
+        | Stalled -> advance t
+        | Running -> [] (* admitted at the next commit *)
+        | Finishing ->
+          (* The cluster already shut down; hand the joiner its state
+             and its shutdown directly. *)
+          t.status.(shard) <- Alive;
+          [
+            Tell
+              {
+                shard;
+                msg =
+                  Msg.Welcome
+                    {
+                      epoch = t.epoch;
+                      round = t.rounds + 1;
+                      members = alive t;
+                      use;
+                    };
+              };
+            Tell { shard; msg = Msg.Shutdown };
+          ]))
+    | Alive ->
+      [
+        Fail
+          {
+            code = 2;
+            reason = Printf.sprintf "duplicate hello from live shard %d" shard;
+          };
+      ]
+    | Joining _ -> []
+
+let on_round_done t ~shard ~epoch ~round ~load_sum ~min_load ~max_load =
+  if
+    t.phase <> Running || epoch <> t.epoch
+    || round <> t.committed + 1
+    || shard < 0
+    || shard >= t.shards
+  then []
+  else
+    match t.status.(shard) with
+    | Alive -> (
+      t.done_r.(shard) <- Some (load_sum, min_load, max_load);
+      let members = alive t in
+      let complete =
+        List.for_all (fun s -> t.done_r.(s) <> None) members
+      in
+      if not complete then []
+      else begin
+        t.committed <- round;
+        List.iter
+          (fun s ->
+            match t.done_r.(s) with
+            | Some (sum, mn, mx) ->
+              t.last_sum.(s) <- sum;
+              t.last_min.(s) <- mn;
+              t.last_max.(s) <- mx
+            | None -> ())
+          members;
+        Committed
+          {
+            round;
+            sums = Array.copy t.last_sum;
+            min_load = global_min t;
+            max_load = global_max t;
+          }
+        :: advance t
+      end)
+    | Waiting_hello | Dead _ | Joining _ -> []
+
+let on_death t ~shard =
+  if shard < 0 || shard >= t.shards then []
+  else
+    match t.status.(shard) with
+    | Dead _ -> []
+    | Waiting_hello -> [ Respawn { shard } ]
+    | Joining { frozen_round; frozen_sum; _ } ->
+      t.status.(shard) <- Dead { frozen_round; frozen_sum };
+      [ Respawn { shard } ]
+    | Alive -> (
+      t.status.(shard) <-
+        Dead { frozen_round = t.committed; frozen_sum = t.last_sum.(shard) };
+      Respawn { shard }
+      ::
+      (match t.phase with
+       | Running ->
+         (* Abort the in-flight round: re-run it under a new epoch
+            without the dead shard. *)
+         t.epoch <- t.epoch + 1;
+         clear_done t;
+         let members = alive t in
+         if members = [] then begin
+           t.phase <- Stalled;
+           []
+         end
+         else
+           List.map
+             (fun s ->
+               Tell
+                 {
+                   shard = s;
+                   msg =
+                     Msg.Abort
+                       { epoch = t.epoch; round = t.committed + 1; members };
+                 })
+             members
+       | Boot | Stalled | Finishing -> []))

@@ -1,0 +1,99 @@
+(** Membership and round-barrier controller — the coordinator's brain
+    as a pure state machine.
+
+    Socket-level events are fed in ({!on_hello}, {!on_round_done},
+    {!on_death}); each call returns the actions the imperative shell
+    must perform.  No I/O, no clock: every crash/rejoin scenario is
+    unit-testable.
+
+    Rounds are transactions over the current {e epoch} (membership
+    generation): [Start {round = r + 1}] doubles as the commit of [r];
+    a death mid-round aborts and re-runs [r] under a new epoch without
+    the dead shard (whose nodes freeze — tokens destined to them stay
+    at the sender); a restarting shard is re-admitted at the next
+    commit, resuming from the checkpoint that carries exactly its
+    frozen round; [Shutdown] is the final commit.  See DESIGN.md §13
+    for the full state machine. *)
+
+type status =
+  | Waiting_hello  (** never connected (initial boot) *)
+  | Alive
+  | Dead of { frozen_round : int; frozen_sum : int }
+      (** excluded from the barrier; its nodes hold [frozen_sum] tokens
+          as of committed round [frozen_round] *)
+  | Joining of {
+      use : Msg.source_choice;
+      frozen_round : int;
+      frozen_sum : int;
+    }  (** replacement said hello; admitted at the next commit *)
+
+type phase = Boot | Running | Stalled | Finishing
+
+type action =
+  | Tell of { shard : int; msg : Msg.t }
+  | Committed of { round : int; sums : int array; min_load : int; max_load : int }
+      (** a round committed: per-shard token sums (frozen shards keep
+          their frozen sums) plus the global load extremes — feed the
+          conservation watchdog and the band tracker *)
+  | Respawn of { shard : int }  (** ask the supervisor to fork a replacement *)
+  | Fail of { code : int; reason : string }
+      (** unrecoverable: exit with [code] (2 config, 3 recovery) *)
+  | Finished  (** [Shutdown] sent to every shard; collect [Result]s *)
+
+type t
+
+val create :
+  shards:int ->
+  rounds:int ->
+  init_sums:int array ->
+  init_mins:int array ->
+  init_maxs:int array ->
+  t
+(** Per-shard token sums and load extremes of the initial vector — the
+    round-0 committed state.  @raise Invalid_argument on empty
+    clusters, a non-positive horizon, or mis-sized arrays. *)
+
+val on_hello :
+  t ->
+  shard:int ->
+  staged_round:int option ->
+  primary_round:int option ->
+  rotated_round:int option ->
+  action list
+(** A shard connected and reported which checkpoint rounds it holds.
+    The controller matches them against the shard's frozen round to
+    direct recovery (the [use] field of the resulting [Welcome]). *)
+
+val on_round_done :
+  t ->
+  shard:int ->
+  epoch:int ->
+  round:int ->
+  load_sum:int ->
+  min_load:int ->
+  max_load:int ->
+  action list
+(** A shard finished (and durably staged) the round.  Stale epochs and
+    rounds are ignored.  When the last live member reports, the round
+    commits. *)
+
+val on_death : t -> shard:int -> action list
+(** A shard was declared dead (connection loss or heartbeat suspicion).
+    Idempotent per incarnation. *)
+
+val choose_source :
+  frozen_round:int ->
+  staged:int option ->
+  primary:int option ->
+  rotated:int option ->
+  (Msg.source_choice, string) result
+(** The recovery-matching rule, exposed for tests: which reported
+    checkpoint carries exactly [frozen_round] (primary preferred, then
+    staged, then rotated; fresh only for a never-checkpointed round-0
+    restart). *)
+
+val epoch : t -> int
+val committed : t -> int
+val phase : t -> phase
+val status : t -> int -> status
+val alive : t -> int list

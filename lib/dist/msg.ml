@@ -1,0 +1,111 @@
+(* Cluster protocol messages.
+
+   The control plane (Hello/Welcome/Start/Abort/Round_done/Heartbeat/
+   Shutdown/Result) rides the reliable coordinator connection directly;
+   the data plane (Data/Data_ack) is additionally subjected to the
+   seeded loss shim and recovered by the per-pair ARQ, so it carries
+   sequence numbers and the epoch that guards against stale frames
+   surviving a membership change.
+
+   Encoding is a version byte plus [Marshal] of the (pure, closure-free)
+   variant — portable across the cluster's processes, which all run the
+   same binary or binaries built by the same compiler. *)
+
+type transfer = { dest : int; tokens : int }
+
+type source_choice = Use_staged | Use_primary | Use_rotated | Use_fresh
+
+type t =
+  | Hello of {
+      shard : int;
+      staged_round : int option; (* round of the staged (pre-commit) checkpoint *)
+      primary_round : int option; (* round of the primary checkpoint, if valid *)
+      rotated_round : int option; (* round of the .prev checkpoint, if valid *)
+    }
+  | Welcome of {
+      epoch : int;
+      round : int; (* first round the member will execute *)
+      members : int list;
+      use : source_choice; (* which state to restart from *)
+    }
+  | Start of { epoch : int; round : int; members : int list }
+      (* begin [round]; doubles as the commit of [round - 1] *)
+  | Abort of { epoch : int; round : int; members : int list }
+      (* discard any progress on [round], roll back to the committed
+         state and re-run it under the new epoch/membership *)
+  | Data of {
+      src : int;
+      dst : int;
+      epoch : int;
+      round : int;
+      seq : int;
+      transfers : transfer list;
+      fin : bool; (* last data frame from [src] to [dst] this round *)
+    }
+  | Data_ack of { src : int; dst : int; epoch : int; ack : int }
+      (* cumulative: every seq <= ack received in order *)
+  | Round_done of {
+      shard : int;
+      epoch : int;
+      round : int;
+      load_sum : int;
+      min_load : int; (* over the shard's owned nodes, for the band check *)
+      max_load : int;
+    }
+      (* sent after the round's state is checkpointed durably *)
+  | Heartbeat of { shard : int; epoch : int; round : int; load_sum : int }
+  | Shutdown (* final round committed: report results and exit *)
+  | Result of { shard : int; loads : (int * int) list } (* (node, load) *)
+
+let version = '\001'
+
+let encode (msg : t) =
+  let payload = Marshal.to_string msg [] in
+  let b = Bytes.create (1 + String.length payload) in
+  Bytes.set b 0 version;
+  Bytes.blit_string payload 0 b 1 (String.length payload);
+  Bytes.unsafe_to_string b
+
+let decode s =
+  if String.length s < 1 then Error "empty message"
+  else if not (Char.equal s.[0] version) then
+    Error
+      (Printf.sprintf "unknown protocol version %d (expected %d)"
+         (Char.code s.[0]) (Char.code version))
+  else
+    match (Marshal.from_string s 1 : t) with
+    | msg -> Ok msg
+    | exception Failure m -> Error ("undecodable message: " ^ m)
+
+let choice_name = function
+  | Use_staged -> "staged"
+  | Use_primary -> "primary"
+  | Use_rotated -> "rotated"
+  | Use_fresh -> "fresh"
+
+let describe = function
+  | Hello { shard; staged_round; primary_round; rotated_round } ->
+    let r = function None -> "-" | Some k -> string_of_int k in
+    Printf.sprintf "hello shard=%d ckpt=%s/%s/%s" shard (r staged_round)
+      (r primary_round) (r rotated_round)
+  | Welcome { epoch; round; members; use } ->
+    Printf.sprintf "welcome e=%d r=%d members=%d use=%s" epoch round
+      (List.length members) (choice_name use)
+  | Start { epoch; round; members } ->
+    Printf.sprintf "start e=%d r=%d members=%d" epoch round (List.length members)
+  | Abort { epoch; round; members } ->
+    Printf.sprintf "abort e=%d r=%d members=%d" epoch round (List.length members)
+  | Data { src; dst; epoch; round; seq; transfers; fin } ->
+    Printf.sprintf "data %d->%d e=%d r=%d seq=%d pairs=%d%s" src dst epoch round
+      seq (List.length transfers)
+      (if fin then " fin" else "")
+  | Data_ack { src; dst; epoch; ack } ->
+    Printf.sprintf "ack %d->%d e=%d upto=%d" src dst epoch ack
+  | Round_done { shard; epoch; round; load_sum; min_load; max_load } ->
+    Printf.sprintf "done shard=%d e=%d r=%d sum=%d loads=[%d,%d]" shard epoch
+      round load_sum min_load max_load
+  | Heartbeat { shard; epoch; round; load_sum } ->
+    Printf.sprintf "hb shard=%d e=%d r=%d sum=%d" shard epoch round load_sum
+  | Shutdown -> "shutdown"
+  | Result { shard; loads } ->
+    Printf.sprintf "result shard=%d nodes=%d" shard (List.length loads)

@@ -1,0 +1,64 @@
+(** Cluster protocol messages and their wire encoding.
+
+    Control plane (Hello/Welcome/Start/Abort/Round_done/Heartbeat/
+    Shutdown/Result) is delivered reliably over the coordinator link;
+    the data plane (Data/Data_ack) additionally passes the seeded loss
+    shim and is recovered by the per-pair ARQ, hence its sequence
+    numbers and epoch guard. *)
+
+type transfer = { dest : int; tokens : int }
+
+type source_choice = Use_staged | Use_primary | Use_rotated | Use_fresh
+(** Which on-disk state a restarting shard must load: the staged
+    (pre-commit) checkpoint, the primary (committed) one, its rotated
+    [.prev] copy, or the initial load vector.  Only the coordinator
+    knows the cluster's committed round, so only it can choose. *)
+
+type t =
+  | Hello of {
+      shard : int;
+      staged_round : int option;
+      primary_round : int option;
+      rotated_round : int option;
+    }
+  | Welcome of {
+      epoch : int;
+      round : int;
+      members : int list;
+      use : source_choice;
+    }
+  | Start of { epoch : int; round : int; members : int list }
+  | Abort of { epoch : int; round : int; members : int list }
+  | Data of {
+      src : int;
+      dst : int;
+      epoch : int;
+      round : int;
+      seq : int;
+      transfers : transfer list;
+      fin : bool;
+    }
+  | Data_ack of { src : int; dst : int; epoch : int; ack : int }
+  | Round_done of {
+      shard : int;
+      epoch : int;
+      round : int;
+      load_sum : int;
+      min_load : int;
+      max_load : int;
+    }
+  | Heartbeat of { shard : int; epoch : int; round : int; load_sum : int }
+  | Shutdown
+  | Result of { shard : int; loads : (int * int) list }
+
+val encode : t -> string
+(** Version byte + [Marshal] payload (pure data, no closures). *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}; rejects unknown versions and undecodable
+    payloads instead of raising. *)
+
+val choice_name : source_choice -> string
+
+val describe : t -> string
+(** One-line summary for logs. *)

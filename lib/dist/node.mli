@@ -1,0 +1,35 @@
+(** The lb_node daemon: one process owning one shard of the graph.
+
+    Connects to the coordinator, reports its on-disk checkpoints
+    (Hello), restores the directed state (Welcome), then executes
+    rounds as local transactions: stage the assignment, ship remote
+    transfers through the per-pair ARQ (under the seeded loss shim),
+    durably save the staged checkpoint, report [Round_done], and
+    commit/abort on the coordinator's signal.  See DESIGN.md §13. *)
+
+type config = {
+  shard : int;  (** this process's shard id, [0 .. shards-1] *)
+  shards : int;
+  port : int;  (** coordinator's listen port on 127.0.0.1 *)
+  graph : Graphs.Graph.t;
+  init : int array;
+  make_balancer : unit -> Core.Balancer.t;
+      (** fresh instance per process, as for {!Shard.Shard_engine} *)
+  rounds : int;
+  ckpt_dir : string;
+      (** holds [shardN.ckpt] (committed), its [.prev] rotation, and
+          [shardN.staged] (pre-commit) *)
+  loss : Loss.config;  (** applied to outgoing data-plane frames *)
+  protocol : Net.Protocol.config;  (** ARQ backoff schedule *)
+  tick : float;  (** seconds per protocol round-unit *)
+  hb_interval : float;
+  metrics_port : int option;  (** serve [/metrics] when set (0 = ephemeral) *)
+  verbose : bool;
+}
+
+exception Fatal of int * string
+(** Internal failure carrying the exit code; {!main} catches it. *)
+
+val main : config -> int
+(** Run the daemon to completion; returns the process exit code
+    (0 ok, 2 config, 3 recovery/connection, 4 invariant). *)

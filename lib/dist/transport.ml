@@ -1,0 +1,112 @@
+(* Loopback TCP plumbing: framed connections with EINTR-safe I/O,
+   connect retries with the protocol's backoff schedule, and a
+   select-based readiness helper.
+
+   All sockets are blocking; writers rely on the kernel buffer being
+   ample for this traffic (frames are small and the cluster is
+   loopback-only), readers only read after select reports readiness. *)
+
+let chunk = 65536
+
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Frame.decoder;
+  buf : Bytes.t;
+  peer : string; (* for diagnostics *)
+}
+
+let of_fd ~peer fd = { fd; decoder = Frame.create (); buf = Bytes.create chunk; peer }
+
+let peer_name c = c.peer
+let fd c = c.fd
+
+let listen_loopback ?(port = 0) ?(backlog = 32) () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  (try Unix.bind fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd backlog;
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  (fd, bound)
+
+let rec accept fd =
+  match Unix.accept fd with
+  | client, _addr ->
+    Unix.setsockopt client Unix.TCP_NODELAY true;
+    client
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept fd
+
+exception Connect_failed of string
+
+(* Retry refused/absent listeners with the shared backoff schedule:
+   attempt [k] sleeps [tick * Net.Protocol.retx_delay config ~retries:k]
+   seconds, capped by the config, for at most [attempts] tries. *)
+let connect_loopback ~port ~config ~tick ~attempts =
+  if attempts < 1 then invalid_arg "Dist.Transport.connect_loopback: attempts";
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let rec go k =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      fd
+    | exception Unix.Unix_error (err, _, _) ->
+      Unix.close fd;
+      if k + 1 >= attempts then
+        raise
+          (Connect_failed
+             (Printf.sprintf "127.0.0.1:%d after %d attempts: %s" port attempts
+                (Unix.error_message err)))
+      else begin
+        Unix.sleepf
+          (tick *. float_of_int (Net.Protocol.retx_delay config ~retries:k));
+        go (k + 1)
+      end
+  in
+  go 0
+
+let rec write_all fd s pos len =
+  if len > 0 then
+    match Unix.write_substring fd s pos len with
+    | n -> write_all fd s (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s pos len
+
+let send_frame c payload =
+  let framed = Frame.encode payload in
+  write_all c.fd framed 0 (String.length framed)
+
+let send c msg = send_frame c (Msg.encode msg)
+
+type read_result =
+  | Msgs of Msg.t list
+  | Closed  (** EOF or connection reset *)
+  | Corrupt of string  (** framing or decode failure: peer untrusted *)
+
+(* One readiness-driven read: pull whatever the kernel has and drain
+   every complete frame. *)
+let read_step c =
+  match Unix.read c.fd c.buf 0 chunk with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> Msgs []
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Closed
+  | 0 -> Closed
+  | n -> (
+    Frame.feed c.decoder c.buf 0 n;
+    let rec drain acc =
+      match Frame.next c.decoder with
+      | None -> Ok (List.rev acc)
+      | Some (Error e) -> Error (Frame.error_message e)
+      | Some (Ok payload) -> (
+        match Msg.decode payload with
+        | Ok msg -> drain (msg :: acc)
+        | Error m -> Error m)
+    in
+    match drain [] with Ok msgs -> Msgs msgs | Error m -> Corrupt m)
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

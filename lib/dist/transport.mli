@@ -1,0 +1,53 @@
+(** Loopback TCP plumbing for the cluster: framed connections with
+    EINTR-safe blocking I/O and connect retries on the shared backoff
+    schedule ({!Net.Protocol.retx_delay}).
+
+    The cluster is a star: every node holds one connection to the
+    coordinator, which relays data-plane frames between shards.  All
+    addresses are 127.0.0.1. *)
+
+type conn
+
+val of_fd : peer:string -> Unix.file_descr -> conn
+(** Wrap an already-connected socket ([peer] labels diagnostics). *)
+
+val fd : conn -> Unix.file_descr
+val peer_name : conn -> string
+
+val listen_loopback : ?port:int -> ?backlog:int -> unit -> Unix.file_descr * int
+(** Bind and listen on 127.0.0.1; port 0 (default) lets the kernel pick.
+    Returns the socket and the bound port. *)
+
+val accept : Unix.file_descr -> Unix.file_descr
+(** EINTR-safe accept; enables [TCP_NODELAY] on the client. *)
+
+exception Connect_failed of string
+
+val connect_loopback :
+  port:int -> config:Net.Protocol.config -> tick:float -> attempts:int ->
+  Unix.file_descr
+(** Connect with capped exponential backoff between attempts: attempt
+    [k] sleeps [tick * retx_delay config ~retries:k] seconds.
+    @raise Connect_failed when every attempt is refused. *)
+
+val write_all : Unix.file_descr -> string -> int -> int -> unit
+(** [write_all fd s pos len]: blocking, EINTR-safe full write. *)
+
+val send : conn -> Msg.t -> unit
+(** Frame and write a message (blocking, EINTR-safe). *)
+
+val send_frame : conn -> string -> unit
+(** Frame and write a raw payload (for relaying without re-encoding). *)
+
+type read_result =
+  | Msgs of Msg.t list
+  | Closed  (** EOF or connection reset *)
+  | Corrupt of string  (** framing or decode failure: peer untrusted *)
+
+val read_step : conn -> read_result
+(** One readiness-driven read: pull available bytes, return every
+    complete message.  Call only after [select] reports the fd
+    readable. *)
+
+val close : conn -> unit
+(** Idempotent. *)

@@ -82,6 +82,112 @@ let build_init spec ~n =
   | Uniform_random { total; seed } ->
     Core.Loads.uniform_random (Prng.Splitmix.create seed) ~n ~total
 
+(* --- spec parsers ---
+
+   One grammar shared by every front end (lb_sim, lb_cluster, lb_node),
+   so a spec string that works on the single-process simulator selects
+   the identical experiment on the distributed runtime. *)
+
+exception Parse_fail of string
+
+let parse_fail fmt = Printf.ksprintf (fun m -> raise (Parse_fail m)) fmt
+
+let parsed f = match f () with v -> Ok v | exception Parse_fail m -> Error m
+
+let p_positive what v =
+  if v <= 0 then parse_fail "%s must be positive (got %d)" what v;
+  v
+
+let p_non_negative what v =
+  if v < 0 then parse_fail "%s must be non-negative (got %d)" what v;
+  v
+
+let graph_of_string s =
+  parsed @@ fun () ->
+  let fail () =
+    parse_fail
+      "bad graph spec %S (expected cycle:N, torus:AxB, hypercube:R, complete:N, \
+       clique:N,D or random:N,D,SEED)"
+      s
+  in
+  let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
+  match String.split_on_char ':' s with
+  | [ "cycle"; n ] -> Cycle (p_positive "cycle size" (int_of n))
+  | [ "hypercube"; r ] -> Hypercube (p_positive "hypercube dimension" (int_of r))
+  | [ "complete"; n ] -> Complete (p_positive "complete-graph size" (int_of n))
+  | [ "torus"; dims ] -> (
+    match String.split_on_char 'x' dims with
+    | [ a; b ] when a = b -> Torus2d (p_positive "torus side" (int_of a))
+    | _ -> fail ())
+  | [ "clique"; args ] -> (
+    match String.split_on_char ',' args with
+    | [ n; d ] ->
+      Clique_circulant
+        { n = p_positive "clique n" (int_of n);
+          d = p_positive "clique degree" (int_of d) }
+    | _ -> fail ())
+  | [ "random"; args ] -> (
+    match String.split_on_char ',' args with
+    | [ n; d ] ->
+      Random_regular
+        { n = p_positive "graph size" (int_of n);
+          d = p_positive "graph degree" (int_of d);
+          seed = 1 }
+    | [ n; d; seed ] ->
+      Random_regular
+        { n = p_positive "graph size" (int_of n);
+          d = p_positive "graph degree" (int_of d);
+          seed = int_of seed }
+    | _ -> fail ())
+  | _ -> fail ()
+
+let init_of_string s =
+  parsed @@ fun () ->
+  let fail () =
+    parse_fail
+      "bad init spec %S (expected point:TOTAL, bimodal:HIGH,LOW or \
+       random:TOTAL[,SEED])"
+      s
+  in
+  let int_of x = match int_of_string_opt x with Some v -> v | None -> fail () in
+  match String.split_on_char ':' s with
+  | [ "point"; t ] -> Point_mass (p_non_negative "initial total" (int_of t))
+  | [ "bimodal"; args ] -> (
+    match String.split_on_char ',' args with
+    | [ h; l ] ->
+      Bimodal
+        { high = p_non_negative "bimodal high" (int_of h);
+          low = p_non_negative "bimodal low" (int_of l) }
+    | _ -> fail ())
+  | [ "random"; args ] -> (
+    match String.split_on_char ',' args with
+    | [ t ] ->
+      Uniform_random { total = p_non_negative "initial total" (int_of t); seed = 1 }
+    | [ t; seed ] ->
+      Uniform_random
+        { total = p_non_negative "initial total" (int_of t); seed = int_of seed }
+    | _ -> fail ())
+  | _ -> fail ()
+
+let algo_of_string ?self_loops ?(seed = 1) s =
+  let sl default = match self_loops with Some k -> k | None -> default in
+  match s with
+  | "rotor-router" -> Ok (fun ~degree:d -> Rotor_router { self_loops = sl d })
+  | "rotor-router-star" -> Ok (fun ~degree:_ -> Rotor_router_star)
+  | "send-floor" -> Ok (fun ~degree:d -> Send_floor { self_loops = sl d })
+  | "send-round" -> Ok (fun ~degree:d -> Send_round { self_loops = sl (2 * d) })
+  | "mimic" -> Ok (fun ~degree:d -> Mimic { self_loops = sl d })
+  | "random-extra" ->
+    Ok (fun ~degree:d -> Random_extra { self_loops = sl d; seed })
+  | "random-rounding" ->
+    Ok (fun ~degree:d -> Random_rounding { self_loops = sl d; seed })
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown algorithm %S (expected rotor-router, rotor-router-star, \
+          send-floor, send-round, mimic, random-extra or random-rounding)"
+         other)
+
 type horizon =
   | Fixed_steps of int
   | Mixing_multiple of float

@@ -42,6 +42,26 @@ type init_spec =
 val init_name : init_spec -> string
 val build_init : init_spec -> n:int -> int array
 
+(** {2 Spec parsing}
+
+    The CLI grammar, shared by every front end (lb_sim, lb_cluster,
+    lb_node) so one spec string selects the identical experiment
+    everywhere. *)
+
+val graph_of_string : string -> (graph_spec, string) result
+(** ["cycle:N"], ["torus:AxA"], ["hypercube:R"], ["complete:N"],
+    ["clique:N,D"], ["random:N,D[,SEED]"]. *)
+
+val init_of_string : string -> (init_spec, string) result
+(** ["point:TOTAL"], ["bimodal:HIGH,LOW"], ["random:TOTAL[,SEED]"]. *)
+
+val algo_of_string :
+  ?self_loops:int -> ?seed:int -> string -> (degree:int -> algo_spec, string) result
+(** Algorithm by CLI name ("rotor-router", "send-floor", ...).  The
+    result still needs the graph degree because the default d° is
+    degree-dependent; [self_loops] overrides it, [seed] (default 1)
+    seeds the randomized schemes. *)
+
 type horizon =
   | Fixed_steps of int
   | Mixing_multiple of float

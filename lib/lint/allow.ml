@@ -1,4 +1,10 @@
-type entry = { pattern : string; rules : Finding.rule list option }
+type scoped_rule = { rule : Finding.rule; only : string option }
+(* [only = Some ident] narrows the suppression to findings whose message
+   starts with that dotted identifier (e.g. "R1[Unix.gettimeofday]"),
+   so a real-I/O module can be sanctioned for one construct without a
+   blanket waiver for the whole rule. *)
+
+type entry = { pattern : string; rules : scoped_rule list option }
 (* [rules = None] means "all rules". *)
 
 type t = { entries : entry list }
@@ -16,15 +22,35 @@ let contains ~sub s =
     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
     go 0
 
+(* "R1" → unscoped; "R1[Unix.gettimeofday]" → scoped to that identifier. *)
+let parse_rule_word w =
+  match String.index_opt w '[' with
+  | None -> (
+    match Finding.rule_of_string w with
+    | Some r -> Ok { rule = r; only = None }
+    | None -> Error (Printf.sprintf "unknown rule %S" w))
+  | Some i ->
+    if String.length w = 0 || w.[String.length w - 1] <> ']' then
+      Error (Printf.sprintf "malformed scoped rule %S (expected R?[ident])" w)
+    else
+      let rule_part = String.sub w 0 i in
+      let scope = String.sub w (i + 1) (String.length w - i - 2) in
+      if scope = "" then
+        Error (Printf.sprintf "empty scope in %S (expected R?[ident])" w)
+      else (
+        match Finding.rule_of_string rule_part with
+        | Some r -> Ok { rule = r; only = Some scope }
+        | None -> Error (Printf.sprintf "unknown rule %S" rule_part))
+
 let parse_rule_words words =
   let rec go acc = function
     | [] -> Ok (Some (List.rev acc))
     | w :: rest -> (
       if String.lowercase_ascii w = "all" then Ok None
       else
-        match Finding.rule_of_string w with
-        | Some r -> go (r :: acc) rest
-        | None -> Error (Printf.sprintf "unknown rule %S" w))
+        match parse_rule_word w with
+        | Ok sr -> go (sr :: acc) rest
+        | Error e -> Error e)
   in
   go [] words
 
@@ -84,12 +110,36 @@ let builtin_r1_exempt path =
   || contains ~sub:"obs/probe.ml" p
   || contains ~sub:"shard/checkpoint.ml" p
 
-let file_allows t ~path rule =
+(* A scope covers a finding when the message starts with the scoped
+   identifier at a token boundary — rule messages lead with the dotted
+   identifier they flag ("Unix.gettimeofday: wall-clock read ..."). *)
+let scope_matches ~msg scope =
+  let m = String.length msg and s = String.length scope in
+  m >= s
+  && String.sub msg 0 s = scope
+  && (m = s
+     ||
+     match msg.[s] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '\'' -> false
+     | _ -> true)
+
+let file_allows t ~path ~msg rule =
   let p = normalize path in
   List.exists
     (fun e ->
       contains ~sub:e.pattern p
-      && match e.rules with None -> true | Some rs -> List.mem rule rs)
+      &&
+      match e.rules with
+      | None -> true
+      | Some rs ->
+        List.exists
+          (fun sr ->
+            sr.rule = rule
+            &&
+            match sr.only with
+            | None -> true
+            | Some scope -> scope_matches ~msg scope)
+          rs)
     t.entries
 
 (* --- in-source annotations --- *)

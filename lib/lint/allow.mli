@@ -10,7 +10,9 @@ val empty : t
 val load : string -> (t, string) result
 (** Parse an allowlist file. Each non-comment line is
     [<path-substring> <rule> [<rule> ...]] where a rule is an id ("R5"),
-    an alias ("io"), or "all". Returns [Error msg] on a malformed line. *)
+    an alias ("io"), "all", or a scoped form ["R1[Unix.gettimeofday]"]
+    that only suppresses findings led by that dotted identifier.
+    Returns [Error msg] on a malformed line. *)
 
 val of_lines : string list -> (t, string) result
 (** Same, from in-memory lines (for tests). *)
@@ -19,8 +21,10 @@ val builtin_r1_exempt : string -> bool
 (** True when the path is one of the sanctioned nondeterminism modules:
     lib/prng/*, lib/obs/prof.ml, lib/obs/probe.ml, lib/shard/checkpoint.ml. *)
 
-val file_allows : t -> path:string -> Finding.rule -> bool
-(** True when an allowlist-file entry matches [path] and covers the rule. *)
+val file_allows : t -> path:string -> msg:string -> Finding.rule -> bool
+(** True when an allowlist-file entry matches [path] and covers the rule;
+    a scoped entry additionally requires the finding message to start
+    with the scoped identifier at a token boundary. *)
 
 type annotations
 (** Per-file suppression sites harvested from [(* lint: ... *)] comments. *)

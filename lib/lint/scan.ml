@@ -80,7 +80,7 @@ let scan_file ~allow path =
       let anns = Allow.annotations_of_source src in
       let keep (f : Finding.t) =
         (not (Allow.annotation_allows anns ~line:f.Finding.line f.Finding.rule))
-        && (not (Allow.file_allows allow ~path f.Finding.rule))
+        && (not (Allow.file_allows allow ~path ~msg:f.Finding.msg f.Finding.rule))
         && not (f.Finding.rule = Finding.R1 && Allow.builtin_r1_exempt path)
       in
       {

@@ -264,6 +264,7 @@ let run ?(config = default_config) ?(plan = []) ?(watchdog = true)
     end;
     if mn < !min_seen then min_seen := mn;
     if t mod sample_every = 0 || t = steps then series := (t, disc) :: !series;
+    Obs.Export.poll ();
     match hook with Some f -> f t cur | None -> ()
   done;
   (* Drain: protocol-only rounds until every in-flight token has landed

@@ -114,12 +114,15 @@ let event t ~now kind ~edge ~seq ~tokens =
     { Trace.m_step = now; m_kind = kind; m_edge = edge; m_seq = seq;
       m_tokens = tokens }
 
-let next_timeout t retries =
-  match t.config.backoff with
-  | Fixed -> t.config.timeout
+let retx_delay config ~retries =
+  if retries < 0 then invalid_arg "Net.Protocol.retx_delay: negative retries";
+  match config.backoff with
+  | Fixed -> config.timeout
   | Exponential ->
-    if retries >= 30 then t.config.cap
-    else min t.config.cap (t.config.timeout lsl retries)
+    if retries >= 30 then config.cap
+    else min config.cap (config.timeout lsl retries)
+
+let next_timeout t retries = retx_delay t.config ~retries
 
 let send t ~now ~node ~port ~tokens =
   if tokens <= 0 then invalid_arg "Net.Protocol.send: tokens must be positive";

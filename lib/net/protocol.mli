@@ -43,6 +43,13 @@ val default_config : config
 val validate_config : config -> (unit, string) result
 val config_to_string : config -> string
 
+val retx_delay : config -> retries:int -> int
+(** Delay before the next retransmission of a message already resent
+    [retries] times: [timeout] under {!Fixed}; [timeout * 2^retries]
+    clamped to [cap] under {!Exponential} (shift-safe for any
+    [retries]).  Pure — the dist runtime reuses it for real-time
+    socket backoff.  Raises [Invalid_argument] on negative [retries]. *)
+
 type stats = {
   messages_sent : int;  (** distinct sequence numbers first-sent *)
   tokens_sent : int;  (** tokens they carried *)

@@ -79,12 +79,28 @@ let prometheus ?registry () =
     samples;
   Buffer.contents b
 
+(* Write the whole string through [Unix.write], restarting on EINTR and
+   continuing after partial writes — a signal landing mid-dump (SIGUSR1
+   is exactly the scrape trigger) must not truncate the file. *)
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write_substring fd s !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+  done
+
+let rec close_retry fd =
+  try Unix.close fd
+  with Unix.Unix_error (Unix.EINTR, _, _) -> close_retry fd
+
 let write ~path ?registry () =
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (prometheus ?registry ()));
+    ~finally:(fun () -> close_retry fd)
+    (fun () -> write_all fd (prometheus ?registry ()));
   Sys.rename tmp path
 
 let json_escape s =
@@ -109,10 +125,23 @@ let snapshot_json (s : Probe.snapshot) =
     s.Probe.max_load s.Probe.min_load s.Probe.total s.Probe.c_threshold
     s.Probe.phi s.Probe.phi_prime s.Probe.tokens_moved
 
+(* SIGUSR1 scrape requests.  The handler is async-signal-safe: it only
+   sets a flag — no allocation, no I/O, no registry traversal while an
+   arbitrary piece of engine code is interrupted.  The dump itself
+   happens in {!poll}, which the engines call at round boundaries. *)
+let scrape_requested = ref false
+let scrape_target : (string * Metrics.t option) option ref = ref None
+
+let poll () =
+  if !scrape_requested then begin
+    scrape_requested := false;
+    match !scrape_target with
+    | None -> ()
+    | Some (path, registry) -> write ~path ?registry ()
+  end
+
 let install_sigusr1 ~path ?registry () =
-  match
-    Sys.set_signal Sys.sigusr1
-      (Sys.Signal_handle (fun _ -> write ~path ?registry ()))
-  with
+  scrape_target := Some (path, registry);
+  match Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> scrape_requested := true)) with
   | () -> true
   | exception (Invalid_argument _ | Sys_error _) -> false

@@ -7,13 +7,24 @@ val prometheus : ?registry:Metrics.t -> unit -> string
     [_bucket{le=...}]/[_sum]/[_count] series. *)
 
 val write : path:string -> ?registry:Metrics.t -> unit -> unit
-(** Atomically (write-then-rename) write {!prometheus} to [path]. *)
+(** Atomically (write-then-rename) write {!prometheus} to [path].
+    Writes go through [Unix.write] with an EINTR/partial-write retry
+    loop, so a signal landing mid-dump cannot truncate the file. *)
 
 val snapshot_json : Probe.snapshot -> string
 (** One probe snapshot as a single-line JSON object — append these to a
     file for a JSONL stream ([bin/jsonlint --jsonl] validates it). *)
 
 val install_sigusr1 : path:string -> ?registry:Metrics.t -> unit -> bool
-(** Arrange for SIGUSR1 to dump {!prometheus} to [path] ("kill -USR1
-    <pid>" scrapes a live run).  Returns false when signal handling is
-    unavailable on the platform. *)
+(** Arrange for SIGUSR1 to request a dump of {!prometheus} to [path]
+    ("kill -USR1 <pid>" scrapes a live run).  The handler is
+    async-signal-safe: it only sets a flag; the actual write happens at
+    the next {!poll} call, which every engine makes at round boundaries
+    (and the CLI makes once more at exit).  Returns false when signal
+    handling is unavailable on the platform. *)
+
+val poll : unit -> unit
+(** Service a pending SIGUSR1 scrape request, if any: write the
+    registry installed by {!install_sigusr1} to its path.  Cheap (one
+    flag test) when no request is pending — engines call this once per
+    round. *)

@@ -6,10 +6,15 @@ type error =
   | Bad_checksum of { path : string; stored : int32; computed : int32 }
   | Bad_payload of string
   | Mismatch of string
+  | Unrecoverable of {
+      path : string;
+      attempts : int;
+      rejected : (string * error) list;
+    }
 
 exception Checkpoint_error of error
 
-let error_message = function
+let rec error_message = function
   | Missing path -> Printf.sprintf "no checkpoint at %s" path
   | Bad_magic path -> Printf.sprintf "%s: not a checkpoint file (bad magic)" path
   | Bad_version { path; found; expected } ->
@@ -20,6 +25,13 @@ let error_message = function
       computed
   | Bad_payload path -> Printf.sprintf "%s: corrupt checkpoint payload" path
   | Mismatch msg -> msg
+  | Unrecoverable { path; attempts; rejected } ->
+    Printf.sprintf "%s: unrecoverable after %d attempt%s: %s" path attempts
+      (if attempts = 1 then "" else "s")
+      (String.concat "; "
+         (List.map
+            (fun (p, e) -> Printf.sprintf "%s [%s]" p (error_message e))
+            rejected))
 
 let fail e = raise (Checkpoint_error e)
 
@@ -117,17 +129,22 @@ let recover ?(retries = 2) ?(backoff = 0.05) ~path () =
       | snap ->
         Ok { snapshot = snap; source = Rotated; rejected = [ (path, primary_err) ] }
       | exception Checkpoint_error prev_err ->
-        Error (primary_err, (path, primary_err), (prev, prev_err)))
+        Error [ (path, primary_err); (prev, prev_err) ])
   in
+  let attempts = 1 + max 0 retries in
   let rec go attempts_left sleep =
     match attempt () with
     | Ok r -> r
-    | Error (primary_err, _, _) when attempts_left <= 0 -> fail primary_err
+    | Error rejected when attempts_left <= 1 ->
+      (* Surface the full rejected-file report: the caller (e.g. a
+         restarting lb_node) needs to know which files failed and why,
+         not just the primary's first error. *)
+      fail (Unrecoverable { path; attempts; rejected })
     | Error _ ->
       Unix.sleepf sleep;
       go (attempts_left - 1) (sleep *. 2.0)
   in
-  go (max 0 retries) backoff
+  go attempts backoff
 
 let describe snap =
   Printf.sprintf "%s: step %d/%d, n=%d, d=%d%s" snap.balancer_name snap.step

@@ -31,6 +31,14 @@ type error =
   | Mismatch of string
       (** a valid snapshot that does not fit the run being resumed
           (different graph, balancer, or horizon) *)
+  | Unrecoverable of {
+      path : string;  (** the primary path {!recover} was asked for *)
+      attempts : int;  (** total load sequences tried (1 + retries) *)
+      rejected : (string * error) list;
+          (** every file rejected by the final attempt, with the
+              validation each one failed — the full report a supervisor
+              needs to decide whether a restart is worth retrying *)
+    }
 
 exception Checkpoint_error of error
 
@@ -80,8 +88,11 @@ val recover : ?retries:int -> ?backoff:float -> path:string -> unit -> recovery
     the whole sequence is retried up to [retries] more times (default 2)
     with exponentially growing sleeps starting at [backoff] seconds
     (default 0.05) — a checkpoint being written concurrently by a dying
-    run settles after its rename.  @raise Checkpoint_error (the
-    primary's error) when no attempt produces a usable snapshot. *)
+    run settles after its rename.  Both knobs are caller-configurable so
+    a supervisor restarting a crashed process can choose its own budget
+    (e.g. [lb_node --recover-retries]).  @raise Checkpoint_error with
+    {!Unrecoverable} — carrying the attempt count and the per-file
+    rejection report — when no attempt produces a usable snapshot. *)
 
 val describe : snapshot -> string
 (** One-line human summary (for CLI logging). *)

@@ -330,6 +330,7 @@ let run ?(audit = false) ?(sample_every = 1) ?hook ?stop_at_discrepancy
           end;
           if mn < !min_seen then min_seen := mn;
           if t mod sample_every = 0 || t = steps then series := (t, disc) :: !series;
+          Obs.Export.poll ();
           (match hook with Some f -> f t cur | None -> ());
           (match stop_at_discrepancy with
           | Some target when disc <= target && !reached = None -> reached := Some t

@@ -95,7 +95,8 @@ let run config ~init stepper =
     overload_series.(round - 1) <- (round, overload !loads);
     if Obs.Probe.enabled () then
       Obs.Probe.on_workload ~engine:config.probe_label ~round ~arrivals:a
-        ~departures:d ~inflight ~discrepancy:disc
+        ~departures:d ~inflight ~discrepancy:disc;
+    Obs.Export.poll ()
   done;
   let disc_f = Array.map (fun (_, d) -> float_of_int d) disc_series in
   let inflight_f = Array.map (fun (_, t) -> float_of_int t) inflight_series in

@@ -56,6 +56,11 @@ let check_rules what expected report =
 (* A minimal interface so fixtures don't trip R4 when testing other rules. *)
 let mli rel = (rel, "(* sealed for the lint fixtures *)\n")
 
+let substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 (* --- R1 determinism --- *)
 
 let test_r1_fires () =
@@ -292,6 +297,44 @@ let test_allow_file_all_and_errors () =
     Alcotest.(check bool) "error names the rule" true
       (String.length e > 0)
 
+let test_allow_file_scoped_rule () =
+  (* R1[Unix.gettimeofday] sanctions exactly that construct: the other
+     R1 source in the same file (ambient Random) must still fire, and so
+     must an unrelated rule. *)
+  let allow =
+    match Lint.Allow.of_lines [ "lib/foo/a.ml R1[Unix.gettimeofday]" ] with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "allowlist: %s" e
+  in
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "let now () = Unix.gettimeofday ()\n\
+         let r () = Random.int 4\n\
+         let h xs = List.hd xs\n" );
+      mli "lib/foo/a.mli";
+    ]
+    (fun root ->
+      let r = scan ~allow root [ "lib" ] in
+      check_rules "scoped entry only covers the named construct"
+        [ "R1"; "R3" ] r;
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) "gettimeofday finding suppressed" false
+            (substring ~sub:"gettimeofday" f.Lint.Finding.msg))
+        r.findings)
+
+let test_allow_file_scoped_parse_errors () =
+  (match Lint.Allow.of_lines [ "lib/foo R1[]" ] with
+  | Ok _ -> Alcotest.fail "empty scope must be rejected"
+  | Error _ -> ());
+  (match Lint.Allow.of_lines [ "lib/foo R1[Unix.time" ] with
+  | Ok _ -> Alcotest.fail "unterminated scope must be rejected"
+  | Error _ -> ());
+  match Lint.Allow.of_lines [ "lib/foo R9[Unix.time]" ] with
+  | Ok _ -> Alcotest.fail "unknown scoped rule must be rejected"
+  | Error _ -> ()
+
 let test_annotation_allow_rule () =
   with_fixture
     [
@@ -414,6 +457,10 @@ let () =
           Alcotest.test_case "allow file" `Quick test_allow_file;
           Alcotest.test_case "allow-all and bad rules" `Quick
             test_allow_file_all_and_errors;
+          Alcotest.test_case "scoped rule narrows suppression" `Quick
+            test_allow_file_scoped_rule;
+          Alcotest.test_case "scoped rule parse errors" `Quick
+            test_allow_file_scoped_parse_errors;
           Alcotest.test_case "line-scoped annotation" `Quick
             test_annotation_allow_rule;
           Alcotest.test_case "wrong rule does not mask" `Quick

@@ -250,6 +250,41 @@ let algo_specs d =
     Harness.Experiment.Random_rounding { self_loops = d; seed = 13 };
   ]
 
+let prop_retx_delay_backoff =
+  (* retx_delay is the single source of truth for ARQ backoff (simulated
+     rounds in Net.Protocol, real-time seconds in the dist runtime), so
+     pin down its shape: monotone non-decreasing in the retry count,
+     never below the base timeout, never above the cap (once the cap
+     dominates the base), and a pure function of its arguments. *)
+  QCheck.Test.make ~name:"retx_delay monotone, capped, deterministic" ~count:200
+    QCheck.(triple (int_range 1 64) (int_range 1 1024) bool)
+    (fun (timeout, cap_extra, exp) ->
+      let cap = timeout + cap_extra in
+      let config =
+        {
+          Net.Protocol.timeout;
+          backoff = (if exp then Net.Protocol.Exponential else Net.Protocol.Fixed);
+          cap;
+        }
+      in
+      let delays = List.init 64 (fun r -> Net.Protocol.retx_delay config ~retries:r) in
+      let monotone =
+        List.for_all2
+          (fun a b -> a <= b)
+          (List.filteri (fun i _ -> i < 63) delays)
+          (List.tl delays)
+      in
+      let bounded = List.for_all (fun d -> d >= timeout && d <= cap) delays in
+      let capped = List.nth delays 63 <= cap in
+      let deterministic =
+        List.for_all2 ( = ) delays
+          (List.init 64 (fun r -> Net.Protocol.retx_delay config ~retries:r))
+      in
+      let fixed_flat =
+        exp || List.for_all (fun d -> d = timeout) delays
+      in
+      monotone && bounded && capped && deterministic && fixed_flat)
+
 let prop_conservation_under_random_faults =
   (* 50 seeded iterations; each picks a graph, a channel-fault config, a
      staleness window, a retry policy and a random fault plan, then runs
@@ -379,5 +414,8 @@ let () =
             test_invalid_configs_rejected;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_conservation_under_random_faults ] );
+        [
+          QCheck_alcotest.to_alcotest prop_retx_delay_backoff;
+          QCheck_alcotest.to_alcotest prop_conservation_under_random_faults;
+        ] );
     ]

@@ -303,6 +303,28 @@ let test_export_write_and_json () =
       "\"tokens_moved\": 1234";
     ]
 
+let test_sigusr1_deferred_to_poll () =
+  (* The SIGUSR1 handler is async-signal-safe: it only sets a flag, so
+     nothing may be written until the next round boundary calls poll. *)
+  let registry = Obs.Metrics.create () in
+  Obs.Metrics.inc (Obs.Metrics.counter ~registry "lb_scrape_total") 9;
+  let path = Filename.temp_file "obs_test_usr1" ".prom" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      check_bool "handler installed" true
+        (Obs.Export.install_sigusr1 ~path ~registry ());
+      Unix.kill (Unix.getpid ()) Sys.sigusr1;
+      check_bool "no write before the round boundary" false (Sys.file_exists path);
+      Obs.Export.poll ();
+      check_bool "poll serviced the request" true (Sys.file_exists path);
+      Sys.remove path;
+      (* No pending request: poll is a no-op. *)
+      Obs.Export.poll ();
+      check_bool "poll without a request writes nothing" false
+        (Sys.file_exists path))
+
 (* --- Probes only observe: engines are bit-identical on/off --- *)
 
 let with_probes_off f =
@@ -431,6 +453,8 @@ let () =
           Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
           Alcotest.test_case "write + snapshot json" `Quick
             test_export_write_and_json;
+          Alcotest.test_case "sigusr1 deferred to poll" `Quick
+            test_sigusr1_deferred_to_poll;
         ] );
       ( "equivalence",
         [

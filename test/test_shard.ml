@@ -378,12 +378,21 @@ let test_checkpoint_prev_fallback_golden () =
   check_result_equal "resume from .prev vs uninterrupted" uninterrupted resumed;
   Sys.remove path;
   Sys.remove (Shard.Checkpoint.prev_path path);
-  (* Both copies gone: recover reports the primary's error. *)
-  check_bool "recover with nothing left fails" true
+  (* Both copies gone: recover surfaces the full rejected-file report —
+     one Missing entry per file tried, plus the attempt count. *)
+  check_bool "recover with nothing left fails with the report" true
     (try
        ignore (Shard.Checkpoint.recover ~retries:0 ~path ());
        false
-     with Shard.Checkpoint.Checkpoint_error (Shard.Checkpoint.Missing _) -> true)
+     with
+     | Shard.Checkpoint.Checkpoint_error
+         (Shard.Checkpoint.Unrecoverable { path = p; attempts; rejected }) ->
+       p = path && attempts = 1
+       && List.length rejected = 2
+       && List.for_all
+            (fun (_, e) ->
+              match e with Shard.Checkpoint.Missing _ -> true | _ -> false)
+            rejected)
 
 let test_unresumable_balancer_rejected () =
   (* Mimic is stateful without a persist capability: asking for
