@@ -415,10 +415,14 @@ let run_workload_sweep ?(json_path = "BENCH_workload.json") ~quick () =
 
 (* Distributed-runtime section: real forked lb_node clusters over
    loopback sockets (lib/dist), at 2/4/8 shards.  Each shard count runs
-   twice — lossless (steady-state round throughput) and chaos (5% frame
-   drop plus a kill -9 of shard 1 a third of the way in, measuring the
-   longest inter-commit stall, which brackets detection + abort +
-   respawn + checkpoint re-admission).  The coordinator's exact token
+   three ways — lossless (steady-state round throughput), chaos (5%
+   frame drop plus a kill -9 of shard 1 a third of the way in), and
+   coord-crash (the COORDINATOR is SIGKILLed a third of the way in and
+   its replacement recovers by WAL replay).  The reported stall is the
+   longest inter-commit gap, which brackets detection + abort + respawn
+   + re-admission (chaos) or WAL replay + re-hello + resume
+   (coord-crash; measured from the WAL itself, the one observer that
+   survives the coordinator).  The coordinator's exact token
    conservation check gates every run; written to BENCH_dist.json. *)
 let run_dist_cluster ?(json_path = "BENCH_dist.json") ~quick () =
   Printf.printf
@@ -452,21 +456,35 @@ let run_dist_cluster ?(json_path = "BENCH_dist.json") ~quick () =
     try Unix.rmdir d with Unix.Unix_error _ -> ()
   in
   Dist.Launch.ignore_sigpipe ();
-  let run_once ~shards ~chaos =
+  let max_gap times =
+    (* newest-first list of commit timestamps *)
+    let rec gaps acc = function
+      | a :: (b :: _ as rest) -> gaps (Float.max acc (a -. b)) rest
+      | _ -> acc
+    in
+    gaps 0.0 times
+  in
+  let node_cfg_for ~shards ~ckpt_dir ~loss ~port shard =
+    { Dist.Node.shard; shards; port; graph = built.Dist.Setup.graph;
+      init = built.Dist.Setup.init;
+      make_balancer = built.Dist.Setup.make_balancer; rounds; ckpt_dir;
+      loss; protocol = Net.Protocol.default_config; tick = 0.01;
+      hb_interval = 0.03; metrics_port = None; reconnects = 8;
+      graceful_term = false; injection = Dist.Node.No_injection;
+      verbose = false }
+  in
+  (* lossless / chaos: coordinator in this process (Launch supervisor);
+     the commit-hook clock feeds the stall metric directly. *)
+  let run_launch ~shards ~chaos =
     let ckpt_dir = mkdtemp () in
     let listen_fd, port = Dist.Transport.listen_loopback () in
     let loss =
       if chaos then
-        { Dist.Loss.drop = 0.05; delay_prob = 0.; delay_max = 0.; seed = 5 }
+        { Dist.Loss.drop = 0.05; delay_prob = 0.; delay_max = 0.; seed = 5;
+          partitions = [] }
       else Dist.Loss.none
     in
-    let node_cfg shard =
-      { Dist.Node.shard; shards; port; graph = built.Dist.Setup.graph;
-        init = built.Dist.Setup.init;
-        make_balancer = built.Dist.Setup.make_balancer; rounds; ckpt_dir;
-        loss; protocol = Net.Protocol.default_config; tick = 0.01;
-        hb_interval = 0.03; metrics_port = None; verbose = false }
-    in
+    let node_cfg = node_cfg_for ~shards ~ckpt_dir ~loss ~port in
     let sup = Dist.Launch.create ~listen_fd ~node_cfg ~shards ~verbose:false in
     Dist.Launch.spawn_all sup;
     let commit_times = ref [] in
@@ -481,7 +499,8 @@ let run_dist_cluster ?(json_path = "BENCH_dist.json") ~quick () =
         metrics_port = None;
         respawn =
           Some (fun s -> Dist.Launch.reap sup; Dist.Launch.spawn sup s);
-        on_commit = Some on_commit; deadline = Some 120.; verbose = false }
+        on_commit = Some on_commit; deadline = Some 120.; wal = None;
+        graceful_term = false; verbose = false }
     in
     let t0 = Unix.gettimeofday () in
     let code =
@@ -491,50 +510,89 @@ let run_dist_cluster ?(json_path = "BENCH_dist.json") ~quick () =
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     rmdir_r ckpt_dir;
-    let stall =
-      let rec gaps acc = function
-        | a :: (b :: _ as rest) -> gaps (Float.max acc (a -. b)) rest
-        | _ -> acc
-      in
-      gaps 0.0 !commit_times (* newest first *)
+    (code, elapsed, max_gap !commit_times)
+  in
+  (* coord-crash: everything (coordinator included) forked under Super;
+     the coordinator is SIGKILLed at kill_round and its replacement
+     replays the WAL.  The stall comes from the WAL's own Commit
+     timestamps — the recovery gap is the largest one. *)
+  let run_coord_crash ~shards =
+    let ckpt_dir = mkdtemp () in
+    let wal_path = Filename.concat ckpt_dir "coord.wal" in
+    let coord_cfg ~listen_fd =
+      { Dist.Coord.shards; rounds; graph = built.Dist.Setup.graph;
+        init = built.Dist.Setup.init; balancer_name = built.Dist.Setup.name;
+        listen_fd; suspect_timeout = 0.25; band = None; out_path = None;
+        metrics_port = None; respawn = None; on_commit = None;
+        deadline = Some 120.; wal = Some wal_path; graceful_term = false;
+        verbose = false }
     in
+    let t0 = Unix.gettimeofday () in
+    let code =
+      Dist.Super.run
+        { Dist.Super.shards;
+          node_cfg =
+            (fun ~port shard ->
+              node_cfg_for ~shards ~ckpt_dir ~loss:Dist.Loss.none ~port shard);
+          coord_cfg; wal_path;
+          faults = [ Dist.Super.Kill_coord { round = kill_round } ];
+          deadline = Some 150.; coord_respawns = 1; node_respawns = 3;
+          verbose = false }
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let stall =
+      match Dist.Wal.commit_times ~path:wal_path with
+      | Ok times -> max_gap (List.rev times) (* oldest first -> newest first *)
+      | Error _ -> 0.0
+    in
+    rmdir_r ckpt_dir;
     (code, elapsed, stall)
   in
-  Printf.printf "%-8s %-10s %8s %12s %14s %6s\n" "shards" "mode" "rounds"
+  let run_once ~shards ~mode =
+    match mode with
+    | `Lossless -> run_launch ~shards ~chaos:false
+    | `Chaos -> run_launch ~shards ~chaos:true
+    | `Coord_crash -> run_coord_crash ~shards
+  in
+  Printf.printf "%-8s %-12s %8s %12s %14s %6s\n" "shards" "mode" "rounds"
     "rounds/sec" "max stall (s)" "ok";
+  let mode_name = function
+    | `Lossless -> "lossless"
+    | `Chaos -> "chaos"
+    | `Coord_crash -> "coord-crash"
+  in
   let rows = ref [] in
   let all_ok = ref true in
   List.iter
     (fun shards ->
       List.iter
-        (fun chaos ->
-          let code, elapsed, stall = run_once ~shards ~chaos in
+        (fun mode ->
+          let code, elapsed, stall = run_once ~shards ~mode in
           let ok = code = 0 in
           if not ok then all_ok := false;
           let rps = float rounds /. elapsed in
-          Printf.printf "%-8d %-10s %8d %12.1f %14.3f %6b\n" shards
-            (if chaos then "chaos" else "lossless")
-            rounds rps stall ok;
-          rows := (shards, chaos, elapsed, rps, stall, code) :: !rows)
-        [ false; true ])
+          Printf.printf "%-8d %-12s %8d %12.1f %14.3f %6b\n" shards
+            (mode_name mode) rounds rps stall ok;
+          rows := (shards, mode, elapsed, rps, stall, code) :: !rows)
+        [ `Lossless; `Chaos; `Coord_crash ])
     shard_counts;
   let rows = List.rev !rows in
   let oc = open_out json_path in
   Printf.fprintf oc
     "{\n  \"bench\": \"dist-cluster\",\n  \"graph\": \"hypercube:5\",\n\
     \  \"algo\": \"%s\",\n  \"chaos\": \"drop 0.05 + kill -9 shard 1 at \
-     round %d\",\n  \"rounds\": %d,\n  \"quick\": %b,\n  \"results\": [\n"
-    built.Dist.Setup.name kill_round rounds quick;
+     round %d\",\n  \"coord_crash\": \"kill -9 coordinator at round %d, \
+     WAL-replay restart\",\n  \"rounds\": %d,\n  \"quick\": %b,\n\
+    \  \"results\": [\n"
+    built.Dist.Setup.name kill_round kill_round rounds quick;
   let last = List.length rows - 1 in
   List.iteri
-    (fun i (shards, chaos, elapsed, rps, stall, code) ->
+    (fun i (shards, mode, elapsed, rps, stall, code) ->
       Printf.fprintf oc
         "    {\"shards\": %d, \"mode\": %S, \"seconds\": %.3f, \
          \"rounds_per_sec\": %.1f, \"max_commit_stall_s\": %.3f, \
          \"exit_code\": %d, \"conserved\": %b}%s\n"
-        shards
-        (if chaos then "chaos" else "lossless")
-        elapsed rps stall code (code = 0)
+        shards (mode_name mode) elapsed rps stall code (code = 0)
         (if i = last then "" else ","))
     rows;
   Printf.fprintf oc "  ],\n  \"all_conserved\": %b\n}\n" !all_ok;

@@ -160,7 +160,60 @@ echo "$scrape" | grep -q '^lb_coord_rounds_committed_total ' || {
   echo "live /metrics scrape missing lb_coord_rounds_committed_total" >&2
   exit 1
 }
+echo "== dist smoke: coordinator kill -9 mid-round, WAL-replay recovery =="
+# The COORDINATOR is SIGKILLed when round 10 commits; the supervisor
+# restarts it, the replacement replays the write-ahead log, re-adopts
+# the live shards at the frozen round, and resumes.  Lossless recovery
+# is exact: the final vector must still be bit-identical to lb_sim.
+mkdir "$dist_dir/coord_crash"
+dune exec bin/lb_cluster.exe -- --graph hypercube:4 --algo rotor-router \
+  --init point:4096 --rounds 60 --shards 4 --band auto --kill-coord 10 \
+  --out "$dist_dir/crash.loads" --dir "$dist_dir/coord_crash"
+cmp "$dist_dir/sim.loads" "$dist_dir/crash.loads" || {
+  echo "WAL-replay recovery diverged from lb_sim --dump-loads" >&2
+  exit 1
+}
+
+echo "== dist smoke: healed partition conserves exactly =="
+# Shard 1 is cut off from the cluster for 0.5 s: suspected, declared
+# dead, frozen under a new epoch.  On heal it is fenced out of its
+# stale epoch and re-admitted from a checkpoint.  lb_cluster exits 4
+# unless the token total is exact and the band is re-entered.
+mkdir "$dist_dir/partition"
+dune exec bin/lb_cluster.exe -- --graph hypercube:4 --algo rotor-router \
+  --init point:4096 --rounds 60 --shards 4 --band auto \
+  --partition 1@0.4-0.9 --dir "$dist_dir/partition"
 rm -rf "$dist_dir"
+
+echo "== chaos smoke: 25 seeded fault schedules preserve the invariants =="
+# lb_chaos generates scenarios (graph x init x algo x kills x terms x
+# coordinator kills x partitions x loss) as a pure function of
+# (--seed, index) and runs each as a real forked cluster; any broken
+# invariant (conservation, band, termination) fails the run.
+dune exec bin/lb_chaos.exe -- --scenarios 25 --seed 42
+
+echo "== chaos smoke: the shrinker reduces an injected bug to a reproducer =="
+# Plant a persistent audit-misreporting bug in every scenario: the
+# poison budget must trip (exit 4), lb_chaos must exit 1, and the
+# failing schedule must shrink to a replayable lb_cluster command line.
+chaos_log=$(mktemp -t lb_ci_chaos.XXXXXX)
+if dune exec bin/lb_chaos.exe -- --scenarios 2 --seed 42 \
+  --inject from:0@2 > "$chaos_log" 2>&1; then
+  echo "lb_chaos did not fail on an injected persistent misreport" >&2
+  cat "$chaos_log" >&2
+  exit 1
+fi
+grep -q 'minimal reproducer' "$chaos_log" || {
+  echo "lb_chaos failed without printing a minimal reproducer" >&2
+  cat "$chaos_log" >&2
+  exit 1
+}
+grep -q 'lb_cluster --graph' "$chaos_log" || {
+  echo "the minimal reproducer is not a replayable lb_cluster command" >&2
+  cat "$chaos_log" >&2
+  exit 1
+}
+rm -f "$chaos_log"
 
 echo "== bench smoke: every BENCH_*.json artifact is well-formed JSON =="
 bench_json=$(mktemp -d -t lb_ci_bench.XXXXXX)

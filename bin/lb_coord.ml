@@ -15,9 +15,12 @@ let die msg =
   exit 2
 
 let run shards rounds graph_s init_s algo_s seed self_loops port band_s out
-    suspect_timeout metrics_port deadline verbose =
+    suspect_timeout wal metrics_port deadline verbose =
   if rounds < 1 then die "--rounds must be >= 1";
   if shards < 1 then die "--shards must be >= 1";
+  (match Dist.Heartbeat.validate_timeout ~timeout:suspect_timeout () with
+   | Ok () -> ()
+   | Error m -> die ("--hb-timeout: " ^ m));
   let built =
     match
       Dist.Setup.build
@@ -39,7 +42,8 @@ let run shards rounds graph_s init_s algo_s seed self_loops port band_s out
       init = built.Dist.Setup.init; balancer_name = built.Dist.Setup.name;
       listen_fd; suspect_timeout; band; out_path = out; metrics_port;
       respawn = None; on_commit = None;
-      deadline = (if deadline > 0. then Some deadline else None); verbose }
+      deadline = (if deadline > 0. then Some deadline else None);
+      wal; graceful_term = true; verbose }
   in
   exit (Dist.Coord.main cfg)
 
@@ -90,8 +94,16 @@ let out_t =
 
 let suspect_timeout_t =
   Arg.(value & opt float 0.5
-       & info [ "suspect-timeout" ] ~docv:"SEC"
-           ~doc:"Heartbeat silence before a shard is declared dead.")
+       & info [ "hb-timeout"; "suspect-timeout" ] ~docv:"SEC"
+           ~doc:"Failure-detector timeout: heartbeat silence before a \
+                 shard is declared dead.")
+
+let wal_t =
+  Arg.(value & opt (some string) None
+       & info [ "wal" ] ~docv:"FILE"
+           ~doc:"Write-ahead log.  Every commit and epoch transition is \
+                 fsync'd here before its effects; restarting on a \
+                 non-empty log replays it and resumes the frozen round.")
 
 let metrics_port_t =
   Arg.(value & opt (some int) None
@@ -108,7 +120,7 @@ let verbose_t =
 
 let term =
   Term.(const run $ shards_t $ rounds_t $ graph_t $ init_t $ algo_t $ seed_t
-        $ self_loops_t $ port_t $ band_t $ out_t $ suspect_timeout_t
+        $ self_loops_t $ port_t $ band_t $ out_t $ suspect_timeout_t $ wal_t
         $ metrics_port_t $ deadline_t $ verbose_t)
 
 let cmd =

@@ -13,9 +13,38 @@ let die msg =
   Printf.eprintf "lb_node: %s\n%!" msg;
   exit 2
 
+(* "S1,S2@FROM-UNTIL" -> a Loss.window cutting those shards off. *)
+let parse_partition s =
+  let err =
+    Error
+      (Printf.sprintf
+         "bad --partition %S (expected SHARD[,SHARD..]@FROM-UNTIL, seconds)" s)
+  in
+  match String.index_opt s '@' with
+  | None -> err
+  | Some i -> (
+    let shards_s = String.sub s 0 i in
+    let span = String.sub s (i + 1) (String.length s - i - 1) in
+    let cut = List.map int_of_string_opt (String.split_on_char ',' shards_s) in
+    match String.index_opt span '-' with
+    | None -> err
+    | Some j -> (
+      let from_s = float_of_string_opt (String.sub span 0 j) in
+      let until_s =
+        float_of_string_opt
+          (String.sub span (j + 1) (String.length span - j - 1))
+      in
+      match (from_s, until_s) with
+      | Some f, Some u when List.for_all (fun o -> o <> None) cut ->
+        Ok
+          { Dist.Loss.cut = List.filter_map (fun o -> o) cut;
+            from_s = f; until_s = u }
+      | _ -> err))
+
 let run shard shards port graph_s init_s algo_s rounds seed self_loops drop
-    delay_prob delay_max loss_seed dir tick hb_interval retx_timeout
-    retx_backoff_s retx_cap metrics_port verbose =
+    delay_prob delay_max loss_seed partitions_s dir tick hb_interval reconnects
+    retx_timeout retx_backoff_s retx_cap metrics_port verbose =
+  if reconnects < 0 then die "--reconnects must be >= 0";
   let built =
     match
       Dist.Setup.build
@@ -33,15 +62,24 @@ let run shard shards port graph_s init_s algo_s rounds seed self_loops drop
     { Net.Protocol.timeout = retx_timeout; backoff = retx_backoff;
       cap = retx_cap }
   in
+  let partitions =
+    List.map
+      (fun s -> match parse_partition s with Ok w -> w | Error m -> die m)
+      partitions_s
+  in
   let loss =
     { Dist.Loss.drop; delay_prob; delay_max;
-      seed = (match loss_seed with Some s -> s | None -> seed) }
+      seed = (match loss_seed with Some s -> s | None -> seed); partitions }
   in
+  (match Dist.Loss.validate loss with
+   | Ok () -> ()
+   | Error m -> die m);
   let cfg =
     { Dist.Node.shard; shards; port; graph = built.Dist.Setup.graph;
       init = built.Dist.Setup.init;
       make_balancer = built.Dist.Setup.make_balancer; rounds; ckpt_dir = dir;
-      loss; protocol; tick; hb_interval; metrics_port; verbose }
+      loss; protocol; tick; hb_interval; metrics_port; reconnects;
+      graceful_term = true; injection = Dist.Node.No_injection; verbose }
   in
   exit (Dist.Node.main cfg)
 
@@ -100,9 +138,22 @@ let loss_seed_t =
        & info [ "loss-seed" ] ~docv:"S"
            ~doc:"Loss-shim seed (defaults to --seed).")
 
+let partition_t =
+  Arg.(value & opt_all string []
+       & info [ "partition" ] ~docv:"SHARDS\\@FROM-UNTIL"
+           ~doc:"Cut the listed shards off the coordinator over a \
+                 wall-clock window in seconds since this daemon started, \
+                 e.g. 1,2\\@0.2-0.6 (repeatable).")
+
 let dir_t =
   Arg.(value & opt string "."
        & info [ "dir" ] ~docv:"DIR" ~doc:"Checkpoint directory.")
+
+let reconnects_t =
+  Arg.(value & opt int 5
+       & info [ "reconnects" ] ~docv:"N"
+           ~doc:"Consecutive coordinator-link losses tolerated before \
+                 exiting 3.")
 
 let tick_t =
   Arg.(value & opt float 0.02
@@ -136,9 +187,9 @@ let verbose_t =
 let term =
   Term.(const run $ shard_t $ shards_t $ port_t $ graph_t $ init_t $ algo_t
         $ rounds_t $ seed_t $ self_loops_t $ drop_t $ delay_prob_t
-        $ delay_max_t $ loss_seed_t $ dir_t $ tick_t $ hb_interval_t
-        $ retx_timeout_t $ retx_backoff_t $ retx_cap_t $ metrics_port_t
-        $ verbose_t)
+        $ delay_max_t $ loss_seed_t $ partition_t $ dir_t $ tick_t
+        $ hb_interval_t $ reconnects_t $ retx_timeout_t $ retx_backoff_t
+        $ retx_cap_t $ metrics_port_t $ verbose_t)
 
 let cmd =
   let doc = "run one load-balancing shard daemon against an lb_coord" in

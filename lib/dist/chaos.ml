@@ -1,0 +1,208 @@
+(* Seeded chaos-schedule fuzzer: scenario generation and shrinking.
+
+   A scenario is a complete, replayable cluster run: experiment specs,
+   a loss configuration, partition windows, and a fault schedule over
+   the Super supervisor (shard kill -9, graceful SIGTERM, coordinator
+   kill -9 — all pinned to committed rounds).  Generation is a pure
+   function of (seed, index) via a splitmix64 stream, so a failing
+   index reproduces on any machine from the two integers alone.
+
+   When a scenario violates a universal invariant (conservation, band
+   re-entry, termination), [minimize] greedily shrinks it: drop one
+   fault, drop one partition window, silence the loss shim, halve the
+   horizon — accepting any simpler scenario that still fails, until
+   none does.  The result prints as a single lb_cluster command line. *)
+
+type scenario = {
+  index : int;
+  shards : int;
+  rounds : int;
+  graph : string;
+  init : string;
+  algo : string;
+  seed : int;
+  drop : float;
+  delay_prob : float;
+  delay_max : float;
+  faults : Super.fault list;
+  partitions : Loss.window list;
+}
+
+(* --- splitmix64 (the lint bans stdlib Random in lib/) --- *)
+
+type rng = { mutable s : int64 }
+
+let next_u64 g =
+  g.s <- Int64.add g.s 0x9E3779B97F4A7C15L;
+  let z = g.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rand g n =
+  if n <= 0 then invalid_arg "Dist.Chaos.rand: n must be > 0";
+  Int64.to_int (Int64.rem (Int64.logand (next_u64 g) Int64.max_int) (Int64.of_int n))
+
+let pick g arr = arr.(rand g (Array.length arr))
+
+(* --- generation --- *)
+
+let graphs = [| "cycle:24"; "hypercube:4"; "torus:5x5"; "complete:12" |]
+let inits = [| "point:2048"; "point:4096"; "random:3000"; "bimodal:40,2" |]
+let algos = [| "rotor-router"; "send-floor" |]
+let drops = [| 0.0; 0.0; 0.05; 0.15 |]
+let delays = [| 0.0; 0.0; 0.1 |]
+
+let gen_faults g ~shards ~rounds =
+  let count = rand g 4 in
+  (* At most one fault per shard and one coordinator kill: stacking
+     several signals on one target mostly tests signal races in the
+     harness, not the protocol. *)
+  let used_shard = Array.make shards false in
+  let used_coord = ref false in
+  let faults = ref [] in
+  for _ = 1 to count do
+    let round = 1 + rand g (max 1 (rounds - 2)) in
+    match rand g 3 with
+    | 0 | 1 ->
+      let shard = rand g shards in
+      if not used_shard.(shard) then begin
+        used_shard.(shard) <- true;
+        let f =
+          if rand g 3 = 0 then Super.Term_shard { shard; round }
+          else Super.Kill_shard { shard; round }
+        in
+        faults := f :: !faults
+      end
+    | _ ->
+      if not !used_coord then begin
+        used_coord := true;
+        faults := Super.Kill_coord { round } :: !faults
+      end
+  done;
+  List.rev !faults
+
+let gen_partitions g ~shards =
+  if rand g 3 <> 0 then []
+  else begin
+    let from_s = 0.1 +. (0.1 *. float_of_int (rand g 4)) in
+    let until_s = from_s +. 0.15 +. (0.1 *. float_of_int (rand g 3)) in
+    [ { Loss.cut = [ rand g shards ]; from_s; until_s } ]
+  end
+
+let generate ~seed ~index =
+  let g =
+    { s = Int64.add (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+            (Int64.of_int index) }
+  in
+  (* Burn a few outputs so nearby (seed, index) pairs decorrelate. *)
+  let _ = next_u64 g and _ = next_u64 g in
+  let shards = 2 + rand g 3 in
+  let rounds = 6 + rand g 10 in
+  {
+    index;
+    shards;
+    rounds;
+    graph = pick g graphs;
+    init = pick g inits;
+    algo = pick g algos;
+    seed = 1 + rand g 1000;
+    drop = pick g drops;
+    delay_prob = pick g delays;
+    delay_max = 0.02;
+    faults = gen_faults g ~shards ~rounds;
+    partitions = gen_partitions g ~shards;
+  }
+
+(* --- shrinking --- *)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+(* Strictly simpler variants, most aggressive first.  Every candidate
+   keeps (seed, index) so the experiment itself stays fixed. *)
+let shrink s =
+  let without_faults =
+    List.mapi (fun i _ -> { s with faults = drop_nth s.faults i }) s.faults
+  in
+  let without_partitions =
+    List.mapi
+      (fun i _ -> { s with partitions = drop_nth s.partitions i })
+      s.partitions
+  in
+  let lossless =
+    if s.drop > 0.0 || s.delay_prob > 0.0 then
+      [ { s with drop = 0.0; delay_prob = 0.0 } ]
+    else []
+  in
+  let shorter =
+    if s.rounds > 4 then begin
+      let rounds = max 4 (s.rounds / 2) in
+      let fits r = r < rounds in
+      [ { s with
+          rounds;
+          faults =
+            List.filter
+              (function
+                | Super.Kill_shard { round; _ }
+                | Super.Term_shard { round; _ }
+                | Super.Kill_coord { round } -> fits round)
+              s.faults;
+        } ]
+    end
+    else []
+  in
+  without_faults @ without_partitions @ lossless @ shorter
+
+let rec minimize ~fails s =
+  match List.find_opt fails (shrink s) with
+  | Some simpler -> minimize ~fails simpler
+  | None -> s
+
+(* --- printing --- *)
+
+let fault_flag = function
+  | Super.Kill_shard { shard; round } -> Printf.sprintf "--kill %d@%d" shard round
+  | Super.Term_shard { shard; round } -> Printf.sprintf "--term %d@%d" shard round
+  | Super.Kill_coord { round } -> Printf.sprintf "--kill-coord %d" round
+
+let partition_flag (w : Loss.window) =
+  Printf.sprintf "--partition %s@%g-%g"
+    (String.concat "," (List.map string_of_int w.Loss.cut))
+    w.Loss.from_s w.Loss.until_s
+
+let command_line s =
+  let base =
+    Printf.sprintf
+      "lb_cluster --graph %s --init %s --algo %s --rounds %d --shards %d \
+       --seed %d --band auto"
+      s.graph s.init s.algo s.rounds s.shards s.seed
+  in
+  let loss =
+    (if s.drop > 0.0 then [ Printf.sprintf "--drop %g" s.drop ] else [])
+    @
+    if s.delay_prob > 0.0 then
+      [ Printf.sprintf "--delay-prob %g --delay-max %g" s.delay_prob s.delay_max ]
+    else []
+  in
+  String.concat " "
+    ((base :: loss)
+    @ List.map fault_flag s.faults
+    @ List.map partition_flag s.partitions)
+
+let describe s =
+  Printf.sprintf "#%d %s/%s/%s rounds=%d shards=%d drop=%g delay=%g %s%s"
+    s.index s.graph s.init s.algo s.rounds s.shards s.drop s.delay_prob
+    (match s.faults with
+     | [] -> "no faults"
+     | fs -> String.concat ", " (List.map Super.describe_fault fs))
+    (match s.partitions with
+     | [] -> ""
+     | ws ->
+       "; "
+       ^ String.concat ", "
+           (List.map
+              (fun (w : Loss.window) ->
+                Printf.sprintf "partition [%s] %g-%gs"
+                  (String.concat "," (List.map string_of_int w.Loss.cut))
+                  w.Loss.from_s w.Loss.until_s)
+              ws))

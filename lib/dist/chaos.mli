@@ -1,0 +1,45 @@
+(** Seeded chaos-schedule fuzzer: scenario generation and shrinking.
+
+    {!generate} is a pure function of [(seed, index)] (splitmix64), so
+    a failing scenario reproduces anywhere from the two integers.
+    {!minimize} greedily simplifies a failing scenario — drop a fault,
+    drop a partition window, silence the loss, halve the horizon —
+    while the caller-supplied predicate keeps failing, and
+    {!command_line} renders the result as a replayable [lb_cluster]
+    invocation.  Execution lives in the [lb_chaos] binary; this module
+    is pure. *)
+
+type scenario = {
+  index : int;
+  shards : int;
+  rounds : int;
+  graph : string;  (** Harness.Experiment graph spec *)
+  init : string;
+  algo : string;
+  seed : int;
+  drop : float;
+  delay_prob : float;
+  delay_max : float;
+  faults : Super.fault list;
+  partitions : Loss.window list;
+}
+
+val generate : seed:int -> index:int -> scenario
+(** Deterministic scenario [index] of stream [seed]: 2–4 shards, 6–15
+    rounds, a small graph/init/algo mix, optional loss, 0–3 faults
+    (at most one per shard, at most one coordinator kill), and an
+    optional partition window. *)
+
+val shrink : scenario -> scenario list
+(** Strictly simpler candidate scenarios, most aggressive first. *)
+
+val minimize : fails:(scenario -> bool) -> scenario -> scenario
+(** Greedy shrink: repeatedly adopt the first {!shrink} candidate on
+    which [fails] still holds.  [fails] typically runs the cluster, so
+    expect one run per candidate tried. *)
+
+val command_line : scenario -> string
+(** A replayable [lb_cluster] invocation for the scenario. *)
+
+val describe : scenario -> string
+(** One-line summary for progress logs. *)

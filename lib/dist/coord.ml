@@ -7,6 +7,22 @@
    this module executes them and turns the Committed stream into
    watchdog audits, the discrepancy series, and the chaos hook.
 
+   With a WAL configured, every commit and epoch transition is
+   appended and fsync'd BEFORE any of its external effects (Start /
+   Welcome sends, the chaos hook), so a coordinator killed at any
+   instant restarts into Member.recover with a state no shard is ahead
+   of: shards block at the commit barrier, reconnect, re-hello, and
+   the frozen round resumes exactly.
+
+   Failure containment instead of failure propagation: a corrupt shard
+   stream quarantines that shard (freeze + exclude + re-admit from a
+   CRC-verified checkpoint under a new epoch) rather than killing the
+   run, and a failed conservation audit poisons the commit — the
+   controller rolls back one round, fences the epoch, disconnects
+   everyone, and re-runs from checkpoints; only a second audit failure
+   of the same round (a persistent liar) or an audit failure with no
+   rollback window ends the run with exit 4.
+
    Exit codes: 0 ok, 2 config error, 3 recovery/timeout failure,
    4 invariant violation (conservation or final band). *)
 
@@ -24,6 +40,8 @@ type config = {
   respawn : (int -> unit) option; (* supervisor callback (fork replacement) *)
   on_commit : (int -> unit) option; (* chaos hook, called per committed round *)
   deadline : float option; (* overall wall-clock budget, seconds *)
+  wal : string option; (* write-ahead log path; replayed when non-empty *)
+  graceful_term : bool; (* catch SIGTERM and leave with exit 0 *)
   verbose : bool;
 }
 
@@ -41,12 +59,26 @@ type t = {
   mutable stop : int option;
   started : float;
   httpd : Httpd.t option;
+  wal : Wal.t option;
+  mutable logged_epoch : int; (* last epoch recorded in the WAL *)
+  mutable wal_reason : string; (* reason tag for the next Epoch record *)
+  mutable abandon : bool; (* poison: skip the rest of this action batch *)
+  mutable last_poisoned : int option; (* poison budget: one rollback per round *)
+  mutable term : bool; (* SIGTERM seen *)
+  quarantines : int array; (* corrupt-stream quarantines per shard *)
   m_commits : Obs.Metrics.counter;
   m_deaths : Obs.Metrics.counter;
   m_respawns : Obs.Metrics.counter;
+  m_poisons : Obs.Metrics.counter;
+  m_quarantines : Obs.Metrics.counter;
+  m_stale : Obs.Metrics.counter;
   m_disc : Obs.Metrics.gauge;
   m_epoch : Obs.Metrics.gauge;
 }
+
+(* Repeated framing corruption on one shard's link means its process
+   (not the link) is the liar; stop trying after this many exclusions. *)
+let quarantine_limit = 5
 
 let logf t fmt =
   if t.cfg.verbose then Printf.eprintf ("lb_coord: " ^^ fmt ^^ "\n%!")
@@ -60,7 +92,52 @@ let drop_conn t shard =
     t.conns.(shard) <- None;
     Heartbeat.unwatch t.monitor shard
 
-let rec do_actions t acts = List.iter (do_action t) acts
+(* Make a Member transition's durable consequences (commit, epoch
+   bump, checkpoint-source elections) hit the disk BEFORE any of its
+   external effects run.  Called by [dispatch] with the action batch a
+   Member.on_* call returned, while no send has happened yet. *)
+let wal_note t acts =
+  match t.wal with
+  | None -> ()
+  | Some w ->
+    let time = Clock.now () in
+    let dirty = ref false in
+    let committed =
+      List.exists (function Member.Committed _ -> true | _ -> false) acts
+    in
+    if committed then begin
+      Wal.append w (Wal.Commit { time; snap = Member.snapshot t.member });
+      dirty := true
+    end
+    else if Member.epoch t.member <> t.logged_epoch then begin
+      Wal.append w
+        (Wal.Epoch { time; reason = t.wal_reason; snap = Member.snapshot t.member });
+      dirty := true
+    end;
+    List.iter
+      (fun a ->
+        match a with
+        | Member.Tell { shard; msg = Msg.Welcome { round; use; _ } } ->
+          Wal.append w (Wal.Elect { time; shard; round; use });
+          dirty := true
+        | Member.Tell _ | Member.Committed _ | Member.Respawn _
+        | Member.Fail _ | Member.Finished -> ())
+      acts;
+    if !dirty then Wal.sync w;
+    t.logged_epoch <- Member.epoch t.member;
+    t.wal_reason <- "membership change"
+
+(* Execute a Member action batch, WAL first.  A poisoned commit midway
+   abandons the rest of the batch (its Tells belong to a rolled-back
+   state); the nested on_poison dispatch saves and restores the flag. *)
+let rec dispatch t acts =
+  wal_note t acts;
+  let outer = t.abandon in
+  t.abandon <- false;
+  List.iter
+    (fun a -> if (not t.abandon) && t.stop = None then do_action t a)
+    acts;
+  t.abandon <- outer
 
 and do_action t = function
   | Member.Tell { shard; msg } -> (
@@ -76,12 +153,10 @@ and do_action t = function
     Obs.Metrics.set t.m_disc (float_of_int disc);
     Obs.Metrics.set t.m_epoch (float_of_int (Member.epoch t.member));
     logf t "committed round %d (discrepancy %d)" round disc;
-    (match Faults.Watchdog.check t.watchdog ~step:round ~loads:sums with
-     | () -> ()
-     | exception Faults.Watchdog.Invariant_violation d ->
-       Printf.eprintf "lb_coord: %s\n%!" (Faults.Watchdog.to_string d);
-       t.stop <- Some 4);
-    match t.cfg.on_commit with Some f -> f round | None -> ())
+    match Faults.Watchdog.check t.watchdog ~step:round ~loads:sums with
+    | () -> ( match t.cfg.on_commit with Some f -> f round | None -> ())
+    | exception Faults.Watchdog.Invariant_violation d ->
+      poison t ~round ~reason:(Faults.Watchdog.to_string d))
   | Member.Respawn { shard } -> (
     Obs.Metrics.inc t.m_respawns 1;
     match t.cfg.respawn with
@@ -96,7 +171,60 @@ and declare_dead t shard =
   Obs.Metrics.inc t.m_deaths 1;
   logf t "shard %d declared dead" shard;
   drop_conn t shard;
-  do_actions t (Member.on_death t.member ~shard)
+  t.wal_reason <- "shard death";
+  dispatch t (Member.on_death t.member ~shard)
+
+(* The conservation audit of a just-committed round failed.  Once per
+   round we assume a transient liar: roll the commit back, fence the
+   epoch, and disconnect everyone so the round re-runs from the
+   CRC-verified checkpoints.  The same round failing its audit twice
+   means the fault is durable — exit 4 as the watchdog would have. *)
+and poison t ~round ~reason =
+  match t.last_poisoned with
+  | Some r when r = round ->
+    Printf.eprintf
+      "lb_coord: round %d failed its audit again after a rollback: %s\n%!"
+      round reason;
+    t.stop <- Some 4
+  | Some _ | None ->
+    t.last_poisoned <- Some round;
+    Obs.Metrics.inc t.m_poisons 1;
+    Printf.eprintf
+      "lb_coord: poisoned commit of round %d quarantined, rolling back: %s\n%!"
+      round reason;
+    t.abandon <- true;
+    (* Close every link (bound and pending): shards hit EOF, reconnect,
+       and re-hello into the fenced epoch; nothing from the poisoned
+       commit escapes. *)
+    Array.iteri (fun s _ -> drop_conn t s) t.conns;
+    List.iter Transport.close t.pending;
+    t.pending <- [];
+    t.wal_reason <- "poisoned commit rollback";
+    dispatch t (Member.on_poison t.member ~reason)
+
+(* A corrupt frame on a bound shard link: the CRC caught a byte-level
+   lie.  Quarantine the shard — freeze and exclude it like a death, so
+   it re-admits only from a CRC-verified checkpoint under the next
+   epoch — rather than killing the run.  A shard that keeps corrupting
+   its stream is broken hardware or a broken process: give up on the
+   run after [quarantine_limit] exclusions. *)
+and quarantine t shard m =
+  t.quarantines.(shard) <- t.quarantines.(shard) + 1;
+  Obs.Metrics.inc t.m_quarantines 1;
+  if t.quarantines.(shard) > quarantine_limit then begin
+    Printf.eprintf
+      "lb_coord: shard %d corrupted its stream %d times; giving up: %s\n%!"
+      shard t.quarantines.(shard) m;
+    t.stop <- Some 3
+  end
+  else begin
+    Printf.eprintf "lb_coord: quarantining shard %d: corrupt stream (%s)\n%!"
+      shard m;
+    Obs.Metrics.inc t.m_deaths 1;
+    drop_conn t shard;
+    t.wal_reason <- "shard quarantine";
+    dispatch t (Member.on_death t.member ~shard)
+  end
 
 let finalize t =
   let n = Graphs.Graph.n t.cfg.graph in
@@ -161,16 +289,23 @@ let on_result t ~shard loads =
 let handle_shard_msg t ~shard msg =
   Heartbeat.beat t.monitor ~now:(Clock.now ()) shard;
   match msg with
-  | Msg.Data { dst; _ } | Msg.Data_ack { dst; _ } -> (
-    match t.conns.(dst) with
-    | None -> () (* destination dead; the sender's ARQ covers the gap *)
-    | Some c -> (
-      try Transport.send c msg
-      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-        declare_dead t dst))
+  | Msg.Data { dst; epoch; _ } | Msg.Data_ack { dst; epoch; _ } ->
+    (* Fence the relay: frames from a previous epoch belong to an
+       aborted or rolled-back round (a healed partition replays its
+       backlog here) and must not leak into the current one. *)
+    if epoch <> Member.epoch t.member then Obs.Metrics.inc t.m_stale 1
+    else (
+      match t.conns.(dst) with
+      | None -> () (* destination dead; the sender's ARQ covers the gap *)
+      | Some c -> (
+        try Transport.send c msg
+        with
+        | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+        ->
+          declare_dead t dst))
   | Msg.Round_done { shard = s; epoch; round; load_sum; min_load; max_load } ->
     if s = shard then
-      do_actions t
+      dispatch t
         (Member.on_round_done t.member ~shard ~epoch ~round ~load_sum ~min_load
            ~max_load)
   | Msg.Heartbeat _ -> () (* the beat above is the signal *)
@@ -178,7 +313,7 @@ let handle_shard_msg t ~shard msg =
   | Msg.Hello _ ->
     Printf.eprintf "lb_coord: duplicate hello from bound shard %d\n%!" shard;
     t.stop <- Some 2
-  | Msg.Welcome _ | Msg.Start _ | Msg.Abort _ | Msg.Shutdown ->
+  | Msg.Welcome _ | Msg.Start _ | Msg.Abort _ | Msg.Shutdown _ ->
     logf t "ignoring coordinator-bound %s from shard %d" (Msg.describe msg) shard
 
 let handle_pending_msg t conn msg =
@@ -197,7 +332,8 @@ let handle_pending_msg t conn msg =
       (match t.conns.(shard) with
        | Some _ ->
          drop_conn t shard;
-         do_actions t
+         t.wal_reason <- "shard reconnect";
+         dispatch t
            (List.filter
               (function Member.Respawn _ -> false | _ -> true)
               (Member.on_death t.member ~shard))
@@ -205,7 +341,7 @@ let handle_pending_msg t conn msg =
       t.conns.(shard) <- Some conn;
       Heartbeat.watch t.monitor ~now:(Clock.now ()) shard;
       logf t "%s" (Msg.describe msg);
-      do_actions t
+      dispatch t
         (Member.on_hello t.member ~shard ~staged_round ~primary_round
            ~rotated_round)
     end
@@ -263,13 +399,43 @@ let run cfg =
   validate cfg;
   let init_sums, init_mins, init_maxs = per_shard_init cfg in
   let expected_total = Array.fold_left ( + ) 0 cfg.init in
+  (* Replay the WAL before anything else: a non-empty log means this is
+     a restart, and the controller must resume the frozen round rather
+     than re-run from scratch. *)
+  let recovery, wal =
+    match cfg.wal with
+    | None -> (None, None)
+    | Some path -> (
+      match Wal.replay ~path with
+      | Error m -> raise (Fatal (3, m))
+      | Ok prior ->
+        (match prior with
+         | Some r
+           when r.Wal.shards <> cfg.shards
+                || r.Wal.rounds <> cfg.rounds
+                || r.Wal.expected_total <> expected_total ->
+           raise
+             (Fatal
+                ( 2,
+                  Printf.sprintf
+                    "WAL %s records a different run (%d shards, %d rounds, \
+                     %d tokens)"
+                    path r.Wal.shards r.Wal.rounds r.Wal.expected_total ))
+         | Some _ | None -> ());
+        (prior, Some (Wal.create ~path)))
+  in
+  let member =
+    match recovery with
+    | None ->
+      Member.create ~shards:cfg.shards ~rounds:cfg.rounds ~init_sums ~init_mins
+        ~init_maxs
+    | Some r -> Member.recover ~shards:cfg.shards ~rounds:cfg.rounds r.Wal.snap
+  in
   let registry = Obs.Metrics.default in
   let t =
     {
       cfg;
-      member =
-        Member.create ~shards:cfg.shards ~rounds:cfg.rounds ~init_sums
-          ~init_mins ~init_maxs;
+      member;
       monitor = Heartbeat.monitor ~timeout:cfg.suspect_timeout;
       watchdog =
         Faults.Watchdog.create ~name:cfg.balancer_name ~never_negative:false
@@ -284,6 +450,13 @@ let run cfg =
         (match cfg.metrics_port with
          | None -> None
          | Some p -> Some (Httpd.create ~port:p ~registry ()));
+      wal;
+      logged_epoch = Member.epoch member;
+      wal_reason = "membership change";
+      abandon = false;
+      last_poisoned = None;
+      term = false;
+      quarantines = Array.make cfg.shards 0;
       m_commits =
         Obs.Metrics.counter ~registry ~help:"rounds committed"
           "lb_coord_rounds_committed_total";
@@ -293,6 +466,15 @@ let run cfg =
       m_respawns =
         Obs.Metrics.counter ~registry ~help:"respawns requested"
           "lb_coord_respawns_total";
+      m_poisons =
+        Obs.Metrics.counter ~registry ~help:"poisoned commits rolled back"
+          "lb_coord_poisoned_commits_total";
+      m_quarantines =
+        Obs.Metrics.counter ~registry ~help:"corrupt-stream shard quarantines"
+          "lb_coord_quarantines_total";
+      m_stale =
+        Obs.Metrics.counter ~registry ~help:"stale-epoch data frames fenced"
+          "lb_coord_stale_frames_total";
       m_disc =
         Obs.Metrics.gauge ~registry ~help:"committed discrepancy"
           "lb_coord_discrepancy";
@@ -300,6 +482,40 @@ let run cfg =
         Obs.Metrics.gauge ~registry ~help:"membership epoch" "lb_coord_epoch";
     }
   in
+  (* Make the boot (or the restart's fenced epoch) durable before the
+     first connection is accepted: a shard admitted under an unlogged
+     epoch could outrun the log. *)
+  (match (t.wal, recovery) with
+   | None, _ -> ()
+   | Some w, None ->
+     Wal.append w
+       (Wal.Boot
+          {
+            time = Clock.now ();
+            shards = cfg.shards;
+            rounds = cfg.rounds;
+            expected_total;
+            snap = Member.snapshot t.member;
+          });
+     Wal.sync w
+   | Some w, Some r ->
+     Wal.append w
+       (Wal.Epoch
+          {
+            time = Clock.now ();
+            reason = "coordinator restart";
+            snap = Member.snapshot t.member;
+          });
+     Wal.sync w;
+     Printf.eprintf
+       "lb_coord: recovered from WAL: round %d committed, epoch %d, %d \
+        commit(s)%s\n\
+        %!"
+       (Member.committed t.member)
+       (Member.epoch t.member) r.Wal.commits
+       (if r.Wal.torn_tail then " (torn tail discarded)" else ""));
+  if cfg.graceful_term then
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> t.term <- true));
   let rec loop () =
     match t.stop with
     | Some code -> code
@@ -309,6 +525,15 @@ let run cfg =
        | Some d when now -. t.started > d ->
          raise (Fatal (3, Printf.sprintf "deadline of %.0f s exceeded" d))
        | Some _ | None -> ());
+      if t.term then begin
+        (* The WAL (and every shard's checkpoints) are durable at all
+           times; a graceful stop needs no extra staging here. *)
+        Printf.eprintf
+          "lb_coord: SIGTERM: leaving with round %d committed (epoch %d)\n%!"
+          (Member.committed t.member)
+          (Member.epoch t.member);
+        t.stop <- Some 0
+      end;
       List.iter (fun s -> declare_dead t s) (Heartbeat.suspects t.monitor ~now);
       (match t.stop with
        | Some _ -> ()
@@ -362,9 +587,7 @@ let run cfg =
                | Transport.Closed ->
                  if t.results.(shard) = None then declare_dead t shard
                  else drop_conn t shard (* clean exit after its Result *)
-               | Transport.Corrupt m ->
-                 logf t "shard %d stream corrupt (%s)" shard m;
-                 declare_dead t shard)
+               | Transport.Corrupt m -> quarantine t shard m)
              | Some _ | None -> ())
            t.conns;
          List.iter
@@ -391,6 +614,7 @@ let run cfg =
     ~finally:(fun () ->
       Array.iteri (fun s _ -> drop_conn t s) t.conns;
       List.iter Transport.close t.pending;
+      (match t.wal with Some w -> Wal.close w | None -> ());
       (match t.httpd with Some h -> Httpd.close h | None -> ());
       try Unix.close t.cfg.listen_fd with Unix.Unix_error _ -> ())
     loop

@@ -7,7 +7,16 @@
     once every shard reports its final loads — checks exact
     conservation and the discrepancy band, optionally writing the
     merged load vector (one integer per line, [cmp]-comparable with
-    [lb_sim --dump-loads]). *)
+    [lb_sim --dump-loads]).
+
+    With [wal] set, every commit and epoch transition is appended to a
+    {!Wal} and fsync'd before any of its external effects, and a
+    restart replays the log: the controller resumes the frozen round
+    under a fenced epoch once every shard re-helloes.  A corrupt shard
+    stream quarantines that shard (exclusion + checkpointed
+    re-admission) instead of ending the run; a failed conservation
+    audit rolls the poisoned commit back once per round before
+    declaring the fault durable.  See DESIGN.md §14. *)
 
 type config = {
   shards : int;
@@ -27,6 +36,12 @@ type config = {
   on_commit : (int -> unit) option;
       (** chaos hook, called after every committed round (incl. 0) *)
   deadline : float option;  (** overall wall-clock budget, seconds *)
+  wal : string option;
+      (** write-ahead log path; replayed (crash recovery) when the file
+          is non-empty, appended to either way *)
+  graceful_term : bool;
+      (** catch SIGTERM and exit 0 — the WAL and the shards'
+          checkpoints make any stopping point resumable *)
   verbose : bool;
 }
 

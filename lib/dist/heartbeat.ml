@@ -6,6 +6,29 @@
    beat table so every traversal is in shard order — deterministic
    output without iterating the hash table. *)
 
+(* Shared sanity gate for the --hb-timeout flag: a timeout that is not
+   a positive finite number can never fire sensibly, and one at or
+   below twice the beat interval suspects healthy shards on any
+   scheduling hiccup (a single missed beat). *)
+let validate_timeout ?interval ~timeout () =
+  if not (Float.is_finite timeout) || timeout <= 0.0 then
+    Error
+      (Printf.sprintf "heartbeat timeout must be a positive number (got %g)"
+         timeout)
+  else
+    match interval with
+    | Some i when not (Float.is_finite i) || i <= 0.0 ->
+      Error
+        (Printf.sprintf "heartbeat interval must be a positive number (got %g)"
+           i)
+    | Some i when timeout <= 2.0 *. i ->
+      Error
+        (Printf.sprintf
+           "heartbeat timeout %g s must exceed twice the beat interval %g s \
+            (one missed beat would read as a death)"
+           timeout i)
+    | Some _ | None -> Ok ()
+
 type pacer = { interval : float; mutable last : float }
 
 let pacer ~interval ~now =

@@ -6,6 +6,13 @@
     on by {!Member} (round barrier exclusion); a late-but-alive process
     that reconnects simply rejoins through the normal Hello path. *)
 
+val validate_timeout :
+  ?interval:float -> timeout:float -> unit -> (unit, string) result
+(** Gate for user-supplied failure-detector timeouts: rejects
+    non-finite or non-positive values, and — when the beat [interval]
+    is known — timeouts at or below twice the interval (a single
+    missed beat would count as a death). *)
+
 type pacer
 
 val pacer : interval:float -> now:float -> pacer

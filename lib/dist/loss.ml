@@ -9,14 +9,37 @@
    interleaving.  Every call draws the same number of variates, keeping
    streams aligned across configurations. *)
 
+type window = {
+  cut : int list; (* the isolated shard group *)
+  from_s : float;
+  until_s : float;
+}
+
 type config = {
   drop : float; (* P(frame silently discarded) *)
   delay_prob : float; (* P(frame held back), evaluated after drop *)
   delay_max : float; (* held frames release after U(0, delay_max) seconds *)
   seed : int;
+  partitions : window list;
 }
 
-let none = { drop = 0.0; delay_prob = 0.0; delay_max = 0.0; seed = 0 }
+let none =
+  { drop = 0.0; delay_prob = 0.0; delay_max = 0.0; seed = 0; partitions = [] }
+
+(* A partition separates the [cut] group from everything else (the
+   coordinator, id -1, is always on the majority side): traffic whose
+   endpoints straddle the cut is unreachable while the window is open.
+   Windows are wall-clock intervals relative to the observer's start —
+   the cluster is a star, so each node applies the cut to its own
+   coordinator link, which severs both its control and (relayed) data
+   plane exactly as a real partition would. *)
+let cut c ~elapsed ~src ~dst =
+  List.exists
+    (fun w ->
+      elapsed >= w.from_s
+      && elapsed < w.until_s
+      && List.mem src w.cut <> List.mem dst w.cut)
+    c.partitions
 
 let validate c =
   let prob what p =
@@ -32,7 +55,18 @@ let validate c =
     | Ok () ->
       if c.delay_max < 0.0 then
         Error (Printf.sprintf "delay max must be >= 0 (got %g)" c.delay_max)
-      else Ok ())
+      else
+        let rec windows = function
+          | [] -> Ok ()
+          | w :: rest ->
+            if w.cut = [] then Error "partition window isolates no shard"
+            else if w.from_s < 0.0 || not (Float.is_finite w.from_s) then
+              Error "partition window must start at time >= 0"
+            else if w.until_s <= w.from_s || not (Float.is_finite w.until_s)
+            then Error "partition window must end after it starts"
+            else windows rest
+        in
+        windows c.partitions)
 
 type verdict = Deliver | Drop | Delay of float
 

@@ -6,15 +6,29 @@
     seed, regardless of timing.  Applied to data-plane frames only; the
     control plane (membership, heartbeats) stays lossless. *)
 
+type window = {
+  cut : int list;  (** the isolated shard group (non-empty) *)
+  from_s : float;  (** window opens, seconds after the observer started *)
+  until_s : float;  (** window closes *)
+}
+(** A network partition: for [elapsed] in [[from_s, until_s)] no frame
+    crosses between the [cut] group and the rest of the cluster (the
+    coordinator is always on the majority side). *)
+
 type config = {
   drop : float;  (** P(frame silently discarded), in [0, 1) *)
   delay_prob : float;  (** P(frame held back), evaluated after drop *)
   delay_max : float;  (** held frames release after U(0, delay_max) seconds *)
   seed : int;
+  partitions : window list;
 }
 
 val none : config
 (** Lossless: every verdict is [Deliver] without consuming randomness. *)
+
+val cut : config -> elapsed:float -> src:int -> dst:int -> bool
+(** True when an open partition window separates [src] from [dst]
+    (use [-1] for the coordinator).  Deterministic in [elapsed]. *)
 
 val validate : config -> (unit, string) result
 

@@ -36,7 +36,17 @@ type status =
       frozen_sum : int;
     }
 
-type phase = Boot | Running | Stalled | Finishing
+type phase = Boot | Running | Stalled | Finishing | Recovering
+
+type snapshot = {
+  epoch : int;
+  committed : int;
+  sums : int array;
+  mins : int array;
+  maxs : int array;
+  dead : (int * int * int) list; (* shard, frozen_round, frozen_sum *)
+  admitted : (int * int * int) list; (* admitted at the last commit *)
+}
 
 type action =
   | Tell of { shard : int; msg : Msg.t }
@@ -56,6 +66,15 @@ type t = {
   last_min : int array; (* committed min load over the shard's nodes *)
   last_max : int array;
   done_r : (int * int * int) option array; (* (sum, min, max) for committed+1 *)
+  (* One-commit rollback window for quarantining a poisoned commit:
+     the pre-commit sums/extremes, whether a rollback target exists,
+     and the shards admitted by the latest advance (they must revert to
+     their pre-admission frozen state, not to the rolled-back round). *)
+  prev_sum : int array;
+  prev_min : int array;
+  prev_max : int array;
+  mutable can_poison : bool;
+  mutable admitted_last : (int * int * int) list; (* shard, frozen_round, frozen_sum *)
 }
 
 let create ~shards ~rounds ~init_sums ~init_mins ~init_maxs =
@@ -77,7 +96,76 @@ let create ~shards ~rounds ~init_sums ~init_mins ~init_maxs =
     last_min = Array.copy init_mins;
     last_max = Array.copy init_maxs;
     done_r = Array.make shards None;
+    prev_sum = Array.copy init_sums;
+    prev_min = Array.copy init_mins;
+    prev_max = Array.copy init_maxs;
+    can_poison = false;
+    admitted_last = [];
   }
+
+let snapshot t =
+  let dead = ref [] in
+  for s = t.shards - 1 downto 0 do
+    match t.status.(s) with
+    | Dead { frozen_round; frozen_sum }
+    | Joining { frozen_round; frozen_sum; _ } ->
+      dead := (s, frozen_round, frozen_sum) :: !dead
+    | Waiting_hello | Alive -> ()
+  done;
+  {
+    epoch = t.epoch;
+    committed = t.committed;
+    sums = Array.copy t.last_sum;
+    mins = Array.copy t.last_min;
+    maxs = Array.copy t.last_max;
+    dead = !dead;
+    admitted = t.admitted_last;
+  }
+
+(* Rebuild the controller from a WAL snapshot after a coordinator
+   restart.  Every shard starts Dead, frozen at the recorded committed
+   round (or at its recorded frozen state), and must re-hello; the
+   epoch is bumped past the recorded one so anything the previous
+   incarnation sent — or anything still in flight from before the
+   crash — is fenced off as stale. *)
+let recover ~shards ~rounds snap =
+  if shards < 1 then invalid_arg "Dist.Member.recover: shards must be >= 1";
+  if rounds < 1 then invalid_arg "Dist.Member.recover: rounds must be >= 1";
+  if
+    Array.length snap.sums <> shards
+    || Array.length snap.mins <> shards
+    || Array.length snap.maxs <> shards
+  then invalid_arg "Dist.Member.recover: snapshot does not match the cluster";
+  let t =
+    {
+      shards;
+      rounds;
+      epoch = snap.epoch + 1;
+      committed = snap.committed;
+      phase = Recovering;
+      status =
+        Array.init shards (fun s ->
+            Dead { frozen_round = snap.committed; frozen_sum = snap.sums.(s) });
+      last_sum = Array.copy snap.sums;
+      last_min = Array.copy snap.mins;
+      last_max = Array.copy snap.maxs;
+      done_r = Array.make shards None;
+      prev_sum = Array.copy snap.sums;
+      prev_min = Array.copy snap.mins;
+      prev_max = Array.copy snap.maxs;
+      can_poison = false;
+      admitted_last = [];
+    }
+  in
+  (* A shard admitted at the very commit the crash interrupted is
+     recorded alive, but its checkpoints still carry only its old
+     frozen round — demand that round back, not the global one. *)
+  List.iter
+    (fun (s, frozen_round, frozen_sum) ->
+      if s >= 0 && s < shards then
+        t.status.(s) <- Dead { frozen_round; frozen_sum })
+    (snap.admitted @ snap.dead);
+  t
 
 let epoch t = t.epoch
 let committed t = t.committed
@@ -134,13 +222,16 @@ let advance t =
   let joiners = ref [] in
   for s = t.shards - 1 downto 0 do
     match t.status.(s) with
-    | Joining { use; _ } -> joiners := (s, use) :: !joiners
+    | Joining { use; frozen_round; frozen_sum } ->
+      joiners := (s, use, frozen_round, frozen_sum) :: !joiners
     | Waiting_hello | Alive | Dead _ -> ()
   done;
   let joiners = !joiners in
+  t.admitted_last <-
+    List.map (fun (s, _, fr, fs) -> (s, fr, fs)) joiners;
   if joiners <> [] then begin
     t.epoch <- t.epoch + 1;
-    List.iter (fun (s, _) -> t.status.(s) <- Alive) joiners
+    List.iter (fun (s, _, _, _) -> t.status.(s) <- Alive) joiners
   end;
   let members = alive t in
   if members = [] then begin
@@ -153,7 +244,7 @@ let advance t =
        down once the roster is complete. *)
     let welcomes =
       List.map
-        (fun (s, use) ->
+        (fun (s, use, _, _) ->
           Tell
             {
               shard = s;
@@ -166,7 +257,9 @@ let advance t =
     if all_alive t then begin
       t.phase <- Finishing;
       welcomes
-      @ List.map (fun s -> Tell { shard = s; msg = Msg.Shutdown }) members
+      @ List.map
+          (fun s -> Tell { shard = s; msg = Msg.Shutdown { epoch = t.epoch } })
+          members
       @ [ Finished ]
     end
     else begin
@@ -179,7 +272,7 @@ let advance t =
     t.phase <- Running;
     let round = t.committed + 1 in
     List.map
-      (fun (s, use) ->
+      (fun (s, use, _, _) ->
         Tell
           {
             shard = s;
@@ -211,7 +304,69 @@ let complete_boot t =
     }
   :: advance t
 
-let on_hello t ~shard ~staged_round ~primary_round ~rotated_round =
+(* Every shard re-helloed after a coordinator restart (or a poisoned
+   commit): re-emit the frozen round's Committed as a fresh audit
+   point, then resume exactly where the log (or the rollback) left
+   off.  [can_poison] stays false — if THIS audit fails the durable
+   state itself is bad and there is nothing left to roll back to. *)
+let complete_recovery t =
+  let acts = advance t in
+  t.can_poison <- false;
+  Committed
+    {
+      round = t.committed;
+      sums = Array.copy t.last_sum;
+      min_load = global_min t;
+      max_load = global_max t;
+    }
+  :: acts
+
+let on_death t ~shard =
+  if shard < 0 || shard >= t.shards then []
+  else
+    match t.status.(shard) with
+    | Dead _ -> []
+    | Waiting_hello -> [ Respawn { shard } ]
+    | Joining { frozen_round; frozen_sum; _ } ->
+      t.status.(shard) <- Dead { frozen_round; frozen_sum };
+      [ Respawn { shard } ]
+    | Alive -> (
+      (* A shard admitted at the last commit has not committed a round
+         of its own yet: freeze it back at its pre-admission round, the
+         newest its checkpoints can actually serve. *)
+      (match List.find_opt (fun (j, _, _) -> j = shard) t.admitted_last with
+      | Some (_, frozen_round, frozen_sum) ->
+        t.status.(shard) <- Dead { frozen_round; frozen_sum }
+      | None ->
+        t.status.(shard) <-
+          Dead { frozen_round = t.committed; frozen_sum = t.last_sum.(shard) });
+      Respawn { shard }
+      ::
+      (match t.phase with
+       | Running ->
+         (* Abort the in-flight round: re-run it under a new epoch
+            without the dead shard. *)
+         t.epoch <- t.epoch + 1;
+         clear_done t;
+         let members = alive t in
+         if members = [] then begin
+           t.phase <- Stalled;
+           []
+         end
+         else
+           List.map
+             (fun s ->
+               Tell
+                 {
+                   shard = s;
+                   msg =
+                     Msg.Abort
+                       { epoch = t.epoch; round = t.committed + 1; members };
+                 })
+             members
+       | Boot | Stalled | Finishing | Recovering -> []))
+
+let rec on_hello t ~shard ~staged_round ~primary_round ~rotated_round =
   if shard < 0 || shard >= t.shards then
     [ Fail { code = 2; reason = Printf.sprintf "hello from unknown shard %d" shard } ]
   else
@@ -238,11 +393,21 @@ let on_hello t ~shard ~staged_round ~primary_round ~rotated_round =
         t.status.(shard) <- Joining { use; frozen_round; frozen_sum };
         match t.phase with
         | Boot -> if boot_complete t then complete_boot t else []
+        | Recovering ->
+          (* Recovery is a barrier: every shard must re-hello before
+             the frozen round resumes, so the resumed run is the same
+             synchronous computation the crash interrupted. *)
+          if boot_complete t then complete_recovery t else []
         | Stalled -> advance t
         | Running -> [] (* admitted at the next commit *)
         | Finishing ->
           (* The cluster already shut down; hand the joiner its state
-             and its shutdown directly. *)
+             and its shutdown directly.  No commit will ever refresh
+             its checkpoints, so remember the admission: a recovery
+             after this point must still demand its frozen round. *)
+          t.admitted_last <-
+            (shard, frozen_round, frozen_sum)
+            :: List.filter (fun (j, _, _) -> j <> shard) t.admitted_last;
           t.status.(shard) <- Alive;
           [
             Tell
@@ -257,16 +422,22 @@ let on_hello t ~shard ~staged_round ~primary_round ~rotated_round =
                       use;
                     };
               };
-            Tell { shard; msg = Msg.Shutdown };
+            Tell { shard; msg = Msg.Shutdown { epoch = t.epoch } };
           ]))
     | Alive ->
-      [
-        Fail
-          {
-            code = 2;
-            reason = Printf.sprintf "duplicate hello from live shard %d" shard;
-          };
-      ]
+      (* Not a misconfiguration: a lost Welcome or a reconnect racing
+         the admission leaves the shard convinced it never joined.
+         Demote it through the death path (suppressing the respawn —
+         the shard is alive and talking to us) and replay the hello
+         against the frozen state it just re-announced.  Two processes
+         claiming one shard id are caught at the relay, which retires
+         the older connection. *)
+      let demote =
+        List.filter
+          (function Respawn _ -> false | _ -> true)
+          (on_death t ~shard)
+      in
+      demote @ on_hello t ~shard ~staged_round ~primary_round ~rotated_round
     | Joining _ -> []
 
 let on_round_done t ~shard ~epoch ~round ~load_sum ~min_load ~max_load =
@@ -286,6 +457,12 @@ let on_round_done t ~shard ~epoch ~round ~load_sum ~min_load ~max_load =
       in
       if not complete then []
       else begin
+        (* Keep the pre-commit committed state around: if the audit of
+           THIS commit fails, on_poison rolls back to it. *)
+        Array.blit t.last_sum 0 t.prev_sum 0 t.shards;
+        Array.blit t.last_min 0 t.prev_min 0 t.shards;
+        Array.blit t.last_max 0 t.prev_max 0 t.shards;
+        t.can_poison <- true;
         t.committed <- round;
         List.iter
           (fun s ->
@@ -307,40 +484,45 @@ let on_round_done t ~shard ~epoch ~round ~load_sum ~min_load ~max_load =
       end)
     | Waiting_hello | Dead _ | Joining _ -> []
 
-let on_death t ~shard =
-  if shard < 0 || shard >= t.shards then []
-  else
-    match t.status.(shard) with
-    | Dead _ -> []
-    | Waiting_hello -> [ Respawn { shard } ]
-    | Joining { frozen_round; frozen_sum; _ } ->
-      t.status.(shard) <- Dead { frozen_round; frozen_sum };
-      [ Respawn { shard } ]
-    | Alive -> (
-      t.status.(shard) <-
-        Dead { frozen_round = t.committed; frozen_sum = t.last_sum.(shard) };
-      Respawn { shard }
-      ::
-      (match t.phase with
-       | Running ->
-         (* Abort the in-flight round: re-run it under a new epoch
-            without the dead shard. *)
-         t.epoch <- t.epoch + 1;
-         clear_done t;
-         let members = alive t in
-         if members = [] then begin
-           t.phase <- Stalled;
-           []
-         end
-         else
-           List.map
-             (fun s ->
-               Tell
-                 {
-                   shard = s;
-                   msg =
-                     Msg.Abort
-                       { epoch = t.epoch; round = t.committed + 1; members };
-                 })
-             members
-       | Boot | Stalled | Finishing -> []))
+(* The audit of the just-committed round failed: quarantine the commit
+   instead of killing the run.  Roll the controller back one commit,
+   freeze every live shard at the rolled-back round (shards admitted by
+   that very commit revert to their pre-admission frozen state — their
+   Welcome was never sent), fence the epoch, and wait for every shard
+   to re-hello; the round then re-runs from CRC-verified checkpoints.
+   The shell closes all shard connections so the re-hello happens.
+   Unrecoverable (no commit in the rollback window) -> Fail 4. *)
+let on_poison t ~reason =
+  if not t.can_poison || t.committed < 1 then
+    [
+      Fail
+        {
+          code = 4;
+          reason =
+            Printf.sprintf "%s (no commit to roll back: audit failure is in \
+                            the durable state itself)" reason;
+        };
+    ]
+  else begin
+    t.committed <- t.committed - 1;
+    Array.blit t.prev_sum 0 t.last_sum 0 t.shards;
+    Array.blit t.prev_min 0 t.last_min 0 t.shards;
+    Array.blit t.prev_max 0 t.last_max 0 t.shards;
+    clear_done t;
+    t.epoch <- t.epoch + 1;
+    for s = 0 to t.shards - 1 do
+      match t.status.(s) with
+      | Alive -> (
+        match List.find_opt (fun (j, _, _) -> j = s) t.admitted_last with
+        | Some (_, frozen_round, frozen_sum) ->
+          t.status.(s) <- Dead { frozen_round; frozen_sum }
+        | None ->
+          t.status.(s) <-
+            Dead { frozen_round = t.committed; frozen_sum = t.last_sum.(s) })
+      | Waiting_hello | Dead _ | Joining _ -> ()
+    done;
+    t.phase <- Recovering;
+    t.can_poison <- false;
+    t.admitted_last <- [];
+    []
+  end

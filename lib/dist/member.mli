@@ -27,7 +27,31 @@ type status =
       frozen_sum : int;
     }  (** replacement said hello; admitted at the next commit *)
 
-type phase = Boot | Running | Stalled | Finishing
+type phase =
+  | Boot
+  | Running
+  | Stalled
+  | Finishing
+  | Recovering
+      (** after a coordinator restart or a poisoned commit: every shard
+          must re-hello before the frozen round resumes *)
+
+type snapshot = {
+  epoch : int;
+  committed : int;
+  sums : int array;
+  mins : int array;
+  maxs : int array;
+  dead : (int * int * int) list;
+      (** (shard, frozen_round, frozen_sum) for excluded shards *)
+  admitted : (int * int * int) list;
+      (** (shard, frozen_round, frozen_sum) for shards admitted at the
+          most recent commit: they are alive, but their checkpoints
+          still carry only the frozen round — a recovery must demand
+          that round from them, not the global committed round *)
+}
+(** The controller's durable state, as logged to the WAL at every
+    commit and epoch transition.  [O(shards)] small, pure data. *)
 
 type action =
   | Tell of { shard : int; msg : Msg.t }
@@ -62,7 +86,11 @@ val on_hello :
   action list
 (** A shard connected and reported which checkpoint rounds it holds.
     The controller matches them against the shard's frozen round to
-    direct recovery (the [use] field of the resulting [Welcome]). *)
+    direct recovery (the [use] field of the resulting [Welcome]).  A
+    hello from a shard believed alive is a lost [Welcome] or a
+    reconnect that raced the admission: the shard is demoted through
+    the death path (without a respawn) and the hello replayed against
+    its frozen state. *)
 
 val on_round_done :
   t ->
@@ -80,6 +108,26 @@ val on_round_done :
 val on_death : t -> shard:int -> action list
 (** A shard was declared dead (connection loss or heartbeat suspicion).
     Idempotent per incarnation. *)
+
+val on_poison : t -> reason:string -> action list
+(** The audit of the just-committed round failed (conservation broken).
+    Rolls the controller back one commit, freezes every live shard at
+    the rolled-back round under a new epoch, and enters [Recovering]
+    so the round re-runs from CRC-verified checkpoints once every
+    shard re-helloes; the shell must close all shard connections to
+    force those re-helloes.  Returns [Fail 4] when there is no commit
+    in the rollback window (the durable state itself is bad). *)
+
+val snapshot : t -> snapshot
+(** The current durable state, for the WAL. *)
+
+val recover : shards:int -> rounds:int -> snapshot -> t
+(** Rebuild the controller from a replayed WAL snapshot: phase
+    [Recovering], every shard [Dead] at its recorded frozen state, and
+    the epoch bumped past the recorded one so anything the previous
+    coordinator incarnation sent is fenced off as stale.
+    @raise Invalid_argument when the snapshot does not fit the
+    cluster. *)
 
 val choose_source :
   frozen_round:int ->

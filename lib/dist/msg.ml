@@ -54,10 +54,13 @@ type t =
     }
       (* sent after the round's state is checkpointed durably *)
   | Heartbeat of { shard : int; epoch : int; round : int; load_sum : int }
-  | Shutdown (* final round committed: report results and exit *)
+  | Shutdown of { epoch : int }
+      (* final round committed: report results and exit.  Carries the
+         epoch so a delayed shutdown from a fenced-off coordinator
+         incarnation cannot tear down a healthy successor cluster. *)
   | Result of { shard : int; loads : (int * int) list } (* (node, load) *)
 
-let version = '\001'
+let version = '\002'
 
 let encode (msg : t) =
   let payload = Marshal.to_string msg [] in
@@ -76,6 +79,7 @@ let decode s =
     match (Marshal.from_string s 1 : t) with
     | msg -> Ok msg
     | exception Failure m -> Error ("undecodable message: " ^ m)
+    | exception Invalid_argument m -> Error ("undecodable message: " ^ m)
 
 let choice_name = function
   | Use_staged -> "staged"
@@ -106,6 +110,6 @@ let describe = function
       round load_sum min_load max_load
   | Heartbeat { shard; epoch; round; load_sum } ->
     Printf.sprintf "hb shard=%d e=%d r=%d sum=%d" shard epoch round load_sum
-  | Shutdown -> "shutdown"
+  | Shutdown { epoch } -> Printf.sprintf "shutdown e=%d" epoch
   | Result { shard; loads } ->
     Printf.sprintf "result shard=%d nodes=%d" shard (List.length loads)

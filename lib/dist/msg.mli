@@ -48,7 +48,8 @@ type t =
       max_load : int;
     }
   | Heartbeat of { shard : int; epoch : int; round : int; load_sum : int }
-  | Shutdown
+  | Shutdown of { epoch : int }
+      (** final commit; stale-epoch shutdowns are fenced off by shards *)
   | Result of { shard : int; loads : (int * int) list }
 
 val encode : t -> string

@@ -26,7 +26,24 @@
    The data plane (Data / Data_ack) passes the seeded loss shim on the
    way out; control messages do not.  All frames flow over the single
    coordinator connection, which relays them to the destination
-   shard. *)
+   shard.
+
+   The coordinator link is expendable: EOF, a corrupt stream, or a
+   send failure tears the session down to Waiting_welcome and
+   reconnects (capped cycles), re-reporting the on-disk checkpoints in
+   a fresh Hello — this is how a shard survives a coordinator restart
+   or a healed partition.  The current epoch survives reconnects, so
+   control messages from a fenced-off coordinator incarnation (or
+   delayed packets from an old partition) are rejected as stale. *)
+
+type injection =
+  | No_injection
+  | Misreport_once of int
+      (* lie (+1) in the first Round_done for this round; honest after
+         the poisoned commit rolls back and the round re-runs *)
+  | Misreport_from of int
+      (* lie in every Round_done from this round on: the audit can
+         never pass, so the coordinator's poison budget must trip *)
 
 type config = {
   shard : int;
@@ -42,10 +59,16 @@ type config = {
   tick : float; (* seconds per protocol round-unit (retransmit clock) *)
   hb_interval : float;
   metrics_port : int option;
+  reconnects : int; (* consecutive lost-coordinator cycles tolerated *)
+  graceful_term : bool; (* catch SIGTERM; exit 0 at the next barrier *)
+  injection : injection; (* conservation-audit fault injection (tests) *)
   verbose : bool;
 }
 
 exception Fatal of int * string
+
+exception Reconnect of string
+(* the coordinator link failed; tear the session down and re-hello *)
 
 type phase = Waiting_welcome | Running | Await_commit | Idle_done
 
@@ -60,10 +83,10 @@ type peer_state = {
 
 type t = {
   cfg : config;
-  conn : Transport.conn;
+  mutable conn : Transport.conn;
   part : Shard.Partition.t;
   owned : int array;
-  balancer : Core.Balancer.t;
+  mutable balancer : Core.Balancer.t;
   n : int;
   d : int;
   dp : int;
@@ -83,7 +106,12 @@ type t = {
   hb : Heartbeat.pacer;
   httpd : Httpd.t option;
   mutable stop : int option;
+  started : float; (* partition windows are relative to this *)
+  mutable term : bool; (* SIGTERM seen; leave at the next barrier *)
+  mutable lied : bool; (* Misreport_once already fired *)
+  mutable reconnects_left : int;
   (* metrics *)
+  m_reconnects : Obs.Metrics.counter;
   m_rounds : Obs.Metrics.counter;
   m_aborts : Obs.Metrics.counter;
   m_retx : Obs.Metrics.counter;
@@ -144,11 +172,24 @@ let committed_sum t =
   Array.iter (fun u -> s := !s + t.loads.(u)) t.owned;
   !s
 
+(* Every write to the coordinator link goes through here: a dead peer
+   surfaces as EPIPE/ECONNRESET (SIGPIPE is ignored by the launchers),
+   which means "tear down and reconnect", never "die". *)
+let send_ctl t msg =
+  try Transport.send t.conn msg
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    raise (Reconnect "send failed")
+
+(* An open partition window cuts this shard off from the coordinator —
+   and, the cluster being a star, from everyone. *)
+let muted t ~now =
+  Loss.cut t.cfg.loss ~elapsed:(now -. t.started) ~src:t.cfg.shard ~dst:(-1)
+
 (* --- data-plane output through the loss shim --- *)
 
 let emit_data t ~dst msg =
   match Loss.decide t.shim ~src:t.cfg.shard ~dst with
-  | Loss.Deliver -> Transport.send t.conn msg
+  | Loss.Deliver -> send_ctl t msg
   | Loss.Drop -> Obs.Metrics.inc t.m_dropped 1
   | Loss.Delay dt ->
     let release = Clock.now () +. dt in
@@ -159,7 +200,13 @@ let release_delayed t ~now =
   t.delayed <- later;
   (* Oldest first: preserves per-link order among same-instant releases. *)
   List.iter
-    (fun (_, framed) -> Transport.write_all (Transport.fd t.conn) framed 0 (String.length framed))
+    (fun (_, framed) ->
+      try
+        Transport.write_all (Transport.fd t.conn) framed 0
+          (String.length framed)
+      with
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        raise (Reconnect "send failed"))
     (List.rev due)
 
 let flush_arq t ~now =
@@ -297,18 +344,30 @@ let stage_done t =
   let mx = if Array.length t.owned = 0 then 0 else !mx in
   Shard.Checkpoint.save ~path:(staged_path t.cfg)
     (snapshot t ~step:t.round ~loads:(owned_slice t t.staged));
-  Transport.send t.conn
+  (* Fault injection for the quarantine/fuzzer tests: misreport the
+     staged sum so the coordinator's conservation audit trips.  The
+     durable state stays honest — exactly the shape of a flaky reporter
+     or a memory-corrupted counter. *)
+  let reported =
+    match t.cfg.injection with
+    | Misreport_once r when r = t.round && not t.lied ->
+      t.lied <- true;
+      !sum + 1
+    | Misreport_from r when t.round >= r -> !sum + 1
+    | No_injection | Misreport_once _ | Misreport_from _ -> !sum
+  in
+  send_ctl t
     (Msg.Round_done
        {
          shard = t.cfg.shard;
          epoch = t.epoch;
          round = t.round;
-         load_sum = !sum;
+         load_sum = reported;
          min_load = mn;
          max_load = mx;
        });
   t.phase <- Await_commit;
-  logf t "round %d staged (sum=%d)" t.round !sum
+  logf t "round %d staged (sum=%d)" t.round reported
 
 let check_complete t = if round_quiescent t then stage_done t
 
@@ -356,12 +415,20 @@ let start_round t ~round =
 (* --- control messages --- *)
 
 let on_welcome t ~epoch ~round ~members ~use =
-  (match t.phase with
-   | Waiting_welcome -> ()
-   | Running | Await_commit | Idle_done ->
-     raise (Fatal (3, "unexpected Welcome mid-run")));
+  if t.phase <> Waiting_welcome then
+    (* A live session has no use for a Welcome; if the coordinator
+       really wants a re-handshake it closes our connection first and
+       we arrive here through the reconnect path. *)
+    logf t "ignoring welcome outside the handshake (e=%d r=%d)" epoch round
+  else if epoch < t.epoch then
+    logf t "fencing stale welcome (e=%d < local %d)" epoch t.epoch
+  else begin
   (match use with
    | Msg.Use_fresh ->
+     (* A fresh start must also shed any balancer state left from a
+        previous session of this same process (reconnect after the
+        coordinator lost our round-0 hello). *)
+     t.balancer <- t.cfg.make_balancer ();
      Array.blit t.cfg.init 0 t.loads 0 t.n
    | Msg.Use_primary | Msg.Use_staged | Msg.Use_rotated ->
      let path =
@@ -396,15 +463,17 @@ let on_welcome t ~epoch ~round ~members ~use =
     (snapshot t ~step:(round - 1) ~loads:(owned_slice t t.loads));
   t.epoch <- epoch;
   t.members <- members;
+  t.reconnects_left <- t.cfg.reconnects;
   reset_peers t;
   Obs.Metrics.set t.m_epoch (float_of_int epoch);
   Obs.Metrics.set t.m_load (float_of_int (committed_sum t));
   if round <= t.cfg.rounds then start_round t ~round
   else t.phase <- Idle_done
+  end
 
 let on_start t ~epoch ~round ~members =
   match t.phase with
-  | Await_commit when round = t.round + 1 ->
+  | Await_commit when round = t.round + 1 && epoch >= t.epoch ->
     commit t;
     t.members <- members;
     if epoch <> t.epoch then begin
@@ -430,12 +499,18 @@ let on_abort t ~epoch ~round ~members =
   | Waiting_welcome | Running | Await_commit | Idle_done ->
     logf t "ignoring stale abort (e=%d r=%d)" epoch round
 
-let on_shutdown t =
-  if t.phase = Await_commit then commit t;
-  let loads = Array.map (fun u -> (u, t.loads.(u))) t.owned in
-  Transport.send t.conn
-    (Msg.Result { shard = t.cfg.shard; loads = Array.to_list loads });
-  t.stop <- Some 0
+let on_shutdown t ~epoch =
+  if epoch < t.epoch then
+    (* A fenced-off coordinator incarnation (or a delayed frame from an
+       old partition) cannot tear down a cluster that moved on. *)
+    logf t "fencing stale shutdown (e=%d < local %d)" epoch t.epoch
+  else begin
+    if t.phase = Await_commit then commit t;
+    let loads = Array.map (fun u -> (u, t.loads.(u))) t.owned in
+    send_ctl t
+      (Msg.Result { shard = t.cfg.shard; loads = Array.to_list loads });
+    t.stop <- Some 0
+  end
 
 let handle t msg =
   match msg with
@@ -443,7 +518,7 @@ let handle t msg =
     on_welcome t ~epoch ~round ~members ~use
   | Msg.Start { epoch; round; members } -> on_start t ~epoch ~round ~members
   | Msg.Abort { epoch; round; members } -> on_abort t ~epoch ~round ~members
-  | Msg.Shutdown -> on_shutdown t
+  | Msg.Shutdown { epoch } -> on_shutdown t ~epoch
   | Msg.Data { src; dst; epoch; round; seq; transfers; fin } ->
     if dst = t.cfg.shard && epoch = t.epoch then (
       match t.peers.(src) with
@@ -492,7 +567,7 @@ let tickers t =
   let now = Clock.now () in
   if Heartbeat.due t.hb ~now then begin
     Obs.Metrics.inc t.m_hb 1;
-    Transport.send t.conn
+    send_ctl t
       (Msg.Heartbeat
          {
            shard = t.cfg.shard;
@@ -521,12 +596,32 @@ let validate cfg =
   if cfg.rounds < 1 then fail "rounds must be >= 1";
   if cfg.tick <= 0.0 then fail "tick must be > 0";
   if cfg.hb_interval <= 0.0 then fail "heartbeat interval must be > 0";
+  if cfg.reconnects < 0 then fail "reconnect budget must be >= 0";
   if Array.length cfg.init <> Graphs.Graph.n cfg.graph then
     fail "init vector does not match the graph";
   (match Loss.validate cfg.loss with Ok () -> () | Error m -> fail m);
   (match Net.Protocol.validate_config cfg.protocol with
    | Ok () -> ()
    | Error m -> fail m)
+
+let connect cfg =
+  match
+    Transport.connect_loopback ~port:cfg.port ~config:cfg.protocol
+      ~tick:cfg.tick ~attempts:8
+  with
+  | fd -> Transport.of_fd ~peer:"coordinator" fd
+  | exception Transport.Connect_failed m -> raise (Reconnect m)
+
+let hello t =
+  send_ctl t
+    (Msg.Hello
+       {
+         shard = t.cfg.shard;
+         staged_round = checkpoint_round (staged_path t.cfg);
+         primary_round = checkpoint_round (primary_path t.cfg);
+         rotated_round =
+           checkpoint_round (Shard.Checkpoint.prev_path (primary_path t.cfg));
+       })
 
 let run cfg =
   validate cfg;
@@ -543,12 +638,9 @@ let run cfg =
     Shard.Partition.make ~strategy:Shard.Partition.Contiguous
       ~shards:cfg.shards cfg.graph
   in
-  let fd =
-    try Transport.connect_loopback ~port:cfg.port ~config:cfg.protocol
-          ~tick:cfg.tick ~attempts:8
-    with Transport.Connect_failed m -> raise (Fatal (3, "coordinator: " ^ m))
+  let conn =
+    try connect cfg with Reconnect m -> raise (Fatal (3, "coordinator: " ^ m))
   in
-  let conn = Transport.of_fd ~peer:"coordinator" fd in
   let n = Graphs.Graph.n cfg.graph in
   let d = Graphs.Graph.degree cfg.graph in
   let registry = Obs.Metrics.default in
@@ -582,6 +674,12 @@ let run cfg =
          | None -> None
          | Some p -> Some (Httpd.create ~port:p ~registry ()));
       stop = None;
+      started = Clock.now ();
+      term = false;
+      lied = false;
+      reconnects_left = cfg.reconnects;
+      m_reconnects =
+        metric "lb_node_reconnects_total" "coordinator link reconnects";
       m_rounds = metric "lb_node_rounds_committed_total" "rounds committed";
       m_aborts = metric "lb_node_aborts_total" "rounds aborted and re-run";
       m_retx = metric "lb_node_retransmissions_total" "ARQ retransmissions";
@@ -593,49 +691,88 @@ let run cfg =
           "lb_node_load_sum";
     }
   in
-  Transport.send conn
-    (Msg.Hello
-       {
-         shard = cfg.shard;
-         staged_round = checkpoint_round (staged_path cfg);
-         primary_round = checkpoint_round (primary_path cfg);
-         rotated_round =
-           checkpoint_round (Shard.Checkpoint.prev_path (primary_path cfg));
-       });
-  let rec loop () =
+  if cfg.graceful_term then
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> t.term <- true));
+  hello t;
+  (* One connected session.  Raises Reconnect when the coordinator link
+     fails; returns the exit code once t.stop is set. *)
+  let rec session () =
     match t.stop with
     | Some code -> code
     | None ->
-      tickers t;
       let now = Clock.now () in
-      let timeout = next_deadline t ~now in
-      let fds =
-        Transport.fd conn
-        :: (match t.httpd with None -> [] | Some h -> [ Httpd.fd h ])
+      (* Graceful SIGTERM: leave at a round barrier, never mid-round —
+         by Await_commit the staged checkpoint is durable, so a
+         replacement (or a rejoin) resumes without losing a token. *)
+      if t.term && t.phase <> Running then begin
+        logf t "SIGTERM: leaving at the round barrier (round %d)" t.round;
+        t.stop <- Some 0;
+        session ()
+      end
+      else begin
+        let m = muted t ~now in
+        if not m then tickers t;
+        let now = Clock.now () in
+        let timeout = if m then 0.05 else next_deadline t ~now in
+        let fds =
+          (if m then [] else [ Transport.fd t.conn ])
+          @ (match t.httpd with None -> [] | Some h -> [ Httpd.fd h ])
+        in
+        let readable, _, _ =
+          try Unix.select fds [] [] timeout
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        (match t.httpd with
+         | Some h when List.memq (Httpd.fd h) readable -> Httpd.serve_ready h
+         | Some _ | None -> ());
+        if (not m) && List.memq (Transport.fd t.conn) readable then begin
+          match Transport.read_step t.conn with
+          | Transport.Msgs msgs -> List.iter (handle t) msgs
+          | Transport.Closed ->
+            if t.stop = None then raise (Reconnect "connection closed")
+          | Transport.Corrupt m ->
+            (* A corrupt coordinator stream poisons only this session's
+               decoder; a fresh connection resynchronizes from scratch. *)
+            raise (Reconnect ("stream corrupt: " ^ m))
+        end;
+        session ()
+      end
+  in
+  let rec lifecycle () =
+    match session () with
+    | code -> code
+    | exception Reconnect reason ->
+      Obs.Metrics.inc t.m_reconnects 1;
+      logf t "coordinator link lost (%s); reconnecting" reason;
+      Transport.close t.conn;
+      t.phase <- Waiting_welcome;
+      t.members <- [];
+      reset_peers t;
+      let rec re () =
+        if t.reconnects_left <= 0 then
+          raise
+            (Fatal
+               (3, "coordinator link lost and the reconnect budget is spent"));
+        t.reconnects_left <- t.reconnects_left - 1;
+        match connect t.cfg with
+        | conn -> (
+          t.conn <- conn;
+          (* Re-report the on-disk checkpoints: the coordinator (same
+             incarnation or a WAL-restarted one) re-elects our source. *)
+          try hello t
+          with Reconnect _ ->
+            Transport.close t.conn;
+            re ())
+        | exception Reconnect _ -> re ()
       in
-      let readable, _, _ =
-        try Unix.select fds [] [] timeout
-        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-      in
-      (match t.httpd with
-       | Some h when List.memq (Httpd.fd h) readable -> Httpd.serve_ready h
-       | Some _ | None -> ());
-      if List.memq (Transport.fd conn) readable then begin
-        match Transport.read_step conn with
-        | Transport.Msgs msgs -> List.iter (handle t) msgs
-        | Transport.Closed ->
-          if t.stop = None then
-            raise (Fatal (3, "coordinator connection lost"))
-        | Transport.Corrupt m ->
-          raise (Fatal (3, "coordinator stream corrupt: " ^ m))
-      end;
-      loop ()
+      re ();
+      lifecycle ()
   in
   Fun.protect
     ~finally:(fun () ->
-      Transport.close conn;
+      Transport.close t.conn;
       match t.httpd with Some h -> Httpd.close h | None -> ())
-    loop
+    lifecycle
 
 let main cfg =
   match run cfg with

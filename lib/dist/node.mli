@@ -5,7 +5,24 @@
     rounds as local transactions: stage the assignment, ship remote
     transfers through the per-pair ARQ (under the seeded loss shim),
     durably save the staged checkpoint, report [Round_done], and
-    commit/abort on the coordinator's signal.  See DESIGN.md §13. *)
+    commit/abort on the coordinator's signal.  See DESIGN.md §13.
+
+    The coordinator link is expendable: EOF, a corrupt stream, or a
+    send failure tears the session down and reconnects (up to
+    [reconnects] consecutive cycles), re-reporting the on-disk
+    checkpoints in a fresh Hello.  Control messages carrying an epoch
+    below the local one are rejected (fencing); partition windows in
+    the loss config mute the link entirely while open.  See DESIGN.md
+    §14 for the failure model. *)
+
+type injection =
+  | No_injection
+  | Misreport_once of int
+      (** misreport the staged sum (+1) in the first [Round_done] for
+          this round — the poisoned commit must roll back and re-run *)
+  | Misreport_from of int
+      (** misreport every round from this one on — the coordinator's
+          poison budget must trip (exit 4) *)
 
 type config = {
   shard : int;  (** this process's shard id, [0 .. shards-1] *)
@@ -24,6 +41,13 @@ type config = {
   tick : float;  (** seconds per protocol round-unit *)
   hb_interval : float;
   metrics_port : int option;  (** serve [/metrics] when set (0 = ephemeral) *)
+  reconnects : int;
+      (** consecutive coordinator-link losses tolerated before exit 3 *)
+  graceful_term : bool;
+      (** catch SIGTERM and exit 0 at the next round barrier (the
+          staged checkpoint is durable by then) instead of dying
+          mid-round *)
+  injection : injection;  (** audit-fault injection, for tests/fuzzing *)
   verbose : bool;
 }
 

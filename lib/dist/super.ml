@@ -1,0 +1,323 @@
+(* Whole-cluster supervisor: coordinator and shards as children.
+
+   Unlike Launch (which runs the coordinator in the calling process),
+   Super forks the coordinator too, so it can be killed -9 mid-round
+   like any shard.  The parent binds the loopback listener ONCE and
+   never accepts on it: the coordinator child inherits the fd, and
+   between coordinator incarnations the kernel backlog simply holds the
+   nodes' reconnect attempts until the next incarnation starts
+   accepting — no port race, no connection-refused storm.
+
+   The parent drives the fault schedule by tailing the coordinator's
+   WAL: a Commit record reaching round r fires every fault scheduled at
+   r (SIGKILL/SIGTERM a shard, SIGKILL the coordinator).  The WAL is
+   re-read from the start on every poll — it is O(rounds) small, and
+   re-reading makes the tail robust to the truncation a restarting
+   coordinator applies to a torn tail.
+
+   Respawn policy: a shard that dies by signal or a non-zero exit is
+   respawned from its per-shard budget; a shard that exits 0 is only
+   respawned when this supervisor terminated it on purpose (a --term
+   fault — the exit is graceful but the run is not over).  A
+   coordinator killed by signal is respawned from its own budget and
+   recovers by WAL replay; a coordinator that EXITS carries the run's
+   verdict, and its code becomes the supervisor's. *)
+
+type fault =
+  | Kill_shard of { shard : int; round : int }
+  | Term_shard of { shard : int; round : int }
+  | Kill_coord of { round : int }
+
+let describe_fault = function
+  | Kill_shard { shard; round } -> Printf.sprintf "kill -9 shard %d@%d" shard round
+  | Term_shard { shard; round } -> Printf.sprintf "SIGTERM shard %d@%d" shard round
+  | Kill_coord { round } -> Printf.sprintf "kill -9 coordinator@%d" round
+
+type config = {
+  shards : int;
+  node_cfg : port:int -> int -> Node.config;
+  coord_cfg : listen_fd:Unix.file_descr -> Coord.config;
+  wal_path : string; (* must match the coordinator's [wal] *)
+  faults : fault list;
+  deadline : float option; (* parent-level backstop, seconds *)
+  coord_respawns : int;
+  node_respawns : int; (* per shard *)
+  verbose : bool;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  port : int;
+  mutable coord_pid : int; (* -1 when none *)
+  node_pids : int array;
+  node_budget : int array;
+  node_expected : bool array; (* we signalled it: respawn even on exit 0 *)
+  mutable coord_budget : int;
+  mutable coord_recovering : bool; (* a respawned coordinator is waiting
+                                      for the re-hello barrier *)
+  fired : bool array; (* per cfg.faults entry *)
+  mutable term : bool;
+  mutable forwarded : bool;
+  started : float;
+  mutable code : int option;
+}
+
+let logf t fmt =
+  if t.cfg.verbose then Printf.eprintf ("lb_super: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+let soft_kill signal pid =
+  if pid > 0 then try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let spawn_node t shard =
+  match Unix.fork () with
+  | 0 ->
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    let code =
+      try Node.main (t.cfg.node_cfg ~port:t.port shard)
+      with e ->
+        Printf.eprintf "lb_node[%d]: uncaught %s\n%!" shard
+          (Printexc.to_string e);
+        3
+    in
+    Unix._exit code
+  | pid ->
+    t.node_pids.(shard) <- pid;
+    logf t "shard %d -> pid %d" shard pid
+
+let spawn_coord t =
+  match Unix.fork () with
+  | 0 ->
+    let code =
+      try Coord.main (t.cfg.coord_cfg ~listen_fd:t.listen_fd)
+      with e ->
+        Printf.eprintf "lb_coord: uncaught %s\n%!" (Printexc.to_string e);
+        3
+    in
+    Unix._exit code
+  | pid ->
+    t.coord_pid <- pid;
+    logf t "coordinator -> pid %d" pid
+
+let on_coord_exit t status =
+  t.coord_pid <- -1;
+  match status with
+  | Unix.WEXITED c ->
+    (* The coordinator's own verdict ends the run. *)
+    logf t "coordinator exited with %d" c;
+    t.coord_recovering <- false;
+    t.code <- Some c
+  | Unix.WSIGNALED s ->
+    if t.coord_budget > 0 then begin
+      t.coord_budget <- t.coord_budget - 1;
+      logf t "coordinator killed by signal %d; restarting (WAL replay)" s;
+      t.coord_recovering <- true;
+      spawn_coord t;
+      (* Recovery is a re-hello barrier over the FULL roster.  A shard
+         that already exited cleanly — the kill can land between the
+         final commit and the coordinator's own exit, after Shutdown
+         was broadcast — would never come back on its own, so the
+         barrier would starve.  Restart every missing shard; each
+         rejoins from its checkpoints and at worst idles through the
+         shutdown sequence again. *)
+      Array.iteri
+        (fun shard pid ->
+          if pid <= 0 && t.node_budget.(shard) > 0 then begin
+            t.node_budget.(shard) <- t.node_budget.(shard) - 1;
+            logf t "respawning shard %d for coordinator recovery" shard;
+            spawn_node t shard
+          end)
+        t.node_pids
+    end
+    else begin
+      Printf.eprintf
+        "lb_super: coordinator killed by signal %d with no respawn budget\n%!"
+        s;
+      t.code <- Some 3
+    end
+  | Unix.WSTOPPED _ -> ()
+
+let on_node_exit t shard status =
+  t.node_pids.(shard) <- -1;
+  let expected = t.node_expected.(shard) in
+  t.node_expected.(shard) <- false;
+  let wants_respawn =
+    match status with
+    | Unix.WSIGNALED _ -> true
+    | Unix.WEXITED 0 ->
+      (* Graceful --term mid-run, or a clean post-Shutdown exit racing
+         a coordinator recovery: either way the barrier needs it back. *)
+      expected || t.coord_recovering
+    | Unix.WEXITED _ -> true
+    | Unix.WSTOPPED _ -> false
+  in
+  if wants_respawn && t.code = None && not t.term then begin
+    if t.node_budget.(shard) > 0 then begin
+      t.node_budget.(shard) <- t.node_budget.(shard) - 1;
+      logf t "respawning shard %d" shard;
+      spawn_node t shard
+    end
+    else
+      Printf.eprintf
+        "lb_super: shard %d died with no respawn budget; the run will stall\n%!"
+        shard
+  end
+
+let reap t =
+  let continue = ref true in
+  while !continue do
+    match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+    | 0, _ -> continue := false
+    | pid, status ->
+      if pid = t.coord_pid then on_coord_exit t status
+      else
+        Array.iteri
+          (fun s p -> if p = pid then on_node_exit t s status)
+          t.node_pids
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Fire every not-yet-fired fault whose round the WAL shows committed.
+   The Commit record is fsync'd before the Start that opens the next
+   round, so "committed >= r" lands the kill inside round r+1's
+   execution — genuinely mid-round. *)
+let fire_faults t =
+  match Wal.read_records ~path:t.cfg.wal_path with
+  | Error _ -> ()
+  | Ok (records, _) ->
+    let committed =
+      List.fold_left
+        (fun acc r ->
+          match Wal.committed_round r with
+          | Some c -> if c > acc then c else acc
+          | None -> acc)
+        (-1) records
+    in
+    List.iteri
+      (fun i f ->
+        if not t.fired.(i) then
+          match f with
+          | Kill_shard { shard; round } when committed >= round ->
+            t.fired.(i) <- true;
+            logf t "firing %s" (describe_fault f);
+            t.node_expected.(shard) <- true;
+            soft_kill Sys.sigkill t.node_pids.(shard)
+          | Term_shard { shard; round } when committed >= round ->
+            t.fired.(i) <- true;
+            logf t "firing %s" (describe_fault f);
+            t.node_expected.(shard) <- true;
+            soft_kill Sys.sigterm t.node_pids.(shard)
+          | Kill_coord { round } when committed >= round ->
+            t.fired.(i) <- true;
+            logf t "firing %s" (describe_fault f);
+            soft_kill Sys.sigkill t.coord_pid
+          | Kill_shard _ | Term_shard _ | Kill_coord _ -> ())
+      t.cfg.faults
+
+let forward_term t =
+  logf t "SIGTERM: forwarding to the cluster";
+  soft_kill Sys.sigterm t.coord_pid;
+  Array.iter (soft_kill Sys.sigterm) t.node_pids;
+  t.forwarded <- true
+
+let shutdown t =
+  (* Close the listener first: orphaned nodes fail their reconnects
+     fast instead of parking in the backlog forever. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  soft_kill Sys.sigkill t.coord_pid;
+  Array.iter (soft_kill Sys.sigterm) t.node_pids;
+  let waited = ref 0 in
+  reap t;
+  while
+    (Array.exists (fun p -> p > 0) t.node_pids || t.coord_pid > 0)
+    && !waited < 20
+  do
+    Unix.sleepf 0.05;
+    incr waited;
+    reap t
+  done;
+  Array.iteri
+    (fun s p ->
+      if p > 0 then begin
+        soft_kill Sys.sigkill p;
+        (try ignore (Unix.waitpid [] p) with Unix.Unix_error _ -> ());
+        t.node_pids.(s) <- -1
+      end)
+    t.node_pids;
+  if t.coord_pid > 0 then begin
+    (try ignore (Unix.waitpid [] t.coord_pid) with Unix.Unix_error _ -> ());
+    t.coord_pid <- -1
+  end
+
+let validate cfg =
+  if cfg.shards < 1 then invalid_arg "Dist.Super.run: shards must be >= 1";
+  if String.length cfg.wal_path = 0 then
+    invalid_arg "Dist.Super.run: wal_path must be non-empty";
+  if cfg.coord_respawns < 0 || cfg.node_respawns < 0 then
+    invalid_arg "Dist.Super.run: respawn budgets must be >= 0";
+  List.iter
+    (fun f ->
+      match f with
+      | Kill_shard { shard; round } | Term_shard { shard; round } ->
+        if shard < 0 || shard >= cfg.shards then
+          invalid_arg "Dist.Super.run: fault shard out of range";
+        if round < 0 then invalid_arg "Dist.Super.run: fault round < 0"
+      | Kill_coord { round } ->
+        if round < 0 then invalid_arg "Dist.Super.run: fault round < 0")
+    cfg.faults
+
+let run cfg =
+  validate cfg;
+  Launch.ignore_sigpipe ();
+  let listen_fd, port = Transport.listen_loopback () in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      port;
+      coord_pid = -1;
+      node_pids = Array.make cfg.shards (-1);
+      node_budget = Array.make cfg.shards cfg.node_respawns;
+      node_expected = Array.make cfg.shards false;
+      coord_budget = cfg.coord_respawns;
+      coord_recovering = false;
+      fired = Array.make (List.length cfg.faults) false;
+      term = false;
+      forwarded = false;
+      started = Clock.now ();
+      code = None;
+    }
+  in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> t.term <- true))
+  in
+  spawn_coord t;
+  for shard = 0 to cfg.shards - 1 do
+    spawn_node t shard
+  done;
+  let rec loop () =
+    match t.code with
+    | Some code -> code
+    | None ->
+      if t.term && not t.forwarded then forward_term t;
+      (match t.cfg.deadline with
+       | Some d when Clock.now () -. t.started > d ->
+         Printf.eprintf "lb_super: deadline of %.0f s exceeded\n%!" d;
+         t.code <- Some 3
+       | Some _ | None -> ());
+      if t.code = None then begin
+        reap t;
+        if t.code = None then begin
+          fire_faults t;
+          Unix.sleepf 0.02
+        end
+      end;
+      loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown t;
+      Sys.set_signal Sys.sigterm prev_term)
+    loop

@@ -1,0 +1,45 @@
+(** Whole-cluster supervisor: coordinator and shards as children.
+
+    Unlike {!Launch}, the coordinator itself is forked, so it can be
+    SIGKILLed mid-round like any shard and restarted into WAL replay.
+    The parent binds the loopback listener once and never accepts on
+    it: between coordinator incarnations the kernel backlog holds the
+    nodes' reconnects.  The fault schedule is driven by tailing the
+    coordinator's WAL — a fault at round [r] fires once the log shows
+    round [r] committed, i.e. inside round [r+1]'s execution.  See
+    DESIGN.md §14. *)
+
+type fault =
+  | Kill_shard of { shard : int; round : int }
+      (** SIGKILL the shard once round [round] commits *)
+  | Term_shard of { shard : int; round : int }
+      (** SIGTERM the shard (graceful: it exits 0 at its barrier and is
+          respawned) *)
+  | Kill_coord of { round : int }
+      (** SIGKILL the coordinator; its replacement replays the WAL *)
+
+val describe_fault : fault -> string
+
+type config = {
+  shards : int;
+  node_cfg : port:int -> int -> Node.config;
+      (** per-shard config, given the bound coordinator port *)
+  coord_cfg : listen_fd:Unix.file_descr -> Coord.config;
+      (** coordinator config, given the pre-bound listener; its [wal]
+          must be [Some wal_path] for the schedule (and coordinator
+          respawn) to work *)
+  wal_path : string;
+  faults : fault list;
+  deadline : float option;  (** parent-level backstop, seconds *)
+  coord_respawns : int;
+      (** coordinator restarts tolerated (signal deaths only — a
+          coordinator that exits ends the run with its code) *)
+  node_respawns : int;  (** per-shard respawn budget *)
+  verbose : bool;
+}
+
+val run : config -> int
+(** Fork everything, supervise to completion, return the coordinator's
+    exit code (or 3 when the coordinator is lost beyond its budget or
+    the deadline passes).  Forwards SIGTERM to the whole cluster.
+    @raise Invalid_argument on an ill-formed config. *)

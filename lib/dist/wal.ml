@@ -1,0 +1,231 @@
+(* Coordinator write-ahead log.
+
+   An append-only file of CRC-framed records (the same length+CRC-32
+   framing as the wire protocol, see Frame) carrying the Member
+   controller's durable state.  Every record that matters embeds a full
+   Member.snapshot — O(shards) small — so replay is simply "fold to the
+   last snapshot": no delta reconstruction, no ambiguity about which
+   records compose.
+
+   Durability contract: the coordinator appends and fsyncs BEFORE any
+   external effect of the logged transition (sending Start/Welcome,
+   firing the chaos hook).  A crash therefore leaves the WAL at or
+   ahead of every shard's view, never behind: a shard's primary
+   checkpoint can trail the logged committed round (it missed the
+   Start), but can never lead it.  Replay tolerates a torn tail — a
+   partial append from the dying write is discarded, because nothing
+   downstream can have observed it. *)
+
+type record =
+  | Boot of {
+      time : float;
+      shards : int;
+      rounds : int;
+      expected_total : int;
+      snap : Member.snapshot;
+    }
+  | Commit of { time : float; snap : Member.snapshot }
+  | Epoch of { time : float; reason : string; snap : Member.snapshot }
+  | Elect of {
+      time : float;
+      shard : int;
+      round : int;
+      use : Msg.source_choice;
+    }
+
+let record_version = '\001'
+
+let encode_record (r : record) =
+  let payload = Marshal.to_string r [] in
+  let b = Bytes.create (1 + String.length payload) in
+  Bytes.set b 0 record_version;
+  Bytes.blit_string payload 0 b 1 (String.length payload);
+  Frame.encode (Bytes.unsafe_to_string b)
+
+let decode_record s =
+  if String.length s < 1 then Error "empty WAL record"
+  else if not (Char.equal s.[0] record_version) then
+    Error
+      (Printf.sprintf "unknown WAL record version %d (expected %d)"
+         (Char.code s.[0])
+         (Char.code record_version))
+  else
+    match (Marshal.from_string s 1 : record) with
+    | r -> Ok r
+    | exception Failure m -> Error ("undecodable WAL record: " ^ m)
+
+(* --- writer --- *)
+
+type t = { fd : Unix.file_descr; path : string }
+
+(* Byte length of the valid record prefix.  The streaming decoder
+   leaves unconsumed bytes buffered when it stops (incomplete tail,
+   framing error), and a frame whose payload fails [decode_record] has
+   already been consumed — subtract both. *)
+let valid_prefix_len ~path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let dec = Frame.create () in
+        let buf = Bytes.create 65536 in
+        let total = ref 0 in
+        let eof = ref false in
+        (try
+           while not !eof do
+             match Unix.read fd buf 0 (Bytes.length buf) with
+             | 0 -> eof := true
+             | n ->
+               total := !total + n;
+               Frame.feed dec buf 0 n
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+           done
+         with Unix.Unix_error _ -> eof := true);
+        let valid = ref 0 in
+        let stop = ref false in
+        while not !stop do
+          match Frame.next dec with
+          | None | Some (Error _) -> stop := true
+          | Some (Ok payload) -> (
+            let frame_len = 8 + String.length payload in
+            match decode_record payload with
+            | Ok _ -> valid := !valid + frame_len
+            | Error _ -> stop := true)
+        done;
+        Some !valid)
+
+let create ~path =
+  (* Drop a torn tail before appending: with O_APPEND, new records
+     would otherwise land after garbage that replay cannot cross. *)
+  (match valid_prefix_len ~path with
+   | Some valid when valid >= 0 -> (
+     match Unix.stat path with
+     | { Unix.st_size; _ } when st_size > valid ->
+       (try Unix.truncate path valid with Unix.Unix_error _ -> ())
+     | _ -> ()
+     | exception Unix.Unix_error _ -> ())
+   | Some _ | None -> ());
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  { fd; path }
+
+let path t = t.path
+
+let append t r =
+  let framed = encode_record r in
+  Transport.write_all t.fd framed 0 (String.length framed)
+
+let sync t = Unix.fsync t.fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- replay --- *)
+
+type recovered = {
+  shards : int;
+  rounds : int;
+  expected_total : int;
+  snap : Member.snapshot; (* last logged state *)
+  commits : int; (* Commit records seen *)
+  torn_tail : bool; (* a trailing partial/corrupt frame was discarded *)
+}
+
+let read_records ~path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ([], false)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot read WAL %s: %s" path (Unix.error_message e))
+  | fd -> (
+    try
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let dec = Frame.create () in
+          let buf = Bytes.create 65536 in
+          let eof = ref false in
+          while not !eof do
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> eof := true
+            | n -> Frame.feed dec buf 0 n
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          done;
+          let records = ref [] in
+          let torn = ref false in
+          let stop = ref false in
+          while not !stop do
+            match Frame.next dec with
+            | None ->
+              (* Bytes may remain: a torn append from a dying writer. *)
+              if Frame.buffered dec > 0 then torn := true;
+              stop := true
+            | Some (Error _) ->
+              (* The framing broke mid-file; everything from here on is
+                 untrustworthy.  Keep the valid prefix. *)
+              torn := true;
+              stop := true
+            | Some (Ok payload) -> (
+              match decode_record payload with
+              | Ok r -> records := r :: !records
+              | Error _ ->
+                torn := true;
+                stop := true)
+          done;
+          Ok (List.rev !records, !torn))
+    with Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot read WAL %s: %s" path (Unix.error_message e)))
+
+let replay ~path =
+  match read_records ~path with
+  | Error _ as e -> e
+  | Ok ([], _) -> Ok None
+  | Ok (first :: rest, torn_tail) -> (
+    match first with
+    | Commit _ | Epoch _ | Elect _ ->
+      Error
+        (Printf.sprintf "WAL %s does not begin with a Boot record" path)
+    | Boot { shards; rounds; expected_total; snap; _ } ->
+      let state = ref snap in
+      let commits = ref 0 in
+      List.iter
+        (fun r ->
+          match r with
+          | Boot b -> state := b.snap (* re-boot over an old log *)
+          | Commit { snap; _ } ->
+            incr commits;
+            state := snap
+          | Epoch { snap; _ } -> state := snap
+          | Elect _ -> ())
+        rest;
+      Ok
+        (Some
+           {
+             shards;
+             rounds;
+             expected_total;
+             snap = !state;
+             commits = !commits;
+             torn_tail;
+           }))
+
+(* Commit timestamps, oldest first — the recovery-stall metric in the
+   dist bench is the largest gap between consecutive commit records
+   (the WAL is the one observer that survives coordinator death). *)
+let commit_times ~path =
+  match read_records ~path with
+  | Error _ as e -> e
+  | Ok (records, _) ->
+    Ok
+      (List.filter_map
+         (function
+           | Commit { time; _ } -> Some time
+           | Boot { time; _ } -> Some time
+           | Epoch _ | Elect _ -> None)
+         records)
+
+(* Committed rounds in log order, for supervisors tailing the WAL. *)
+let committed_round = function
+  | Boot { snap; _ } | Commit { snap; _ } -> Some snap.Member.committed
+  | Epoch _ | Elect _ -> None

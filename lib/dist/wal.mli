@@ -1,0 +1,78 @@
+(** Coordinator write-ahead log: append-only CRC-framed records of the
+    {!Member} controller's durable state.
+
+    Every state-bearing record embeds a full {!Member.snapshot}, so
+    replay is a fold to the last snapshot.  The coordinator appends and
+    fsyncs {e before} any external effect of the logged transition —
+    a crash leaves the log at or ahead of every shard's view, never
+    behind — and replay tolerates a torn tail (a partial append from
+    the dying write is discarded; nothing downstream can have observed
+    it).  See DESIGN.md §14. *)
+
+type record =
+  | Boot of {
+      time : float;
+      shards : int;
+      rounds : int;
+      expected_total : int;
+      snap : Member.snapshot;
+    }  (** run parameters + the round-0 state; always the first record *)
+  | Commit of { time : float; snap : Member.snapshot }
+      (** a round committed (logged before the Start that announces it) *)
+  | Epoch of { time : float; reason : string; snap : Member.snapshot }
+      (** membership/epoch transition without a commit: death, abort,
+          admission, poisoned-commit rollback, restart fencing *)
+  | Elect of {
+      time : float;
+      shard : int;
+      round : int;
+      use : Msg.source_choice;
+    }  (** checkpoint-source election carried by a Welcome *)
+
+(** {1 Writer} *)
+
+type t
+
+val create : path:string -> t
+(** Open (or create) the log for appending.  An existing torn tail is
+    truncated away first, so records appended by this writer always
+    extend the valid prefix.
+    @raise Unix.Unix_error when the path is unwritable. *)
+
+val path : t -> string
+
+val append : t -> record -> unit
+(** Append one framed record (no implicit sync). *)
+
+val sync : t -> unit
+(** [fsync] the log — call after the appends of a transition, before
+    any of its external effects. *)
+
+val close : t -> unit
+
+(** {1 Replay} *)
+
+type recovered = {
+  shards : int;
+  rounds : int;
+  expected_total : int;
+  snap : Member.snapshot;  (** last logged state *)
+  commits : int;  (** Commit records seen *)
+  torn_tail : bool;  (** a trailing partial/corrupt frame was discarded *)
+}
+
+val replay : path:string -> (recovered option, string) result
+(** Fold the log: [Ok None] for a missing or empty file (fresh boot),
+    [Ok (Some r)] for a non-empty valid prefix, [Error _] when the file
+    is unreadable or does not begin with a Boot record. *)
+
+val read_records : path:string -> (record list * bool, string) result
+(** The raw valid prefix plus the torn-tail flag, for supervisors that
+    tail the log and for tests. *)
+
+val commit_times : path:string -> (float list, string) result
+(** Timestamps of Boot and Commit records, oldest first — the
+    recovery-stall metric is the largest inter-commit gap. *)
+
+val committed_round : record -> int option
+(** The committed round a record advances to, for WAL tailers. *)
