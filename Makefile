@@ -1,5 +1,6 @@
-.PHONY: all build test lint check bench-shard bench-net bench-faults \
-	bench-obs bench-workload bench-dist bench-all clean
+.PHONY: all build test lint check scenarios fuzz bench-shard bench-net \
+	bench-faults bench-obs bench-workload bench-scenario bench-dist \
+	bench-all clean
 
 all: build
 
@@ -17,6 +18,16 @@ lint:
 # CI entry point: tier-1 tests plus the sharded-engine smoke (see bin/ci.sh).
 check:
 	sh bin/ci.sh
+
+# Type-check, canonically format and execute the example scenarios.
+scenarios:
+	dune exec bin/lb_scn.exe -- check examples/scenarios/*.lbs
+	dune exec bin/lb_scn.exe -- run examples/scenarios/showcase.lbs
+
+# Fuzz 1000 generated scenarios against the machine-wide invariants
+# (token conservation, drain to quiescence, replay bit-determinism).
+fuzz:
+	dune exec bin/lb_scn.exe -- fuzz --seed 42 --count 1000
 
 # Refresh the strong-scaling baseline (writes BENCH_shard.json).
 bench-shard:
@@ -40,6 +51,12 @@ bench-obs:
 bench-workload:
 	dune exec bench/main.exe -- workload
 
+# Re-measure scenario-fuzz throughput; exits non-zero if any generated
+# scenario breaks an invariant (writes BENCH_scenario.json).
+bench-scenario:
+	dune exec bench/main.exe -- scenario
+	dune exec bin/jsonlint.exe -- BENCH_scenario.json
+
 # Re-measure the forked-cluster throughput and crash-recovery stall;
 # exits non-zero unless every run conserves tokens (writes
 # BENCH_dist.json).
@@ -50,10 +67,10 @@ bench-dist:
 # Every bench section back to back, then validate every JSON artifact
 # the sections hand-write.
 bench-all:
-	dune exec bench/main.exe -- shard faults net obs workload dist
+	dune exec bench/main.exe -- shard faults net obs workload scenario dist
 	dune exec bin/jsonlint.exe -- \
 		BENCH_shard.json BENCH_faults.json BENCH_net.json BENCH_obs.json \
-		BENCH_workload.json BENCH_dist.json
+		BENCH_workload.json BENCH_scenario.json BENCH_dist.json
 
 clean:
 	dune clean

@@ -413,6 +413,59 @@ let run_workload_sweep ?(json_path = "BENCH_workload.json") ~quick () =
   Printf.printf "workload-stability results written to %s\n" json_path;
   if not (stable && diverged && monotone) then exit 1
 
+(* Scenario-language section: generator + checker + compiler + double
+   execution (the replay-determinism probe) over a seeded stream of
+   well-typed scenarios, written to BENCH_scenario.json.  This is the
+   same machinery as `lb_scn fuzz` (E18), measured as scenarios/sec and
+   gated on the universal invariants. *)
+let run_scenario_fuzz ?(json_path = "BENCH_scenario.json") ~quick () =
+  Printf.printf "\n=== Scenario language: fuzz throughput + invariants ===\n";
+  let count = if quick then 300 else 2000 in
+  let seed = 42 in
+  let kinds = Hashtbl.create 8 in
+  let violations = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for index = 0 to count - 1 do
+    let sc = Scenario.Gen.scenario ~seed ~index in
+    match Scenario.Check.scenario ~at:Scenario.Ast.no_pos sc with
+    | Error _ -> incr violations
+    | Ok t -> (
+      match (Scenario.Compile.execute t, Scenario.Compile.execute t) with
+      | Ok a, Ok b ->
+        let k = Scenario.Compile.kind t in
+        Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k));
+        if
+          not
+            (a.Scenario.Compile.conserved && a.Scenario.Compile.drained
+           && a.Scenario.Compile.final_loads = b.Scenario.Compile.final_loads)
+        then incr violations
+      | Error _, _ | _, Error _ -> incr violations)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let kind_list =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds [])
+  in
+  Printf.printf "%d scenarios (x2 executions) in %.3f s — %.0f scenarios/sec\n" count
+    elapsed
+    (float_of_int count /. elapsed);
+  List.iter (fun (k, v) -> Printf.printf "  %-20s %d\n" k v) kind_list;
+  Printf.printf "invariant violations: %d\n" !violations;
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"scenario-fuzz\",\n  \"invariants\": \"conservation, drain, \
+     replay bit-determinism\",\n  \"quick\": %b,\n  \"seed\": %d,\n\
+    \  \"scenarios\": %d,\n  \"seconds\": %.3f,\n  \"scenarios_per_sec\": %.1f,\n\
+    \  \"kinds\": {%s},\n  \"violations\": %d\n}\n"
+    quick seed count elapsed
+    (float_of_int count /. elapsed)
+    (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) kind_list))
+    !violations;
+  close_out oc;
+  Printf.printf "scenario-fuzz results written to %s\n" json_path;
+  if !violations > 0 then exit 1
+
 (* Distributed-runtime section: real forked lb_node clusters over
    loopback sockets (lib/dist), at 2/4/8 shards.  Each shard count runs
    three ways — lossless (steady-state round throughput), chaos (5%
@@ -658,6 +711,7 @@ let () =
   let want_net = selected = [] || List.mem "net" selected in
   let want_obs = selected = [] || List.mem "obs" selected in
   let want_workload = selected = [] || List.mem "workload" selected in
+  let want_scenario = selected = [] || List.mem "scenario" selected in
   let want_dist = selected = [] || List.mem "dist" selected in
   let experiment_ids =
     match
@@ -665,7 +719,7 @@ let () =
         (fun a ->
           let a = String.lowercase_ascii a in
           a <> "micro" && a <> "shard" && a <> "faults" && a <> "net" && a <> "obs"
-          && a <> "workload" && a <> "dist")
+          && a <> "workload" && a <> "scenario" && a <> "dist")
         selected
     with
     | [] when selected = [] -> List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all
@@ -706,4 +760,5 @@ let () =
   if want_net then run_net_degradation ~quick ();
   if want_obs then run_obs_overhead ~quick ();
   if want_workload then run_workload_sweep ~quick ();
+  if want_scenario then run_scenario_fuzz ~quick ();
   if want_micro then run_microbenchmarks ()

@@ -198,7 +198,7 @@ echo "== chaos smoke: the shrinker reduces an injected bug to a reproducer =="
 # failing schedule must shrink to a replayable lb_cluster command line.
 chaos_log=$(mktemp -t lb_ci_chaos.XXXXXX)
 if dune exec bin/lb_chaos.exe -- --scenarios 2 --seed 42 \
-  --inject from:0@2 > "$chaos_log" 2>&1; then
+  --inject from:0@2 --lbs-out "$chaos_log.lbs" > "$chaos_log" 2>&1; then
   echo "lb_chaos did not fail on an injected persistent misreport" >&2
   cat "$chaos_log" >&2
   exit 1
@@ -213,7 +213,76 @@ grep -q 'lb_cluster --graph' "$chaos_log" || {
   cat "$chaos_log" >&2
   exit 1
 }
-rm -f "$chaos_log"
+# The same finding as a scenario file: it must carry the dist clause
+# and pass the scenario checker.
+grep -q 'dist {' "$chaos_log.lbs" || {
+  echo "lb_chaos .lbs finding is missing its dist clause" >&2
+  cat "$chaos_log.lbs" >&2
+  exit 1
+}
+dune exec bin/lb_scn.exe -- check "$chaos_log.lbs" > /dev/null
+rm -f "$chaos_log" "$chaos_log.lbs"
+
+echo "== scenario smoke: the example files check, and fmt is a fixpoint =="
+dune exec bin/lb_scn.exe -- check \
+  examples/scenarios/e15.lbs examples/scenarios/e16.lbs \
+  examples/scenarios/e17.lbs examples/scenarios/showcase.lbs
+scn_tmp=$(mktemp -d -t lb_ci_scn.XXXXXX)
+dune exec bin/lb_scn.exe -- fmt examples/scenarios/showcase.lbs > "$scn_tmp/1.lbs"
+dune exec bin/lb_scn.exe -- fmt "$scn_tmp/1.lbs" > "$scn_tmp/2.lbs"
+cmp "$scn_tmp/1.lbs" "$scn_tmp/2.lbs" || {
+  echo "lb_scn fmt is not idempotent" >&2
+  exit 1
+}
+
+echo "== scenario smoke: ill-typed files exit 2 with a source position =="
+printf 'let main = scenario {\n  graph cycle(8)\n  init point(8)\n  balancer rotor-router\n  steps 5\n  net { staleness 2 }\n}\n' \
+  > "$scn_tmp/bad.lbs"
+if dune exec bin/lb_scn.exe -- check "$scn_tmp/bad.lbs" 2> "$scn_tmp/bad.err"; then
+  echo "lb_scn check accepted an ill-typed scenario" >&2
+  exit 1
+fi
+grep -q 'bad.lbs:6:3: staleness without a net layer' "$scn_tmp/bad.err" || {
+  echo "lb_scn check error is missing its line:col position" >&2
+  cat "$scn_tmp/bad.err" >&2
+  exit 1
+}
+
+echo "== scenario golden: compiled E15/E16/E17 are byte-identical to lb_experiments =="
+for e in e15 e16 e17; do
+  dune exec bin/lb_scn.exe -- run --quick "examples/scenarios/$e.lbs" \
+    > "$scn_tmp/scn.out"
+  dune exec bin/lb_experiments.exe -- --quick "$e" > "$scn_tmp/exp.out"
+  cmp "$scn_tmp/scn.out" "$scn_tmp/exp.out" || {
+    echo "lb_scn run examples/scenarios/$e.lbs diverged from lb_experiments $e" >&2
+    exit 1
+  }
+done
+
+echo "== scenario fuzz: 200 seeded scenarios preserve the machine-wide invariants =="
+dune exec bin/lb_scn.exe -- fuzz --seed 7 --count 200 > /dev/null
+
+echo "== scenario fuzz: the shrinker reduces an injected bug to a minimal .lbs =="
+if dune exec bin/lb_scn.exe -- fuzz --seed 3 --count 50 --fail-on net \
+  --out "$scn_tmp/finding.lbs" > "$scn_tmp/fuzz.log" 2>&1; then
+  echo "lb_scn fuzz did not fail under --fail-on net" >&2
+  cat "$scn_tmp/fuzz.log" >&2
+  exit 1
+fi
+grep -q 'minimal reproducer' "$scn_tmp/fuzz.log" || {
+  echo "lb_scn fuzz failed without printing a minimal reproducer" >&2
+  cat "$scn_tmp/fuzz.log" >&2
+  exit 1
+}
+grep -q 'net {' "$scn_tmp/finding.lbs" || {
+  echo "the minimal .lbs lost the layer the failure predicate needs" >&2
+  cat "$scn_tmp/finding.lbs" >&2
+  exit 1
+}
+# The finding must itself be a checkable, runnable scenario.
+dune exec bin/lb_scn.exe -- check "$scn_tmp/finding.lbs" > /dev/null
+dune exec bin/lb_scn.exe -- run "$scn_tmp/finding.lbs" > /dev/null
+rm -rf "$scn_tmp"
 
 echo "== bench smoke: every BENCH_*.json artifact is well-formed JSON =="
 bench_json=$(mktemp -d -t lb_ci_bench.XXXXXX)

@@ -188,7 +188,7 @@ let run_scenario ~inject ~deadline ~verbose (s : Dist.Chaos.scenario) =
     remove_dir dir;
     code
 
-let run scenarios seed from inject_s deadline verbose =
+let run scenarios seed from inject_s deadline lbs_out verbose =
   if scenarios < 1 then die "--scenarios must be >= 1";
   if from < 0 then die "--from must be >= 0";
   if deadline <= 0. then die "--deadline must be > 0";
@@ -232,6 +232,19 @@ let run scenarios seed from inject_s deadline verbose =
       minimal.Dist.Chaos.index seed
       (Dist.Chaos.command_line minimal)
       (match inject_s with Some inj -> " --inject " ^ inj | None -> "");
+    (* The same schedule as a scenario file, so the finding can be
+       archived and re-checked with lb_scn (the --inject bug is a node
+       implementation detail, not part of the scenario language). *)
+    (match Scenario.Cluster.to_string minimal with
+    | Ok text ->
+      let path = lbs_out in
+      (try
+         Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text);
+         Printf.printf "scenario file written to %s (lb_scn check/compile):\n%s%!" path
+           text
+       with Sys_error m ->
+         Printf.eprintf "lb_chaos: cannot write %s: %s\n%!" path m)
+    | Error m -> Printf.eprintf "lb_chaos: cannot render scenario file: %s\n%!" m);
     exit 1
 
 open Cmdliner
@@ -259,12 +272,17 @@ let deadline_t =
   Arg.(value & opt float 60.
        & info [ "deadline" ] ~docv:"SEC" ~doc:"Per-scenario budget.")
 
+let lbs_out_t =
+  Arg.(value & opt string "chaos-finding.lbs"
+       & info [ "lbs-out" ] ~docv:"PATH"
+           ~doc:"Where to write the minimal reproducer as a scenario (.lbs) file.")
+
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log cluster internals.")
 
 let term =
   Term.(const run $ scenarios_t $ seed_t $ from_t $ inject_t $ deadline_t
-        $ verbose_t)
+        $ lbs_out_t $ verbose_t)
 
 let cmd =
   let doc = "fuzz the cluster's fault-schedule space with seeded scenarios" in

@@ -1023,11 +1023,17 @@ let all =
     e15_fault_recovery; e16_unreliable_net; e17_open_system;
   ]
 
-let run_by_id ~quick id =
+let ids = List.map (fun e -> e.id) all
+
+let find id =
   let id = String.uppercase_ascii id in
-  match List.find_opt (fun e -> e.id = id) all with
+  List.find_opt (fun e -> e.id = id) all
+
+let run_by_id ~quick id =
+  match find id with
   | Some e -> Ok (e.run ~quick)
   | None ->
     Error
-      (Printf.sprintf "unknown experiment %s; valid: %s" id
-         (String.concat ", " (List.map (fun e -> e.id) all)))
+      (Printf.sprintf "unknown experiment %s; valid: %s"
+         (String.uppercase_ascii id)
+         (String.concat ", " ids))

@@ -3,93 +3,51 @@
     paper-shaped table plus a one-line verdict relating the measurement
     to the theorem's claim, and returns its rows for the CSV writer.
 
+    Experiments are exposed only through the named registry — every
+    front end ([lb_experiments], the benchmark harness, the scenario
+    compiler's [experiment eNN] target) resolves the same id through
+    {!find}/{!run_by_id}, so one spelling selects the identical
+    experiment everywhere.
+
+    The roster:
+
+    - E1: Table 1 (discrepancy after T, time to O(d), property columns)
+    - E2: Theorem 2.3(i), expander scaling
+    - E3: Theorem 2.3(ii), cycle scaling
+    - E4: Theorem 3.3, time to O(d) vs self-preference
+    - E5: Theorem 4.1, round-fair lower bound
+    - E6: Theorem 4.2, stateless lower bound
+    - E7: Theorem 4.3, rotor-router without self-loops
+    - E8: Lemmas 3.5/3.7, potential drop traces
+    - E9: Conclusion Q1, self-loop ablation
+    - E10: §1.2 contrast, dimension exchange
+    - E11: §1.1 extension, irregular graphs
+    - E12: §1.2 rotor walks, cover times
+    - E13: heterogeneous tokens and speeds
+    - E14: equation (7) window-averaged deviation
+    - E15: fault recovery into the Theorem 2.3 band ({!Faultsweep})
+    - E16: unreliable network degradation ({!Netsweep})
+    - E17: open-system stability band ({!Loadsweep})
+
     Sizes are chosen so the full suite runs in minutes on a laptop;
     [quick] shrinks every sweep to smoke-test size. *)
 
 type row = string list
 
 type experiment = {
-  id : string;          (** "E1" .. "E10" *)
+  id : string;          (** "E1" .. "E17" *)
   reproduces : string;  (** which table/theorem of the paper *)
   run : quick:bool -> row list; (** prints its report; returns CSV rows *)
 }
 
-val e1_table1 : experiment
-(** Table 1: discrepancy after T and time-to-O(d) for all algorithms on
-    four graph families, plus the D/SL/NL/NC property columns. *)
-
-val e2_expander_scaling : experiment
-(** Theorem 2.3(i): discrepancy after T vs n on random regular graphs;
-    compares against d√(log n/µ) and the [17] bound d·log n/µ. *)
-
-val e3_cycle_scaling : experiment
-(** Theorem 2.3(ii): discrepancy after T vs n on cycles; fits the
-    growth exponent (should be ≈ 1/2, i.e. √n). *)
-
-val e4_time_to_od : experiment
-(** Theorem 3.3: time to reach the O(d) band as a function of the
-    self-preference s (via d° for SEND([x/d⁺])), plus rotor-router*. *)
-
-val e5_roundfair_lower_bound : experiment
-(** Theorem 4.1: the non-cumulatively-fair round-fair balancer freezes
-    at Ω(d·diam). *)
-
-val e6_stateless_lower_bound : experiment
-(** Theorem 4.2: the stateless adversary freezes at Ω(d). *)
-
-val e7_rotor_no_selfloops : experiment
-(** Theorem 4.3: rotor-router with d⁺ = d on odd cycles oscillates at
-    discrepancy 2dφ(G) forever. *)
-
-val e8_potential_drop : experiment
-(** Lemmas 3.5/3.7: monotone potential traces on a live good-s-balancer
-    run. *)
-
-val e9_selfloop_ablation : experiment
-(** Conclusion, open question 1: discrepancy of the rotor-router as the
-    number of self-loops d° varies from 0 to 2d. *)
-
-val e10_dimension_exchange : experiment
-(** Related-work contrast (§1.2): matching-model balancers reach O(1)
-    discrepancy, beating the diffusive Ω(d) barrier. *)
-
-val e11_irregular : experiment
-(** Extension (§1.1 remark): the equalized-capacity reduction carries
-    the results to non-regular graphs — stars, wheels, barbells. *)
-
-val e12_rotor_walk_cover : experiment
-(** Related-work substrate (§1.2 rotor walks): single-agent rotor-walk
-    cover times vs the 2·m·diam bound and vs random walks. *)
-
-val e13_heterogeneous : experiment
-(** Extension (intro refs [1,2,4]): weighted tokens (discrepancy scales
-    with w_max) and non-uniform machine speeds (height balancing). *)
-
-val e14_equation7 : experiment
-(** Equation (7) of the Theorem 2.3 proof: measured window-averaged
-    deviation vs the explicit right-hand side (exact current sums). *)
-
-val e15_fault_recovery : experiment
-(** Robustness: recovery time back into the Theorem 2.3 band after node
-    crashes, edge outages and load shocks, for the stateful rotor-router
-    vs the stateless send-floor (see {!Faultsweep}). *)
-
-val e16_unreliable_net : experiment
-(** Beyond the paper's synchronous lossless model (§5 outlook): every
-    token transfer rides an unreliable per-edge channel under an
-    exactly-once retry protocol, with bounded staleness σ; reports the
-    discrepancy inflation over the Theorem 2.3 band and the
-    retransmission cost (see {!Netsweep}). *)
-
-val e17_open_system : experiment
-(** Open-system stability (arXiv 2302.12201 Theorem 2.3's shape):
-    Poisson(λ) arrivals against per-node service rate µ.  Below
-    capacity the steady-state discrepancy band is bounded and
-    λ-monotone; above capacity the divergence detector fires (see
-    {!Loadsweep}). *)
-
 val all : experiment list
 (** E1 .. E17 in order. *)
+
+val ids : string list
+(** The registry's ids, in {!all} order. *)
+
+val find : string -> experiment option
+(** Look an experiment up by id, case-insensitively. *)
 
 val run_by_id : quick:bool -> string -> (row list, string) Result.t
 (** Run one experiment by its id (case-insensitive); [Error] lists the

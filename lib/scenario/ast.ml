@@ -1,0 +1,246 @@
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+type scalar_v = Int of int | Float of float | Var of string
+type scalar = { sv : scalar_v; spos : pos }
+
+let int_scalar k = { sv = Int k; spos = no_pos }
+let float_scalar f = { sv = Float f; spos = no_pos }
+
+type graph =
+  | Cycle of scalar
+  | Torus of scalar * scalar
+  | Hypercube of scalar
+  | Complete of scalar
+  | Clique of scalar * scalar
+  | Random of scalar * scalar * scalar
+
+type init =
+  | Point of scalar
+  | Bimodal of scalar * scalar
+  | Uniform_random of scalar * scalar
+
+type balancer = {
+  bname : string;
+  self_loops : scalar option;
+  algo_seed : scalar option;
+}
+
+type arrival =
+  | Uniform of scalar
+  | Poisson of scalar
+  | Point_arrival of scalar * scalar
+  | Hotspot of scalar
+  | Flash of { size : scalar; at : scalar; node : scalar; width : scalar option }
+  | Diurnal of { period : scalar; amplitude : scalar; body : arrival }
+  | Plus of arrival * arrival
+
+type lifetime =
+  | Immortal
+  | Work of scalar
+  | Service of scalar
+  | Geometric of scalar
+  | Fixed of scalar
+
+type warmup = Auto | Fixed_rounds of scalar
+
+type state_loss = Wipe | Keep
+type token_policy = Lose | Spill
+
+type fault =
+  | Crash of { frac : scalar; step : scalar; state : state_loss; tokens : token_policy }
+  | Outage of { rate : scalar; step : scalar; duration : scalar }
+  | Shock of { amount : scalar; step : scalar; node : scalar option }
+
+type fault_item = { f : fault; fpos : pos }
+
+type onoff = On | Off
+
+type net = {
+  drop : scalar option;
+  dup : scalar option;
+  reorder : scalar option;
+  delay : scalar option;
+  staleness : scalar option;
+  degrade : onoff option;
+  net_seed : scalar option;
+}
+
+let empty_net =
+  { drop = None; dup = None; reorder = None; delay = None; staleness = None;
+    degrade = None; net_seed = None }
+
+type dist = {
+  shards : scalar option;
+  kills : (scalar * scalar) list;
+  terms : (scalar * scalar) list;
+  coord_kills : scalar list;
+  dist_drop : scalar option;
+  delay_prob : scalar option;
+  delay_max : scalar option;
+}
+
+let empty_dist =
+  { shards = None; kills = []; terms = []; coord_kills = []; dist_drop = None;
+    delay_prob = None; delay_max = None }
+
+type partition = { cut : scalar list; from_s : scalar; until_s : scalar }
+
+type clause_v =
+  | Graph of graph
+  | Init of init
+  | Balancer of balancer
+  | Steps of scalar
+  | Rounds of scalar
+  | Arrivals of arrival
+  | Lifetime of lifetime
+  | Warmup of warmup
+  | Workload_seed of scalar
+  | Seed of scalar
+  | Faults of fault_item list
+  | Net of net
+  | Dist of dist
+  | Partition of partition
+
+type clause = { c : clause_v; cpos : pos }
+type scenario = clause list
+
+type expr_v =
+  | Scenario of scenario
+  | Overlay of expr * scenario
+  | Sweep of { var : string; values : scalar list; body : expr }
+  | Seq of expr list
+  | Experiment of string
+  | Ref of string
+
+and expr = { e : expr_v; epos : pos }
+
+type decl = { dname : string; dpos : pos; body : expr }
+type file = decl list
+
+let clause_kind = function
+  | Graph _ -> "graph"
+  | Init _ -> "init"
+  | Balancer _ -> "balancer"
+  | Steps _ -> "steps"
+  | Rounds _ -> "rounds"
+  | Arrivals _ -> "arrivals"
+  | Lifetime _ -> "lifetime"
+  | Warmup _ -> "warmup"
+  | Workload_seed _ -> "workload-seed"
+  | Seed _ -> "seed"
+  | Faults _ -> "faults"
+  | Net _ -> "net"
+  | Dist _ -> "dist"
+  | Partition _ -> "partition"
+
+(* ---- position stripping (structural equality modulo positions) ---- *)
+
+let strip_scalar s = { s with spos = no_pos }
+let strip_opt = Option.map strip_scalar
+
+let strip_graph = function
+  | Cycle n -> Cycle (strip_scalar n)
+  | Torus (a, b) -> Torus (strip_scalar a, strip_scalar b)
+  | Hypercube r -> Hypercube (strip_scalar r)
+  | Complete n -> Complete (strip_scalar n)
+  | Clique (n, d) -> Clique (strip_scalar n, strip_scalar d)
+  | Random (n, d, s) -> Random (strip_scalar n, strip_scalar d, strip_scalar s)
+
+let strip_init = function
+  | Point t -> Point (strip_scalar t)
+  | Bimodal (h, l) -> Bimodal (strip_scalar h, strip_scalar l)
+  | Uniform_random (t, s) -> Uniform_random (strip_scalar t, strip_scalar s)
+
+let strip_balancer b =
+  { b with self_loops = strip_opt b.self_loops; algo_seed = strip_opt b.algo_seed }
+
+let rec strip_arrival = function
+  | Uniform k -> Uniform (strip_scalar k)
+  | Poisson r -> Poisson (strip_scalar r)
+  | Point_arrival (n, k) -> Point_arrival (strip_scalar n, strip_scalar k)
+  | Hotspot k -> Hotspot (strip_scalar k)
+  | Flash { size; at; node; width } ->
+    Flash
+      { size = strip_scalar size; at = strip_scalar at; node = strip_scalar node;
+        width = strip_opt width }
+  | Diurnal { period; amplitude; body } ->
+    Diurnal
+      { period = strip_scalar period; amplitude = strip_scalar amplitude;
+        body = strip_arrival body }
+  | Plus (a, b) -> Plus (strip_arrival a, strip_arrival b)
+
+let strip_lifetime = function
+  | Immortal -> Immortal
+  | Work k -> Work (strip_scalar k)
+  | Service r -> Service (strip_scalar r)
+  | Geometric m -> Geometric (strip_scalar m)
+  | Fixed r -> Fixed (strip_scalar r)
+
+let strip_warmup = function
+  | Auto -> Auto
+  | Fixed_rounds k -> Fixed_rounds (strip_scalar k)
+
+let strip_fault = function
+  | Crash c -> Crash { c with frac = strip_scalar c.frac; step = strip_scalar c.step }
+  | Outage o ->
+    Outage
+      { rate = strip_scalar o.rate; step = strip_scalar o.step;
+        duration = strip_scalar o.duration }
+  | Shock s ->
+    Shock
+      { amount = strip_scalar s.amount; step = strip_scalar s.step;
+        node = strip_opt s.node }
+
+let strip_net n =
+  { drop = strip_opt n.drop; dup = strip_opt n.dup; reorder = strip_opt n.reorder;
+    delay = strip_opt n.delay; staleness = strip_opt n.staleness;
+    degrade = n.degrade; net_seed = strip_opt n.net_seed }
+
+let strip_dist d =
+  { shards = strip_opt d.shards;
+    kills = List.map (fun (s, r) -> (strip_scalar s, strip_scalar r)) d.kills;
+    terms = List.map (fun (s, r) -> (strip_scalar s, strip_scalar r)) d.terms;
+    coord_kills = List.map strip_scalar d.coord_kills;
+    dist_drop = strip_opt d.dist_drop; delay_prob = strip_opt d.delay_prob;
+    delay_max = strip_opt d.delay_max }
+
+let strip_partition p =
+  { cut = List.map strip_scalar p.cut; from_s = strip_scalar p.from_s;
+    until_s = strip_scalar p.until_s }
+
+let strip_clause_v = function
+  | Graph g -> Graph (strip_graph g)
+  | Init i -> Init (strip_init i)
+  | Balancer b -> Balancer (strip_balancer b)
+  | Steps s -> Steps (strip_scalar s)
+  | Rounds r -> Rounds (strip_scalar r)
+  | Arrivals a -> Arrivals (strip_arrival a)
+  | Lifetime l -> Lifetime (strip_lifetime l)
+  | Warmup w -> Warmup (strip_warmup w)
+  | Workload_seed s -> Workload_seed (strip_scalar s)
+  | Seed s -> Seed (strip_scalar s)
+  | Faults fs -> Faults (List.map (fun i -> { f = strip_fault i.f; fpos = no_pos }) fs)
+  | Net n -> Net (strip_net n)
+  | Dist d -> Dist (strip_dist d)
+  | Partition p -> Partition (strip_partition p)
+
+let strip_scenario sc =
+  List.map (fun cl -> { c = strip_clause_v cl.c; cpos = no_pos }) sc
+
+let rec strip_expr ex =
+  let e =
+    match ex.e with
+    | Scenario sc -> Scenario (strip_scenario sc)
+    | Overlay (b, sc) -> Overlay (strip_expr b, strip_scenario sc)
+    | Sweep { var; values; body } ->
+      Sweep { var; values = List.map strip_scalar values; body = strip_expr body }
+    | Seq es -> Seq (List.map strip_expr es)
+    | Experiment id -> Experiment id
+    | Ref n -> Ref n
+  in
+  { e; epos = no_pos }
+
+let strip_file f =
+  List.map (fun d -> { d with dpos = no_pos; body = strip_expr d.body }) f

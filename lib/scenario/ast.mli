@@ -1,0 +1,155 @@
+(** Abstract syntax of the [.lbs] scenario language.
+
+    A scenario is a declarative experiment: a graph family, an initial
+    load vector, a balancer, a workload (closed [steps] horizon or an
+    open-system arrival/lifetime stream), and optional fault, network
+    and distributed-cluster layers.  Scenario {e expressions} compose
+    atomic scenarios with [overlay] (clause-wise override), [sweep]
+    (parameter ranges via [$var] substitution) and [seq] (run several
+    in order); a file is a list of [let] bindings.
+
+    Every node carries the source position of its leading token so the
+    checker ({!Check}) and the expander ({!Compile}) can report
+    [line:col]-addressed errors; {!strip_file} erases positions, giving
+    the structural equality the [parse ∘ print = id] round-trip tests
+    use. *)
+
+type pos = { line : int; col : int }
+
+val no_pos : pos
+(** [{line = 0; col = 0}], the position of synthesized nodes. *)
+
+type scalar_v =
+  | Int of int
+  | Float of float
+  | Var of string  (** [$x], bound by an enclosing [sweep] *)
+
+type scalar = { sv : scalar_v; spos : pos }
+
+val int_scalar : int -> scalar
+(** Position-free literal, for programmatic construction. *)
+
+val float_scalar : float -> scalar
+
+type graph =
+  | Cycle of scalar
+  | Torus of scalar * scalar  (** sides; must be square (harness grammar) *)
+  | Hypercube of scalar  (** dimension *)
+  | Complete of scalar
+  | Clique of scalar * scalar  (** n, d — the Theorem 4.2 circulant *)
+  | Random of scalar * scalar * scalar  (** n, d, seed *)
+
+type init =
+  | Point of scalar  (** total, all on node 0 *)
+  | Bimodal of scalar * scalar  (** high, low *)
+  | Uniform_random of scalar * scalar  (** total, seed *)
+
+type balancer = {
+  bname : string;  (** {!Harness.Experiment.algo_of_string} name *)
+  self_loops : scalar option;
+  algo_seed : scalar option;  (** seed of the randomized baselines *)
+}
+
+type arrival =
+  | Uniform of scalar  (** exact batch per round *)
+  | Poisson of scalar  (** mean rate *)
+  | Point_arrival of scalar * scalar  (** node, batch *)
+  | Hotspot of scalar  (** batch at the max-loaded node *)
+  | Flash of { size : scalar; at : scalar; node : scalar; width : scalar option }
+  | Diurnal of { period : scalar; amplitude : scalar; body : arrival }
+  | Plus of arrival * arrival  (** {!Workload.Arrival.overlay} *)
+
+type lifetime =
+  | Immortal
+  | Work of scalar  (** uniform completion attempts per round *)
+  | Service of scalar  (** per-node service rate *)
+  | Geometric of scalar  (** mean lifetime *)
+  | Fixed of scalar  (** deterministic lifetime in rounds *)
+
+type warmup = Auto | Fixed_rounds of scalar
+
+type state_loss = Wipe | Keep
+type token_policy = Lose | Spill
+
+type fault =
+  | Crash of { frac : scalar; step : scalar; state : state_loss; tokens : token_policy }
+  | Outage of { rate : scalar; step : scalar; duration : scalar }
+  | Shock of { amount : scalar; step : scalar; node : scalar option }
+
+type fault_item = { f : fault; fpos : pos }
+
+type onoff = On | Off
+
+type net = {
+  drop : scalar option;
+  dup : scalar option;
+  reorder : scalar option;
+  delay : scalar option;
+  staleness : scalar option;
+  degrade : onoff option;
+  net_seed : scalar option;
+}
+
+val empty_net : net
+
+type dist = {
+  shards : scalar option;
+  kills : (scalar * scalar) list;  (** shard \@ round *)
+  terms : (scalar * scalar) list;
+  coord_kills : scalar list;
+  dist_drop : scalar option;
+  delay_prob : scalar option;
+  delay_max : scalar option;
+}
+
+val empty_dist : dist
+
+type partition = {
+  cut : scalar list;  (** isolated shard group *)
+  from_s : scalar;  (** window opens, seconds *)
+  until_s : scalar;
+}
+
+type clause_v =
+  | Graph of graph
+  | Init of init
+  | Balancer of balancer
+  | Steps of scalar  (** closed-system horizon *)
+  | Rounds of scalar  (** open-system / cluster horizon *)
+  | Arrivals of arrival
+  | Lifetime of lifetime
+  | Warmup of warmup
+  | Workload_seed of scalar
+  | Seed of scalar  (** fault-plan realization seed *)
+  | Faults of fault_item list
+  | Net of net
+  | Dist of dist
+  | Partition of partition
+
+type clause = { c : clause_v; cpos : pos }
+
+type scenario = clause list
+
+type expr_v =
+  | Scenario of scenario
+  | Overlay of expr * scenario  (** [overlay e with { … }] *)
+  | Sweep of { var : string; values : scalar list; body : expr }
+  | Seq of expr list
+  | Experiment of string  (** a {!Harness.Suite} registry id *)
+  | Ref of string
+
+and expr = { e : expr_v; epos : pos }
+
+type decl = { dname : string; dpos : pos; body : expr }
+
+type file = decl list
+
+val clause_kind : clause_v -> string
+(** The clause keyword ("graph", "net", …), for duplicate-clause
+    diagnostics and overlay merging. *)
+
+val strip_file : file -> file
+(** Erase every position (to {!no_pos}); [strip_file a = strip_file b]
+    is equality modulo positions. *)
+
+val strip_scenario : scenario -> scenario

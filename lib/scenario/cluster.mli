@@ -1,0 +1,16 @@
+(** Chaos findings as scenario files.
+
+    [lb_chaos] shrinks a failing cluster schedule down to a minimal
+    {!Dist.Chaos.scenario} and prints a replayable [lb_cluster] command
+    line.  {!file} renders that same scenario as a [.lbs] file (one
+    [let main = scenario { … dist { … } }] binding), so a finding can be
+    archived, diffed and re-checked with [lb_scn check] like any other
+    scenario.  The mapping is exact: compiling the emitted file with
+    {!Compile.cluster_command} reproduces the command line. *)
+
+val file : Dist.Chaos.scenario -> (Ast.file, string) result
+(** [Error] only if the scenario carries an unparsable graph/init spec
+    string — impossible for {!Dist.Chaos.generate} output. *)
+
+val to_string : Dist.Chaos.scenario -> (string, string) result
+(** {!file} pretty-printed, ready to write next to the command line. *)

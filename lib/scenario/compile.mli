@@ -1,0 +1,66 @@
+(** The scenario compiler: expansion, checking and lowering onto the
+    existing engine stack.
+
+    {!plan} turns a parsed file into a flat list of runnable items:
+    [sweep]s are unrolled ([$var] substituted at every use site, the
+    binding recorded in the item label as ["name[d=0.05]"]), [overlay]s
+    are merged clause-wise (an overlay clause replaces the base clause
+    of the same kind, new kinds are appended), [seq]s are concatenated
+    and references resolved (a binding sees only the bindings declared
+    before it).  Every concrete scenario then goes through {!Check};
+    [experiment] targets are resolved against the {!Harness.Suite}
+    registry.
+
+    {!execute} lowers a checked scenario onto the engine it selects:
+
+    - closed, fault-free, reliable → {!Core.Engine.run};
+    - closed + faults → {!Faults.Engine.run} under
+      {!Faults.Schedule.realize};
+    - closed + net (faults optional) → {!Net.Async_engine.run};
+    - open system → {!Harness.Openrun.run} with the matching
+      [Plain]/[Faulty]/[Lossy] mode, mirroring [lb_sim]'s PRNG
+      convention (master stream from [workload-seed], arrival and
+      lifetime streams split off in that order) so equal seeds replay
+      the CLI bit for bit;
+    - [dist] scenarios are compile-only: {!cluster_command} renders the
+      equivalent multi-process [lb_cluster] invocation.
+
+    Everything here is pure apart from the engines' own computation —
+    printing belongs to the [lb_scn] binary. *)
+
+type payload =
+  | Run of Check.typed
+  | Exper of string  (** validated {!Harness.Suite} id, upper-cased *)
+
+type item = { label : string; at : Ast.pos; payload : payload }
+
+val plan : ?root:string -> Ast.file -> (item list, string * Ast.pos) result
+(** Expand + check the file.  [root] names the binding to compile
+    (default: the binding named ["main"], else the last one). *)
+
+type outcome = {
+  kind : string;  (** "closed", "open+faults+net", … *)
+  rounds : int;  (** rounds/steps actually executed *)
+  final_loads : int array;
+  discrepancy : int;
+  initial_total : int;
+  final_total : int;
+  injected : int;  (** arrivals + fault shocks *)
+  removed : int;  (** departures + crash-lost tokens *)
+  conserved : bool;  (** final = initial + injected − removed *)
+  drained : bool;  (** lossy transport quiesced (true when no net) *)
+}
+
+val kind : Check.typed -> string
+
+val execute : Check.typed -> (outcome, string) result
+(** Run one checked scenario in-process.  [Error] only for [dist]
+    scenarios, which need the multi-process harness. *)
+
+val cluster_command : Check.typed -> string option
+(** The replayable [lb_cluster] invocation of a [dist] scenario,
+    [None] for in-process scenarios. *)
+
+val describe : item -> string list
+(** Human-readable lowering summary, one string per line — what
+    [lb_scn compile] prints. *)

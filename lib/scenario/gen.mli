@@ -1,0 +1,40 @@
+(** Seeded scenario generator and shrinker — the property-based
+    machinery behind [lb_scn fuzz] (experiment E18).
+
+    {!scenario} is a pure function of [(seed, index)] (SplitMix64), so
+    a failing case reproduces anywhere from the two integers.  Every
+    generated scenario is well-typed by construction ({!Check.scenario}
+    accepts it — a rejection is itself a finding) and in-process
+    executable: closed and open-system runs over small graphs, with
+    optional fault plans and lossy-network layers, sized so a
+    1000-scenario sweep finishes in seconds.  The [mimic] balancer and
+    [dist] clauses are never generated (the first is deliberately
+    restricted by the checker, the second needs the multi-process
+    harness).
+
+    {!shrink} proposes strictly simpler variants piecewise — drop a
+    whole layer, drop one fault, unwrap a modulated arrival, halve the
+    horizon, collapse the graph — and {!minimize} iterates them
+    greedily while the failure predicate keeps holding, mirroring
+    {!Dist.Chaos.minimize}. *)
+
+val scenario : seed:int -> index:int -> Ast.scenario
+(** Concrete, variable-free, position-free scenario [index] of stream
+    [seed]. *)
+
+val to_file : Ast.scenario -> Ast.file
+(** Wrap as the single binding [let main = scenario { … }] — what the
+    minimizer writes next to the replayable command line. *)
+
+val file : seed:int -> index:int -> Ast.file
+(** A syntactically well-formed file exercising the whole grammar —
+    bindings, [overlay], [sweep] (with [$var] uses), [seq],
+    [experiment] — for the [parse ∘ print = id] round-trip property.
+    Unlike {!scenario}, the result need not type-check. *)
+
+val shrink : Ast.scenario -> Ast.scenario list
+(** Strictly simpler candidates, most aggressive first. *)
+
+val minimize : fails:(Ast.scenario -> bool) -> Ast.scenario -> Ast.scenario
+(** Greedy fixpoint: repeatedly adopt the first {!shrink} candidate on
+    which [fails] still holds. *)

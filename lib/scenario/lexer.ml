@@ -1,0 +1,147 @@
+type token_v =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | AT
+  | DOLLAR
+  | EQUALS
+  | PLUS
+  | DOTDOT
+  | EOF
+
+type token = { t : token_v; tpos : Ast.pos }
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT k -> Printf.sprintf "integer %d" k
+  | FLOAT f -> Printf.sprintf "number %g" f
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | AT -> "'@'"
+  | DOLLAR -> "'$'"
+  | EQUALS -> "'='"
+  | PLUS -> "'+'"
+  | DOTDOT -> "'..'"
+  | EOF -> "end of input"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_rest c = is_alpha c || is_digit c || c = '_' || c = '-'
+
+let tokenize src =
+  let len = String.length src in
+  let line = ref 1 and col = ref 1 and i = ref 0 in
+  let toks = ref [] in
+  let error = ref None in
+  let pos () = { Ast.line = !line; Ast.col = !col } in
+  let advance () =
+    (if !i < len && src.[!i] = '\n' then begin
+       incr line;
+       col := 0
+     end);
+    incr i;
+    incr col
+  in
+  let push t p = toks := { t; tpos = p } :: !toks in
+  while !error = None && !i < len do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' then
+      while !i < len && src.[!i] <> '\n' do
+        advance ()
+      done
+    else begin
+      let p = pos () in
+      match c with
+      | '{' -> push LBRACE p; advance ()
+      | '}' -> push RBRACE p; advance ()
+      | '(' -> push LPAREN p; advance ()
+      | ')' -> push RPAREN p; advance ()
+      | '[' -> push LBRACKET p; advance ()
+      | ']' -> push RBRACKET p; advance ()
+      | ',' -> push COMMA p; advance ()
+      | ';' -> push SEMI p; advance ()
+      | '@' -> push AT p; advance ()
+      | '$' -> push DOLLAR p; advance ()
+      | '=' -> push EQUALS p; advance ()
+      | '+' -> push PLUS p; advance ()
+      | '.' ->
+        if !i + 1 < len && src.[!i + 1] = '.' then begin
+          push DOTDOT p;
+          advance ();
+          advance ()
+        end
+        else error := Some ("stray '.' (ranges are written 'a .. b')", p)
+      | c when is_digit c ->
+        let start = !i in
+        while !i < len && is_digit src.[!i] do
+          advance ()
+        done;
+        let is_float = ref false in
+        (if
+           !i + 1 < len
+           && src.[!i] = '.'
+           && src.[!i + 1] <> '.'
+           && is_digit src.[!i + 1]
+         then begin
+           is_float := true;
+           advance ();
+           while !i < len && is_digit src.[!i] do
+             advance ()
+           done
+         end);
+        (if !i < len && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+           let save_i = !i and save_col = !col in
+           advance ();
+           if !i < len && (src.[!i] = '+' || src.[!i] = '-') then advance ();
+           if !i < len && is_digit src.[!i] then begin
+             is_float := true;
+             while !i < len && is_digit src.[!i] do
+               advance ()
+             done
+           end
+           else begin
+             (* not an exponent after all; rewind to before the 'e' so
+                it lexes as the start of an identifier *)
+             i := save_i;
+             col := save_col
+           end
+         end);
+        let text = String.sub src start (!i - start) in
+        if !is_float then
+          match float_of_string_opt text with
+          | Some f -> push (FLOAT f) p
+          | None -> error := Some (Printf.sprintf "bad number %S" text, p)
+        else (
+          match int_of_string_opt text with
+          | Some k -> push (INT k) p
+          | None -> error := Some (Printf.sprintf "integer %S out of range" text, p))
+      | c when is_alpha c ->
+        let start = !i in
+        while !i < len && is_ident_rest src.[!i] do
+          advance ()
+        done;
+        push (IDENT (String.sub src start (!i - start))) p
+      | c ->
+        error := Some (Printf.sprintf "unexpected character %C" c, p)
+    end
+  done;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    push EOF (pos ());
+    Ok (List.rev !toks)

@@ -1,0 +1,37 @@
+(** Hand-written lexer for the [.lbs] concrete syntax.
+
+    Tokens carry 1-based [line:col] source positions.  Comments run
+    from [#] to end of line.  Identifiers are
+    [[A-Za-z][A-Za-z0-9_-]*] — the ['-'] lets CLI-style names like
+    [rotor-router] and [kill-coord] lex as single tokens.  Numbers are
+    unsigned decimal with an optional fraction and exponent; a ['.'] is
+    only part of a number when a digit follows, so range syntax like
+    [100..200] lexes as [INT 100; DOTDOT; INT 200]. *)
+
+type token_v =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | AT
+  | DOLLAR
+  | EQUALS
+  | PLUS
+  | DOTDOT
+  | EOF
+
+type token = { t : token_v; tpos : Ast.pos }
+
+val token_name : token_v -> string
+(** Human description for parse errors ("'{'", "identifier", …). *)
+
+val tokenize : string -> (token list, string * Ast.pos) result
+(** The token stream of a source text, ending in [EOF].  [Error] is a
+    message plus the offending position. *)

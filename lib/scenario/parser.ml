@@ -1,0 +1,477 @@
+open Ast
+
+exception Err of string * pos
+
+type st = { toks : Lexer.token array; mutable k : int }
+
+let peek st = st.toks.(st.k)
+
+let next st =
+  let t = st.toks.(st.k) in
+  (match t.Lexer.t with Lexer.EOF -> () | _ -> st.k <- st.k + 1);
+  t
+
+let fail pos fmt = Printf.ksprintf (fun m -> raise (Err (m, pos))) fmt
+
+let expect st tv what =
+  let t = next st in
+  if t.Lexer.t = tv then t.Lexer.tpos
+  else fail t.Lexer.tpos "expected %s, got %s" what (Lexer.token_name t.Lexer.t)
+
+let ident st what =
+  let t = next st in
+  match t.Lexer.t with
+  | Lexer.IDENT s -> (s, t.Lexer.tpos)
+  | tv -> fail t.Lexer.tpos "expected %s, got %s" what (Lexer.token_name tv)
+
+let keyword st kw =
+  let s, p = ident st (Printf.sprintf "'%s'" kw) in
+  if s = kw then p else fail p "expected '%s', got identifier %S" kw s
+
+let peek_ident st =
+  match (peek st).Lexer.t with Lexer.IDENT s -> Some s | _ -> None
+
+let reserved = [ "let"; "scenario"; "overlay"; "with"; "sweep"; "in"; "seq"; "experiment" ]
+
+(* ---- scalars and argument lists ---- *)
+
+let scalar st =
+  let t = next st in
+  match t.Lexer.t with
+  | Lexer.INT k -> { sv = Int k; spos = t.Lexer.tpos }
+  | Lexer.FLOAT f -> { sv = Float f; spos = t.Lexer.tpos }
+  | Lexer.DOLLAR ->
+    let n, _ = ident st "a variable name after '$'" in
+    { sv = Var n; spos = t.Lexer.tpos }
+  | tv ->
+    fail t.Lexer.tpos "expected a number or '$var', got %s" (Lexer.token_name tv)
+
+(* comma-separated scalars inside parentheses *)
+let scalar_args st =
+  let _ = expect st Lexer.LPAREN "'('" in
+  let rec more acc =
+    match (peek st).Lexer.t with
+    | Lexer.COMMA ->
+      let _ = next st in
+      more (scalar st :: acc)
+    | _ ->
+      let _ = expect st Lexer.RPAREN "')'" in
+      List.rev acc
+  in
+  more [ scalar st ]
+
+let one_arg st what =
+  match scalar_args st with
+  | [ a ] -> a
+  | a :: _ -> fail a.spos "%s takes exactly one argument" what
+  | [] -> fail no_pos "%s takes exactly one argument" what
+
+(* a single parenthesized scalar, e.g. self-loops(1) *)
+let paren_scalar st =
+  let _ = expect st Lexer.LPAREN "'('" in
+  let s = scalar st in
+  let _ = expect st Lexer.RPAREN "')'" in
+  s
+
+(* ---- clause payloads ---- *)
+
+let graph_spec st =
+  let name, p = ident st "a graph family" in
+  let args = scalar_args st in
+  let arity k = fail p "graph family '%s' expects %d argument(s)" name k in
+  match (name, args) with
+  | "cycle", [ n ] -> Graph (Cycle n)
+  | "cycle", _ -> arity 1
+  | "torus", [ a; b ] -> Graph (Torus (a, b))
+  | "torus", _ -> arity 2
+  | "hypercube", [ r ] -> Graph (Hypercube r)
+  | "hypercube", _ -> arity 1
+  | "complete", [ n ] -> Graph (Complete n)
+  | "complete", _ -> arity 1
+  | "clique", [ n; d ] -> Graph (Clique (n, d))
+  | "clique", _ -> arity 2
+  | "random", [ n; d; s ] -> Graph (Random (n, d, s))
+  | "random", _ -> arity 3
+  | _ -> fail p "unknown graph family '%s'" name
+
+let init_spec st =
+  let name, p = ident st "an initial-load kind" in
+  let args = scalar_args st in
+  let arity k = fail p "init '%s' expects %d argument(s)" name k in
+  match (name, args) with
+  | "point", [ t ] -> Init (Point t)
+  | "point", _ -> arity 1
+  | "bimodal", [ h; l ] -> Init (Bimodal (h, l))
+  | "bimodal", _ -> arity 2
+  | "random", [ t; s ] -> Init (Uniform_random (t, s))
+  | "random", _ -> arity 2
+  | _ -> fail p "unknown init kind '%s'" name
+
+let balancer_spec st =
+  let bname, _ = ident st "a balancer name" in
+  let self_loops = ref None and algo_seed = ref None in
+  let rec opts () =
+    match peek_ident st with
+    | Some "self-loops" ->
+      let _, p = ident st "option" in
+      if !self_loops <> None then fail p "duplicate self-loops option";
+      self_loops := Some (paren_scalar st);
+      opts ()
+    | Some "algo-seed" ->
+      let _, p = ident st "option" in
+      if !algo_seed <> None then fail p "duplicate algo-seed option";
+      algo_seed := Some (paren_scalar st);
+      opts ()
+    | _ -> ()
+  in
+  opts ();
+  Balancer { bname; self_loops = !self_loops; algo_seed = !algo_seed }
+
+let rec arrival_atom st =
+  match (peek st).Lexer.t with
+  | Lexer.LPAREN ->
+    let _ = next st in
+    let a = arrival_expr st in
+    let _ = expect st Lexer.RPAREN "')'" in
+    a
+  | _ ->
+    let name, p = ident st "an arrival kind" in
+    let arity k = fail p "arrival '%s' expects %d argument(s)" name k in
+    (match name with
+    | "uniform" -> Uniform (one_arg st "uniform")
+    | "poisson" -> Poisson (one_arg st "poisson")
+    | "hotspot" -> Hotspot (one_arg st "hotspot")
+    | "point" -> (
+      match scalar_args st with
+      | [ n; k ] -> Point_arrival (n, k)
+      | _ -> arity 2)
+    | "flash" -> (
+      match scalar_args st with
+      | [ size; at; node ] -> Flash { size; at; node; width = None }
+      | [ size; at; node; w ] -> Flash { size; at; node; width = Some w }
+      | _ -> fail p "arrival 'flash' expects 3 or 4 arguments")
+    | "diurnal" ->
+      let _ = expect st Lexer.LPAREN "'('" in
+      let period = scalar st in
+      let _ = expect st Lexer.COMMA "','" in
+      let amplitude = scalar st in
+      let _ = expect st Lexer.COMMA "','" in
+      let body = arrival_expr st in
+      let _ = expect st Lexer.RPAREN "')'" in
+      Diurnal { period; amplitude; body }
+    | _ -> fail p "unknown arrival kind '%s'" name)
+
+and arrival_expr st =
+  let rec plus acc =
+    match (peek st).Lexer.t with
+    | Lexer.PLUS ->
+      let _ = next st in
+      plus (Plus (acc, arrival_atom st))
+    | _ -> acc
+  in
+  plus (arrival_atom st)
+
+let lifetime_spec st =
+  let name, p = ident st "a lifetime kind" in
+  match name with
+  | "immortal" -> Lifetime Immortal
+  | "work" -> Lifetime (Work (one_arg st "work"))
+  | "service" -> Lifetime (Service (one_arg st "service"))
+  | "geometric" -> Lifetime (Geometric (one_arg st "geometric"))
+  | "fixed" -> Lifetime (Fixed (one_arg st "fixed"))
+  | _ -> fail p "unknown lifetime kind '%s'" name
+
+let warmup_spec st =
+  match peek_ident st with
+  | Some "auto" ->
+    let _ = next st in
+    Warmup Auto
+  | _ -> Warmup (Fixed_rounds (scalar st))
+
+let fault_item st =
+  let name, p = ident st "a fault kind" in
+  match name with
+  | "crash" ->
+    let _ = expect st Lexer.LPAREN "'('" in
+    let frac = scalar st in
+    let _ = expect st Lexer.COMMA "','" in
+    let step = scalar st in
+    let _ = expect st Lexer.COMMA "','" in
+    let state =
+      match ident st "'wipe' or 'keep'" with
+      | "wipe", _ -> Wipe
+      | "keep", _ -> Keep
+      | s, sp -> fail sp "expected 'wipe' or 'keep', got %S" s
+    in
+    let _ = expect st Lexer.COMMA "','" in
+    let tokens =
+      match ident st "'lose' or 'spill'" with
+      | "lose", _ -> Lose
+      | "spill", _ -> Spill
+      | s, sp -> fail sp "expected 'lose' or 'spill', got %S" s
+    in
+    let _ = expect st Lexer.RPAREN "')'" in
+    { f = Crash { frac; step; state; tokens }; fpos = p }
+  | "outage" -> (
+    match scalar_args st with
+    | [ rate; step; duration ] -> { f = Outage { rate; step; duration }; fpos = p }
+    | _ -> fail p "fault 'outage' expects 3 arguments (rate, step, duration)")
+  | "shock" -> (
+    match scalar_args st with
+    | [ amount; step ] -> { f = Shock { amount; step; node = None }; fpos = p }
+    | [ amount; step; node ] -> { f = Shock { amount; step; node = Some node }; fpos = p }
+    | _ -> fail p "fault 'shock' expects 2 or 3 arguments (amount, step[, node])")
+  | _ -> fail p "unknown fault kind '%s' (crash, outage or shock)" name
+
+let faults_spec st =
+  let _ = expect st Lexer.LBRACKET "'['" in
+  let rec more acc =
+    match (peek st).Lexer.t with
+    | Lexer.SEMI ->
+      let _ = next st in
+      more (fault_item st :: acc)
+    | _ ->
+      let _ = expect st Lexer.RBRACKET "']'" in
+      List.rev acc
+  in
+  Faults (more [ fault_item st ])
+
+let net_spec st =
+  let _ = expect st Lexer.LBRACE "'{'" in
+  let n = ref empty_net in
+  let dup_check field got p = if got then fail p "duplicate net field '%s'" field in
+  let rec fields () =
+    match (peek st).Lexer.t with
+    | Lexer.RBRACE ->
+      let _ = next st in
+      ()
+    | _ ->
+      let name, p = ident st "a net field" in
+      (match name with
+      | "drop" ->
+        dup_check name (!n.drop <> None) p;
+        n := { !n with drop = Some (scalar st) }
+      | "dup" ->
+        dup_check name (!n.dup <> None) p;
+        n := { !n with dup = Some (scalar st) }
+      | "reorder" ->
+        dup_check name (!n.reorder <> None) p;
+        n := { !n with reorder = Some (scalar st) }
+      | "delay" ->
+        dup_check name (!n.delay <> None) p;
+        n := { !n with delay = Some (scalar st) }
+      | "staleness" ->
+        dup_check name (!n.staleness <> None) p;
+        n := { !n with staleness = Some (scalar st) }
+      | "degrade" ->
+        dup_check name (!n.degrade <> None) p;
+        let v =
+          match ident st "'on' or 'off'" with
+          | "on", _ -> On
+          | "off", _ -> Off
+          | s, sp -> fail sp "expected 'on' or 'off', got %S" s
+        in
+        n := { !n with degrade = Some v }
+      | "seed" ->
+        dup_check name (!n.net_seed <> None) p;
+        n := { !n with net_seed = Some (scalar st) }
+      | _ -> fail p "unknown net field '%s'" name);
+      fields ()
+  in
+  fields ();
+  Net !n
+
+let dist_spec st =
+  let _ = expect st Lexer.LBRACE "'{'" in
+  let d = ref empty_dist in
+  let dup_check field got p = if got then fail p "duplicate dist field '%s'" field in
+  let pair st =
+    let _ = expect st Lexer.LPAREN "'('" in
+    let a = scalar st in
+    let _ = expect st Lexer.COMMA "','" in
+    let b = scalar st in
+    let _ = expect st Lexer.RPAREN "')'" in
+    (a, b)
+  in
+  let rec fields () =
+    match (peek st).Lexer.t with
+    | Lexer.RBRACE ->
+      let _ = next st in
+      ()
+    | _ ->
+      let name, p = ident st "a dist field" in
+      (match name with
+      | "shards" ->
+        dup_check name (!d.shards <> None) p;
+        d := { !d with shards = Some (scalar st) }
+      | "kill" ->
+        let k = pair st in
+        d := { !d with kills = !d.kills @ [ k ] }
+      | "term" ->
+        let k = pair st in
+        d := { !d with terms = !d.terms @ [ k ] }
+      | "kill-coord" -> d := { !d with coord_kills = !d.coord_kills @ [ paren_scalar st ] }
+      | "drop" ->
+        dup_check name (!d.dist_drop <> None) p;
+        d := { !d with dist_drop = Some (scalar st) }
+      | "delay-prob" ->
+        dup_check name (!d.delay_prob <> None) p;
+        d := { !d with delay_prob = Some (scalar st) }
+      | "delay-max" ->
+        dup_check name (!d.delay_max <> None) p;
+        d := { !d with delay_max = Some (scalar st) }
+      | _ -> fail p "unknown dist field '%s'" name);
+      fields ()
+  in
+  fields ();
+  Dist !d
+
+let partition_spec st =
+  let _ = expect st Lexer.LBRACKET "'['" in
+  let rec more acc =
+    match (peek st).Lexer.t with
+    | Lexer.COMMA ->
+      let _ = next st in
+      more (scalar st :: acc)
+    | _ ->
+      let _ = expect st Lexer.RBRACKET "']'" in
+      List.rev acc
+  in
+  let cut = more [ scalar st ] in
+  let _ = expect st Lexer.AT "'@'" in
+  let from_s = scalar st in
+  let _ = expect st Lexer.DOTDOT "'..'" in
+  let until_s = scalar st in
+  Partition { cut; from_s; until_s }
+
+let clause st =
+  let name, p = ident st "a clause keyword" in
+  let c =
+    match name with
+    | "graph" -> graph_spec st
+    | "init" -> init_spec st
+    | "balancer" -> balancer_spec st
+    | "steps" -> Steps (scalar st)
+    | "rounds" -> Rounds (scalar st)
+    | "arrivals" -> Arrivals (arrival_expr st)
+    | "lifetime" -> lifetime_spec st
+    | "warmup" -> warmup_spec st
+    | "workload-seed" -> Workload_seed (scalar st)
+    | "seed" -> Seed (scalar st)
+    | "faults" -> faults_spec st
+    | "net" -> net_spec st
+    | "dist" -> dist_spec st
+    | "partition" -> partition_spec st
+    | _ -> fail p "unknown clause '%s'" name
+  in
+  { c; cpos = p }
+
+let clause_block st =
+  let _ = expect st Lexer.LBRACE "'{'" in
+  let rec more acc =
+    match (peek st).Lexer.t with
+    | Lexer.RBRACE ->
+      let _ = next st in
+      List.rev acc
+    | _ -> more (clause st :: acc)
+  in
+  more []
+
+(* ---- expressions ---- *)
+
+let sweep_values st =
+  match (peek st).Lexer.t with
+  | Lexer.LBRACKET ->
+    let _ = next st in
+    let rec more acc =
+      match (peek st).Lexer.t with
+      | Lexer.COMMA ->
+        let _ = next st in
+        more (scalar st :: acc)
+      | _ ->
+        let _ = expect st Lexer.RBRACKET "']'" in
+        List.rev acc
+    in
+    more [ scalar st ]
+  | _ ->
+    let lo = scalar st in
+    let _ = expect st Lexer.DOTDOT "'..' (or a '[v, ...]' list)" in
+    let hi = scalar st in
+    let int_of s =
+      match s.sv with
+      | Int k -> k
+      | _ -> fail s.spos "range bounds must be integer literals"
+    in
+    let a = int_of lo and b = int_of hi in
+    if a > b then fail lo.spos "empty range %d .. %d" a b;
+    List.init (b - a + 1) (fun i -> { sv = Int (a + i); spos = lo.spos })
+
+let rec expr st =
+  let t = peek st in
+  match t.Lexer.t with
+  | Lexer.LPAREN ->
+    let _ = next st in
+    let e = expr st in
+    let _ = expect st Lexer.RPAREN "')'" in
+    e
+  | Lexer.IDENT "scenario" ->
+    let _ = next st in
+    { e = Scenario (clause_block st); epos = t.Lexer.tpos }
+  | Lexer.IDENT "overlay" ->
+    let _ = next st in
+    let base = expr st in
+    let _ = keyword st "with" in
+    { e = Overlay (base, clause_block st); epos = t.Lexer.tpos }
+  | Lexer.IDENT "sweep" ->
+    let _ = next st in
+    let _ = expect st Lexer.DOLLAR "'$'" in
+    let var, _ = ident st "a sweep variable name" in
+    let _ = keyword st "in" in
+    let values = sweep_values st in
+    let body = expr st in
+    { e = Sweep { var; values; body }; epos = t.Lexer.tpos }
+  | Lexer.IDENT "seq" ->
+    let _ = next st in
+    let _ = expect st Lexer.LBRACKET "'['" in
+    let rec more acc =
+      match (peek st).Lexer.t with
+      | Lexer.SEMI ->
+        let _ = next st in
+        more (expr st :: acc)
+      | _ ->
+        let _ = expect st Lexer.RBRACKET "']'" in
+        List.rev acc
+    in
+    let es = more [ expr st ] in
+    { e = Seq es; epos = t.Lexer.tpos }
+  | Lexer.IDENT "experiment" ->
+    let _ = next st in
+    let id, _ = ident st "an experiment id" in
+    { e = Experiment id; epos = t.Lexer.tpos }
+  | Lexer.IDENT name when not (List.mem name reserved) ->
+    let _ = next st in
+    { e = Ref name; epos = t.Lexer.tpos }
+  | tv ->
+    fail t.Lexer.tpos "expected a scenario expression, got %s" (Lexer.token_name tv)
+
+let file st =
+  let rec decls acc =
+    match (peek st).Lexer.t with
+    | Lexer.EOF -> List.rev acc
+    | _ ->
+      let _ = keyword st "let" in
+      let dname, dpos = ident st "a binding name" in
+      if List.mem dname reserved then
+        fail dpos "'%s' is a reserved word and cannot name a binding" dname;
+      let _ = expect st Lexer.EQUALS "'='" in
+      let body = expr st in
+      decls ({ dname; dpos; body } :: acc)
+  in
+  decls []
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+    let st = { toks = Array.of_list toks; k = 0 } in
+    try Ok (file st) with Err (m, p) -> Error (m, p))

@@ -1,0 +1,37 @@
+(** Recursive-descent parser for the [.lbs] concrete syntax.
+
+    The grammar (clause keywords are contextual — only [let],
+    [scenario], [overlay], [with], [sweep], [in], [seq] and
+    [experiment] are reserved as binding names):
+
+    {v
+    file     ::= ("let" NAME "=" expr)*
+    expr     ::= "scenario" "{" clause* "}"
+               | "overlay" expr "with" "{" clause* "}"
+               | "sweep" "$" NAME "in" values expr
+               | "seq" "[" expr (";" expr)* "]"
+               | "experiment" NAME
+               | "(" expr ")"
+               | NAME
+    values   ::= "[" scalar ("," scalar)* "]" | INT ".." INT
+    clause   ::= "graph" FAMILY "(" scalars ")"
+               | "init" KIND "(" scalars ")"
+               | "balancer" NAME opt*        opt ::= ("self-loops"|"algo-seed") "(" scalar ")"
+               | ("steps"|"rounds"|"workload-seed"|"seed") scalar
+               | "arrivals" arrival          arrival ::= atom ("+" atom)*
+               | "lifetime" ("immortal" | KIND "(" scalars ")")
+               | "warmup" ("auto" | scalar)
+               | "faults" "[" fault (";" fault)* "]"
+               | "net" "{" netfield* "}"
+               | "dist" "{" distfield* "}"
+               | "partition" "[" scalars "]" "@" scalar ".." scalar
+    scalar   ::= INT | FLOAT | "$" NAME
+    v}
+
+    Integer ranges [a .. b] in [values] expand inclusively at parse
+    time.  Parsing is syntax-only: arity and spelling of each construct
+    are enforced here, typing rules (clause compatibility, value
+    bounds) live in {!Check}. *)
+
+val parse : string -> (Ast.file, string * Ast.pos) result
+(** Tokenize and parse a whole [.lbs] source text. *)

@@ -1,0 +1,164 @@
+open Ast
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%g" f in
+    match float_of_string_opt s with
+    | Some g when Float.equal g f -> s
+    | _ -> Printf.sprintf "%.17g" f
+
+let scalar s =
+  match s.sv with
+  | Int k -> string_of_int k
+  | Float f -> float_str f
+  | Var v -> "$" ^ v
+
+let call name args = Printf.sprintf "%s(%s)" name (String.concat ", " (List.map scalar args))
+
+let graph_str = function
+  | Cycle n -> call "cycle" [ n ]
+  | Torus (a, b) -> call "torus" [ a; b ]
+  | Hypercube r -> call "hypercube" [ r ]
+  | Complete n -> call "complete" [ n ]
+  | Clique (n, d) -> call "clique" [ n; d ]
+  | Random (n, d, s) -> call "random" [ n; d; s ]
+
+let init_str = function
+  | Point t -> call "point" [ t ]
+  | Bimodal (h, l) -> call "bimodal" [ h; l ]
+  | Uniform_random (t, s) -> call "random" [ t; s ]
+
+let balancer_str b =
+  let opt name = function
+    | None -> ""
+    | Some s -> Printf.sprintf " %s(%s)" name (scalar s)
+  in
+  b.bname ^ opt "self-loops" b.self_loops ^ opt "algo-seed" b.algo_seed
+
+let rec arrival_str = function
+  | Uniform k -> call "uniform" [ k ]
+  | Poisson r -> call "poisson" [ r ]
+  | Point_arrival (n, k) -> call "point" [ n; k ]
+  | Hotspot k -> call "hotspot" [ k ]
+  | Flash { size; at; node; width = None } -> call "flash" [ size; at; node ]
+  | Flash { size; at; node; width = Some w } -> call "flash" [ size; at; node; w ]
+  | Diurnal { period; amplitude; body } ->
+    Printf.sprintf "diurnal(%s, %s, %s)" (scalar period) (scalar amplitude)
+      (arrival_str body)
+  | Plus (a, b) -> Printf.sprintf "%s + %s" (arrival_str a) (arrival_str b)
+
+let lifetime_str = function
+  | Immortal -> "immortal"
+  | Work k -> call "work" [ k ]
+  | Service r -> call "service" [ r ]
+  | Geometric m -> call "geometric" [ m ]
+  | Fixed r -> call "fixed" [ r ]
+
+let fault_str it =
+  match it.f with
+  | Crash { frac; step; state; tokens } ->
+    Printf.sprintf "crash(%s, %s, %s, %s)" (scalar frac) (scalar step)
+      (match state with Wipe -> "wipe" | Keep -> "keep")
+      (match tokens with Lose -> "lose" | Spill -> "spill")
+  | Outage { rate; step; duration } -> call "outage" [ rate; step; duration ]
+  | Shock { amount; step; node = None } -> call "shock" [ amount; step ]
+  | Shock { amount; step; node = Some n } -> call "shock" [ amount; step; n ]
+
+let net_str n =
+  let b = Buffer.create 64 in
+  let field name = function
+    | None -> ()
+    | Some s -> Buffer.add_string b (Printf.sprintf " %s %s" name (scalar s))
+  in
+  Buffer.add_string b "{";
+  field "drop" n.drop;
+  field "dup" n.dup;
+  field "reorder" n.reorder;
+  field "delay" n.delay;
+  field "staleness" n.staleness;
+  (match n.degrade with
+  | None -> ()
+  | Some On -> Buffer.add_string b " degrade on"
+  | Some Off -> Buffer.add_string b " degrade off");
+  field "seed" n.net_seed;
+  Buffer.add_string b " }";
+  Buffer.contents b
+
+let dist_str d =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "{";
+  (match d.shards with
+  | None -> ()
+  | Some s -> Buffer.add_string b (Printf.sprintf " shards %s" (scalar s)));
+  List.iter
+    (fun (s, r) -> Buffer.add_string b (Printf.sprintf " kill(%s, %s)" (scalar s) (scalar r)))
+    d.kills;
+  List.iter
+    (fun (s, r) -> Buffer.add_string b (Printf.sprintf " term(%s, %s)" (scalar s) (scalar r)))
+    d.terms;
+  List.iter
+    (fun r -> Buffer.add_string b (Printf.sprintf " kill-coord(%s)" (scalar r)))
+    d.coord_kills;
+  (match d.dist_drop with
+  | None -> ()
+  | Some s -> Buffer.add_string b (Printf.sprintf " drop %s" (scalar s)));
+  (match d.delay_prob with
+  | None -> ()
+  | Some s -> Buffer.add_string b (Printf.sprintf " delay-prob %s" (scalar s)));
+  (match d.delay_max with
+  | None -> ()
+  | Some s -> Buffer.add_string b (Printf.sprintf " delay-max %s" (scalar s)));
+  Buffer.add_string b " }";
+  Buffer.contents b
+
+let pad n = String.make n ' '
+
+let clause_str ~indent cl =
+  let p = pad indent in
+  match cl.c with
+  | Graph g -> Printf.sprintf "%sgraph %s\n" p (graph_str g)
+  | Init i -> Printf.sprintf "%sinit %s\n" p (init_str i)
+  | Balancer b -> Printf.sprintf "%sbalancer %s\n" p (balancer_str b)
+  | Steps s -> Printf.sprintf "%ssteps %s\n" p (scalar s)
+  | Rounds r -> Printf.sprintf "%srounds %s\n" p (scalar r)
+  | Arrivals a -> Printf.sprintf "%sarrivals %s\n" p (arrival_str a)
+  | Lifetime l -> Printf.sprintf "%slifetime %s\n" p (lifetime_str l)
+  | Warmup Auto -> Printf.sprintf "%swarmup auto\n" p
+  | Warmup (Fixed_rounds k) -> Printf.sprintf "%swarmup %s\n" p (scalar k)
+  | Workload_seed s -> Printf.sprintf "%sworkload-seed %s\n" p (scalar s)
+  | Seed s -> Printf.sprintf "%sseed %s\n" p (scalar s)
+  | Faults [] -> Printf.sprintf "%sfaults [ ]\n" p
+  | Faults fs ->
+    let items = List.map (fun it -> pad (indent + 2) ^ fault_str it) fs in
+    Printf.sprintf "%sfaults [\n%s\n%s]\n" p (String.concat ";\n" items) p
+  | Net n -> Printf.sprintf "%snet %s\n" p (net_str n)
+  | Dist d -> Printf.sprintf "%sdist %s\n" p (dist_str d)
+  | Partition { cut; from_s; until_s } ->
+    Printf.sprintf "%spartition [%s] @ %s .. %s\n" p
+      (String.concat ", " (List.map scalar cut))
+      (scalar from_s) (scalar until_s)
+
+let scenario ~indent sc = String.concat "" (List.map (clause_str ~indent) sc)
+
+let rec expr ~indent ex =
+  let p = pad indent in
+  match ex.e with
+  | Scenario sc -> Printf.sprintf "scenario {\n%s%s}" (scenario ~indent:(indent + 2) sc) p
+  | Overlay (base, sc) ->
+    Printf.sprintf "overlay %s with {\n%s%s}" (expr ~indent base)
+      (scenario ~indent:(indent + 2) sc)
+      p
+  | Sweep { var; values; body } ->
+    Printf.sprintf "sweep $%s in [%s] %s" var
+      (String.concat ", " (List.map scalar values))
+      (expr ~indent body)
+  | Seq es ->
+    let items = List.map (fun e -> pad (indent + 2) ^ expr ~indent:(indent + 2) e) es in
+    Printf.sprintf "seq [\n%s\n%s]" (String.concat ";\n" items) p
+  | Experiment id -> "experiment " ^ id
+  | Ref n -> n
+
+let file decls =
+  String.concat "\n"
+    (List.map (fun d -> Printf.sprintf "let %s = %s\n" d.dname (expr ~indent:0 d.body)) decls)

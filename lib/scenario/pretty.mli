@@ -1,0 +1,21 @@
+(** Canonical printer for [.lbs] files.
+
+    [Parser.parse (file f) = Ok (Ast.strip_file f)] for every file [f]
+    built from parseable values (non-negative numeric literals); this
+    is the round-trip property the qcheck suite exercises.  Floats are
+    printed so they re-lex to the same IEEE value: integral floats as
+    ["5.0"], others via [%g] when that round-trips and [%.17g]
+    otherwise. *)
+
+val scalar : Ast.scalar -> string
+
+val scenario : indent:int -> Ast.scenario -> string
+(** The clause lines of a scenario body, each indented by [indent]
+    spaces and newline-terminated (the surrounding braces are the
+    caller's). *)
+
+val expr : indent:int -> Ast.expr -> string
+
+val file : Ast.file -> string
+(** The whole file: one [let] binding per declaration, separated by
+    blank lines, trailing newline. *)

@@ -22,6 +22,13 @@ let with_silenced_stdout f =
       Unix.close devnull)
     f
 
+let run_exp id =
+  (* All execution goes through the named registry — the same lookup
+     the CLI and the scenario compiler use. *)
+  match Harness.Suite.find id with
+  | Some e -> e.Harness.Suite.run ~quick:true
+  | None -> Alcotest.fail (id ^ " missing from the registry")
+
 let test_registry_complete () =
   check_int "17 experiments" 17 (List.length Harness.Suite.all);
   let ids = List.map (fun e -> e.Harness.Suite.id) Harness.Suite.all in
@@ -45,7 +52,7 @@ let test_run_by_id_case_insensitive () =
 
 let test_e5_rows () =
   with_silenced_stdout (fun () ->
-      let rows = Harness.Suite.e5_roundfair_lower_bound.Harness.Suite.run ~quick:true in
+      let rows = run_exp "E5" in
       check_bool "at least one row" true (List.length rows >= 1);
       List.iter
         (fun row ->
@@ -57,7 +64,7 @@ let test_e5_rows () =
 
 let test_e7_rows_match_formula () =
   with_silenced_stdout (fun () ->
-      let rows = Harness.Suite.e7_rotor_no_selfloops.Harness.Suite.run ~quick:true in
+      let rows = run_exp "E7" in
       List.iter
         (fun row ->
           match row with
@@ -71,7 +78,7 @@ let test_e7_rows_match_formula () =
 
 let test_e6_rows_match_formula () =
   with_silenced_stdout (fun () ->
-      let rows = Harness.Suite.e6_stateless_lower_bound.Harness.Suite.run ~quick:true in
+      let rows = run_exp "E6" in
       List.iter
         (fun row ->
           match row with
@@ -85,7 +92,7 @@ let test_e6_rows_match_formula () =
 
 let test_e12_rows_within_bound () =
   with_silenced_stdout (fun () ->
-      let rows = Harness.Suite.e12_rotor_walk_cover.Harness.Suite.run ~quick:true in
+      let rows = run_exp "E12" in
       List.iter
         (fun row ->
           match row with
@@ -97,7 +104,7 @@ let test_e12_rows_within_bound () =
 
 let test_e14_rows_all_hold () =
   with_silenced_stdout (fun () ->
-      let rows = Harness.Suite.e14_equation7.Harness.Suite.run ~quick:true in
+      let rows = run_exp "E14" in
       check_bool "several windows" true (List.length rows >= 3);
       List.iter
         (fun row ->
@@ -109,7 +116,7 @@ let test_e14_rows_all_hold () =
 
 let test_e15_rows_recover_and_conserve () =
   with_silenced_stdout (fun () ->
-      let rows = Harness.Suite.e15_fault_recovery.Harness.Suite.run ~quick:true in
+      let rows = run_exp "E15" in
       (* 3 graphs × 2 algorithms × 4 fault scenarios. *)
       check_int "24 sweep points" 24 (List.length rows);
       List.iter
