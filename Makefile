@@ -10,10 +10,13 @@ build:
 test:
 	dune runtest
 
-# Static analysis: determinism / ordering / totality / interface / IO
-# rules over lib/ and bin/ (see DESIGN.md §11).  Exit 1 on findings.
+# Static analysis: the syntactic R1–R5 rules plus the typed,
+# interprocedural T1–T4 families over the .cmt trees — determinism
+# taint, domain safety, wire contract, exit-code contract (see
+# DESIGN.md §16).  Exit 1 on findings or stale waivers.
 lint:
-	dune exec bin/lb_lint.exe -- lib bin
+	dune build @check
+	dune exec bin/lb_lint.exe -- --typed lib bin
 
 # CI entry point: tier-1 tests plus the sharded-engine smoke (see bin/ci.sh).
 check:

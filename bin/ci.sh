@@ -15,11 +15,22 @@ export OCAMLRUNPARAM
 echo "== dune build =="
 dune build
 
-echo "== lb_lint: static analysis over lib/ and bin/ =="
-# Determinism / ordering / totality / interface / IO rules (DESIGN.md
-# §11).  Any finding fails the build; exceptions live in bin/lint_allow
-# or as (* lint: ... *) annotations next to the offending line.
-dune exec bin/lb_lint.exe -- lib bin
+echo "== lb_lint --typed: interprocedural analysis over lib/ and bin/ =="
+# Syntactic R1–R5 plus the typed T1–T4 families (DESIGN.md §16):
+# determinism taint through the call graph, Domain.spawn capture
+# safety, the wire fingerprint/version contract, and the exit-code
+# contract.  Any finding fails the build, and so does any stale waiver
+# (an allow entry or annotation that suppresses nothing); exceptions
+# live in bin/lint_allow or as (* lint: ... *) annotations next to the
+# offending line.  The typed pass reads the .cmt trees from @check.
+dune build @check
+dune exec bin/lb_lint.exe -- --typed lib bin
+# The same findings as machine-readable JSONL, validated by the repo's
+# own JSON checker.
+lint_jsonl=$(mktemp -t lb_ci_lint.XXXXXX)
+dune exec bin/lb_lint.exe -- --typed --jsonl lib bin > "$lint_jsonl"
+dune exec bin/jsonlint.exe -- --jsonl "$lint_jsonl"
+rm -f "$lint_jsonl"
 
 echo "== dune runtest (tier-1 + shard equivalence + faults) =="
 dune runtest

@@ -1,10 +1,17 @@
 (* lb_lint: determinism & correctness static analysis over lib/ and bin/.
 
-   Usage: lb_lint [--allow FILE] [--rules] [--version] PATH...
+   Two passes share one driver:
+   - syntactic (default): parse sources, run R1-R5;
+   - typed (--typed): load .cmt trees, build the cross-module call graph,
+     run T1-T4 (determinism taint, domain safety, wire contract,
+     exit-code contract) on top of R1-R5, and report stale waivers.
 
-   Exit codes: 0 clean, 1 findings, 2 config or parse errors. *)
+   Usage: lb_lint [options] PATH...
 
-let version = "lb_lint 1.0.0"
+   Exit codes: 0 clean, 1 findings or stale waivers, 2 config or parse
+   errors (see bin/exit_contract). *)
+
+let version = "lb_lint 2.0.0"
 
 let default_allow_candidates = [ "bin/lint_allow"; "lint_allow" ]
 
@@ -15,15 +22,25 @@ let usage () =
       "";
       "Static analysis for the load-balancing simulator: proves lib/ code";
       "cannot silently reintroduce nondeterminism (the engines' bit-identical";
-      "replay guarantee) and enforces totality/interface/IO hygiene.";
+      "replay guarantee) and enforces totality/interface/IO hygiene.  With";
+      "--typed it additionally runs the interprocedural T1-T4 families over";
+      "the .cmt typed trees (build them with `dune build @check`).";
       "";
       "options:";
+      "  --typed        run the typed T1-T4 pass too; PATHs become source";
+      "                 roots relative to --root (default: lib bin)";
+      "  --root DIR     repository root for --typed (default: .)";
+      "  --build-dir D  cmt location for --typed (default: _build/default)";
+      "  --jsonl        machine-readable output, one JSON object per line";
+      "  --explain RULE print the full doc for one rule (R1-R5, T1-T4)";
+      "  --wire-update  re-record bin/wire_contract from the live tree";
       "  --allow FILE   allowlist file (default: bin/lint_allow if present)";
       "  --no-allow     ignore any allowlist file";
       "  --rules        print the rule catalogue and exit";
       "  --version      print version and exit";
       "";
-      "exit codes: 0 no findings, 1 findings, 2 config/parse errors";
+      "exit codes: 0 no findings, 1 findings or stale waivers, 2 config or";
+      "parse errors";
     ]
 
 let print_rules () =
@@ -39,18 +56,65 @@ let print_rules () =
     "offending line or the line above; file-level entries in bin/lint_allow";
   print_endline "(`<path-substring> <rule>...`, `all` covers every rule).";
   print_endline
-    "A scoped entry `R1[Unix.gettimeofday]` suppresses only findings led";
+    "A scoped entry `R1[Unix.gettimeofday]` or `T1[Dist.Clock.now]`";
   print_endline
-    "by that dotted identifier, so real-I/O modules get narrow waivers."
+    "suppresses only findings led by that dotted identifier, so real-IO";
+  print_endline "modules get narrow waivers.  Waivers that suppress nothing";
+  print_endline "are reported stale by --typed and fail the run."
 
 let fail_config msg =
   prerr_endline ("lb_lint: " ^ msg);
   exit 2
 
+type opts = {
+  mutable paths : string list;
+  mutable allow_file : string option;
+  mutable no_allow : bool;
+  mutable typed : bool;
+  mutable jsonl : bool;
+  mutable wire_update : bool;
+  mutable root : string;
+  mutable build_dir : string;
+}
+
+let print_finding ~jsonl f =
+  if jsonl then print_endline (Lint.Finding.to_jsonl f)
+  else begin
+    print_endline (Lint.Finding.to_string f);
+    List.iter print_endline (Lint.Finding.chain_to_strings f)
+  end
+
+let print_stale ~jsonl (s : Lint.Typed.stale) =
+  if jsonl then
+    Printf.printf "{\"kind\":\"stale\",\"where\":\"%s\",\"detail\":\"%s\"}\n"
+      (Lint.Finding.json_escape s.Lint.Typed.sw_where)
+      (Lint.Finding.json_escape s.Lint.Typed.sw_detail)
+  else
+    Printf.printf "%s: stale waiver: %s\n" s.Lint.Typed.sw_where
+      s.Lint.Typed.sw_detail
+
+let print_error ~jsonl (e : Lint.Scan.error) =
+  if jsonl then
+    Printf.printf "{\"kind\":\"error\",\"path\":\"%s\",\"msg\":\"%s\"}\n"
+      (Lint.Finding.json_escape e.Lint.Scan.path)
+      (Lint.Finding.json_escape e.Lint.Scan.message)
+  else Printf.eprintf "lb_lint: %s: %s\n" e.Lint.Scan.path e.Lint.Scan.message
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse paths allow_file no_allow = function
-    | [] -> (List.rev paths, allow_file, no_allow)
+  let o =
+    {
+      paths = [];
+      allow_file = None;
+      no_allow = false;
+      typed = false;
+      jsonl = false;
+      wire_update = false;
+      root = ".";
+      build_dir = "_build/default";
+    }
+  in
+  let rec parse = function
+    | [] -> ()
     | "--version" :: _ ->
       print_endline version;
       exit 0
@@ -60,45 +124,118 @@ let () =
     | ("--help" | "-h") :: _ ->
       print_endline (usage ());
       exit 0
-    | "--allow" :: file :: rest -> parse paths (Some file) no_allow rest
+    | "--explain" :: rule :: _ -> (
+      match Lint.Finding.rule_of_string rule with
+      | Some r ->
+        Printf.printf "%s (%s)\n  %s\n" (Lint.Finding.rule_id r)
+          (Lint.Finding.rule_title r) (Lint.Finding.rule_doc r);
+        exit 0
+      | None -> fail_config (Printf.sprintf "unknown rule %S" rule))
+    | "--explain" :: [] -> fail_config "--explain needs a RULE argument"
+    | "--allow" :: file :: rest ->
+      o.allow_file <- Some file;
+      parse rest
     | "--allow" :: [] -> fail_config "--allow needs a FILE argument"
-    | "--no-allow" :: rest -> parse paths allow_file true rest
+    | "--no-allow" :: rest ->
+      o.no_allow <- true;
+      parse rest
+    | "--typed" :: rest ->
+      o.typed <- true;
+      parse rest
+    | "--jsonl" :: rest ->
+      o.jsonl <- true;
+      parse rest
+    | "--wire-update" :: rest ->
+      o.wire_update <- true;
+      parse rest
+    | "--root" :: dir :: rest ->
+      o.root <- dir;
+      parse rest
+    | "--root" :: [] -> fail_config "--root needs a DIR argument"
+    | "--build-dir" :: dir :: rest ->
+      o.build_dir <- dir;
+      parse rest
+    | "--build-dir" :: [] -> fail_config "--build-dir needs a DIR argument"
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
       fail_config (Printf.sprintf "unknown option %s\n%s" arg (usage ()))
-    | path :: rest -> parse (path :: paths) allow_file no_allow rest
+    | path :: rest ->
+      o.paths <- path :: o.paths;
+      parse rest
   in
-  let paths, allow_file, no_allow = parse [] None false args in
-  if paths = [] then fail_config ("no paths given\n" ^ usage ());
-  let allow =
-    if no_allow then Lint.Allow.empty
+  parse (Array.to_list Sys.argv |> List.tl);
+  o.paths <- List.rev o.paths;
+  let in_root p = Filename.concat o.root p in
+  let allow, allow_path =
+    if o.no_allow then (Lint.Allow.empty, None)
     else
-      match allow_file with
-      | Some file -> (
+      let from_file file =
         match Lint.Allow.load file with
-        | Ok a -> a
-        | Error e -> fail_config ("bad allowlist: " ^ e))
+        | Ok a -> (a, Some file)
+        | Error e -> fail_config ("bad allowlist: " ^ e)
+      in
+      match o.allow_file with
+      | Some file -> from_file file
       | None -> (
-        match List.find_opt Sys.file_exists default_allow_candidates with
-        | None -> Lint.Allow.empty
-        | Some file -> (
-          match Lint.Allow.load file with
-          | Ok a -> a
-          | Error e -> fail_config ("bad allowlist: " ^ e)))
+        match
+          List.find_opt Sys.file_exists
+            (default_allow_candidates
+            @ List.map in_root default_allow_candidates)
+        with
+        | None -> (Lint.Allow.empty, None)
+        | Some file -> from_file file)
   in
-  match Lint.Scan.run ~allow paths with
-  | Error e -> fail_config e
-  | Ok { findings; errors } ->
-    List.iter
-      (fun f -> print_endline (Lint.Finding.to_string f))
-      findings;
-    List.iter
-      (fun { Lint.Scan.path; message } ->
-        Printf.eprintf "lb_lint: %s: %s\n" path message)
-      errors;
-    if errors <> [] then exit 2
-    else if findings <> [] then begin
-      Printf.printf "%d finding%s\n" (List.length findings)
-        (if List.length findings = 1 then "" else "s");
-      exit 1
-    end
-    else exit 0
+  if o.typed || o.wire_update then begin
+    let roots = if o.paths = [] then [ "lib"; "bin" ] else o.paths in
+    let cfg =
+      {
+        (Lint.Typed.default_config ~root:o.root ?allow_path ~allow ()) with
+        Lint.Typed.roots;
+        build_dir = o.build_dir;
+      }
+    in
+    if o.wire_update then
+      match Lint.Typed.write_wire_contract cfg with
+      | Ok written ->
+        List.iter (Printf.printf "recorded %s\n") written;
+        exit 0
+      | Error e -> fail_config e
+    else
+      match Lint.Typed.run cfg with
+      | Error e -> fail_config e
+      | Ok r ->
+        List.iter (print_finding ~jsonl:o.jsonl) r.Lint.Typed.findings;
+        List.iter (print_stale ~jsonl:o.jsonl) r.Lint.Typed.stale;
+        List.iter (print_error ~jsonl:o.jsonl) r.Lint.Typed.errors;
+        let nf = List.length r.Lint.Typed.findings
+        and ns = List.length r.Lint.Typed.stale in
+        if o.jsonl then
+          Printf.printf
+            "{\"kind\":\"summary\",\"findings\":%d,\"stale\":%d,\"errors\":%d,\"files\":%d,\"units\":%d}\n"
+            nf ns
+            (List.length r.Lint.Typed.errors)
+            r.Lint.Typed.files r.Lint.Typed.units
+        else if nf > 0 || ns > 0 then
+          Printf.printf "%d finding%s, %d stale waiver%s\n" nf
+            (if nf = 1 then "" else "s")
+            ns
+            (if ns = 1 then "" else "s");
+        if r.Lint.Typed.errors <> [] then exit 2
+        else if nf > 0 || ns > 0 then exit 1
+        else exit 0
+  end
+  else begin
+    if o.paths = [] then fail_config ("no paths given\n" ^ usage ());
+    match Lint.Scan.run ~allow o.paths with
+    | Error e -> fail_config e
+    | Ok { findings; errors; _ } ->
+      List.iter (print_finding ~jsonl:o.jsonl) findings;
+      List.iter (print_error ~jsonl:o.jsonl) errors;
+      let nf = List.length findings in
+      if o.jsonl then
+        Printf.printf
+          "{\"kind\":\"summary\",\"findings\":%d,\"stale\":0,\"errors\":%d}\n"
+          nf (List.length errors)
+      else if nf > 0 then
+        Printf.printf "%d finding%s\n" nf (if nf = 1 then "" else "s");
+      if errors <> [] then exit 2 else if nf > 0 then exit 1 else exit 0
+  end

@@ -19,6 +19,8 @@ let version = "%%VERSION%%"
 
 let die_code code msg =
   Printf.eprintf "lb_scn: %s\n%!" msg;
+  (* lint: allow T4 — callers pass only bin/exit_contract codes
+     (2 configuration, 3 runtime) *)
   exit code
 
 let die msg = die_code 2 msg

@@ -345,7 +345,10 @@ let handle_pending_msg t conn msg =
         (Member.on_hello t.member ~shard ~staged_round ~primary_round
            ~rotated_round)
     end
-  | _ ->
+  | Msg.Welcome _ | Msg.Start _ | Msg.Abort _ | Msg.Data _ | Msg.Data_ack _
+  | Msg.Round_done _ | Msg.Heartbeat _ | Msg.Shutdown _ | Msg.Result _ ->
+    (* enumerated (not `_`) so a new wire constructor forces this site
+       to be revisited: anything pre-hello is a protocol violation *)
     logf t "closing connection that sent %s before hello" (Msg.describe msg);
     Transport.close conn;
     t.pending <- List.filter (fun c -> c != conn) t.pending

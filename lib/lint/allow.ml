@@ -4,12 +4,19 @@ type scoped_rule = { rule : Finding.rule; only : string option }
    so a real-I/O module can be sanctioned for one construct without a
    blanket waiver for the whole rule. *)
 
-type entry = { pattern : string; rules : scoped_rule list option }
+type entry = {
+  pattern : string;
+  rules : scoped_rule list option;
+  lineno : int; (* 1-based line in the allow file, for stale reporting *)
+  raw : string; (* the line as written, comment stripped *)
+}
 (* [rules = None] means "all rules". *)
 
 type t = { entries : entry list }
 
 let empty = { entries = [] }
+
+let entries t = List.map (fun e -> (e.lineno, e.raw)) t.entries
 
 (* Normalize a path to forward slashes so patterns written in the allow
    file match on every platform and however the scanner was invoked. *)
@@ -78,8 +85,15 @@ let of_lines lines =
         match parse_rule_words rule_words with
         | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
         | Ok rules ->
-          go ({ pattern = normalize pattern; rules } :: acc) (lineno + 1) rest)
-      )
+          go
+            ({
+               pattern = normalize pattern;
+               rules;
+               lineno;
+               raw = String.trim line;
+             }
+            :: acc)
+            (lineno + 1) rest))
   in
   go [] 1 lines
 
@@ -123,86 +137,174 @@ let scope_matches ~msg scope =
      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '\'' -> false
      | _ -> true)
 
-let file_allows t ~path ~msg rule =
+let file_allows_entry t ~path ~msg rule =
   let p = normalize path in
-  List.exists
-    (fun e ->
-      contains ~sub:e.pattern p
-      &&
-      match e.rules with
-      | None -> true
-      | Some rs ->
-        List.exists
-          (fun sr ->
-            sr.rule = rule
-            &&
-            match sr.only with
-            | None -> true
-            | Some scope -> scope_matches ~msg scope)
-          rs)
-    t.entries
+  let rec go i = function
+    | [] -> None
+    | e :: rest ->
+      let covers =
+        contains ~sub:e.pattern p
+        &&
+        match e.rules with
+        | None -> true
+        | Some rs ->
+          List.exists
+            (fun sr ->
+              sr.rule = rule
+              &&
+              match sr.only with
+              | None -> true
+              | Some scope -> scope_matches ~msg scope)
+            rs
+      in
+      if covers then Some i else go (i + 1) rest
+  in
+  go 0 t.entries
+
+let file_allows t ~path ~msg rule =
+  file_allows_entry t ~path ~msg rule <> None
 
 (* --- in-source annotations --- *)
 
 type annotations = (int * Finding.rule list option) list
 (* (line, rules); [None] = all rules. *)
 
-let annotation_re_scan line =
-  (* Find "lint:" inside a comment opener on this line and collect the
-     words that follow up to the comment close (or end of line). *)
-  let find sub s from =
-    let n = String.length s and m = String.length sub in
-    let rec go i =
-      if i + m > n then None
-      else if String.sub s i m = sub then Some i
-      else go (i + 1)
-    in
-    go from
+(* Extract "lint:" directives from a comment body: the token must sit at
+   a word boundary (so "lb_lint:" in prose does not register), and only
+   the words after it count. *)
+let annotation_of_comment body =
+  let n = String.length body and m = String.length "lint:" in
+  let rec find i =
+    if i + m > n then None
+    else if
+      String.sub body i m = "lint:"
+      && (i = 0
+         ||
+         match body.[i - 1] with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> false
+         | _ -> true)
+    then Some (i + m)
+    else find (i + 1)
   in
-  match find "(*" line 0 with
+  match find 0 with
   | None -> None
-  | Some open_i -> (
-    match find "lint:" line open_i with
-    | None -> None
-    | Some i ->
-      let start = i + String.length "lint:" in
-      let stop =
-        match find "*)" line start with
-        | Some j -> j
-        | None -> String.length line
-      in
-      Some (String.sub line start (stop - start)))
+  | Some start ->
+    let words =
+      split_words (String.sub body start (n - start))
+      |> List.concat_map (String.split_on_char '\n')
+      |> List.filter (fun w ->
+             let w = String.lowercase_ascii w in
+             w <> "" && w <> "allow" && w <> "-" && w <> "--")
+    in
+    let all = List.exists (fun w -> String.lowercase_ascii w = "all") words in
+    let rules = List.filter_map Finding.rule_of_string words in
+    if all then Some None
+    else if rules <> [] then Some (Some rules)
+    else None
 
+(* A small lexer rather than a per-line regex scan: string literals and
+   comment nesting are tracked, so source (or the linter's own help
+   text) that *mentions* the annotation syntax inside a string does not
+   register as a live waiver. *)
 let annotations_of_source src : annotations =
-  let lines = String.split_on_char '\n' src in
-  let rec go lineno acc = function
-    | [] -> List.rev acc
-    | line :: rest ->
-      let acc =
-        match annotation_re_scan line with
-        | None -> acc
-        | Some body ->
-          let words = split_words body in
-          let words =
-            List.filter
-              (fun w ->
-                let w = String.lowercase_ascii w in
-                w <> "allow" && w <> "-" && w <> "--")
-              words
-          in
-          let all = List.exists (fun w -> String.lowercase_ascii w = "all") words in
-          let rules = List.filter_map Finding.rule_of_string words in
-          if all then (lineno, None) :: acc
-          else if rules <> [] then (lineno, Some rules) :: acc
-          else acc
-      in
-      go (lineno + 1) acc rest
+  let n = String.length src in
+  let anns = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let buf = Buffer.create 64 in
+  let next c = if c = '\n' then incr line in
+  let rec skip_string () =
+    (* body of a string literal; handles escapes *)
+    if !i < n then begin
+      let c = src.[!i] in
+      next c;
+      if c = '\\' && !i + 1 < n then begin
+        next src.[!i + 1];
+        i := !i + 2;
+        skip_string ()
+      end
+      else begin
+        incr i;
+        if c <> '"' then skip_string ()
+      end
+    end
   in
-  go 1 [] lines
+  let rec in_comment depth =
+    (* collect comment text; comments nest *)
+    if !i < n then
+      if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+        Buffer.add_string buf "(*";
+        i := !i + 2;
+        in_comment (depth + 1)
+      end
+      else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+        i := !i + 2;
+        if depth > 1 then begin
+          Buffer.add_string buf "*)";
+          in_comment (depth - 1)
+        end
+      end
+      else begin
+        let c = src.[!i] in
+        next c;
+        Buffer.add_char buf c;
+        incr i;
+        in_comment depth
+      end
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if !i + 1 < n && c = '(' && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      Buffer.clear buf;
+      in_comment 1;
+      (* attach to the line the comment ends on, so a trailing
+         single-line annotation covers its own line and a comment block
+         directly above the offending line still matches *)
+      match annotation_of_comment (Buffer.contents buf) with
+      | Some rules -> anns := (!line, rules) :: !anns
+      | None -> ()
+    end
+    else if c = '"' then begin
+      incr i;
+      skip_string ()
+    end
+    else if
+      (* char literal: skip '"' and escaped forms so the quote inside
+         does not open a bogus string *)
+      c = '\''
+      && ((!i + 2 < n && src.[!i + 2] = '\'')
+         || (!i + 1 < n && src.[!i + 1] = '\\'))
+    then begin
+      let j = ref (!i + 1) in
+      if src.[!j] = '\\' then incr j;
+      (* advance past the closing quote *)
+      while !j < n && src.[!j] <> '\'' do
+        next src.[!j];
+        incr j
+      done;
+      i := !j + 1
+    end
+    else begin
+      next c;
+      incr i
+    end
+  done;
+  List.rev !anns
+
+let annotation_match (anns : annotations) ~line rule =
+  let rec go = function
+    | [] -> None
+    | (l, rules) :: rest ->
+      if
+        (l = line || l = line - 1)
+        && match rules with None -> true | Some rs -> List.mem rule rs
+      then Some l
+      else go rest
+  in
+  go anns
 
 let annotation_allows (anns : annotations) ~line rule =
-  List.exists
-    (fun (l, rules) ->
-      (l = line || l = line - 1)
-      && match rules with None -> true | Some rs -> List.mem rule rs)
-    anns
+  annotation_match anns ~line rule <> None
+
+let annotation_sites (anns : annotations) = List.map fst anns

@@ -26,6 +26,14 @@ val file_allows : t -> path:string -> msg:string -> Finding.rule -> bool
     a scoped entry additionally requires the finding message to start
     with the scoped identifier at a token boundary. *)
 
+val file_allows_entry : t -> path:string -> msg:string -> Finding.rule -> int option
+(** Like {!file_allows} but returns the 0-based index of the first
+    matching entry, so callers can track which waivers are live. *)
+
+val entries : t -> (int * string) list
+(** All file entries as [(line-number, text)], in file order — index [i]
+    of this list is the index {!file_allows_entry} reports. *)
+
 type annotations
 (** Per-file suppression sites harvested from [(* lint: ... *)] comments. *)
 
@@ -40,3 +48,10 @@ val annotations_of_source : string -> annotations
 
 val annotation_allows : annotations -> line:int -> Finding.rule -> bool
 (** True when an annotation on [line] or [line - 1] covers the rule. *)
+
+val annotation_match : annotations -> line:int -> Finding.rule -> int option
+(** Like {!annotation_allows} but returns the annotation's own line, so
+    callers can track which annotations are live. *)
+
+val annotation_sites : annotations -> int list
+(** The lines carrying a recognized [(* lint: ... *)] annotation. *)

@@ -1,0 +1,245 @@
+type loc = { file : string; line : int; col : int }
+
+let loc_of ~file (l : Location.t) =
+  let p = l.Location.loc_start in
+  { file; line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol }
+
+type def = {
+  d_sym : string;
+  d_file : string;
+  d_loc : loc;
+  d_refs : (string * loc) list;
+}
+
+type field_info = { f_name : string; f_mutable : bool; f_head : string option }
+
+type decl_kind =
+  | Record of field_info list
+  | Variant of string list
+  | Alias of string option
+  | Opaque
+
+type decl = { t_kind : decl_kind; t_loc : loc }
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  mutable order : string list;  (* reverse traversal order while building *)
+  decls : (string, decl) Hashtbl.t;
+}
+
+let is_predef name =
+  List.exists (fun (n, _) -> n = name) Predef.builtin_idents
+
+let canon_type_path ~modname p =
+  match p with
+  | Path.Pident id ->
+    let n = Ident.name id in
+    if is_predef n then n else modname ^ "." ^ n
+  | _ -> Cmts.canonical_modname (Path.name p)
+
+(* A stable structural rendering of a type expression: used both for the
+   wire fingerprint (T3) and for classifying captured values (T2).
+   Deliberately hand-rolled rather than Printtyp so the output does not
+   depend on printing context or compiler version details. *)
+let rec shape ~modname depth (ty : Types.type_expr) =
+  if depth > 6 then "..."
+  else
+    match Types.get_desc ty with
+    | Tconstr (p, args, _) -> (
+      let head = canon_type_path ~modname p in
+      match args with
+      | [] -> head
+      | args ->
+        head ^ "("
+        ^ String.concat "," (List.map (shape ~modname (depth + 1)) args)
+        ^ ")")
+    | Ttuple tys ->
+      "(" ^ String.concat "*" (List.map (shape ~modname (depth + 1)) tys) ^ ")"
+    | Tarrow (_, a, b, _) ->
+      shape ~modname (depth + 1) a ^ "->" ^ shape ~modname (depth + 1) b
+    | Tvar _ | Tunivar _ -> "'v"
+    | Tpoly (t, _) -> shape ~modname (depth + 1) t
+    | _ -> "?"
+
+let rec type_head ~modname (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> Some (canon_type_path ~modname p)
+  | Tpoly (t, _) -> type_head ~modname t
+  | _ -> None
+
+(* --- reference collection --- *)
+
+let collect_refs ~modname ~file expr =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let super = Tast_iterator.default_iterator in
+  let expr_it this (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) ->
+      let sym = Cmts.canonical_sym ~modname (Path.name p) in
+      if not (Hashtbl.mem seen sym) then begin
+        Hashtbl.add seen sym ();
+        out := (sym, loc_of ~file e.Typedtree.exp_loc) :: !out
+      end
+    | _ -> ());
+    super.Tast_iterator.expr this e
+  in
+  let it = { super with Tast_iterator.expr = expr_it } in
+  it.Tast_iterator.expr it expr;
+  List.rev !out
+
+let rec pat_vars (p : Typedtree.pattern) acc =
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> (Ident.name id, p.Typedtree.pat_loc) :: acc
+  | Typedtree.Tpat_alias (q, id, _) ->
+    pat_vars q ((Ident.name id, p.Typedtree.pat_loc) :: acc)
+  | Typedtree.Tpat_tuple ps -> List.fold_left (fun a q -> pat_vars q a) acc ps
+  | Typedtree.Tpat_construct (_, _, ps, _) ->
+    List.fold_left (fun a q -> pat_vars q a) acc ps
+  | Typedtree.Tpat_record (fields, _) ->
+    List.fold_left (fun a (_, _, q) -> pat_vars q a) acc fields
+  | Typedtree.Tpat_array ps -> List.fold_left (fun a q -> pat_vars q a) acc ps
+  | Typedtree.Tpat_or (a, b, _) -> pat_vars b (pat_vars a acc)
+  | Typedtree.Tpat_lazy q -> pat_vars q acc
+  | _ -> acc
+
+(* --- building --- *)
+
+let add_def t ~sym ~file ~loc ~refs =
+  match Hashtbl.find_opt t.defs sym with
+  | None ->
+    Hashtbl.replace t.defs sym { d_sym = sym; d_file = file; d_loc = loc; d_refs = refs };
+    t.order <- sym :: t.order
+  | Some d ->
+    (* shadowed or re-bound name: merge reference edges (sound
+       overapproximation for the taint walk) *)
+    let known = List.map fst d.d_refs in
+    let extra = List.filter (fun (s, _) -> not (List.mem s known)) refs in
+    Hashtbl.replace t.defs sym { d with d_refs = d.d_refs @ extra }
+
+let add_type_decl t ~modpath ~file (td : Typedtree.type_declaration) =
+  let name = modpath ^ "." ^ Ident.name td.Typedtree.typ_id in
+  let loc = loc_of ~file td.Typedtree.typ_loc in
+  let kind =
+    match td.Typedtree.typ_kind with
+    | Typedtree.Ttype_record lds ->
+      Record
+        (List.map
+           (fun (ld : Typedtree.label_declaration) ->
+             {
+               f_name = Ident.name ld.Typedtree.ld_id;
+               f_mutable = ld.Typedtree.ld_mutable = Asttypes.Mutable;
+               f_head =
+                 type_head ~modname:modpath
+                   ld.Typedtree.ld_type.Typedtree.ctyp_type;
+             })
+           lds)
+    | Typedtree.Ttype_variant cds ->
+      Variant
+        (List.map
+           (fun (cd : Typedtree.constructor_declaration) ->
+             let args =
+               match cd.Typedtree.cd_args with
+               | Typedtree.Cstr_tuple [] -> ""
+               | Typedtree.Cstr_tuple cts ->
+                 "("
+                 ^ String.concat ","
+                     (List.map
+                        (fun (ct : Typedtree.core_type) ->
+                          shape ~modname:modpath 0 ct.Typedtree.ctyp_type)
+                        cts)
+                 ^ ")"
+               | Typedtree.Cstr_record lds ->
+                 "{"
+                 ^ String.concat ";"
+                     (List.map
+                        (fun (ld : Typedtree.label_declaration) ->
+                          (if ld.Typedtree.ld_mutable = Asttypes.Mutable then
+                             "mut "
+                           else "")
+                          ^ Ident.name ld.Typedtree.ld_id ^ ":"
+                          ^ shape ~modname:modpath 0
+                              ld.Typedtree.ld_type.Typedtree.ctyp_type)
+                        lds)
+                 ^ "}"
+             in
+             Ident.name cd.Typedtree.cd_id ^ args)
+           cds)
+    | Typedtree.Ttype_abstract -> (
+      match td.Typedtree.typ_manifest with
+      | Some ct ->
+        Alias (type_head ~modname:modpath ct.Typedtree.ctyp_type)
+      | None -> Opaque)
+    | Typedtree.Ttype_open -> Opaque
+  in
+  if not (Hashtbl.mem t.decls name) then
+    Hashtbl.replace t.decls name { t_kind = kind; t_loc = loc }
+
+let rec add_structure t ~modpath ~file (str : Typedtree.structure) =
+  List.iter (add_item t ~modpath ~file) str.Typedtree.str_items
+
+and add_item t ~modpath ~file (item : Typedtree.structure_item) =
+  match item.Typedtree.str_desc with
+  | Typedtree.Tstr_value (_, vbs) ->
+    List.iter
+      (fun (vb : Typedtree.value_binding) ->
+        let refs = collect_refs ~modname:modpath ~file vb.Typedtree.vb_expr in
+        let vars = pat_vars vb.Typedtree.vb_pat [] in
+        let vars =
+          match vars with
+          | [] ->
+            let loc = loc_of ~file vb.Typedtree.vb_loc in
+            [ (Printf.sprintf "(entry:%d)" loc.line, vb.Typedtree.vb_loc) ]
+          | vs -> List.rev vs
+        in
+        List.iter
+          (fun (name, ploc) ->
+            add_def t ~sym:(modpath ^ "." ^ name) ~file
+              ~loc:(loc_of ~file ploc) ~refs)
+          vars)
+      vbs
+  | Typedtree.Tstr_eval (e, _) ->
+    let loc = loc_of ~file item.Typedtree.str_loc in
+    add_def t
+      ~sym:(Printf.sprintf "%s.(entry:%d)" modpath loc.line)
+      ~file ~loc
+      ~refs:(collect_refs ~modname:modpath ~file e)
+  | Typedtree.Tstr_type (_, tds) ->
+    List.iter (add_type_decl t ~modpath ~file) tds
+  | Typedtree.Tstr_module mb -> add_module t ~modpath ~file mb
+  | Typedtree.Tstr_recmodule mbs ->
+    List.iter (add_module t ~modpath ~file) mbs
+  | _ -> ()
+
+and add_module t ~modpath ~file (mb : Typedtree.module_binding) =
+  let name =
+    match mb.Typedtree.mb_name.Location.txt with Some n -> n | None -> "_"
+  in
+  add_module_expr t ~modpath:(modpath ^ "." ^ name) ~file
+    mb.Typedtree.mb_expr
+
+and add_module_expr t ~modpath ~file (me : Typedtree.module_expr) =
+  match me.Typedtree.mod_desc with
+  | Typedtree.Tmod_structure str -> add_structure t ~modpath ~file str
+  | Typedtree.Tmod_constraint (me, _, _, _) ->
+    add_module_expr t ~modpath ~file me
+  | _ -> ()
+
+let build (units : Cmts.unit_info list) =
+  let t = { defs = Hashtbl.create 256; order = []; decls = Hashtbl.create 64 } in
+  List.iter
+    (fun (u : Cmts.unit_info) ->
+      add_structure t ~modpath:u.Cmts.modname ~file:u.Cmts.source
+        u.Cmts.structure)
+    units;
+  t.order <- List.rev t.order;
+  t
+
+let find_def t sym = Hashtbl.find_opt t.defs sym
+let find_decl t name = Hashtbl.find_opt t.decls name
+let defs_in_order t = List.filter_map (Hashtbl.find_opt t.defs) t.order
+
+let module_of sym =
+  match String.rindex_opt sym '.' with
+  | Some i -> String.sub sym 0 i
+  | None -> sym

@@ -1,0 +1,44 @@
+(** Cross-module definition/reference tables built from the typed trees
+    {!Cmts.load} returns. One [def] per top-level (or nested-module)
+    value binding; each def carries the first reference site per distinct
+    target symbol. Also holds a type-declaration table (records, variant
+    constructor shapes) used by the T2 and T3 rules. *)
+
+type loc = { file : string; line : int; col : int }
+
+val loc_of : file:string -> Location.t -> loc
+
+type def = {
+  d_sym : string;  (** canonical, e.g. ["Dist.Coord.wal_note"] *)
+  d_file : string;
+  d_loc : loc;
+  d_refs : (string * loc) list;
+      (** first occurrence per distinct referenced symbol, in order *)
+}
+
+type field_info = { f_name : string; f_mutable : bool; f_head : string option }
+
+type decl_kind =
+  | Record of field_info list
+  | Variant of string list  (** canonical constructor shapes, in order *)
+  | Alias of string option  (** abbreviation; head of the manifest type *)
+  | Opaque
+
+type decl = { t_kind : decl_kind; t_loc : loc }
+
+type t
+
+val build : Cmts.unit_info list -> t
+val find_def : t -> string -> def option
+val find_decl : t -> string -> decl option
+val defs_in_order : t -> def list
+val module_of : string -> string
+(** ["Dist.Coord.wal_note"] → ["Dist.Coord"]. *)
+
+val shape : modname:string -> int -> Types.type_expr -> string
+(** Stable structural rendering of a type expression (depth-limited);
+    the T3 wire fingerprint hashes these. *)
+
+val type_head : modname:string -> Types.type_expr -> string option
+(** Canonical head constructor of a type, e.g. [Some "ref"],
+    [Some "Shard.Pool.state"]. *)

@@ -1,0 +1,135 @@
+type unit_info = {
+  modname : string;
+  source : string;
+  structure : Typedtree.structure;
+}
+
+type load_result = {
+  units : unit_info list;
+  load_errors : (string * string) list;
+}
+
+(* "Dist__Coord" -> "Dist.Coord"; "Dune__exe__Lb_sim" -> "Lb_sim". *)
+let canonical_modname name =
+  let parts =
+    String.split_on_char '_' name
+    |> List.fold_left
+         (fun (acc, pending_sep) part ->
+           (* split_on_char over "__" yields an empty part between the
+              two underscores; use it as the component separator. *)
+           if part = "" then (acc, true)
+           else if pending_sep then (part :: acc, false)
+           else
+             match acc with
+             | [] -> ([ part ], false)
+             | hd :: tl -> ((hd ^ "_" ^ part) :: tl, false))
+         ([], false)
+    |> fst |> List.rev
+  in
+  let parts = match parts with "Dune" :: "exe" :: rest -> rest | p -> p in
+  String.concat "." parts
+
+let canonical_sym ~modname name =
+  let name =
+    (* Collapse flat wrapped-module references (Dist__Clock.now) onto the
+       alias form (Dist.Clock.now) the rest of the tree uses. *)
+    if String.length name > 0 && name.[0] >= 'A' && name.[0] <= 'Z' then
+      canonical_modname name
+    else name
+  in
+  if String.contains name '.' then name
+  else if String.length name > 0 && name.[0] >= 'A' && name.[0] <= 'Z' then name
+  else modname ^ "." ^ name
+
+let strip_stdlib sym =
+  let pfx = "Stdlib." in
+  let n = String.length pfx in
+  if String.length sym > n && String.sub sym 0 n = pfx then
+    String.sub sym n (String.length sym - n)
+  else sym
+
+let has_suffix ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let rec walk_cmts acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | names ->
+    Array.to_list names
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           let path = Filename.concat dir name in
+           if Sys.is_directory path then walk_cmts acc path
+           else if has_suffix ~suffix:".cmt" name then path :: acc
+           else acc)
+         acc
+
+let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
+
+let under_roots ~roots source =
+  let s = normalize source in
+  List.exists
+    (fun r ->
+      let r = normalize r in
+      let rs = r ^ "/" in
+      s = r
+      || (String.length s > String.length rs
+         && String.sub s 0 (String.length rs) = rs))
+    roots
+
+let load ~build_dir ~roots =
+  if not (Sys.file_exists build_dir && Sys.is_directory build_dir) then
+    Error
+      (Printf.sprintf
+         "no build directory %s: run `dune build @check` first so .cmt \
+          binary annotations exist"
+         build_dir)
+  else
+    let files =
+      List.concat_map
+        (fun root ->
+          let dir = Filename.concat build_dir root in
+          if Sys.file_exists dir && Sys.is_directory dir then walk_cmts [] dir
+          else [])
+        roots
+      |> List.sort String.compare
+    in
+    let seen = Hashtbl.create 64 in
+    let units, load_errors =
+      List.fold_left
+        (fun (units, errs) path ->
+          match Cmt_format.read_cmt path with
+          | exception e -> (units, (path, Printexc.to_string e) :: errs)
+          | cmt -> (
+            match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+            | Cmt_format.Implementation structure, Some source
+              when has_suffix ~suffix:".ml" source
+                   && under_roots ~roots source
+                   && not (Hashtbl.mem seen source) ->
+              Hashtbl.add seen source ();
+              ( {
+                  modname = canonical_modname cmt.Cmt_format.cmt_modname;
+                  source = normalize source;
+                  structure;
+                }
+                :: units,
+                errs )
+            | _ -> (units, errs)))
+        ([], []) files
+    in
+    if units = [] then
+      Error
+        (Printf.sprintf
+           "no .cmt files under %s for roots %s: run `dune build @check` \
+            first"
+           build_dir
+           (String.concat ", " roots))
+    else
+      Ok
+        {
+          units =
+            List.sort (fun a b -> String.compare a.source b.source) units;
+          load_errors = List.rev load_errors;
+        }

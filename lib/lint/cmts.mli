@@ -1,0 +1,34 @@
+(** Loader for [.cmt] binary annotation files (the typed AST the compiler
+    saves alongside each object file). The typed pass ({!Typed}) runs over
+    these instead of re-parsing source, so it sees resolved paths and
+    inferred types. *)
+
+type unit_info = {
+  modname : string;  (** canonical dotted name, e.g. ["Dist.Coord"] *)
+  source : string;  (** build-root-relative source, e.g. ["lib/dist/coord.ml"] *)
+  structure : Typedtree.structure;
+}
+
+type load_result = {
+  units : unit_info list;  (** sorted by [source] *)
+  load_errors : (string * string) list;  (** unreadable cmt files *)
+}
+
+val canonical_modname : string -> string
+(** ["Dist__Coord"] → ["Dist.Coord"]; ["Dune__exe__Lb_sim"] → ["Lb_sim"]. *)
+
+val canonical_sym : modname:string -> string -> string
+(** Canonicalize a [Path.name] result: flat wrapped-library references are
+    folded onto the dotted alias form, and bare lowercase identifiers
+    (module-local lets) are qualified with [modname]. *)
+
+val strip_stdlib : string -> string
+(** Drop a leading ["Stdlib."] — done only at comparison time so local
+    definitions shadowing stdlib names stay distinguishable. *)
+
+val load :
+  build_dir:string -> roots:string list -> (load_result, string) result
+(** Walk [build_dir]/<root> for every root, read each [.cmt], and keep
+    implementation units whose source file lives under one of [roots].
+    [Error] when the build directory or all cmts are missing (the caller
+    should suggest [dune build @check]). *)

@@ -1,6 +1,15 @@
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | T1 | T2 | T3 | T4
 
-type t = { file : string; line : int; col : int; rule : rule; msg : string }
+type hop = { hop_file : string; hop_line : int; hop_col : int; hop_sym : string }
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  msg : string;
+  chain : hop list;
+}
 
 let rule_id = function
   | R1 -> "R1"
@@ -8,6 +17,10 @@ let rule_id = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | T1 -> "T1"
+  | T2 -> "T2"
+  | T3 -> "T3"
+  | T4 -> "T4"
 
 let rule_title = function
   | R1 -> "determinism"
@@ -15,6 +28,10 @@ let rule_title = function
   | R3 -> "totality"
   | R4 -> "interface hygiene"
   | R5 -> "IO hygiene"
+  | T1 -> "determinism taint"
+  | T2 -> "domain safety"
+  | T3 -> "wire contract"
+  | T4 -> "exit-code contract"
 
 let rule_doc = function
   | R1 ->
@@ -41,8 +58,43 @@ let rule_doc = function
     "No stdout printing in lib/ (print_*, Printf.printf, Format.printf); \
      only bin/ talks to the terminal. Report renderers that write stdout by \
      contract are allowlisted in bin/lint_allow."
+  | T1 ->
+    "Interprocedural determinism taint (typed, over .cmt files). A function \
+     is tainted when its call graph reaches a timing/randomness source \
+     (Unix.gettimeofday, Unix.time, Sys.time, Random.*, Hashtbl.hash*, \
+     Domain.self, or anything defined in lib/dist/clock.ml). A finding fires \
+     when a tainted function is defined in — or writes into — a \
+     replay-critical sink (the engines, Trace, Shard.Checkpoint, Dist.Wal). \
+     lib/prng, lib/obs/prof, lib/obs/probe and lib/shard/checkpoint cut the \
+     taint: seeded PRNG and state-neutral profiling are sanctioned there and \
+     proven harmless by the probes-on/off bit-identity tests. Findings \
+     report the full source -> call chain -> sink path with file:line:col \
+     at every hop; waivers lead with the root source symbol \
+     (e.g. T1[Dist.Clock.now])."
+  | T2 ->
+    "Domain safety (typed). Mutable state (ref cells, Bytes, Buffer, \
+     Hashtbl, Queue, Stack, Bigarray, records with mutable fields) captured \
+     by a closure passed to Domain.spawn must be Atomic.t, guarded by a \
+     mutex living in the same record, or created inside the closure \
+     (domain-local). Plain arrays are deliberately out of scope: the shard \
+     engine's disjoint-index writes are its documented design."
+  | T3 ->
+    "Wire/versioning contract (typed). Dispatch over the cluster wire type \
+     Dist.Msg.t must stay total by construction: a wildcard `_` case \
+     defeats the exhaustiveness check that forces every site to be \
+     revisited when a constructor is added. The constructor list and field \
+     shapes are fingerprinted from the typedtree and compared against \
+     bin/wire_contract: changing the type without bumping Msg.version (and \
+     re-recording the contract via lb_lint --wire-update) is a finding."
+  | T4 ->
+    "Exit-code contract (typed). Every `exit n` in bin/ must use a code \
+     documented in bin/exit_contract (0 ok, 1 findings, 2 config, \
+     3 runtime/recovery, 4 invariant violation) or take its code from a \
+     sanctioned returner (Cmdliner evaluation, Dist.Node.main, \
+     Dist.Coord.main, Dist.Super.main). Library code must never call exit: \
+     it raises, and bin/ decides the process outcome."
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+let all_rules = [ R1; R2; R3; R4; R5; T1; T2; T3; T4 ]
 
 let rule_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -51,14 +103,63 @@ let rule_of_string s =
   | "r3" | "total" | "totality" | "partial" -> Some R3
   | "r4" | "mli" | "interface" -> Some R4
   | "r5" | "io" | "print" -> Some R5
+  | "t1" | "taint" -> Some T1
+  | "t2" | "domain" | "domain-safety" -> Some T2
+  | "t3" | "wire" | "versioning" -> Some T3
+  | "t4" | "exit-code" | "exit-codes" -> Some T4
   | _ -> None
 
-let make ~file ~line ~col ~rule ~msg = { file; line; col; rule; msg }
+let make ?(chain = []) ~file ~line ~col ~rule ~msg () =
+  { file; line; col; rule; msg; chain }
 
 let to_string t =
   Printf.sprintf "%s:%d:%d: [%s] %s" t.file t.line t.col (rule_id t.rule) t.msg
 
-let rule_index = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5
+let chain_to_strings t =
+  List.mapi
+    (fun i h ->
+      Printf.sprintf "    %s %s (%s:%d:%d)"
+        (if i = 0 then "at " else "via")
+        h.hop_sym h.hop_file h.hop_line h.hop_col)
+    t.chain
+
+(* Minimal JSON string escaping: the subset bin/jsonlint accepts. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_jsonl t =
+  let hop h =
+    Printf.sprintf "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"sym\":\"%s\"}"
+      (json_escape h.hop_file) h.hop_line h.hop_col (json_escape h.hop_sym)
+  in
+  Printf.sprintf
+    "{\"kind\":\"finding\",\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"msg\":\"%s\",\"chain\":[%s]}"
+    (rule_id t.rule) (json_escape t.file) t.line t.col (json_escape t.msg)
+    (String.concat "," (List.map hop t.chain))
+
+let rule_index = function
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | T1 -> 6
+  | T2 -> 7
+  | T3 -> 8
+  | T4 -> 9
 
 let compare a b =
   let c = String.compare a.file b.file in

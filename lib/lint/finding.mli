@@ -1,9 +1,14 @@
-(** Lint findings: what a rule reported, and where.
+(** A single lint finding and the rule catalogue.
 
-    Rules are identified by a small closed enum so that suppression
-    (annotations, allowlist file) and reporting stay table-driven. *)
+    Rules come in two families: the syntactic R1–R5 (Parsetree, no build
+    needed) and the typed T1–T4 (Typedtree over [.cmt] files, see
+    {!Typed}).  A finding optionally carries a [chain]: the
+    interprocedural path (source → call chain → sink) that produced it,
+    with a source position at every hop. *)
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | T1 | T2 | T3 | T4
+
+type hop = { hop_file : string; hop_line : int; hop_col : int; hop_sym : string }
 
 type t = {
   file : string;  (** path as given to the scanner (normalized separators) *)
@@ -11,28 +16,47 @@ type t = {
   col : int;  (** 0-based, matching compiler convention *)
   rule : rule;
   msg : string;
+  chain : hop list;  (** interprocedural path, sink-first; [] for R-rules *)
 }
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R5"]. *)
+(** ["R1"] .. ["T4"]. *)
 
 val rule_title : rule -> string
-(** Short human name, e.g. ["determinism"]. *)
+(** Short human name, e.g. ["determinism taint"]. *)
 
 val rule_doc : rule -> string
-(** One-paragraph description used by [lb_lint --rules]. *)
+(** One-paragraph description used by [lb_lint --rules] / [--explain]. *)
 
 val all_rules : rule list
-(** In catalogue order R1..R5. *)
+(** In catalogue order R1..R5, T1..T4. *)
 
 val rule_of_string : string -> rule option
-(** Accepts ids ("R1", case-insensitive) and aliases
-    ("determinism", "float", "total", "mli", "io", ...). *)
+(** Accepts ids ("R1", "T3", case-insensitive) and aliases
+    ("determinism", "taint", "wire", "domain", ...). *)
 
-val make : file:string -> line:int -> col:int -> rule:rule -> msg:string -> t
+val make :
+  ?chain:hop list ->
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:rule ->
+  msg:string ->
+  unit ->
+  t
 
 val to_string : t -> string
-(** [path:line:col: [Rn] message] — the stable diagnostic format. *)
+(** [path:line:col: [Rn] message] — the stable diagnostic format
+    (chain not included; see {!chain_to_strings}). *)
+
+val chain_to_strings : t -> string list
+(** Indented trace-path lines, one per hop, printed under {!to_string}. *)
+
+val to_jsonl : t -> string
+(** One-line JSON object: {"kind":"finding",...,"chain":[...]}. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in JSON string literals. *)
 
 val compare : t -> t -> int
 (** Orders by (file, line, col, rule) for stable output. *)

@@ -119,7 +119,7 @@ let check_structure ~file ~scope structure =
     findings :=
       Finding.make ~file ~line:pos.Lexing.pos_lnum
         ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
-        ~rule ~msg
+        ~rule ~msg ()
       :: !findings
   in
   let in_lib = match scope with Lib -> true | Bin | Other -> false in

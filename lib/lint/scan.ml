@@ -1,5 +1,13 @@
 type error = { path : string; message : string }
-type report = { findings : Finding.t list; errors : error list }
+
+type waiver = Entry of int | Annotation of int | Builtin
+
+type report = {
+  findings : Finding.t list;
+  errors : error list;
+  suppressed : (Finding.t * waiver) list;
+  annotations : (string * Allow.annotations) list;
+}
 
 let is_hidden name = String.length name > 0 && name.[0] = '.'
 
@@ -51,13 +59,43 @@ let describe_parse_error exn =
     |> String.concat " "
   | Some `Already_displayed | None -> Printexc.to_string exn
 
+(* Split raw findings into kept and suppressed, remembering which waiver
+   (allow-file entry, in-source annotation, or built-in exemption)
+   covered each suppressed one — the stale-waiver check needs this. *)
+let apply_waivers ~allow ~anns ~path findings =
+  List.partition_map
+    (fun (f : Finding.t) ->
+      match Allow.annotation_match anns ~line:f.Finding.line f.Finding.rule with
+      | Some ann_line -> Right (f, Annotation ann_line)
+      | None -> (
+        match
+          Allow.file_allows_entry allow ~path ~msg:f.Finding.msg f.Finding.rule
+        with
+        | Some idx -> Right (f, Entry idx)
+        | None ->
+          if f.Finding.rule = Finding.R1 && Allow.builtin_r1_exempt path then
+            Right (f, Builtin)
+          else Left f))
+    findings
+
 let scan_file ~allow path =
   match read_file path with
-  | exception Sys_error m -> { findings = []; errors = [ { path; message = m } ] }
+  | exception Sys_error m ->
+    {
+      findings = [];
+      errors = [ { path; message = m } ];
+      suppressed = [];
+      annotations = [];
+    }
   | src -> (
     match parse_implementation ~path src with
     | exception exn ->
-      { findings = []; errors = [ { path; message = describe_parse_error exn } ] }
+      {
+        findings = [];
+        errors = [ { path; message = describe_parse_error exn } ];
+        suppressed = [];
+        annotations = [ (path, Allow.annotations_of_source src) ];
+      }
     | structure ->
       let scope = Rules.scope_of_path path in
       let ast_findings = Rules.check_structure ~file:path ~scope structure in
@@ -73,20 +111,16 @@ let scan_file ~allow path =
                   (Printf.sprintf
                      "missing interface %s: every lib module must seal its \
                       surface with an .mli"
-                     (Filename.basename mli));
+                     (Filename.basename mli))
+                ();
             ]
         | Rules.Bin | Rules.Other -> []
       in
       let anns = Allow.annotations_of_source src in
-      let keep (f : Finding.t) =
-        (not (Allow.annotation_allows anns ~line:f.Finding.line f.Finding.rule))
-        && (not (Allow.file_allows allow ~path ~msg:f.Finding.msg f.Finding.rule))
-        && not (f.Finding.rule = Finding.R1 && Allow.builtin_r1_exempt path)
+      let findings, suppressed =
+        apply_waivers ~allow ~anns ~path (ast_findings @ r4_findings)
       in
-      {
-        findings = List.filter keep (ast_findings @ r4_findings);
-        errors = [];
-      })
+      { findings; errors = []; suppressed; annotations = [ (path, anns) ] })
 
 let run ~allow paths =
   match collect_files paths with
@@ -99,4 +133,6 @@ let run ~allow paths =
           List.concat_map (fun r -> r.findings) reports
           |> List.sort Finding.compare;
         errors = List.concat_map (fun r -> r.errors) reports;
+        suppressed = List.concat_map (fun r -> r.suppressed) reports;
+        annotations = List.concat_map (fun r -> r.annotations) reports;
       }

@@ -1,15 +1,38 @@
-(** File discovery, parsing, rule application and suppression. *)
+(** File discovery, parsing, rule application and suppression
+    (the syntactic R1–R5 pass; see {!Typed} for T1–T4). *)
 
 type error = { path : string; message : string }
 (** A file that could not be read or parsed (syntax error), or a bad
     configuration. These map to exit code 2 in the driver. *)
 
-type report = { findings : Finding.t list; errors : error list }
+type waiver =
+  | Entry of int  (** index into {!Allow.entries} of the covering entry *)
+  | Annotation of int  (** source line carrying the covering annotation *)
+  | Builtin  (** {!Allow.builtin_r1_exempt} — never reported stale *)
+
+type report = {
+  findings : Finding.t list;
+  errors : error list;
+  suppressed : (Finding.t * waiver) list;
+      (** findings a waiver removed, with the waiver that did it — the
+          stale-waiver check counts these *)
+  annotations : (string * Allow.annotations) list;
+      (** per-file annotation inventory (path, annotations) *)
+}
 
 val collect_files : string list -> (string list, string) result
 (** Expand the given files/directories into a sorted list of [.ml] files.
     Directories are walked recursively; hidden directories and [_build]
     are skipped. Errors on a path that does not exist. *)
+
+val apply_waivers :
+  allow:Allow.t ->
+  anns:Allow.annotations ->
+  path:string ->
+  Finding.t list ->
+  Finding.t list * (Finding.t * waiver) list
+(** Partition raw findings into (kept, suppressed-with-waiver). Shared
+    by the syntactic and typed passes. *)
 
 val scan_file : allow:Allow.t -> string -> report
 (** Lint one [.ml] file: parse, run {!Rules.check_structure}, check the

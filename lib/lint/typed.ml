@@ -1,0 +1,920 @@
+(* The typed, interprocedural pass: T1 (determinism taint), T2 (domain
+   safety), T3 (wire/versioning contract), T4 (exit-code contract), run
+   over the .cmt trees plus the syntactic R1-R5 scan, with stale-waiver
+   accounting across both. *)
+
+type wire_spec = {
+  wire_module : string;
+  wire_type : string;
+  wire_version : string;
+  wire_contract : string;
+}
+
+type config = {
+  root : string;
+  build_dir : string;
+  roots : string list;
+  allow : Allow.t;
+  allow_path : string option;
+  prim_sources : string list;
+  prim_prefixes : string list;
+  source_files : string list;
+  cut_files : string list;
+  sink_modules : string list;
+  spawn_fns : string list;
+  mutable_heads : string list;
+  safe_heads : string list;
+  wire : wire_spec list;
+  exit_contract : string option;
+}
+
+let default_config ?(root = ".") ?allow_path ~allow () =
+  {
+    root;
+    build_dir = "_build/default";
+    roots = [ "lib"; "bin" ];
+    allow;
+    allow_path;
+    prim_sources =
+      [
+        "Unix.gettimeofday";
+        "Unix.time";
+        "Sys.time";
+        "Hashtbl.hash";
+        "Hashtbl.hash_param";
+        "Hashtbl.seeded_hash";
+        "Hashtbl.seeded_hash_param";
+        "Domain.self";
+      ];
+    prim_prefixes = [ "Random." ];
+    source_files = [ "lib/dist/clock.ml" ];
+    cut_files =
+      [ "lib/prng/"; "lib/obs/prof.ml"; "lib/obs/probe.ml"; "lib/shard/checkpoint.ml" ];
+    sink_modules =
+      [
+        "Core.Engine";
+        "Shard.Shard_engine";
+        "Faults.Engine";
+        "Net.Async_engine";
+        "Workload.Engine";
+        "Irregular.Iengine";
+        "Trace";
+        "Shard.Checkpoint";
+        "Dist.Wal";
+      ];
+    spawn_fns = [ "Domain.spawn" ];
+    mutable_heads =
+      [
+        "ref";
+        "bytes";
+        "Buffer.t";
+        "Hashtbl.t";
+        "Queue.t";
+        "Stack.t";
+        "Bigarray.Array1.t";
+        "Bigarray.Array2.t";
+        "Bigarray.Genarray.t";
+      ];
+    safe_heads =
+      [
+        "Atomic.t";
+        "Mutex.t";
+        "Condition.t";
+        "Semaphore.Counting.t";
+        "Semaphore.Binary.t";
+      ];
+    wire =
+      [
+        {
+          wire_module = "Dist.Msg";
+          wire_type = "t";
+          wire_version = "version";
+          wire_contract = "bin/wire_contract";
+        };
+      ];
+    exit_contract = Some "bin/exit_contract";
+  }
+
+type stale = { sw_where : string; sw_detail : string }
+
+type report = {
+  findings : Finding.t list;
+  stale : stale list;
+  errors : Scan.error list;
+  units : int;
+  files : int;
+}
+
+(* --- small helpers --- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+
+let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
+
+let relativize ~root path =
+  let path = normalize path and root = normalize root in
+  let strip pfx p =
+    if String.starts_with ~prefix:pfx p then
+      String.sub p (String.length pfx) (String.length p - String.length pfx)
+    else p
+  in
+  let p = if root = "." || root = "" then path else strip (root ^ "/") path in
+  strip "./" p
+
+let file_matches pats file = List.exists (fun p -> contains ~sub:p file) pats
+
+let hop_of_loc sym (l : Callgraph.loc) =
+  {
+    Finding.hop_sym = sym;
+    hop_file = l.Callgraph.file;
+    hop_line = l.Callgraph.line;
+    hop_col = l.Callgraph.col;
+  }
+
+let finding_at (l : Callgraph.loc) ~rule ~msg ~chain =
+  Finding.make ~chain ~file:l.Callgraph.file ~line:l.Callgraph.line
+    ~col:l.Callgraph.col ~rule ~msg ()
+
+let fnv64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+let words line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+(* --- T1: determinism taint --- *)
+
+type taint = { root_sym : string; trail : (string * Callgraph.loc) list }
+
+let is_prim cfg sym =
+  let s = Cmts.strip_stdlib sym in
+  List.mem s cfg.prim_sources
+  || List.exists (fun p -> String.starts_with ~prefix:p s) cfg.prim_prefixes
+
+let sink_of cfg sym =
+  List.find_opt
+    (fun m -> String.starts_with ~prefix:(m ^ ".") sym)
+    cfg.sink_modules
+
+let t1 cfg cg =
+  let defs = Callgraph.defs_in_order cg in
+  let in_cut f = file_matches cfg.cut_files f in
+  let in_source f = file_matches cfg.source_files f in
+  let taints : (string, taint) Hashtbl.t = Hashtbl.create 128 in
+  let q = Queue.create () in
+  let set sym taint =
+    if not (Hashtbl.mem taints sym) then begin
+      Hashtbl.replace taints sym taint;
+      Queue.push sym q
+    end
+  in
+  (* reverse call edges over resolved defs *)
+  let rev : (string, (Callgraph.def * Callgraph.loc) list) Hashtbl.t =
+    Hashtbl.create 128
+  in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      List.iter
+        (fun (tgt, loc) ->
+          if tgt <> d.Callgraph.d_sym && Callgraph.find_def cg tgt <> None then
+            Hashtbl.replace rev tgt
+              ((d, loc) :: (Option.value ~default:[] (Hashtbl.find_opt rev tgt))))
+        d.Callgraph.d_refs)
+    defs;
+  (* seeds: definitions in source files, and direct primitive references *)
+  List.iter
+    (fun (d : Callgraph.def) ->
+      if in_cut d.Callgraph.d_file then ()
+      else if in_source d.Callgraph.d_file then
+        set d.Callgraph.d_sym { root_sym = d.Callgraph.d_sym; trail = [] }
+      else
+        match List.find_opt (fun (t, _) -> is_prim cfg t) d.Callgraph.d_refs with
+        | Some (t, loc) ->
+          let t = Cmts.strip_stdlib t in
+          set d.Callgraph.d_sym { root_sym = t; trail = [ (t, loc) ] }
+        | None -> ())
+    defs;
+  (* BFS over reverse edges: shortest source chains win *)
+  while not (Queue.is_empty q) do
+    let b = Queue.pop q in
+    let tb = Hashtbl.find taints b in
+    List.iter
+      (fun ((caller : Callgraph.def), loc) ->
+        if not (in_cut caller.Callgraph.d_file) then
+          set caller.Callgraph.d_sym
+            { root_sym = tb.root_sym; trail = (b, loc) :: tb.trail })
+      (Option.value ~default:[] (Hashtbl.find_opt rev b))
+  done;
+  (* findings *)
+  let hops_of_trail trail = List.map (fun (s, l) -> hop_of_loc s l) trail in
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      match Hashtbl.find_opt taints d.Callgraph.d_sym with
+      | None -> []
+      | Some t ->
+        if in_source d.Callgraph.d_file || in_cut d.Callgraph.d_file then []
+        else
+          let dmod = Callgraph.module_of d.Callgraph.d_sym in
+          if List.mem dmod cfg.sink_modules then
+            [
+              finding_at d.Callgraph.d_loc ~rule:Finding.T1
+                ~msg:
+                  (Printf.sprintf
+                     "%s: determinism taint reaches replay-critical module \
+                      %s: %s is transitively clock/randomness-dependent"
+                     t.root_sym dmod d.Callgraph.d_sym)
+                ~chain:
+                  (hop_of_loc d.Callgraph.d_sym d.Callgraph.d_loc
+                  :: hops_of_trail t.trail);
+            ]
+          else
+            List.filter_map
+              (fun (tgt, loc) ->
+                match sink_of cfg tgt with
+                | None -> None
+                | Some smod ->
+                  Some
+                    (finding_at loc ~rule:Finding.T1
+                       ~msg:
+                         (Printf.sprintf
+                            "%s: timing/randomness taint flows from %s into \
+                             sink %s (module %s)"
+                            t.root_sym d.Callgraph.d_sym tgt smod)
+                       ~chain:
+                         (hop_of_loc tgt loc
+                         :: hop_of_loc d.Callgraph.d_sym d.Callgraph.d_loc
+                         :: hops_of_trail t.trail)))
+              d.Callgraph.d_refs)
+    defs
+
+(* --- T2: domain safety --- *)
+
+let classify_head cfg cg head =
+  let rec go fuel head =
+    let h = Cmts.strip_stdlib head in
+    if List.mem h cfg.safe_heads then `Safe
+    else if List.mem h cfg.mutable_heads || String.starts_with ~prefix:"Bigarray." h
+    then `Mutable h
+    else
+      match Callgraph.find_decl cg head with
+      | Some { Callgraph.t_kind = Callgraph.Record fields; _ } ->
+        let muts =
+          List.filter (fun f -> f.Callgraph.f_mutable) fields
+          |> List.map (fun f -> f.Callgraph.f_name)
+        in
+        if muts = [] then `Safe
+        else if
+          List.exists
+            (fun f ->
+              match f.Callgraph.f_head with
+              | Some fh -> Cmts.strip_stdlib fh = "Mutex.t"
+              | None -> false)
+            fields
+        then `Guarded
+        else `Mutable_record (h, muts)
+      | Some { Callgraph.t_kind = Callgraph.Alias (Some h2); _ } when fuel > 0 ->
+        go (fuel - 1) h2
+      | Some _ | None -> `Safe
+  in
+  go 4 head
+
+let t2 cfg cg (units : Cmts.unit_info list) =
+  let findings = ref [] in
+  let analyze_spawn ~modname ~file ~spawn_loc (closure : Typedtree.expression) =
+    let bound = Hashtbl.create 16 in
+    let captured = ref [] in
+    let super = Tast_iterator.default_iterator in
+    let pat : 'k. Tast_iterator.iterator -> 'k Typedtree.general_pattern -> unit
+        =
+     fun (type k) this (p : k Typedtree.general_pattern) ->
+      (match p.Typedtree.pat_desc with
+      | Typedtree.Tpat_var (id, _) ->
+        Hashtbl.replace bound (Ident.unique_name id) ()
+      | Typedtree.Tpat_alias (_, id, _) ->
+        Hashtbl.replace bound (Ident.unique_name id) ()
+      | _ -> ());
+      super.Tast_iterator.pat this p
+    in
+    let expr this (e : Typedtree.expression) =
+      (match e.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (Path.Pident id, _, _) ->
+        captured :=
+          (id, e.Typedtree.exp_type, e.Typedtree.exp_loc) :: !captured
+      | _ -> ());
+      super.Tast_iterator.expr this e
+    in
+    let it = { super with Tast_iterator.pat; expr } in
+    it.Tast_iterator.expr it closure;
+    let reported = Hashtbl.create 8 in
+    List.iter
+      (fun (id, ty, loc) ->
+        let uname = Ident.unique_name id in
+        if (not (Hashtbl.mem bound uname)) && not (Hashtbl.mem reported uname)
+        then begin
+          Hashtbl.add reported uname ();
+          match Callgraph.type_head ~modname ty with
+          | None -> ()
+          | Some head -> (
+            let name = Ident.name id in
+            let ref_loc = Callgraph.loc_of ~file loc in
+            let chain =
+              [ hop_of_loc name ref_loc; hop_of_loc "Domain.spawn" spawn_loc ]
+            in
+            match classify_head cfg cg head with
+            | `Safe | `Guarded -> ()
+            | `Mutable h ->
+              findings :=
+                finding_at ref_loc ~rule:Finding.T2
+                  ~msg:
+                    (Printf.sprintf
+                       "%s: mutable %s escapes into a Domain.spawn closure \
+                        without atomic or mutex protection; use Atomic.t, \
+                        guard it with a mutex, or allocate it inside the \
+                        domain"
+                       name h)
+                  ~chain
+                :: !findings
+            | `Mutable_record (h, muts) ->
+              findings :=
+                finding_at ref_loc ~rule:Finding.T2
+                  ~msg:
+                    (Printf.sprintf
+                       "%s: record %s with mutable field%s %s escapes into a \
+                        Domain.spawn closure and carries no guarding Mutex.t \
+                        field"
+                       name h
+                       (if List.length muts = 1 then "" else "s")
+                       (String.concat ", " muts))
+                  ~chain
+                :: !findings)
+        end)
+      (List.rev !captured)
+  in
+  List.iter
+    (fun (u : Cmts.unit_info) ->
+      let modname = u.Cmts.modname and file = u.Cmts.source in
+      let super = Tast_iterator.default_iterator in
+      let expr this (e : Typedtree.expression) =
+        (match e.Typedtree.exp_desc with
+        | Typedtree.Texp_apply ({ Typedtree.exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args)
+          when List.mem
+                 (Cmts.strip_stdlib (Cmts.canonical_sym ~modname (Path.name p)))
+                 cfg.spawn_fns -> (
+          match List.rev (List.filter_map snd args) with
+          | closure :: _ ->
+            analyze_spawn ~modname ~file
+              ~spawn_loc:(Callgraph.loc_of ~file e.Typedtree.exp_loc)
+              closure
+          | [] -> ())
+        | _ -> ());
+        super.Tast_iterator.expr this e
+      in
+      let it = { super with Tast_iterator.expr = expr } in
+      it.Tast_iterator.structure it u.Cmts.structure)
+    units;
+  List.rev !findings
+
+(* --- T3: wire/versioning contract --- *)
+
+let rec is_wildcard_pat : 'k. 'k Typedtree.general_pattern -> bool =
+ fun (type k) (p : k Typedtree.general_pattern) ->
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_any -> true
+  (* Tpat_alias is NOT a wildcard: `_ as x` and `(x : t)` both elaborate
+     to alias-over-any, and they bind the whole value like a var
+     pattern — total without defeating anything. *)
+  | Typedtree.Tpat_or (a, b, _) -> is_wildcard_pat a || is_wildcard_pat b
+  | Typedtree.Tpat_value v ->
+    is_wildcard_pat (v :> Typedtree.value Typedtree.general_pattern)
+  | _ -> false
+
+let find_version_binding (u : Cmts.unit_info) name =
+  let result = ref None in
+  let rec go_str (str : Typedtree.structure) =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.Typedtree.str_desc with
+        | Typedtree.Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              match vb.Typedtree.vb_pat.Typedtree.pat_desc with
+              | Typedtree.Tpat_var (id, _) when Ident.name id = name -> (
+                match vb.Typedtree.vb_expr.Typedtree.exp_desc with
+                | Typedtree.Texp_constant (Asttypes.Const_char c) ->
+                  result := Some (Char.code c)
+                | Typedtree.Texp_constant (Asttypes.Const_int n) ->
+                  result := Some n
+                | _ -> ())
+              | _ -> ())
+            vbs
+        | Typedtree.Tstr_module
+            { Typedtree.mb_expr = { Typedtree.mod_desc = Typedtree.Tmod_structure s; _ }; _ } ->
+          go_str s
+        | _ -> ())
+      str.Typedtree.str_items
+  in
+  go_str u.Cmts.structure;
+  !result
+
+(* Parse `module X` / `version N` / `fingerprint H` blocks. *)
+let parse_wire_contract lines =
+  let blocks = Hashtbl.create 4 in
+  let current = ref None in
+  List.iter
+    (fun line ->
+      match words line with
+      | [ "module"; m ] ->
+        current := Some m;
+        if not (Hashtbl.mem blocks m) then Hashtbl.replace blocks m (None, None)
+      | [ "version"; v ] -> (
+        match (!current, int_of_string_opt v) with
+        | Some m, Some n ->
+          let _, fp = Hashtbl.find blocks m in
+          Hashtbl.replace blocks m (Some n, fp)
+        | _ -> ())
+      | [ "fingerprint"; f ] -> (
+        match !current with
+        | Some m ->
+          let v, _ = Hashtbl.find blocks m in
+          Hashtbl.replace blocks m (v, Some f)
+        | None -> ())
+      | _ -> ())
+    lines;
+  blocks
+
+let t3 cfg cg (units : Cmts.unit_info list) =
+  let findings = ref [] and errors = ref [] in
+  List.iter
+    (fun spec ->
+      let type_sym = spec.wire_module ^ "." ^ spec.wire_type in
+      match Callgraph.find_decl cg type_sym with
+      | None | Some { Callgraph.t_kind = Callgraph.Record _ | Callgraph.Alias _ | Callgraph.Opaque; _ } ->
+        errors :=
+          {
+            Scan.path = spec.wire_contract;
+            message =
+              Printf.sprintf
+                "wire type %s not found as a variant declaration in the \
+                 loaded units"
+                type_sym;
+          }
+          :: !errors
+      | Some { Callgraph.t_kind = Callgraph.Variant shapes; t_loc } -> (
+        let fingerprint = fnv64 (String.concat ";" shapes) in
+        let version =
+          List.find_map
+            (fun (u : Cmts.unit_info) ->
+              if u.Cmts.modname = spec.wire_module then
+                find_version_binding u spec.wire_version
+              else None)
+            units
+        in
+        let contract_path = Filename.concat cfg.root spec.wire_contract in
+        if not (Sys.file_exists contract_path) then
+          findings :=
+            finding_at t_loc ~rule:Finding.T3
+              ~msg:
+                (Printf.sprintf
+                   "%s: no recorded wire contract at %s; record the current \
+                    shape with `lb_lint --wire-update`"
+                   type_sym spec.wire_contract)
+              ~chain:[]
+            :: !findings
+        else
+          let blocks = parse_wire_contract (read_lines contract_path) in
+          match Hashtbl.find_opt blocks spec.wire_module with
+          | None ->
+            findings :=
+              finding_at t_loc ~rule:Finding.T3
+                ~msg:
+                  (Printf.sprintf
+                     "%s: %s has no block for module %s; re-record with \
+                      `lb_lint --wire-update`"
+                     type_sym spec.wire_contract spec.wire_module)
+                ~chain:[]
+              :: !findings
+          | Some (c_version, c_fingerprint) ->
+            let fp_ok = c_fingerprint = Some fingerprint in
+            let v_ok = version <> None && c_version = version in
+            if fp_ok && v_ok then ()
+            else if (not fp_ok) && v_ok then
+              findings :=
+                finding_at t_loc ~rule:Finding.T3
+                  ~msg:
+                    (Printf.sprintf
+                       "%s: wire type shape changed (fingerprint %s, \
+                        contract records %s) without bumping %s.%s; bump the \
+                        version and re-record with `lb_lint --wire-update`"
+                       type_sym fingerprint
+                       (Option.value ~default:"<none>" c_fingerprint)
+                       spec.wire_module spec.wire_version)
+                  ~chain:[]
+                :: !findings
+            else if fp_ok && not v_ok then
+              findings :=
+                finding_at t_loc ~rule:Finding.T3
+                  ~msg:
+                    (Printf.sprintf
+                       "%s: %s.%s is %s but %s records %s; re-record with \
+                        `lb_lint --wire-update`"
+                       type_sym spec.wire_module spec.wire_version
+                       (match version with
+                       | Some v -> string_of_int v
+                       | None -> "<missing>")
+                       spec.wire_contract
+                       (match c_version with
+                       | Some v -> string_of_int v
+                       | None -> "<missing>")
+                       )
+                  ~chain:[]
+                :: !findings
+            else
+              findings :=
+                finding_at t_loc ~rule:Finding.T3
+                  ~msg:
+                    (Printf.sprintf
+                       "%s: wire type shape and version both moved; verify \
+                        every encode/decode site, then re-record the \
+                        contract with `lb_lint --wire-update`"
+                       type_sym)
+                  ~chain:[]
+                :: !findings);
+      (* wildcard dispatch arms over the wire type, anywhere *)
+      List.iter
+        (fun (u : Cmts.unit_info) ->
+          let modname = u.Cmts.modname and file = u.Cmts.source in
+          let check_case :
+              'k. 'k Typedtree.case -> unit =
+           fun (type k) (c : k Typedtree.case) ->
+            let pat = c.Typedtree.c_lhs in
+            match
+              Callgraph.type_head ~modname pat.Typedtree.pat_type
+            with
+            | Some head
+              when Cmts.strip_stdlib head = type_sym && is_wildcard_pat pat ->
+              let loc = Callgraph.loc_of ~file pat.Typedtree.pat_loc in
+              findings :=
+                finding_at loc ~rule:Finding.T3
+                  ~msg:
+                    (Printf.sprintf
+                       "%s: wildcard match arm over the wire type defeats \
+                        constructor-total dispatch; enumerate the \
+                        constructors so adding one forces this site to be \
+                        revisited"
+                       type_sym)
+                  ~chain:[]
+                :: !findings
+            | _ -> ()
+          in
+          let super = Tast_iterator.default_iterator in
+          let expr this (e : Typedtree.expression) =
+            (match e.Typedtree.exp_desc with
+            | Typedtree.Texp_match (_, cases, _) ->
+              List.iter (fun c -> check_case c) cases
+            | Typedtree.Texp_function { cases; _ } ->
+              List.iter (fun c -> check_case c) cases
+            | _ -> ());
+            super.Tast_iterator.expr this e
+          in
+          let it = { super with Tast_iterator.expr = expr } in
+          it.Tast_iterator.structure it u.Cmts.structure)
+        units)
+    cfg.wire;
+  (List.rev !findings, List.rev !errors)
+
+let write_wire_contract cfg =
+  let build_dir =
+    if Filename.is_relative cfg.build_dir then
+      Filename.concat cfg.root cfg.build_dir
+    else cfg.build_dir
+  in
+  match Cmts.load ~build_dir ~roots:cfg.roots with
+  | Error e -> Error e
+  | Ok { Cmts.units; _ } -> (
+    let cg = Callgraph.build units in
+    let blocks =
+      List.filter_map
+        (fun spec ->
+          let type_sym = spec.wire_module ^ "." ^ spec.wire_type in
+          match Callgraph.find_decl cg type_sym with
+          | Some { Callgraph.t_kind = Callgraph.Variant shapes; _ } ->
+            let version =
+              List.find_map
+                (fun (u : Cmts.unit_info) ->
+                  if u.Cmts.modname = spec.wire_module then
+                    find_version_binding u spec.wire_version
+                  else None)
+                units
+            in
+            Some
+              ( spec.wire_contract,
+                Printf.sprintf "module %s\nversion %s\nfingerprint %s\n"
+                  spec.wire_module
+                  (match version with
+                  | Some v -> string_of_int v
+                  | None -> "0")
+                  (fnv64 (String.concat ";" shapes)) )
+          | _ -> None)
+        cfg.wire
+    in
+    match blocks with
+    | [] -> Error "no wire types found; nothing to record"
+    | _ ->
+      (* group blocks per contract file *)
+      let by_file = Hashtbl.create 4 in
+      List.iter
+        (fun (file, block) ->
+          Hashtbl.replace by_file file
+            (block :: Option.value ~default:[] (Hashtbl.find_opt by_file file)))
+        blocks;
+      let files =
+        (* lint: allow R1 — fold feeds List.sort_uniq, order-insensitive *)
+        Hashtbl.fold (fun file _ acc -> file :: acc) by_file []
+        |> List.sort_uniq String.compare
+      in
+      List.iter
+        (fun file ->
+          let blocks = Hashtbl.find by_file file in
+          let path = Filename.concat cfg.root file in
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc
+                "# wire contract, recorded by `lb_lint --wire-update`\n\
+                 # T3 compares the live Dist.Msg shape against this file.\n";
+              List.iter (output_string oc) (List.rev blocks)))
+        files;
+      Ok files)
+
+(* --- T4: exit-code contract --- *)
+
+type exit_contract = { codes : (int * string) list; returners : string list }
+
+let parse_exit_contract lines =
+  List.fold_left
+    (fun acc line ->
+      match words line with
+      | "code" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n ->
+          { acc with codes = acc.codes @ [ (n, String.concat " " rest) ] }
+        | None -> acc)
+      | [ "returner"; s ] -> { acc with returners = acc.returners @ [ s ] }
+      | _ -> acc)
+    { codes = []; returners = [] }
+    lines
+
+let t4 cfg (units : Cmts.unit_info list) =
+  let findings = ref [] and errors = ref [] in
+  (match cfg.exit_contract with
+  | None -> ()
+  | Some contract_file ->
+    let contract_path = Filename.concat cfg.root contract_file in
+    let contract =
+      if Sys.file_exists contract_path then
+        Some (parse_exit_contract (read_lines contract_path))
+      else begin
+        errors :=
+          {
+            Scan.path = contract_file;
+            message =
+              "exit-code contract file missing; T4 has nothing to check \
+               against";
+          }
+          :: !errors;
+        None
+      end
+    in
+    match contract with
+    | None -> ()
+    | Some contract ->
+      let is_returner sym =
+        List.mem (Cmts.strip_stdlib sym) contract.returners
+      in
+      let rec exit_arg_ok (e : Typedtree.expression) ~modname =
+        match e.Typedtree.exp_desc with
+        | Typedtree.Texp_constant (Asttypes.Const_int n) ->
+          if List.mem_assoc n contract.codes then `Ok else `Bad_code n
+        | Typedtree.Texp_ifthenelse (_, t, Some f) -> (
+          match exit_arg_ok t ~modname with
+          | `Ok -> exit_arg_ok f ~modname
+          | bad -> bad)
+        | Typedtree.Texp_ifthenelse (_, t, None) -> exit_arg_ok t ~modname
+        | Typedtree.Texp_match (_, cases, _) ->
+          List.fold_left
+            (fun acc (c : Typedtree.computation Typedtree.case) ->
+              match acc with
+              | `Ok -> exit_arg_ok c.Typedtree.c_rhs ~modname
+              | bad -> bad)
+            `Ok cases
+        | Typedtree.Texp_sequence (_, e) | Typedtree.Texp_let (_, _, e) ->
+          exit_arg_ok e ~modname
+        | Typedtree.Texp_apply ({ Typedtree.exp_desc = Typedtree.Texp_ident (p, _, _); _ }, _)
+          when is_returner (Cmts.canonical_sym ~modname (Path.name p)) ->
+          `Ok
+        | Typedtree.Texp_ident (p, _, _)
+          when is_returner (Cmts.canonical_sym ~modname (Path.name p)) ->
+          `Ok
+        | _ -> `Opaque
+      in
+      List.iter
+        (fun (u : Cmts.unit_info) ->
+          let modname = u.Cmts.modname and file = u.Cmts.source in
+          let in_lib = String.starts_with ~prefix:"lib/" file in
+          let super = Tast_iterator.default_iterator in
+          let expr this (e : Typedtree.expression) =
+            (match e.Typedtree.exp_desc with
+            | Typedtree.Texp_apply ({ Typedtree.exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args)
+              when Cmts.strip_stdlib (Cmts.canonical_sym ~modname (Path.name p))
+                   = "exit" -> (
+              let loc = Callgraph.loc_of ~file e.Typedtree.exp_loc in
+              if in_lib then
+                findings :=
+                  finding_at loc ~rule:Finding.T4
+                    ~msg:
+                      "exit: library code must not terminate the process; \
+                       raise and let bin/ decide the outcome"
+                    ~chain:[]
+                  :: !findings
+              else
+                match List.filter_map snd args with
+                | [ arg ] -> (
+                  match exit_arg_ok arg ~modname with
+                  | `Ok -> ()
+                  | `Bad_code n ->
+                    findings :=
+                      finding_at loc ~rule:Finding.T4
+                        ~msg:
+                          (Printf.sprintf
+                             "exit %d: code %d is not in the documented \
+                              contract %s; add a `code %d <meaning>` line \
+                              or use a documented code"
+                             n n contract_file n)
+                        ~chain:[]
+                      :: !findings
+                  | `Opaque ->
+                    findings :=
+                      finding_at loc ~rule:Finding.T4
+                        ~msg:
+                          (Printf.sprintf
+                             "exit: code computed by an expression the \
+                              analyzer cannot tie to the contract %s; use \
+                              literal contract codes or a sanctioned \
+                              returner"
+                             contract_file)
+                        ~chain:[]
+                      :: !findings)
+                | _ -> ())
+            | _ -> ());
+            super.Tast_iterator.expr this e
+          in
+          let it = { super with Tast_iterator.expr = expr } in
+          it.Tast_iterator.structure it u.Cmts.structure)
+        units);
+  (List.rev !findings, List.rev !errors)
+
+(* --- driver --- *)
+
+let rel_finding ~root (f : Finding.t) =
+  {
+    f with
+    Finding.file = relativize ~root f.Finding.file;
+    chain =
+      List.map
+        (fun (h : Finding.hop) ->
+          { h with Finding.hop_file = relativize ~root h.Finding.hop_file })
+        f.Finding.chain;
+  }
+
+let run cfg =
+  let scan_paths = List.map (Filename.concat cfg.root) cfg.roots in
+  match Scan.run ~allow:cfg.allow scan_paths with
+  | Error e -> Error e
+  | Ok syn -> (
+    let rel = relativize ~root:cfg.root in
+    let syn_findings = List.map (rel_finding ~root:cfg.root) syn.Scan.findings in
+    let syn_errors =
+      List.map
+        (fun (e : Scan.error) -> { e with Scan.path = rel e.Scan.path })
+        syn.Scan.errors
+    in
+    let syn_suppressed =
+      List.map
+        (fun (f, w) -> (rel_finding ~root:cfg.root f, w))
+        syn.Scan.suppressed
+    in
+    let annotations =
+      List.map (fun (p, a) -> (rel p, a)) syn.Scan.annotations
+    in
+    let files =
+      match Scan.collect_files scan_paths with
+      | Ok fs -> List.length fs
+      | Error _ -> 0
+    in
+    let build_dir =
+      if Filename.is_relative cfg.build_dir then
+        Filename.concat cfg.root cfg.build_dir
+      else cfg.build_dir
+    in
+    match Cmts.load ~build_dir ~roots:cfg.roots with
+    | Error e -> Error e
+    | Ok { Cmts.units; load_errors } ->
+      let cg = Callgraph.build units in
+      let t3_findings, t3_errors = t3 cfg cg units in
+      let t4_findings, t4_errors = t4 cfg units in
+      let typed_raw = t1 cfg cg @ t2 cfg cg units @ t3_findings @ t4_findings in
+      let empty_anns = Allow.annotations_of_source "" in
+      let ann_for file =
+        Option.value ~default:empty_anns (List.assoc_opt file annotations)
+      in
+      let typed_kept, typed_supp =
+        List.fold_left
+          (fun (kept, supp) (f : Finding.t) ->
+            let k, s =
+              Scan.apply_waivers ~allow:cfg.allow ~anns:(ann_for f.Finding.file)
+                ~path:f.Finding.file [ f ]
+            in
+            (kept @ k, supp @ s))
+          ([], []) typed_raw
+      in
+      let suppressed = syn_suppressed @ typed_supp in
+      (* stale waivers: allow entries and annotations that cover nothing *)
+      let used_entries =
+        List.filter_map
+          (function _, Scan.Entry i -> Some i | _ -> None)
+          suppressed
+      in
+      let used_anns =
+        List.filter_map
+          (function
+            | (f : Finding.t), Scan.Annotation l -> Some (f.Finding.file, l)
+            | _ -> None)
+          suppressed
+      in
+      let allow_label = Option.value ~default:"<allow-list>" cfg.allow_path in
+      let stale_entries =
+        List.filteri
+          (fun i _ -> not (List.mem i used_entries))
+          (Allow.entries cfg.allow)
+        |> List.map (fun (lineno, raw) ->
+               {
+                 sw_where = Printf.sprintf "%s:%d" allow_label lineno;
+                 sw_detail =
+                   Printf.sprintf "allow entry `%s` suppresses nothing" raw;
+               })
+      in
+      let stale_anns =
+        List.concat_map
+          (fun (file, anns) ->
+            Allow.annotation_sites anns
+            |> List.filter (fun l -> not (List.mem (file, l) used_anns))
+            |> List.map (fun l ->
+                   {
+                     sw_where = Printf.sprintf "%s:%d" file l;
+                     sw_detail = "(* lint: ... *) annotation suppresses nothing";
+                   }))
+          annotations
+      in
+      let load_errs =
+        List.map
+          (fun (path, message) -> { Scan.path = rel path; message })
+          load_errors
+      in
+      Ok
+        {
+          findings = List.sort Finding.compare (syn_findings @ typed_kept);
+          stale = stale_entries @ stale_anns;
+          errors = syn_errors @ load_errs @ t3_errors @ t4_errors;
+          units = List.length units;
+          files;
+        })

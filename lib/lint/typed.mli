@@ -1,0 +1,66 @@
+(** The typed, interprocedural pass: loads [.cmt] trees ({!Cmts}), builds
+    the cross-module call graph ({!Callgraph}), and runs the T1–T4 rule
+    families on top of the syntactic R1–R5 scan, with stale-waiver
+    accounting across both passes.
+
+    - {b T1 determinism taint}: timing/randomness sources propagated
+      through the call graph; flagged when a tainted function lives in —
+      or feeds — a replay-critical sink module.
+    - {b T2 domain safety}: unprotected mutable state captured by
+      [Domain.spawn] closures.
+    - {b T3 wire/versioning contract}: wildcard dispatch over the wire
+      type, and structural fingerprint + version checked against a
+      recorded contract file.
+    - {b T4 exit-code contract}: every [exit n] in bin/ must use a
+      documented code or a sanctioned returner; lib/ must never exit. *)
+
+type wire_spec = {
+  wire_module : string;  (** e.g. ["Dist.Msg"] *)
+  wire_type : string;  (** e.g. ["t"] *)
+  wire_version : string;  (** version binding name, e.g. ["version"] *)
+  wire_contract : string;  (** root-relative contract file *)
+}
+
+type config = {
+  root : string;  (** repository root; findings are reported relative to it *)
+  build_dir : string;  (** where the cmts live, default [_build/default] *)
+  roots : string list;  (** source roots to analyze, default [lib; bin] *)
+  allow : Allow.t;
+  allow_path : string option;  (** for stale-waiver reporting *)
+  prim_sources : string list;  (** exact taint-source symbols *)
+  prim_prefixes : string list;  (** taint-source symbol prefixes *)
+  source_files : string list;  (** files whose defs are taint roots *)
+  cut_files : string list;  (** files where taint propagation stops *)
+  sink_modules : string list;  (** replay-critical modules *)
+  spawn_fns : string list;  (** domain-spawn entry points *)
+  mutable_heads : string list;  (** type heads considered mutable *)
+  safe_heads : string list;  (** type heads considered domain-safe *)
+  wire : wire_spec list;
+  exit_contract : string option;  (** root-relative exit contract file *)
+}
+
+val default_config :
+  ?root:string -> ?allow_path:string -> allow:Allow.t -> unit -> config
+(** The repository's own policy: clock.ml as taint root, prng/prof/probe/
+    checkpoint as cuts, the engines + Trace + Checkpoint + Wal as sinks,
+    [bin/wire_contract] and [bin/exit_contract] as recorded contracts. *)
+
+type stale = { sw_where : string; sw_detail : string }
+(** A waiver (allow-list entry or in-source annotation) that suppressed
+    zero findings across both passes — dead weight to prune. *)
+
+type report = {
+  findings : Finding.t list;  (** merged syntactic + typed, sorted *)
+  stale : stale list;
+  errors : Scan.error list;
+  units : int;  (** cmt units analyzed *)
+  files : int;  (** source files syntactically scanned *)
+}
+
+val run : config -> (report, string) result
+(** Full pass. [Error] for setup problems: unreadable roots, or missing
+    [.cmt] files (suggests [dune build @check]). *)
+
+val write_wire_contract : config -> (string list, string) result
+(** Record the current wire fingerprint(s) and version(s) into the
+    contract file(s); returns the root-relative paths written. *)

@@ -362,6 +362,415 @@ let test_annotation_wrong_rule_does_not_mask () =
     (fun root ->
       check_rules "allowing R5 does not hide R3" [ "R3" ] (scan root [ "lib" ]))
 
+let test_annotation_inside_string_or_prose_ignored () =
+  with_fixture
+    [
+      ( "lib/foo/a.ml",
+        "let doc = \"(* lint: allow R1 *)\"\n\
+         let r () = Random.int 3\n" );
+      mli "lib/foo/a.mli";
+      ( "lib/foo/b.ml",
+        "(* lb_lint: determinism notes, not a directive *)\n\
+         let r () = Random.int 3\n" );
+      mli "lib/foo/b.mli";
+    ]
+    (fun root ->
+      let r = scan root [ "lib" ] in
+      (* Neither the string literal mentioning the syntax nor the
+         "lb_lint:" prose registers as a waiver: both R1s fire. *)
+      check_rules "annotations in strings/prose are inert" [ "R1"; "R1" ] r;
+      List.iter
+        (fun (_, anns) ->
+          Alcotest.(check (list int)) "no annotation sites registered" []
+            (Lint.Allow.annotation_sites anns))
+        r.annotations)
+
+(* --- JSONL serialization --- *)
+
+let test_jsonl_escaping () =
+  let chain =
+    [
+      {
+        Lint.Finding.hop_sym = "A.b";
+        hop_file = "lib/a.ml";
+        hop_line = 3;
+        hop_col = 1;
+      };
+    ]
+  in
+  let f =
+    Lint.Finding.make ~chain ~file:"lib/a\"b.ml" ~line:1 ~col:2
+      ~rule:Lint.Finding.T1 ~msg:"quote \" and\nnewline" ()
+  in
+  let s = Lint.Finding.to_jsonl f in
+  Alcotest.(check bool) "one line" false (String.contains s '\n');
+  Alcotest.(check bool) "quotes escaped" true (substring ~sub:"a\\\"b.ml" s);
+  Alcotest.(check bool) "chain serialized" true
+    (substring ~sub:"\"chain\":[{\"file\":\"lib/a.ml\"" s);
+  Alcotest.(check bool) "rule tagged" true (substring ~sub:"\"rule\":\"T1\"" s)
+
+(* --- the typed pass: fixtures are compiled with ocamlc -bin-annot and
+   analyzed through Typed.run with build_dir = "." --- *)
+
+let compile root ~incl rels =
+  let cmd =
+    Printf.sprintf "cd %s && ocamlc -bin-annot %s -c %s"
+      (Filename.quote root)
+      (String.concat " "
+         (List.map (fun d -> "-I " ^ Filename.quote d) incl))
+      (String.concat " " (List.map Filename.quote rels))
+  in
+  if Sys.command cmd <> 0 then Alcotest.failf "fixture compile failed: %s" cmd
+
+let typed_cfg ?(allow = Lint.Allow.empty) ?allow_path ?(roots = [ "bin" ])
+    ?(sinks = []) ?(sources = []) ?(cuts = []) ?(wire = []) ?exit_contract root
+    =
+  let base = Lint.Typed.default_config ~root ?allow_path ~allow () in
+  {
+    base with
+    Lint.Typed.build_dir = ".";
+    roots;
+    sink_modules = sinks;
+    source_files = sources;
+    cut_files = cuts;
+    wire;
+    exit_contract;
+  }
+
+let typed_run cfg =
+  match Lint.Typed.run cfg with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "Typed.run: %s" e
+
+let typed_rules (r : Lint.Typed.report) =
+  List.map
+    (fun f -> Lint.Finding.rule_id f.Lint.Finding.rule)
+    r.Lint.Typed.findings
+
+let chain_syms (f : Lint.Finding.t) =
+  List.map (fun h -> h.Lint.Finding.hop_sym) f.Lint.Finding.chain
+
+(* T1: a primitive source reached through two call hops, flagged at the
+   sink call, with the full chain reported hop by hop. *)
+let test_t1_chain () =
+  with_fixture
+    [
+      ("bin/engine.ml", "let run f = f 0\n");
+      ( "bin/a.ml",
+        "let now () = Sys.time ()\n\
+         let caller () = now ()\n\
+         let go f = let _ = caller () in Engine.run f\n" );
+    ]
+    (fun root ->
+      compile root ~incl:[ "bin" ] [ "bin/engine.ml"; "bin/a.ml" ];
+      let r = typed_run (typed_cfg ~sinks:[ "Engine" ] root) in
+      Alcotest.(check (list string)) "one T1" [ "T1" ] (typed_rules r);
+      let f = List.hd r.Lint.Typed.findings in
+      Alcotest.(check string) "flagged at the sink call site" "bin/a.ml"
+        f.Lint.Finding.file;
+      Alcotest.(check int) "line of the sink call" 3 f.Lint.Finding.line;
+      Alcotest.(check bool) "message leads with the taint root" true
+        (substring ~sub:"Sys.time:" f.Lint.Finding.msg);
+      Alcotest.(check (list string)) "source -> chain -> sink, every hop"
+        [ "Engine.run"; "A.go"; "A.caller"; "A.now"; "Sys.time" ]
+        (chain_syms f);
+      List.iter
+        (fun h ->
+          Alcotest.(check string) "hop files resolved" "bin/a.ml"
+            h.Lint.Finding.hop_file;
+          Alcotest.(check bool) "hop lines resolved" true
+            (h.Lint.Finding.hop_line > 0))
+        f.Lint.Finding.chain)
+
+let test_t1_sink_module_def () =
+  with_fixture
+    [ ("bin/engine.ml", "let run () = Random.int 3\n") ]
+    (fun root ->
+      compile root ~incl:[ "bin" ] [ "bin/engine.ml" ];
+      let r = typed_run (typed_cfg ~sinks:[ "Engine" ] root) in
+      Alcotest.(check (list string)) "tainted def in sink module" [ "T1" ]
+        (typed_rules r);
+      let f = List.hd r.Lint.Typed.findings in
+      Alcotest.(check bool) "names the sink module" true
+        (substring ~sub:"replay-critical" f.Lint.Finding.msg);
+      Alcotest.(check (list string)) "chain ends at the primitive"
+        [ "Engine.run"; "Random.int" ]
+        (chain_syms f))
+
+let test_t1_cut_stops_taint () =
+  with_fixture
+    [
+      ("bin/engine.ml", "let run f = f 0\n");
+      ("bin/prof.ml", "let now () = Sys.time ()\n");
+      ("bin/a.ml", "let go f = let _ = Prof.now () in Engine.run f\n");
+    ]
+    (fun root ->
+      compile root ~incl:[ "bin" ]
+        [ "bin/engine.ml"; "bin/prof.ml"; "bin/a.ml" ];
+      let r =
+        typed_run
+          (typed_cfg ~sinks:[ "Engine" ] ~cuts:[ "bin/prof.ml" ] root)
+      in
+      Alcotest.(check (list string)) "cut file stops propagation" []
+        (typed_rules r))
+
+(* T1 + waivers: a source-file root, suppressed only by the exactly
+   scoped entry; a mis-scoped entry both leaks the finding and reports
+   itself stale. *)
+let test_t1_source_file_and_scoped_waiver () =
+  let files =
+    [
+      ("bin/engine.ml", "let run f = f 0\n");
+      ("bin/clock.ml", "let now () = 42\n");
+      ("bin/a.ml", "let go f = let _ = Clock.now () in Engine.run f\n");
+    ]
+  in
+  with_fixture files (fun root ->
+      compile root ~incl:[ "bin" ]
+        [ "bin/engine.ml"; "bin/clock.ml"; "bin/a.ml" ];
+      let cfg allow =
+        typed_cfg ~allow ~allow_path:"ALLOW" ~sinks:[ "Engine" ]
+          ~sources:[ "bin/clock.ml" ] root
+      in
+      let r = typed_run (cfg Lint.Allow.empty) in
+      Alcotest.(check (list string)) "source-file defs are taint roots"
+        [ "T1" ] (typed_rules r);
+      Alcotest.(check bool) "message leads with the clock symbol" true
+        (substring ~sub:"Clock.now:"
+           (List.hd r.Lint.Typed.findings).Lint.Finding.msg);
+      let allow_of lines =
+        match Lint.Allow.of_lines lines with
+        | Ok a -> a
+        | Error e -> Alcotest.failf "allow: %s" e
+      in
+      let r = typed_run (cfg (allow_of [ "bin/a.ml T1[Clock.now]" ])) in
+      Alcotest.(check (list string)) "scoped waiver suppresses" []
+        (typed_rules r);
+      Alcotest.(check int) "waiver is live, not stale" 0
+        (List.length r.Lint.Typed.stale);
+      let r = typed_run (cfg (allow_of [ "bin/a.ml T1[Other.now]" ])) in
+      Alcotest.(check (list string)) "mis-scoped waiver does not cover"
+        [ "T1" ] (typed_rules r);
+      Alcotest.(check int) "and is reported stale" 1
+        (List.length r.Lint.Typed.stale))
+
+(* T2: an escaping ref cell. *)
+let test_t2_escaping_ref () =
+  with_fixture
+    [
+      ( "bin/t.ml",
+        "let go () =\n\
+        \  let counter = ref 0 in\n\
+        \  let d = Domain.spawn (fun () -> counter := 1) in\n\
+        \  Domain.join d;\n\
+        \  !counter\n" );
+    ]
+    (fun root ->
+      compile root ~incl:[ "bin" ] [ "bin/t.ml" ];
+      let r = typed_run (typed_cfg root) in
+      Alcotest.(check (list string)) "escaping ref fires" [ "T2" ]
+        (typed_rules r);
+      let f = List.hd r.Lint.Typed.findings in
+      Alcotest.(check bool) "names the captured value" true
+        (substring ~sub:"counter:" f.Lint.Finding.msg);
+      Alcotest.(check (list string)) "chain shows capture and spawn"
+        [ "counter"; "Domain.spawn" ]
+        (chain_syms f))
+
+(* T2 negative space: Atomic, a domain-local ref, and a mutex-guarded
+   record (the Shard.Pool shape) are all clean. *)
+let test_t2_safe_captures () =
+  with_fixture
+    [
+      ( "bin/t.ml",
+        "type st = { mutable x : int; lock : Mutex.t }\n\
+         let go () =\n\
+        \  let a = Atomic.make 0 in\n\
+        \  let s = { x = 0; lock = Mutex.create () } in\n\
+        \  let d =\n\
+        \    Domain.spawn (fun () ->\n\
+        \        let local = ref 0 in\n\
+        \        incr local;\n\
+        \        Atomic.incr a;\n\
+        \        Mutex.lock s.lock;\n\
+        \        s.x <- 1;\n\
+        \        Mutex.unlock s.lock)\n\
+        \  in\n\
+        \  Domain.join d\n" );
+    ]
+    (fun root ->
+      compile root ~incl:[ "bin" ] [ "bin/t.ml" ];
+      let r = typed_run (typed_cfg root) in
+      Alcotest.(check (list string))
+        "atomic / domain-local / mutex-guarded are clean" [] (typed_rules r))
+
+let test_t2_unguarded_record () =
+  with_fixture
+    [
+      ( "bin/t.ml",
+        "type st = { mutable x : int }\n\
+         let go () =\n\
+        \  let s = { x = 0 } in\n\
+        \  let d = Domain.spawn (fun () -> s.x <- 1) in\n\
+        \  Domain.join d;\n\
+        \  s.x\n" );
+    ]
+    (fun root ->
+      compile root ~incl:[ "bin" ] [ "bin/t.ml" ];
+      let r = typed_run (typed_cfg root) in
+      Alcotest.(check (list string)) "unguarded mutable record fires"
+        [ "T2" ] (typed_rules r);
+      Alcotest.(check bool) "names the mutable field" true
+        (substring ~sub:"x" (List.hd r.Lint.Typed.findings).Lint.Finding.msg))
+
+(* T3: wildcard dispatch + the fingerprint/version contract life cycle. *)
+let wire_fixture_spec =
+  {
+    Lint.Typed.wire_module = "Msg";
+    wire_type = "t";
+    wire_version = "version";
+    wire_contract = "wire_contract";
+  }
+
+let write_file root rel content =
+  let oc = open_out (Filename.concat root rel) in
+  output_string oc content;
+  close_out oc
+
+let test_t3_wildcard_and_contract () =
+  with_fixture
+    [
+      ("bin/msg.ml", "type t = A | B of int\n\nlet version = 1\n");
+      ( "bin/h.ml",
+        "let f (m : Msg.t) = match m with Msg.A -> 0 | _ -> 1\n\
+         let g (m : Msg.t) = match m with x -> ignore x; 2\n" );
+    ]
+    (fun root ->
+      let rebuild () =
+        compile root ~incl:[ "bin" ] [ "bin/msg.ml"; "bin/h.ml" ]
+      in
+      rebuild ();
+      let cfg = typed_cfg ~wire:[ wire_fixture_spec ] root in
+      (match Lint.Typed.write_wire_contract cfg with
+      | Ok [ "wire_contract" ] -> ()
+      | Ok w -> Alcotest.failf "unexpected contract files: %s" (String.concat "," w)
+      | Error e -> Alcotest.failf "wire-update: %s" e);
+      let r = typed_run cfg in
+      Alcotest.(check (list string))
+        "only the wildcard arm fires (var arm and typed params are total)"
+        [ "T3" ] (typed_rules r);
+      let f = List.hd r.Lint.Typed.findings in
+      Alcotest.(check string) "at the dispatch site" "bin/h.ml"
+        f.Lint.Finding.file;
+      Alcotest.(check int) "on the wildcard line" 1 f.Lint.Finding.line;
+      Alcotest.(check bool) "says wildcard" true
+        (substring ~sub:"wildcard" f.Lint.Finding.msg);
+      (* shape drift without a version bump *)
+      write_file root "bin/msg.ml" "type t = A | B of string\n\nlet version = 1\n";
+      rebuild ();
+      let msgs () =
+        List.map (fun f -> f.Lint.Finding.msg) (typed_run cfg).Lint.Typed.findings
+      in
+      Alcotest.(check bool) "shape drift without version bump is flagged" true
+        (List.exists (substring ~sub:"without bumping") (msgs ()));
+      (* bump the version: still flagged until the contract is re-recorded *)
+      write_file root "bin/msg.ml" "type t = A | B of string\n\nlet version = 2\n";
+      rebuild ();
+      Alcotest.(check bool) "bumped but unrecorded is still flagged" true
+        (List.exists (substring ~sub:"re-record") (msgs ()));
+      (match Lint.Typed.write_wire_contract cfg with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "wire-update: %s" e);
+      let r = typed_run cfg in
+      Alcotest.(check (list string))
+        "re-recorded contract leaves only the wildcard" [ "T3" ]
+        (typed_rules r);
+      Alcotest.(check bool) "and it is the wildcard arm" true
+        (substring ~sub:"wildcard"
+           (List.hd r.Lint.Typed.findings).Lint.Finding.msg))
+
+(* T4: undocumented exit codes in bin/, any exit in lib/. *)
+let test_t4_exit_contract () =
+  with_fixture
+    [
+      ("bin/helper.ml", "let verdict () = 0\n");
+      ( "bin/tool.ml",
+        "let bad () = exit 7\n\
+         let ok () = exit 0\n\
+         let cond b = exit (if b then 0 else 2)\n\
+         let from_helper () = exit (Helper.verdict ())\n" );
+      ("lib/foo/a.ml", "let die () = exit 1\n");
+      mli "lib/foo/a.mli";
+      ( "ec",
+        "code 0 ok\ncode 1 findings\ncode 2 config\nreturner Helper.verdict\n"
+      );
+    ]
+    (fun root ->
+      compile root
+        ~incl:[ "bin"; "lib/foo" ]
+        [ "lib/foo/a.mli"; "lib/foo/a.ml"; "bin/helper.ml"; "bin/tool.ml" ];
+      let r =
+        typed_run
+          (typed_cfg ~roots:[ "lib"; "bin" ] ~exit_contract:"ec" root)
+      in
+      Alcotest.(check (list string)) "undocumented code + lib exit"
+        [ "T4"; "T4" ] (typed_rules r);
+      let msgs = List.map (fun f -> f.Lint.Finding.msg) r.Lint.Typed.findings in
+      Alcotest.(check bool) "lib exit is named" true
+        (List.exists (substring ~sub:"library code") msgs);
+      Alcotest.(check bool) "exit 7 is named" true
+        (List.exists (substring ~sub:"7") msgs);
+      (* a missing contract file is a configuration error, not silence *)
+      let r =
+        typed_run
+          (typed_cfg ~roots:[ "lib"; "bin" ] ~exit_contract:"nope" root)
+      in
+      Alcotest.(check bool) "missing contract reported" true
+        (List.length r.Lint.Typed.errors > 0))
+
+(* stale waivers: entries and annotations that suppress nothing are
+   reported with their location. *)
+let test_stale_waivers () =
+  with_fixture
+    [
+      ("lib/foo/a.ml", "let a () = print_endline \"hi\"\n");
+      mli "lib/foo/a.mli";
+      ( "lib/foo/b.ml",
+        "(* lint: allow R5 *)\n\
+         let x = 1\n\
+         let a tbl = Hashtbl.fold (fun _ _ n -> n) tbl 0 (* lint: allow R1 *)\n"
+      );
+      mli "lib/foo/b.mli";
+    ]
+    (fun root ->
+      compile root ~incl:[ "lib/foo" ]
+        [ "lib/foo/a.mli"; "lib/foo/a.ml"; "lib/foo/b.mli"; "lib/foo/b.ml" ];
+      let allow =
+        match
+          Lint.Allow.of_lines [ "lib/foo/a.ml R5"; "lib/foo/zzz.ml R1" ]
+        with
+        | Ok a -> a
+        | Error e -> Alcotest.failf "allow: %s" e
+      in
+      let r =
+        typed_run
+          (typed_cfg ~allow ~allow_path:"ALLOW" ~roots:[ "lib" ] root)
+      in
+      Alcotest.(check (list string)) "live waivers suppress" []
+        (typed_rules r);
+      let where = List.map (fun s -> s.Lint.Typed.sw_where) r.Lint.Typed.stale in
+      Alcotest.(check int) "exactly the dead entry and dead annotation" 2
+        (List.length where);
+      Alcotest.(check bool) "dead allow entry located" true
+        (List.exists (substring ~sub:"ALLOW:") where);
+      Alcotest.(check bool) "dead annotation located" true
+        (List.exists (substring ~sub:"b.ml:1") where);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "stale detail says so" true
+            (substring ~sub:"suppresses nothing" s.Lint.Typed.sw_detail))
+        r.Lint.Typed.stale)
+
 (* --- parse errors --- *)
 
 let test_parse_error_reported () =
@@ -410,6 +819,55 @@ let test_repo_is_clean () =
     Alcotest.(check int) "lb_lint over lib/ and bin/ is clean" 0
       (List.length r.findings);
     Alcotest.(check int) "no parse errors" 0 (List.length r.errors)
+
+(* Same bar for the typed pass: T1–T4 over every lib/ and bin/ unit, no
+   findings, no stale waivers, no errors.  Under dune the test cwd is
+   inside _build/default, whose tree mirrors the sources and holds the
+   .cmt files (the dune deps declare @check). *)
+let test_repo_is_clean_typed () =
+  match repo_root () with
+  | None -> Alcotest.fail "could not locate the repo root from the test cwd"
+  | Some root ->
+    let allow_path = Filename.concat root "bin/lint_allow" in
+    let allow =
+      if Sys.file_exists allow_path then
+        match Lint.Allow.load allow_path with
+        | Ok a -> a
+        | Error e -> Alcotest.failf "bin/lint_allow: %s" e
+      else Lint.Allow.empty
+    in
+    let build_dir =
+      if Sys.file_exists (Filename.concat root "_build/default") then
+        "_build/default"
+      else "."
+    in
+    let cfg =
+      { (Lint.Typed.default_config ~root ~allow_path ~allow ()) with
+        Lint.Typed.build_dir }
+    in
+    (match Lint.Typed.run cfg with
+    | Error e ->
+      Alcotest.failf "typed pass failed to start: %s (run `dune build @check`)"
+        e
+    | Ok r ->
+      List.iter
+        (fun f -> Printf.eprintf "%s\n" (Lint.Finding.to_string f))
+        r.Lint.Typed.findings;
+      List.iter
+        (fun s ->
+          Printf.eprintf "stale waiver: %s: %s\n" s.Lint.Typed.sw_where
+            s.Lint.Typed.sw_detail)
+        r.Lint.Typed.stale;
+      List.iter
+        (fun { Lint.Scan.path; message } ->
+          Printf.eprintf "error: %s: %s\n" path message)
+        r.Lint.Typed.errors;
+      Alcotest.(check bool) "analyzed a substantial unit count" true
+        (r.Lint.Typed.units > 50);
+      Alcotest.(check int) "lb_lint --typed over lib/ and bin/ is clean" 0
+        (List.length r.Lint.Typed.findings);
+      Alcotest.(check int) "no stale waivers" 0 (List.length r.Lint.Typed.stale);
+      Alcotest.(check int) "no errors" 0 (List.length r.Lint.Typed.errors))
 
 let () =
   Alcotest.run "lint"
@@ -465,7 +923,41 @@ let () =
             test_annotation_allow_rule;
           Alcotest.test_case "wrong rule does not mask" `Quick
             test_annotation_wrong_rule_does_not_mask;
+          Alcotest.test_case "annotations in strings/prose are inert" `Quick
+            test_annotation_inside_string_or_prose_ignored;
         ] );
+      ( "jsonl",
+        [ Alcotest.test_case "escaping and chain shape" `Quick test_jsonl_escaping ] );
+      ( "T1 taint",
+        [
+          Alcotest.test_case "source -> call chain -> sink with hops" `Quick
+            test_t1_chain;
+          Alcotest.test_case "tainted def inside a sink module" `Quick
+            test_t1_sink_module_def;
+          Alcotest.test_case "cut files stop propagation" `Quick
+            test_t1_cut_stops_taint;
+          Alcotest.test_case "source files and scoped waivers" `Quick
+            test_t1_source_file_and_scoped_waiver;
+        ] );
+      ( "T2 domains",
+        [
+          Alcotest.test_case "escaping ref fires" `Quick test_t2_escaping_ref;
+          Alcotest.test_case "atomic/local/guarded are clean" `Quick
+            test_t2_safe_captures;
+          Alcotest.test_case "unguarded mutable record fires" `Quick
+            test_t2_unguarded_record;
+        ] );
+      ( "T3 wire",
+        [
+          Alcotest.test_case "wildcard dispatch and contract life cycle"
+            `Quick test_t3_wildcard_and_contract;
+        ] );
+      ( "T4 exits",
+        [
+          Alcotest.test_case "exit-code contract" `Quick test_t4_exit_contract;
+        ] );
+      ( "stale waivers",
+        [ Alcotest.test_case "dead entries and annotations" `Quick test_stale_waivers ] );
       ( "errors",
         [
           Alcotest.test_case "syntax error becomes exit-2 error" `Quick
@@ -474,5 +966,7 @@ let () =
       ( "meta",
         [
           Alcotest.test_case "the repo lints clean" `Quick test_repo_is_clean;
+          Alcotest.test_case "the repo lints clean under --typed" `Quick
+            test_repo_is_clean_typed;
         ] );
     ]
